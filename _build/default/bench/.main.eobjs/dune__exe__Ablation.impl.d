@@ -1,0 +1,1 @@
+bench/ablation.ml: Blsm Kv List Printf Repro_util Scale Simdisk String Ycsb

@@ -1,0 +1,1 @@
+bench/fig2.ml: Blsm Float Kv List Printf Repro_util Scale Simdisk Ycsb

@@ -1,0 +1,1 @@
+bench/fig7.ml: List Printf Repro_util Scale Simdisk Ycsb

@@ -1,0 +1,1 @@
+bench/fig8.ml: Kv List Printf Scale Simdisk Ycsb

@@ -1,0 +1,1 @@
+bench/fig9.ml: List Printf Repro_util Scale Simdisk Ycsb

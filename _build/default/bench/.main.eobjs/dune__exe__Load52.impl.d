@@ -1,0 +1,1 @@
+bench/load52.ml: Blsm Printf Repro_util Scale Simdisk Ycsb

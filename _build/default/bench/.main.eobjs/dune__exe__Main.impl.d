@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig2 Fig7 Fig8 Fig9 List Load52 Metrics Micro Option Printf Scale Scans56 Simdisk Sys Table1 Table2 Trace Unix Ycsb_suite

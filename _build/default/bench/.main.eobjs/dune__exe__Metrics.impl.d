@@ -1,0 +1,1 @@
+bench/metrics.ml: Blsm Btree_baseline Kv Leveldb_sim List Pagestore Printf Repro_util Scale Simdisk Ycsb

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bloom Blsm Buffer Hashtbl Instance Kv List Measure Memtable Pagestore Printf Repro_util Scale Simdisk Sstable Staged String Test Time Toolkit Ycsb

@@ -1,0 +1,1 @@
+bench/scale.ml: Blsm Btree_baseline Fun Kv Leveldb_sim Option Pagestore Printf String Ycsb

@@ -1,0 +1,1 @@
+bench/scans56.ml: Kv List Printf Repro_util Scale Simdisk Ycsb

@@ -1,0 +1,1 @@
+bench/table1.ml: Kv List Printf Repro_util Scale Simdisk String Ycsb

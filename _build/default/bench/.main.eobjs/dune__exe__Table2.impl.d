@@ -1,0 +1,1 @@
+bench/table2.ml: List Printf Scale Simdisk

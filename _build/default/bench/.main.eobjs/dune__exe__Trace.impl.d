@@ -1,0 +1,1 @@
+bench/trace.ml: Blsm Float Printf Repro_util Scale Simdisk

@@ -1,0 +1,1 @@
+bench/ycsb_suite.ml: Kv List Printf Scale Simdisk String Ycsb

@@ -1,0 +1,99 @@
+(** Figure 2 — read amplification vs data size: fractional cascading at
+    fixed R versus a three-level tree with Bloom filters.
+
+    Left panel: seeks per uncached lookup. A fractional-cascading tree
+    with ratio R has ceil(log_R(data/RAM)) on-disk levels and performs one
+    disk access per level (the cascade pointers land on cold pages).
+    Bloom filters instead make lookups cost 1 + levels * fp_rate seeks —
+    1.03 for the paper's two filtered on-disk levels at ~1% fp.
+
+    Right panel: bandwidth amplification — bytes transferred per byte of
+    record read. Each cascade step transfers one page.
+
+    The Bloom line is additionally *measured* on a real bLSM instance at
+    several data sizes to validate the model. *)
+
+let levels ~r ~multiple =
+  if multiple <= 1.0 then 1
+  else int_of_float (Float.ceil (log multiple /. log r))
+
+let model_seeks ~r ~multiple = float_of_int (levels ~r ~multiple)
+
+let bloom_seeks = 1.0 +. (2.0 *. 0.015) (* two filtered levels, ~1.5% fp *)
+
+let model_bandwidth ~page ~value ~r ~multiple =
+  float_of_int (levels ~r ~multiple * page) /. float_of_int value
+
+let bloom_bandwidth ~page ~value =
+  bloom_seeks *. float_of_int page /. float_of_int value
+
+let run scale profile =
+  let page = 4096 and value = scale.Scale.value_bytes in
+  Scale.section "Figure 2 (left): read amplification in seeks vs data size";
+  let multiples = [ 1.; 2.; 4.; 6.; 8.; 10.; 12.; 14.; 16. ] in
+  Printf.printf "%-18s" "data (x RAM)";
+  List.iter (fun m -> Printf.printf " %6.0f" m) multiples;
+  print_newline ();
+  Printf.printf "%-18s" "Bloom (ours)";
+  List.iter (fun _ -> Printf.printf " %6.2f" bloom_seeks) multiples;
+  print_newline ();
+  List.iter
+    (fun r ->
+      Printf.printf "R=%-16.0f" r;
+      List.iter
+        (fun m -> Printf.printf " %6.2f" (model_seeks ~r ~multiple:m))
+        multiples;
+      print_newline ())
+    [ 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ];
+
+  Scale.section "Figure 2 (right): read amplification in bandwidth vs data size";
+  Printf.printf "%-18s" "data (x RAM)";
+  List.iter (fun m -> Printf.printf " %6.0f" m) multiples;
+  print_newline ();
+  Printf.printf "%-18s" "Bloom (ours)";
+  List.iter (fun _ -> Printf.printf " %6.2f" (bloom_bandwidth ~page ~value)) multiples;
+  print_newline ();
+  List.iter
+    (fun r ->
+      Printf.printf "R=%-16.0f" r;
+      List.iter
+        (fun m -> Printf.printf " %6.2f" (model_bandwidth ~page ~value ~r ~multiple:m))
+        multiples;
+      print_newline ())
+    [ 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ];
+
+  (* validation: measured seeks per uncached read on a live bLSM at
+     growing data:C0 ratios *)
+  Scale.section "Figure 2 (validation): measured bLSM read amplification";
+  Printf.printf "%-14s %10s %12s\n" "data (x C0)" "records" "seeks/read";
+  List.iter
+    (fun mult ->
+      let s =
+        { scale with Scale.records = scale.Scale.records * mult / 4 }
+      in
+      let tree =
+        Scale.blsm
+          ~config_tweak:(fun c ->
+            {
+              c with
+              Blsm.Config.c0_bytes = Scale.data_bytes s / mult;
+            })
+          s profile
+      in
+      let e = Blsm.Tree.engine tree in
+      let ks, _ = Scale.loaded_engine s e in
+      let prng = Repro_util.Prng.of_int 5 in
+      let n = 400 in
+      let before = Simdisk.Disk.snapshot (Blsm.Tree.disk tree) in
+      for _ = 1 to n do
+        ignore
+          (e.Kv.Kv_intf.get
+             (Repro_util.Keygen.key_of_id
+                (Repro_util.Prng.int prng ks.Ycsb.Runner.records)))
+      done;
+      let d =
+        Simdisk.Disk.diff before (Simdisk.Disk.snapshot (Blsm.Tree.disk tree))
+      in
+      Printf.printf "%-14d %10d %12.2f\n" mult s.Scale.records
+        (float_of_int d.Simdisk.Disk.seeks /. float_of_int n))
+    [ 2; 4; 8 ]

@@ -1,0 +1,56 @@
+(** Figure 8 — throughput vs write ratio (uniform random access), hard
+    disks (left) and SSD (right); read-modify-write and blind-update
+    variants for the LSMs, read-modify-write for InnoDB.
+
+    Expected shape (§5.3-5.4): at 0% writes all engines sit near the
+    device's random-read throughput (bLSM/B-Tree ~1 seek, LevelDB lower —
+    multi-seek reads); as the blind-write fraction grows the LSM curves
+    climb steeply (writes are seek-free) while InnoDB falls; RMW curves
+    sit between. SSDs penalize InnoDB's random writes hardest. *)
+
+let write_ratios = [ 0; 20; 40; 60; 80; 100 ]
+
+let run scale profile =
+  Scale.section
+    (Printf.sprintf "Figure 8: throughput vs write ratio (%s, uniform)"
+       profile.Simdisk.Profile.name);
+  let variants =
+    [
+      ("InnoDB (RMW)", (fun () -> Scale.btree_engine scale profile), `Rmw);
+      ("LevelDB (RMW)", (fun () -> Scale.leveldb_engine scale profile), `Rmw);
+      ("bLSM (RMW)", (fun () -> Scale.blsm_engine scale profile), `Rmw);
+      ("LevelDB (blind)", (fun () -> Scale.leveldb_engine scale profile), `Blind);
+      ("bLSM (blind)", (fun () -> Scale.blsm_engine scale profile), `Blind);
+    ]
+  in
+  Printf.printf "%-18s" "write%";
+  List.iter (fun w -> Printf.printf " %10d%%" w) write_ratios;
+  Printf.printf "   (ops/sec)\n";
+  List.iter
+    (fun (name, mk, kind) ->
+      let e : Kv.Kv_intf.engine = mk () in
+      let ks, _ = Scale.loaded_engine scale e in
+      Printf.printf "%-18s" name;
+      List.iter
+        (fun w ->
+          let wf = float_of_int w /. 100.0 in
+          let write_op =
+            match kind with
+            | `Rmw -> Ycsb.Runner.Read_modify_write
+            | `Blind -> Ycsb.Runner.Blind_update
+          in
+          let mix =
+            if w = 0 then [ (Ycsb.Runner.Read, 1.0) ]
+            else if w = 100 then [ (write_op, 1.0) ]
+            else [ (Ycsb.Runner.Read, 1.0 -. wf); (write_op, wf) ]
+          in
+          let r =
+            Ycsb.Runner.run e ks ~label:name ~mix ~ops:scale.Scale.ops
+              ~dist:(Ycsb.Generator.uniform ~seed:(17 + w))
+              ~seed:(100 + w) ()
+          in
+          e.Kv.Kv_intf.maintenance ();
+          Printf.printf " %11.0f" r.Ycsb.Runner.ops_per_sec)
+        write_ratios;
+      print_newline ())
+    variants

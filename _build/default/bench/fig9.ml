@@ -1,0 +1,42 @@
+(** Figure 9 — workload shift: bLSM saturated with 100% uniform blind
+    writes, switching at t=0 to an 80% read / 20% blind-write Zipfian mix
+    (SSD). Expected shape (§5.5): throughput ramps up while internal index
+    and hot data pages warm the cache, then levels off with occasional
+    small merge hiccups; latency stays in the low-millisecond range. *)
+
+let run scale profile =
+  Scale.section
+    (Printf.sprintf
+       "Figure 9: shift from 100%% uniform writes to 80/20 Zipfian (%s)"
+       profile.Simdisk.Profile.name);
+  let e = Scale.blsm_engine scale profile in
+  let ks = Ycsb.Runner.keyspace ~records:0 ~value_bytes:scale.Scale.value_bytes in
+  (* phase 0: load, then saturate with uniform writes for a while *)
+  ignore (Ycsb.Runner.load e ks ~n:scale.Scale.records ~seed:scale.Scale.seed ());
+  ignore
+    (Ycsb.Runner.run e ks ~label:"saturate"
+       ~mix:[ (Ycsb.Runner.Blind_update, 1.0) ]
+       ~ops:(scale.Scale.ops / 2)
+       ~dist:(Ycsb.Generator.uniform ~seed:3) ());
+  (* t = 0: switch to the serving mix *)
+  let r =
+    Ycsb.Runner.run e ks ~label:"80/20 zipfian"
+      ~mix:[ (Ycsb.Runner.Read, 0.8); (Ycsb.Runner.Blind_update, 0.2) ]
+      ~ops:(scale.Scale.ops * 8)
+      ~dist:(Ycsb.Generator.zipfian ~seed:4 ~n:ks.Ycsb.Runner.records ())
+      ~timeseries_bucket_us:100_000 ()
+  in
+  Printf.printf "%8s %12s %12s %12s %14s\n" "t(s)" "ops/sec" "mean-lat(ms)"
+    "p99-lat(ms)" "READ/UPDATE mix";
+  List.iter
+    (fun (row : Repro_util.Timeseries.row) ->
+      Printf.printf "%8.2f %12.0f %12.2f %12.2f\n" row.Repro_util.Timeseries.t_sec
+        row.Repro_util.Timeseries.ops_per_sec
+        row.Repro_util.Timeseries.mean_latency_ms
+        row.Repro_util.Timeseries.p99_latency_ms)
+    (Repro_util.Timeseries.rows r.Ycsb.Runner.timeseries);
+  Printf.printf
+    "\nSteady state: %.0f ops/s; read lat mean %.2fms; update lat mean %.2fms\n"
+    r.Ycsb.Runner.ops_per_sec
+    (Repro_util.Histogram.mean r.Ycsb.Runner.read_latency /. 1000.)
+    (Repro_util.Histogram.mean r.Ycsb.Runner.write_latency /. 1000.)

@@ -1,0 +1,157 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (see DESIGN.md §3 for the experiment index).
+
+    Usage:
+    {v
+      dune exec bench/main.exe -- all            # everything, small scale
+      dune exec bench/main.exe -- fig7 --records 100000 --disk hdd
+      dune exec bench/main.exe -- table1 fig8 scans
+      dune exec bench/main.exe -- micro          # Bechamel kernels
+    v} *)
+
+let profile_of_name = function
+  | "hdd" -> Simdisk.Profile.hdd_raid0
+  | "ssd" -> Simdisk.Profile.ssd_raid0
+  | s -> invalid_arg (Printf.sprintf "unknown disk %S (hdd|ssd)" s)
+
+type opts = {
+  scale : Scale.t;
+  disk : string option;  (** None = experiment default *)
+}
+
+let experiments : (string * string * (opts -> unit)) list =
+  [
+    ( "table1",
+      "Table 1: seeks per operation + insert latency tails",
+      fun o ->
+        Table1.run o.scale
+          (profile_of_name (Option.value o.disk ~default:"hdd")) );
+    ( "fig2",
+      "Figure 2: read amplification, fractional cascading vs Bloom",
+      fun o ->
+        Fig2.run o.scale (profile_of_name (Option.value o.disk ~default:"ssd")) );
+    ( "fig7",
+      "Figure 7: random-insert timeseries, bLSM vs LevelDB",
+      fun o ->
+        Fig7.run o.scale (profile_of_name (Option.value o.disk ~default:"hdd")) );
+    ( "fig8",
+      "Figure 8: throughput vs write ratio (both device classes)",
+      fun o ->
+        match o.disk with
+        | Some d -> Fig8.run o.scale (profile_of_name d)
+        | None ->
+            Fig8.run o.scale Simdisk.Profile.hdd_raid0;
+            Fig8.run o.scale Simdisk.Profile.ssd_raid0 );
+    ( "fig9",
+      "Figure 9: workload shift to 80/20 Zipfian serving",
+      fun o ->
+        Fig9.run o.scale (profile_of_name (Option.value o.disk ~default:"ssd")) );
+    ( "load",
+      "Section 5.2: bulk-load semantics comparison",
+      fun o ->
+        Load52.run o.scale (profile_of_name (Option.value o.disk ~default:"hdd")) );
+    ( "scans",
+      "Section 5.6: short and long scans after fragmentation",
+      fun o ->
+        Scans56.run o.scale (profile_of_name (Option.value o.disk ~default:"hdd")) );
+    ( "ycsb",
+      "YCSB core workloads A-F across all engines",
+      fun o ->
+        Ycsb_suite.run o.scale
+          (profile_of_name (Option.value o.disk ~default:"ssd")) );
+    ( "trace",
+      "Figures 5-6: scheduler mechanics timeline (gear/spring/naive)",
+      fun o ->
+        Trace.run o.scale
+          (profile_of_name (Option.value o.disk ~default:"hdd")) );
+    ( "metrics",
+      "Section 2.1: read/write amplification and read fanout",
+      fun o ->
+        Metrics.run o.scale
+          (profile_of_name (Option.value o.disk ~default:"hdd")) );
+    ( "table2",
+      "Table 2: index-cache RAM per device (analytic)",
+      fun _ -> Table2.run () );
+    ( "ablation",
+      "Ablations: scheduler, Bloom, snowshovel, early termination, skew",
+      fun o ->
+        Ablation.run o.scale
+          (profile_of_name (Option.value o.disk ~default:"hdd")) );
+    ("micro", "Bechamel micro-benchmarks", fun _ -> Micro.run ());
+  ]
+
+let usage () =
+  print_endline "bLSM reproduction benchmark harness.\n";
+  print_endline "  dune exec bench/main.exe -- [EXPERIMENT...] [OPTIONS]\n";
+  print_endline "Experiments:";
+  Printf.printf "  %-10s %s\n" "all" "run every experiment (default)";
+  List.iter (fun (n, doc, _) -> Printf.printf "  %-10s %s\n" n doc) experiments;
+  print_endline "\nOptions:";
+  print_endline "  --records N      records to load per store (default 40000)";
+  print_endline "  --ops N          operations per measured phase (default 8000)";
+  print_endline "  --value-bytes N  value size (default 1000, as in the paper)";
+  print_endline "  --disk hdd|ssd   override the experiment's device class";
+  print_endline "  --quick          quarter-scale run";
+  print_endline "  --seed N         PRNG seed (default 42)"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref Scale.default in
+  let disk = ref None in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--records" :: v :: rest ->
+        scale := { !scale with Scale.records = int_of_string v };
+        parse rest
+    | "--ops" :: v :: rest ->
+        scale := { !scale with Scale.ops = int_of_string v };
+        parse rest
+    | "--value-bytes" :: v :: rest ->
+        scale := { !scale with Scale.value_bytes = int_of_string v };
+        parse rest
+    | "--seed" :: v :: rest ->
+        scale := { !scale with Scale.seed = int_of_string v };
+        parse rest
+    | "--disk" :: v :: rest ->
+        disk := Some v;
+        parse rest
+    | "--quick" :: rest ->
+        scale :=
+          {
+            !scale with
+            Scale.records = !scale.Scale.records / 4;
+            ops = !scale.Scale.ops / 4;
+          };
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | name :: rest ->
+        selected := name :: !selected;
+        parse rest
+  in
+  parse args;
+  let selected =
+    match List.rev !selected with
+    | [] | [ "all" ] -> List.map (fun (n, _, _) -> n) experiments
+    | l -> l
+  in
+  let opts = { scale = !scale; disk = !disk } in
+  Printf.printf
+    "bLSM reproduction benchmarks: %d records x %dB values, %d ops/phase, seed %d\n"
+    opts.scale.Scale.records opts.scale.Scale.value_bytes opts.scale.Scale.ops
+    opts.scale.Scale.seed;
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, _, f) ->
+          let t0 = Unix.gettimeofday () in
+          f opts;
+          Printf.printf "\n(%s completed in %.1fs wall clock)\n" name
+            (Unix.gettimeofday () -. t0)
+      | None ->
+          Printf.eprintf "unknown experiment %S\n" name;
+          usage ();
+          exit 1)
+    selected

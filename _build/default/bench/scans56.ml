@@ -1,0 +1,54 @@
+(** §5.6 — scans: InnoDB vs bLSM.
+
+    Short scans (1-4 rows): InnoDB reads one leaf; bLSM touches all three
+    tree components — the sole experiment InnoDB wins (paper: 608 vs 385
+    scans/s, ~1.6:1). Long scans (1-100 rows) after the stores have been
+    fragmented by the read-write workloads: InnoDB seeks per leaf, bLSM
+    streams — bLSM wins (paper: 165 vs 86, ~1.9:1). The scan experiment
+    runs last, after a fragmenting update phase, exactly as in the paper. *)
+
+let run scale profile =
+  Scale.section
+    (Printf.sprintf "Section 5.6: scans after fragmentation (%s)"
+       profile.Simdisk.Profile.name);
+  let engines =
+    [
+      ("InnoDB", Scale.btree_engine scale profile);
+      ("bLSM", Scale.blsm_engine scale profile);
+    ]
+  in
+  let prepared =
+    List.map
+      (fun (name, e) ->
+        let ks, _ = Scale.loaded_engine scale e in
+        (* fragment: uniform random overwrites (the prior read-write tests
+           of §5) *)
+        ignore
+          (Ycsb.Runner.run e ks ~label:"fragment"
+             ~mix:[ (Ycsb.Runner.Read, 0.5); (Ycsb.Runner.Blind_update, 0.5) ]
+             ~ops:scale.Scale.ops
+             ~dist:(Ycsb.Generator.uniform ~seed:11) ());
+        e.Kv.Kv_intf.maintenance ();
+        (name, e, ks))
+      engines
+  in
+  let scan_phase label max_len =
+    Printf.printf "\n%s:\n%-10s %12s %14s %12s\n" label "engine" "scans/s"
+      "mean-lat(ms)" "seeks/scan";
+    List.iter
+      (fun (name, (e : Kv.Kv_intf.engine), ks) ->
+        let before = Simdisk.Disk.snapshot e.Kv.Kv_intf.disk in
+        let r =
+          Ycsb.Runner.run e ks ~label:name
+            ~mix:[ (Ycsb.Runner.Scan max_len, 1.0) ]
+            ~ops:(max 500 (scale.Scale.ops / 4))
+            ~dist:(Ycsb.Generator.uniform ~seed:12) ()
+        in
+        let d = Simdisk.Disk.diff before (Simdisk.Disk.snapshot e.Kv.Kv_intf.disk) in
+        Printf.printf "%-10s %12.0f %14.2f %12.2f\n" name r.Ycsb.Runner.ops_per_sec
+          (Repro_util.Histogram.mean r.Ycsb.Runner.latency /. 1000.)
+          (float_of_int d.Simdisk.Disk.seeks /. float_of_int r.Ycsb.Runner.ops))
+      prepared
+  in
+  scan_phase "Short scans (1-4 rows)" 4;
+  scan_phase "Long scans (1-100 rows)" 100

@@ -1,0 +1,95 @@
+(** Table 1 — Summary of results: seeks per operation and insert-latency
+    boundedness for bLSM vs B-Tree vs LevelDB.
+
+    Each cell is measured: a settled, loaded store; a batch of operations
+    of that class; seeks (and random writes, for update-in-place
+    writeback) divided by the batch size. The paper's table is analytic;
+    the measured values should land on it: bLSM reads 1, RMW 1, blind
+    writes 0; B-Tree reads 1, updates 2; LevelDB reads O(levels). *)
+
+let run scale profile =
+  Scale.section
+    (Printf.sprintf "Table 1: seeks per operation (%s, %d records x %dB)"
+       profile.Simdisk.Profile.name scale.Scale.records scale.Scale.value_bytes);
+  let engines =
+    [
+      ("bLSM", Scale.blsm_engine scale profile);
+      ("B-Tree", Scale.btree_engine scale profile);
+      ("LevelDB", Scale.leveldb_engine scale profile);
+    ]
+  in
+  let loaded =
+    List.map
+      (fun (name, e) ->
+        let ks, _ = Scale.loaded_engine scale e in
+        (name, e, ks))
+      engines
+  in
+  let prng = Repro_util.Prng.of_int 7 in
+  let batch = max 200 (scale.Scale.ops / 10) in
+  (* measure seeks + random writes per op; flush dirties afterwards so
+     update-in-place writebacks are attributed to their op class *)
+  let measure (e : Kv.Kv_intf.engine) ks f =
+    e.Kv.Kv_intf.maintenance ();
+    let before = Simdisk.Disk.snapshot e.Kv.Kv_intf.disk in
+    for i = 0 to batch - 1 do
+      let id = Repro_util.Prng.int prng ks.Ycsb.Runner.records in
+      f i (Repro_util.Keygen.key_of_id id)
+    done;
+    e.Kv.Kv_intf.maintenance ();
+    let d = Simdisk.Disk.diff before (Simdisk.Disk.snapshot e.Kv.Kv_intf.disk) in
+    float_of_int (d.Simdisk.Disk.seeks + d.Simdisk.Disk.random_writes)
+    /. float_of_int batch
+  in
+  let value () = String.make scale.Scale.value_bytes 'w' in
+  let ops (e : Kv.Kv_intf.engine) ks =
+    [
+      ("Point lookup", measure e ks (fun _ k -> ignore (e.Kv.Kv_intf.get k)));
+      ( "Read-modify-write",
+        measure e ks (fun _ k ->
+            e.Kv.Kv_intf.read_modify_write k (function
+              | Some v -> v
+              | None -> value ())) );
+      ( "Apply delta",
+        measure e ks (fun _ k -> e.Kv.Kv_intf.apply_delta k "+1") );
+      ( "Insert or overwrite",
+        measure e ks (fun _ k -> e.Kv.Kv_intf.put k (value ())) );
+      ( "Short scan (<=1 page)",
+        measure e ks (fun _ k -> ignore (e.Kv.Kv_intf.scan k 3)) );
+      ( "Long scan (100 rows)",
+        measure e ks (fun _ k -> ignore (e.Kv.Kv_intf.scan k 100)) );
+    ]
+  in
+  let results = List.map (fun (name, e, ks) -> (name, ops e ks)) loaded in
+  let rows = List.map fst (snd (List.hd results)) in
+  Printf.printf "%-24s" "Operation (I/Os/op)";
+  List.iter (fun (name, _) -> Printf.printf " %12s" name) results;
+  print_newline ();
+  List.iter
+    (fun row ->
+      Printf.printf "%-24s" row;
+      List.iter
+        (fun (_, cells) -> Printf.printf " %12.2f" (List.assoc row cells))
+        results;
+      print_newline ())
+    rows;
+  (* insert-latency boundedness: saturated uniform inserts, report tails *)
+  Scale.section "Table 1 (cont.): uniform random insert latency";
+  Printf.printf "%-12s %12s %12s %12s %12s\n" "engine" "p50(us)" "p99(us)"
+    "p99.9(us)" "max(us)";
+  List.iter
+    (fun (name, mk) ->
+      let e : Kv.Kv_intf.engine = mk () in
+      let ks = Ycsb.Runner.keyspace ~records:0 ~value_bytes:scale.Scale.value_bytes in
+      let r = Ycsb.Runner.load e ks ~n:scale.Scale.records () in
+      let h = r.Ycsb.Runner.latency in
+      Printf.printf "%-12s %12d %12d %12d %12d\n" name
+        (Repro_util.Histogram.percentile h 50.0)
+        (Repro_util.Histogram.percentile h 99.0)
+        (Repro_util.Histogram.percentile h 99.9)
+        (Repro_util.Histogram.max_value h))
+    [
+      ("bLSM", fun () -> Scale.blsm_engine scale profile);
+      ("B-Tree", fun () -> Scale.btree_engine scale profile);
+      ("LevelDB", fun () -> Scale.leveldb_engine scale profile);
+    ]

@@ -1,0 +1,88 @@
+(** Table 2 / Appendix A — RAM required to cache B-Tree index nodes for a
+    read amplification of one, per device class and access frequency.
+
+    Reproduces the paper's arithmetic (100-byte keys, 1000-byte values,
+    4096-byte pages, ~4 records per leaf, key+pointer = 108 bytes per
+    cached index entry):
+
+    - when data is hot enough that the device is seek-bound, only
+      [reads_per_sec * period] records can live on one drive, each needing
+      its own cached leaf pointer;
+    - when the device is capacity-bound (cold data), leaves pack 4 records
+      per page, so the cache is a quarter the size;
+    - "-" marks frequencies where the hot-data requirement meets or
+      exceeds the full-disk one (the device has gone capacity-bound).
+
+    Also prints the Bloom-filter overhead note: 1.25 bytes/key over all
+    keys = 4 * 1.25 / 100 = 5% of index-cache RAM. *)
+
+let key_bytes = 100.
+let value_bytes = 1000.
+let pointer_bytes = 8.
+let records_per_leaf = 4.
+
+let frequencies =
+  [
+    ("Minute", 60.);
+    ("Five minute", 300.);
+    ("Half hour", 1800.);
+    ("Hour", 3600.);
+    ("Day", 86400.);
+    ("Week", 604800.);
+    ("Month", 2592000.);
+  ]
+
+let gib b = b /. (1024. *. 1024. *. 1024.)
+
+let full_disk_cache_bytes (d : Simdisk.Profile.device_class) =
+  let records = d.Simdisk.Profile.capacity_gb *. 1e9 /. (key_bytes +. value_bytes) in
+  records /. records_per_leaf *. (key_bytes +. pointer_bytes)
+
+let hot_cache_bytes (d : Simdisk.Profile.device_class) period =
+  let records = d.Simdisk.Profile.reads_per_sec *. period in
+  records *. (key_bytes +. pointer_bytes)
+
+let run () =
+  Scale.section
+    "Table 2: GB of B-Tree index cache per drive (read amplification = 1)";
+  let devices = Simdisk.Profile.table2_devices in
+  Printf.printf "%-14s" "";
+  List.iter
+    (fun (d : Simdisk.Profile.device_class) ->
+      Printf.printf " %10s" d.Simdisk.Profile.class_name)
+    devices;
+  print_newline ();
+  Printf.printf "%-14s" "Capacity (GB)";
+  List.iter
+    (fun (d : Simdisk.Profile.device_class) ->
+      Printf.printf " %10.0f" d.Simdisk.Profile.capacity_gb)
+    devices;
+  print_newline ();
+  Printf.printf "%-14s" "Reads/second";
+  List.iter
+    (fun (d : Simdisk.Profile.device_class) ->
+      Printf.printf " %10.0f" d.Simdisk.Profile.reads_per_sec)
+    devices;
+  print_newline ();
+  List.iter
+    (fun (name, period) ->
+      Printf.printf "%-14s" name;
+      List.iter
+        (fun d ->
+          let hot = hot_cache_bytes d period in
+          let full = full_disk_cache_bytes d in
+          if hot >= full then Printf.printf " %10s" "-"
+          else Printf.printf " %10.3f" (gib hot))
+        devices;
+      print_newline ())
+    frequencies;
+  Printf.printf "%-14s" "Full disk";
+  List.iter
+    (fun d -> Printf.printf " %10.2f" (gib (full_disk_cache_bytes d)))
+    devices;
+  print_newline ();
+  Printf.printf
+    "\nBloom filters: 1.25 B/key over all keys; %g records/leaf -> %.0f%% \
+     overhead atop leaf-pointer cache (Appendix A).\n"
+    records_per_leaf
+    (records_per_leaf *. 1.25 /. key_bytes *. 100.)

@@ -1,0 +1,73 @@
+(** The canonical YCSB core workloads A-F (§5.1 uses YCSB throughout),
+    run against all three engines on one device class.
+
+    A: 50/50 read/update (Zipfian)      B: 95/5 read/update (Zipfian)
+    C: 100% read (Zipfian)              D: 95/5 read/insert (latest)
+    E: 95/5 scan/insert (Zipfian, scans of 1-100)
+    F: 50/50 read/read-modify-write (Zipfian)
+
+    Expected shapes: bLSM dominates the write-heavy mixes (A, F, D) and
+    loses only scan-heavy E's margin. The read-heavy Zipfian mixes (B, C)
+    are cache-allocation-sensitive: the paper's bLSM configuration
+    dedicates most RAM to C0 (8 GB C0 vs 2 GB page cache) because its
+    target workloads are write-heavy, so an engine spending the same RAM
+    purely on page cache (LevelDB here) can win pure cached reads.
+    InnoDB's 16 KB pages dilute its cache with cold records under poor
+    locality — exactly Appendix A.2's argument for small data pages. *)
+
+let workloads =
+  [
+    ("A (50/50 r/update)", [ (Ycsb.Runner.Read, 0.5); (Ycsb.Runner.Blind_update, 0.5) ], `Zipf);
+    ("B (95/5 r/update)", [ (Ycsb.Runner.Read, 0.95); (Ycsb.Runner.Blind_update, 0.05) ], `Zipf);
+    ("C (100 read)", [ (Ycsb.Runner.Read, 1.0) ], `Zipf);
+    ("D (95/5 r/insert)", [ (Ycsb.Runner.Read, 0.95); (Ycsb.Runner.Insert, 0.05) ], `Latest);
+    ("E (95/5 scan/ins)", [ (Ycsb.Runner.Scan 100, 0.95); (Ycsb.Runner.Insert, 0.05) ], `Zipf);
+    ("F (50/50 r/rmw)", [ (Ycsb.Runner.Read, 0.5); (Ycsb.Runner.Read_modify_write, 0.5) ], `Zipf);
+  ]
+
+let run scale profile =
+  Scale.section
+    (Printf.sprintf "YCSB core workloads A-F (%s, ops/sec)"
+       profile.Simdisk.Profile.name);
+  let engines =
+    [
+      ("bLSM", Scale.blsm_engine scale profile);
+      ("B-Tree", Scale.btree_engine scale profile);
+      ("LevelDB", Scale.leveldb_engine scale profile);
+    ]
+  in
+  let loaded =
+    List.map
+      (fun (name, e) ->
+        let ks, _ = Scale.loaded_engine scale e in
+        (name, e, ks))
+      engines
+  in
+  Printf.printf "%-20s" "workload";
+  List.iter (fun (n, _, _) -> Printf.printf " %12s" n) loaded;
+  print_newline ();
+  List.iteri
+    (fun wi (wname, mix, dist_kind) ->
+      Printf.printf "%-20s" wname;
+      List.iter
+        (fun (_, (e : Kv.Kv_intf.engine), ks) ->
+          let dist =
+            match dist_kind with
+            | `Zipf ->
+                Ycsb.Generator.zipfian ~seed:(50 + wi) ~n:ks.Ycsb.Runner.records ()
+            | `Latest -> Ycsb.Generator.latest ~seed:(50 + wi)
+          in
+          (* workload E is expensive: fewer ops *)
+          let ops =
+            match wname.[0] with
+            | 'E' -> max 200 (scale.Scale.ops / 8)
+            | _ -> scale.Scale.ops
+          in
+          let r =
+            Ycsb.Runner.run e ks ~label:wname ~mix ~ops ~dist ~seed:(70 + wi) ()
+          in
+          e.Kv.Kv_intf.maintenance ();
+          Printf.printf " %12.0f" r.Ycsb.Runner.ops_per_sec)
+        loaded;
+      print_newline ())
+    workloads

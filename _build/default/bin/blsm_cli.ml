@@ -1,0 +1,165 @@
+(* blsm_cli: interactive shell over a bLSM tree.
+
+   A REPL for poking at the data structure: writes, reads, scans, deltas,
+   crash/recovery, merge forcing, and live introspection of levels, I/O
+   counters and scheduler state. The store is an in-memory simulation, so
+   a session is ephemeral by design — `crash` + implicit recovery shows
+   exactly what would survive on a real device.
+
+   Run with:  dune exec bin/blsm_cli.exe -- [--disk hdd|ssd] [--c0-kb N]
+              [--scheduler naive|gear|spring] *)
+
+let usage = {|commands:
+  put <key> <value>        blind write (insert or overwrite)
+  get <key>                point lookup
+  del <key>                delete (tombstone write)
+  delta <key> <patch>      zero-seek delta write (append semantics)
+  ifabsent <key> <value>   insert if not exists
+  rmw <key> <suffix>       read-modify-write: append <suffix>
+  scan <key> <n>           up to n records with key >= <key>
+  fill <n> [<bytes>]       bulk-insert n synthetic records
+  flush                    drain C0 and all merges to disk
+  crash                    power-fail and recover (WAL replay)
+  levels                   component sizes and timestamps
+  stats                    operation counters and merge activity
+  io                       simulated disk counters and clock
+  help                     this text
+  quit                     exit|}
+
+let parse_args () =
+  let disk = ref Simdisk.Profile.ssd_raid0 in
+  let c0_kb = ref 1024 in
+  let scheduler = ref Blsm.Config.Spring in
+  let rec go = function
+    | [] -> ()
+    | "--disk" :: "hdd" :: rest ->
+        disk := Simdisk.Profile.hdd_raid0;
+        go rest
+    | "--disk" :: "ssd" :: rest ->
+        disk := Simdisk.Profile.ssd_raid0;
+        go rest
+    | "--c0-kb" :: v :: rest ->
+        c0_kb := int_of_string v;
+        go rest
+    | "--scheduler" :: s :: rest ->
+        (scheduler :=
+           match s with
+           | "naive" -> Blsm.Config.Naive
+           | "gear" -> Blsm.Config.Gear
+           | "spring" -> Blsm.Config.Spring
+           | _ -> failwith ("unknown scheduler " ^ s));
+        go rest
+    | a :: _ -> failwith ("unknown argument " ^ a)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!disk, !c0_kb * 1024, !scheduler)
+
+let () =
+  let profile, c0_bytes, scheduler = parse_args () in
+  let store =
+    Pagestore.Store.create
+      ~config:
+        {
+          Pagestore.Store.cfg_page_size = 4096;
+          cfg_buffer_pages = 2048;
+          cfg_durability = Pagestore.Wal.Full;
+        }
+      profile
+  in
+  let config =
+    {
+      Blsm.Config.default with
+      Blsm.Config.c0_bytes;
+      scheduler;
+      snowshovel = scheduler <> Blsm.Config.Gear;
+    }
+  in
+  let tree = ref (Blsm.Tree.create ~config store) in
+  let prng = Repro_util.Prng.of_int 99 in
+  Printf.printf "bLSM shell — %s, C0 = %d KiB, %s scheduler. Type `help`.\n"
+    profile.Simdisk.Profile.name (c0_bytes / 1024)
+    (Blsm.Config.scheduler_name scheduler);
+  let running = ref true in
+  while !running do
+    print_string "blsm> ";
+    match In_channel.input_line In_channel.stdin with
+    | None -> running := false
+    | Some line -> (
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        in
+        try
+          match words with
+          | [] -> ()
+          | [ "quit" ] | [ "exit" ] -> running := false
+          | [ "help" ] -> print_endline usage
+          | [ "put"; k; v ] -> Blsm.Tree.put !tree k v
+          | [ "get"; k ] ->
+              print_endline
+                (match Blsm.Tree.get !tree k with
+                | Some v -> v
+                | None -> "(not found)")
+          | [ "del"; k ] -> Blsm.Tree.delete !tree k
+          | [ "delta"; k; d ] -> Blsm.Tree.apply_delta !tree k d
+          | [ "ifabsent"; k; v ] ->
+              Printf.printf "%s\n"
+                (if Blsm.Tree.insert_if_absent !tree k v then "inserted"
+                 else "exists, kept")
+          | [ "rmw"; k; suffix ] ->
+              Blsm.Tree.read_modify_write !tree k (fun v ->
+                  Option.value v ~default:"" ^ suffix)
+          | [ "scan"; k; n ] ->
+              List.iter
+                (fun (key, v) -> Printf.printf "  %-24s %s\n" key v)
+                (Blsm.Tree.scan !tree k (int_of_string n))
+          | [ "fill"; n ] | [ "fill"; n; _ ] ->
+              let bytes =
+                match words with [ _; _; b ] -> int_of_string b | _ -> 100
+              in
+              let n = int_of_string n in
+              for _ = 1 to n do
+                Blsm.Tree.put !tree
+                  (Repro_util.Keygen.key_of_id (Repro_util.Prng.int prng 1_000_000))
+                  (Repro_util.Keygen.value prng bytes)
+              done;
+              Printf.printf "inserted %d records\n" n
+          | [ "flush" ] ->
+              Blsm.Tree.flush !tree;
+              print_endline "flushed"
+          | [ "crash" ] ->
+              tree := Blsm.Tree.crash_and_recover !tree;
+              print_endline "crashed and recovered (C0 rebuilt from WAL)"
+          | [ "levels" ] ->
+              List.iter
+                (fun l ->
+                  Printf.printf "  %-4s %10d records %12d bytes  ts=%d\n"
+                    l.Blsm.Tree.level l.Blsm.Tree.records l.Blsm.Tree.bytes
+                    l.Blsm.Tree.level_timestamp)
+                (Blsm.Tree.levels !tree)
+          | [ "stats" ] ->
+              let s = Blsm.Tree.stats !tree in
+              Printf.printf
+                "  puts=%d gets=%d dels=%d deltas=%d rmws=%d scans=%d\n\
+                \  checked-inserts=%d (seek-free %d)\n\
+                \  merges: C0:C1=%d C1':C2=%d promotions=%d hard-stalls=%d\n\
+                \  write stall: %s\n"
+                s.Blsm.Tree.puts s.Blsm.Tree.gets s.Blsm.Tree.deletes
+                s.Blsm.Tree.deltas s.Blsm.Tree.rmws s.Blsm.Tree.scans
+                s.Blsm.Tree.checked_inserts s.Blsm.Tree.checked_insert_seekfree
+                s.Blsm.Tree.merge1_completions s.Blsm.Tree.merge2_completions
+                s.Blsm.Tree.promotions s.Blsm.Tree.hard_stalls
+                (Fmt.str "%a" Repro_util.Histogram.pp s.Blsm.Tree.stall_us)
+          | [ "io" ] ->
+              let d = Simdisk.Disk.snapshot (Blsm.Tree.disk !tree) in
+              Printf.printf
+                "  t=%.3fms seeks=%d random-writes=%d seqR=%.1fKiB seqW=%.1fKiB\n"
+                (d.Simdisk.Disk.at_us /. 1000.)
+                d.Simdisk.Disk.seeks d.Simdisk.Disk.random_writes
+                (float_of_int d.Simdisk.Disk.seq_read_bytes /. 1024.)
+                (float_of_int d.Simdisk.Disk.seq_write_bytes /. 1024.)
+          | cmd :: _ -> Printf.printf "unknown command %S (try `help`)\n" cmd
+        with
+        | Failure m -> Printf.printf "error: %s\n" m
+        | Invalid_argument m -> Printf.printf "error: %s\n" m)
+  done

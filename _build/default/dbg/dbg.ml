@@ -1,0 +1,26 @@
+module L = Leveldb_sim.Leveldb
+let mk_store () =
+  Pagestore.Store.create
+    ~config:{ Pagestore.Store.cfg_page_size = 4096; cfg_buffer_pages = 128; cfg_durability = Pagestore.Wal.Full }
+    Simdisk.Profile.ssd_raid0
+let () =
+  let t = L.create ~config:{ L.default_config with L.memtable_bytes = 16*1024; file_bytes = 16*1024; base_level_bytes = 64*1024; level_ratio = 4.0; extent_pages = 8 } (mk_store ()) in
+  let prng = Repro_util.Prng.of_int 1 in
+  let target = ref "" in
+  for i = 0 to 1499 do
+    let key = Printf.sprintf "key%03d" (Repro_util.Prng.int prng 300) in
+    (match Repro_util.Prng.int prng 12 with
+    | 0 | 1 | 2 | 3 -> L.put t key (Printf.sprintf "v%d-%s" i (String.make 40 'd'))
+    | 4 -> L.delete t key
+    | 5 -> L.apply_delta t key (Printf.sprintf "+%d" i)
+    | 6 -> L.read_modify_write t key (fun v -> Option.value v ~default:"" ^ "!")
+    | 7 -> ignore (L.insert_if_absent t key (Printf.sprintf "ia%d" i))
+    | 8 | 9 -> ignore (L.get t key)
+    | _ -> ignore (L.scan t key (1 + Repro_util.Prng.int prng 8)));
+    if i = 866 then begin
+      target := key;
+      Printf.printf "op866 key=%s get=%s\n" key (Option.value (L.get t key) ~default:"<none>")
+    end
+  done;
+  Printf.printf "final get %s = %s\n" !target (Option.value (L.get t !target) ~default:"<none>");
+  List.iter (fun li -> Printf.printf "L%d: %d files %d bytes\n" li.L.li_level li.L.li_files li.L.li_bytes) (L.levels t)

@@ -1,0 +1,1 @@
+examples/analytics_scan.ml: Array Blsm List Pagestore Printf Repro_util Scanf Simdisk String

@@ -1,0 +1,1 @@
+examples/event_ingest.ml: Blsm Fmt Hashtbl List Option Pagestore Printf Repro_util Simdisk String

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Array Blsm Fmt List Pagestore Printf Repro_util Simdisk String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Blsm Char Kv List Option Pagestore Printf Simdisk String

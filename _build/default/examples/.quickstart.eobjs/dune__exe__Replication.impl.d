@@ -1,0 +1,1 @@
+examples/replication.ml: Blsm Char List Option Pagestore Printf Simdisk String

@@ -1,0 +1,1 @@
+examples/session_store.ml: Blsm Option Pagestore Printf Repro_util Simdisk String

@@ -1,0 +1,33 @@
+(** Bloom filter with double hashing (§4.4.3).
+
+    Probes are g_i(x) = h1(x) + i*h2(x) (Kirsch–Mitzenmacher), giving the
+    asymptotics of k independent hashes from two. At the paper's 10
+    bits/item with the optimal hash count, false positives stay below 1%
+    (§3.1). Updates are monotonic (bits only go 0 -> 1), so readers never
+    need to be insulated from concurrent updates. *)
+
+type t
+
+(** [create ?bits_per_item ~expected_items ()] sizes the filter for
+    [expected_items] insertions. [bits_per_item] defaults to 10. *)
+val create : ?bits_per_item:int -> expected_items:int -> unit -> t
+
+(** [add t key] inserts [key]; there is no delete (components are
+    append-only). *)
+val add : t -> string -> unit
+
+(** [mem t key] is [false] only if [key] was definitely never added. *)
+val mem : t -> string -> bool
+
+val inserted : t -> int
+val size_bytes : t -> int
+
+(** Expected false-positive rate at the current fill:
+    (1 - e^(-kn/m))^k. *)
+val expected_fp_rate : t -> float
+
+(** {1 Serialization} — tests/tooling only; bLSM deliberately does not
+    persist filters (rebuilt by post-crash scans, §4.4.3). *)
+
+val to_string : t -> string
+val of_string : string -> t

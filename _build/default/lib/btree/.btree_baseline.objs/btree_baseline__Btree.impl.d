@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Buffer Bytes Char Kv List Pagestore Printf Repro_util String

@@ -1,0 +1,56 @@
+(** Update-in-place B+-Tree: the InnoDB stand-in (§2.2, §5).
+
+    A page-structured B+-tree over the shared buffer manager. The cost
+    profile the paper ascribes to InnoDB is emergent rather than
+    hard-coded: point reads cost one seek once the leaf level exceeds the
+    pool (upper levels stay cached); updates dirty the leaf and pay the
+    second seek at eviction writeback; random inserts scatter leaves
+    (splits allocate wherever space is), so long scans after a
+    fragmenting workload seek per leaf — §5.6's crossover. Deletes are
+    lazy (no rebalancing); sequential inserts use the rightmost-split
+    optimization so pre-sorted loads pack pages. *)
+
+type t
+
+val create : Pagestore.Store.t -> t
+
+val count : t -> int
+val data_bytes : t -> int
+val splits : t -> int
+val height : t -> int
+val store : t -> Pagestore.Store.t
+val disk : t -> Simdisk.Disk.t
+
+(** Largest key+value a leaf can hold (must fit two records per page). *)
+val max_record_bytes : t -> int
+
+(** [get t key]: one buffer-pool descent; ~1 seek when the leaf is cold. *)
+val get : t -> string -> string option
+
+(** [put t key value]: update in place — read the leaf (seek #1 when
+    cold), modify in the pool; eviction later pays seek #2. Raises
+    [Invalid_argument] if the record exceeds {!max_record_bytes}. *)
+val put : t -> string -> string -> unit
+
+(** [delete t key]: lazy deletion — removed from the leaf, no rebalance. *)
+val delete : t -> string -> unit
+
+(** [scan t start n]: position on the leaf containing [start] (one seek),
+    then follow the leaf chain; fragmented chains seek per hop. *)
+val scan : t -> string -> int -> (string * string) list
+
+(** The two-seek B-Tree primitive. *)
+val read_modify_write : t -> string -> (string option -> string) -> unit
+
+(** The existence check is free during the descent — but the descent
+    itself costs the seek (contrast §3.1.2). *)
+val insert_if_absent : t -> string -> string -> bool
+
+(** [check_invariants t] verifies ordering, key bounds and record count;
+    raises [Failure] on violation (tests). *)
+val check_invariants : t -> unit
+
+(** [(internal_pages, leaf_pages)] by traversal (read-fanout math). *)
+val node_counts : t -> int * int
+
+val engine : ?name:string -> t -> Kv.Kv_intf.engine

@@ -1,0 +1,1 @@
+lib/core/merge_process.ml: Bloom Component Config Kv Memtable Option Sstable String

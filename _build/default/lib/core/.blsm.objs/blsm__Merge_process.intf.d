@@ -1,0 +1,1 @@
+lib/core/merge_process.mli: Bloom Component Config Kv Memtable Pagestore Sstable

@@ -1,0 +1,1 @@
+lib/core/partitioned.ml: Array Config Kv List Pagestore Printf String Tree

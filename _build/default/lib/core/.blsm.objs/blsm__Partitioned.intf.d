@@ -1,0 +1,1 @@
+lib/core/partitioned.mli: Config Kv Pagestore Simdisk Tree

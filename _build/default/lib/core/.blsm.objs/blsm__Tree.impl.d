@@ -1,0 +1,1 @@
+lib/core/tree.ml: Bloom Buffer Component Config Float Kv List Memtable Merge_process Option Pagestore Repro_util Scheduler Simdisk Sstable String

@@ -1,0 +1,1 @@
+lib/core/tree.mli: Config Kv Pagestore Repro_util Simdisk

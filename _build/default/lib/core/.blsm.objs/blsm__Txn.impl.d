@@ -1,0 +1,1 @@
+lib/core/txn.ml: Config Kv List Map String Tree

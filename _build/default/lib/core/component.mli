@@ -1,0 +1,45 @@
+(** An on-disk tree component: an SSTable plus its Bloom filter.
+
+    One filter guards each on-disk component (C1, C1', C2); it is created
+    by the merge that creates the component and dies with it (§4.4.3).
+    Filters are not persisted: after a crash they are rebuilt by scanning
+    the component once. *)
+
+type t = {
+  sst : Sstable.Reader.t;
+  bloom : Bloom.t option;
+  mutable bloom_negative : int;  (** lookups the filter answered for free *)
+  mutable bloom_false_positive : int;
+}
+
+val of_sst : ?bloom:Bloom.t -> Sstable.Reader.t -> t
+
+(** [build_bloom ~bits_per_key sst] populates a fresh filter by scanning
+    the component (recovery path; merges build filters inline).
+    [None] when [bits_per_key = 0]. *)
+val build_bloom : bits_per_key:int -> Sstable.Reader.t -> Bloom.t option
+
+val data_bytes : t -> int
+val record_count : t -> int
+val timestamp : t -> int
+val is_empty : t -> bool
+
+(** [get t key]: point lookup; consults the Bloom filter first so lookups
+    of absent keys usually cost zero I/O. *)
+val get : t -> string -> Kv.Entry.t option
+
+(** [maybe_contains t key] is the filter-only check behind zero-seek
+    "insert if not exists" (§3.1.2); may return false positives. *)
+val maybe_contains : t -> string -> bool
+
+(** Streaming iterator (merges, scans): bypasses the buffer pool. *)
+val iterator : ?from:string -> t -> Sstable.Reader.iter
+
+(** Iterator through the buffer pool (short scans that should cache). *)
+val cached_iterator : ?from:string -> t -> Sstable.Reader.iter
+
+(** [free t] releases the component's extents (superseded by a merge). *)
+val free : t -> unit
+
+(** Metadata blob for the engine's commit root. *)
+val meta_blob : t -> string

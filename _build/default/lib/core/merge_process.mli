@@ -1,0 +1,88 @@
+(** Incremental merge state machines.
+
+    Each merge pulls from its inputs in key order and streams output pages
+    through an {!Sstable.Builder}, doing at most [quota] input bytes per
+    step — the "smooth" progress property the schedulers require (§4.1).
+    {!Tree} owns their lifecycle; this interface exists mainly so the
+    state machines can be unit-tested in isolation. *)
+
+type progress = {
+  bytes_read : int;  (** input bytes consumed so far *)
+  bytes_total : int;  (** current estimate of total input bytes *)
+  output_bytes : int;
+}
+
+type outcome = [ `Done | `More ]
+
+(** {1 C0 : C1 merge}
+
+    With snowshoveling ({!Live}) the C0 side re-queries the live memtable
+    on every record, so inserts landing ahead of the cursor join the
+    current run (§4.2); consumed records stay readable in a shadow table
+    until the merge commits. The gear scheduler instead merges a frozen
+    C0' snapshot ({!Frozen}), discarded wholesale at completion. *)
+
+type c0_source =
+  | Live of {
+      mem : Memtable.t;
+      shadow : (Kv.Entry.t * int) Memtable.Skiplist.t;
+          (** consumed-but-uncommitted records (entry, newest lsn) *)
+    }
+  | Frozen of Memtable.t
+
+type c0_merge
+
+val create_c0_merge :
+  config:Config.t ->
+  store:Pagestore.Store.t ->
+  source:c0_source ->
+  c1:Component.t option ->
+  run_cap:int ->
+  expected_items:int ->
+  c0_merge
+
+(** [step_c0 m ~quota] consumes up to [quota] input bytes. *)
+val step_c0 : c0_merge -> quota:int -> outcome
+
+val c0_progress : c0_merge -> progress
+
+(** inprogress_i = bytes read / (|C'_{i-1}| + |C_i|), clamped (§4.1). *)
+val c0_inprogress : c0_merge -> float
+
+(** [finish_c0 m ~timestamp] seals the output: (footer, index blob,
+    Bloom filter). The caller swaps it in and clears the shadow. *)
+val finish_c0 :
+  c0_merge -> timestamp:int -> Sstable.Sst_format.footer * string * Bloom.t option
+
+(** [abandon_c0 m] frees the uncommitted output (crash rollback). *)
+val abandon_c0 : c0_merge -> unit
+
+val c0_shadow : c0_merge -> (Kv.Entry.t * int) Memtable.Skiplist.t option
+val c0_old_c1 : c0_merge -> Component.t option
+val c0_source_kind : c0_merge -> [ `Live | `Frozen ]
+val c0_frozen_mem : c0_merge -> Memtable.t option
+
+(** {1 C1' : C2 merge}
+
+    Two immutable inputs; C2 is the bottom level, so tombstones are
+    elided and orphan deltas resolve to base records — the all-base
+    invariant behind one-seek reads (§3.1.1). *)
+
+type c12
+
+val create_c12 :
+  config:Config.t ->
+  store:Pagestore.Store.t ->
+  c1_prime:Component.t ->
+  c2:Component.t option ->
+  c12
+
+val step_c12 : c12 -> quota:int -> outcome
+val c12_progress : c12 -> progress
+val c12_inprogress : c12 -> float
+
+val finish_c12 :
+  c12 -> timestamp:int -> Sstable.Sst_format.footer * string * Bloom.t option
+
+val abandon_c12 : c12 -> unit
+val c12_inputs : c12 -> Component.t * Component.t option

@@ -1,0 +1,38 @@
+(** Log-shipping replication over the logical log (§4.4.2).
+
+    A follower is a full bLSM tree on its own store that tails the
+    primary's WAL, applying each record exactly once. Followers serve
+    reads while replicating and become writable on failover. The
+    replication position is persisted as an ordinary record in the
+    follower's tree (under a reserved ["\000"]-prefixed key), so it
+    recovers exactly in step with the applied data.
+
+    [catch_up] is atomic with respect to simulated crashes (the
+    simulation is single-threaded); crash between calls at will. *)
+
+type follower
+
+(** [follower ?config store] creates an empty follower on [store]. *)
+val follower : ?config:Config.t -> Pagestore.Store.t -> follower
+
+(** The follower's tree: read from it, or write to it after failover. *)
+val tree : follower -> Tree.t
+
+(** Newest primary LSN applied. *)
+val applied_lsn : follower -> int
+
+(** Primary records not yet applied. *)
+val lag : follower -> primary:Tree.t -> int
+
+(** [catch_up f ~primary] tails the primary's WAL from the follower's
+    position: [`Applied n], or [`Snapshot_needed] when the primary has
+    truncated past the follower's position (fell too far behind) — call
+    {!resync}. *)
+val catch_up : follower -> primary:Tree.t -> [ `Applied of int | `Snapshot_needed ]
+
+(** [resync f ~primary] full-state bootstrap through a cursor; the
+    primary must be quiescent during the copy. *)
+val resync : follower -> primary:Tree.t -> unit
+
+(** Power-fail the follower and recover it, position included. *)
+val crash_and_recover : follower -> follower

@@ -1,0 +1,37 @@
+(** Pacing math for the level schedulers (§4.1, §4.3).
+
+    Pure functions from observed tree state to merge-work quotas; {!Tree}
+    applies them before admitting each write. Keeping them pure makes the
+    estimator properties (bounded, monotone, smooth) directly testable. *)
+
+(** [outprogress ~inprogress ~ci_bytes ~ram_bytes ~r] implements §4.1:
+    {v outprogress_i = (inprogress_i + floor(|C_i|/|RAM|_i)) / ceil(R) v}
+    The floor term estimates how many of the R upstream merges this
+    component has absorbed. Ranges over [0, 1]; 1 means the component is
+    ready to merge downstream. *)
+val outprogress :
+  inprogress:float -> ci_bytes:int -> ram_bytes:int -> r:float -> float
+
+(** [gear_lag ~upstream_fill ~downstream_inprogress] is how far the
+    downstream merge lags the upstream fill (0 when no work is owed):
+    the gear constraint is [upstream_fill <= downstream_inprogress]. *)
+val gear_lag : upstream_fill:float -> downstream_inprogress:float -> float
+
+(** [spring_quota ~write_bytes ~fill ~low ~high ~remaining_bytes
+    ~c0_capacity] is the deadline controller of the spring-and-gear
+    scheduler: merge bytes owed for one write so that [remaining_bytes]
+    of merge input completes before C0 climbs from [fill] to [high].
+    Zero at or below [low] — the spring absorbing load dips (§4.3). *)
+val spring_quota :
+  write_bytes:int ->
+  fill:float ->
+  low:float ->
+  high:float ->
+  remaining_bytes:int ->
+  c0_capacity:int ->
+  int
+
+(** [lag_quota ~lag ~total_bytes ()] converts a gear lag into input
+    bytes, with a small overshoot ([slack], default 1.02) to avoid
+    oscillating on the constraint. *)
+val lag_quota : lag:float -> total_bytes:int -> ?slack:float -> unit -> int

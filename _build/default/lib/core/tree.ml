@@ -1,0 +1,924 @@
+(** The bLSM tree (§4, Figure 1).
+
+    Three levels: C0 (a {!Memtable}), C1 and C2 ({!Component}s, Bloom
+    filtered), plus C1' while a C1:C2 merge is in flight. Writes are
+    logical-logged and buffered in C0; two incremental merge processes move
+    data down the tree; a level scheduler paces them against application
+    progress so that writes see bounded backpressure instead of unbounded
+    pauses.
+
+    All merge work is performed synchronously inside the write path, in
+    scheduler-chosen quanta: this is the simulation counterpart of merge
+    threads sharing the disk with the application, and it makes every
+    stall visible as write latency (see DESIGN.md §1). *)
+
+type stats = {
+  mutable puts : int;
+  mutable gets : int;
+  mutable deletes : int;
+  mutable deltas : int;
+  mutable scans : int;
+  mutable rmws : int;
+  mutable checked_inserts : int;
+  mutable checked_insert_seekfree : int;
+      (** insert-if-not-exists resolved purely by Bloom filters *)
+  mutable merge1_completions : int;
+  mutable merge2_completions : int;
+  mutable promotions : int;
+  mutable hard_stalls : int;  (** writes that hit the C0 hard limit *)
+  mutable user_bytes_written : int;
+  stall_us : Repro_util.Histogram.t;
+      (** synchronous merge time charged to each write *)
+}
+
+type t = {
+  config : Config.t;
+  store : Pagestore.Store.t;
+  root_slot : string;  (** journal slot / WAL-client id on shared stores *)
+  mutable c0 : Memtable.t;
+  mutable frozen : Memtable.t option;  (** C0' (gear scheduler only) *)
+  mutable c1 : Component.t option;
+  mutable c1_prime : Component.t option;
+  mutable c2 : Component.t option;
+  mutable merge1 : Merge_process.c0_merge option;
+  mutable merge2 : Merge_process.c12 option;
+  mutable timestamp : int;
+  stats : stats;
+}
+
+let make_stats () =
+  {
+    puts = 0;
+    gets = 0;
+    deletes = 0;
+    deltas = 0;
+    scans = 0;
+    rmws = 0;
+    checked_inserts = 0;
+    checked_insert_seekfree = 0;
+    merge1_completions = 0;
+    merge2_completions = 0;
+    promotions = 0;
+    hard_stalls = 0;
+    user_bytes_written = 0;
+    stall_us = Repro_util.Histogram.create ();
+  }
+
+let create ?(config = Config.default) ?(root_slot = "") store =
+  (* hold the shared log from this point: records this tree buffers in
+     C0 may not be truncated away by co-hosted trees' merges *)
+  Pagestore.Wal.register_client (Pagestore.Store.wal store) ~client:root_slot;
+  {
+    config;
+    store;
+    root_slot;
+    c0 = Memtable.create ~seed:config.Config.seed ~resolver:config.Config.resolver ();
+    frozen = None;
+    c1 = None;
+    c1_prime = None;
+    c2 = None;
+    merge1 = None;
+    merge2 = None;
+    timestamp = 0;
+    stats = make_stats ();
+  }
+
+let stats t = t.stats
+let store t = t.store
+let disk t = Pagestore.Store.disk t.store
+let config t = t.config
+
+(** {1 Sizing} *)
+
+let component_bytes = function Some c -> Component.data_bytes c | None -> 0
+
+let disk_data_bytes t =
+  component_bytes t.c1 + component_bytes t.c1_prime + component_bytes t.c2
+
+(** Effective size ratio R: fixed, or the 3-level optimum
+    R = sqrt(|data| / |C0|) (§2.3.1), floored at 2. *)
+let effective_r t =
+  match t.config.Config.size_ratio with
+  | Config.Fixed r -> r
+  | Config.Adaptive ->
+      let data = float_of_int (max 1 (disk_data_bytes t)) in
+      let ram = float_of_int (Config.c0_capacity t.config) in
+      Float.max 2.0 (sqrt (data /. ram))
+
+let target_c1_bytes t =
+  int_of_float (effective_r t *. float_of_int (Config.c0_capacity t.config))
+
+let c0_fill t =
+  float_of_int (Memtable.bytes t.c0)
+  /. float_of_int (Config.c0_capacity t.config)
+
+(** {1 Root metadata (commit record)} *)
+
+let encode_root t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "BLSM";
+  Repro_util.Varint.write buf t.timestamp;
+  let opt = function
+    | None -> Repro_util.Varint.write buf 0
+    | Some c ->
+        let blob = Component.meta_blob c in
+        Repro_util.Varint.write buf (String.length blob);
+        Buffer.add_string buf blob
+  in
+  opt t.c1;
+  opt t.c1_prime;
+  opt t.c2;
+  Buffer.contents buf
+
+let commit_root t =
+  Pagestore.Store.commit_root ~slot:t.root_slot t.store (encode_root t)
+
+(** {1 Write-ahead log records}
+
+    One log record carries an atomic batch of operations (usually a
+    single one): replay applies a record's operations together, which is
+    what makes {!write_batch} all-or-nothing across crashes — the ACID
+    building block §4.4.2 attributes to the logical log. *)
+
+let encode_ops ops =
+  let buf = Buffer.create 64 in
+  Repro_util.Varint.write buf (List.length ops);
+  List.iter
+    (fun (key, entry) ->
+      Repro_util.Varint.write buf (String.length key);
+      Buffer.add_string buf key;
+      Kv.Entry.encode buf entry)
+    ops;
+  Buffer.contents buf
+
+let decode_ops s =
+  let count, pos = Repro_util.Varint.read s 0 in
+  let pos = ref pos in
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else begin
+      let klen, p = Repro_util.Varint.read s !pos in
+      let key = String.sub s p klen in
+      let entry, p = Kv.Entry.decode s (p + klen) in
+      pos := p;
+      go (n - 1) ((key, entry) :: acc)
+    end
+  in
+  go count []
+
+(** {1 Merge lifecycle} *)
+
+let open_component t ~bloom footer ~index =
+  let sst = Sstable.Reader.open_in_ram t.store footer ~index in
+  Component.of_sst ?bloom sst
+
+(* Start a C1':C2 merge if C1 has reached its target size and no other
+   bottom merge is active. *)
+let try_promote t =
+  match (t.c1, t.merge2) with
+  | Some c1, None when Component.data_bytes c1 >= target_c1_bytes t ->
+      t.c1_prime <- Some c1;
+      t.c1 <- None;
+      t.merge2 <-
+        Some
+          (Merge_process.create_c12 ~config:t.config ~store:t.store
+             ~c1_prime:c1 ~c2:t.c2);
+      t.stats.promotions <- t.stats.promotions + 1;
+      commit_root t;
+      true
+  | _ -> false
+
+(* Can a new C0:C1 run begin? Blocked exactly when C1 is full and the
+   C1':C2 merge has not yet freed the slot (Figure 4's danger state). *)
+let merge1_blocked t =
+  match t.c1 with
+  | Some c1 ->
+      Component.data_bytes c1 >= target_c1_bytes t && t.c1_prime <> None
+  | None -> false
+
+let source_has_data t =
+  if t.config.Config.snowshovel then not (Memtable.is_empty t.c0)
+  else
+    match t.frozen with
+    | Some f -> not (Memtable.is_empty f)
+    | None -> not (Memtable.is_empty t.c0) (* a swap would have work to do *)
+
+(* Begin a C0:C1 run. With snowshoveling the live C0 is the source; the
+   gear scheduler instead freezes the current C0 into C0' and opens a
+   fresh C0 (halving the write pool, §4.2.1). *)
+let start_merge1 t =
+  assert (t.merge1 = None);
+  ignore (try_promote t);
+  if merge1_blocked t then false
+  else begin
+    let source =
+      if t.config.Config.snowshovel then
+        Merge_process.Live
+          { mem = t.c0; shadow = Memtable.Skiplist.create ~seed:t.config.Config.seed () }
+      else begin
+        (match t.frozen with
+        | Some _ -> ()
+        | None ->
+            t.frozen <- Some t.c0;
+            t.c0 <-
+              Memtable.create ~seed:t.config.Config.seed
+                ~resolver:t.config.Config.resolver ());
+        Merge_process.Frozen (Option.get t.frozen)
+      end
+    in
+    let c1_count = match t.c1 with Some c -> Component.record_count c | None -> 0 in
+    let expected_items = max 1 (Memtable.count t.c0 + c1_count + 128) in
+    let run_cap =
+      (* Only live (snowshovel) runs may stop early: a frozen C0' must be
+         fully drained because it is discarded at completion. *)
+      if not t.config.Config.snowshovel then max_int
+      else
+        max
+          (int_of_float
+             (t.config.Config.run_cap_factor *. float_of_int (target_c1_bytes t)))
+          (component_bytes t.c1 + 1)
+    in
+    t.merge1 <-
+      Some
+        (Merge_process.create_c0_merge ~config:t.config ~store:t.store ~source
+           ~c1:t.c1 ~run_cap ~expected_items);
+    true
+  end
+
+let complete_merge1 t m =
+  t.timestamp <- t.timestamp + 1;
+  let footer, index, bloom = Merge_process.finish_c0 m ~timestamp:t.timestamp in
+  let fresh = open_component t ~bloom footer ~index in
+  let old_c1 = Merge_process.c0_old_c1 m in
+  t.c1 <- Some fresh;
+  t.merge1 <- None;
+  (match Merge_process.c0_source_kind m with
+  | `Live -> () (* shadow entries are now durable in the new C1 *)
+  | `Frozen -> t.frozen <- None (* C0' contents are useless, discard *));
+  commit_root t;
+  (match old_c1 with Some c -> Component.free c | None -> ());
+  (* Log truncation: everything older than the oldest entry still live in
+     C0 is covered by the freshly committed component. Snowshoveling keeps
+     old entries live in C0 longer, delaying this point (§4.4.2). *)
+  let wal = Pagestore.Store.wal t.store in
+  let floor =
+    match Memtable.oldest_lsn t.c0 with
+    | Some lsn -> lsn
+    | None -> Pagestore.Wal.next_lsn wal
+  in
+  (* On a shared store (partitioned trees), only records below every
+     tree's floor may be dropped. *)
+  Pagestore.Wal.propose_truncate wal ~client:t.root_slot ~upto_lsn:floor;
+  t.stats.merge1_completions <- t.stats.merge1_completions + 1;
+  ignore (try_promote t)
+
+let complete_merge2 t m =
+  t.timestamp <- t.timestamp + 1;
+  let footer, index, bloom = Merge_process.finish_c12 m ~timestamp:t.timestamp in
+  let fresh = open_component t ~bloom footer ~index in
+  let old_c1p, old_c2 = Merge_process.c12_inputs m in
+  t.c2 <- Some fresh;
+  t.c1_prime <- None;
+  t.merge2 <- None;
+  commit_root t;
+  Component.free old_c1p;
+  (match old_c2 with Some c -> Component.free c | None -> ());
+  t.stats.merge2_completions <- t.stats.merge2_completions + 1;
+  ignore (try_promote t)
+
+(* Advance merge1 by [quota] input bytes; starts a run when appropriate. *)
+let step_merge1 t ~quota =
+  match t.merge1 with
+  | Some m -> (
+      match Merge_process.step_c0 m ~quota with
+      | `More -> `More
+      | `Done ->
+          complete_merge1 t m;
+          `Completed)
+  | None ->
+      if source_has_data t && (not (merge1_blocked t)) && start_merge1 t then
+        `Started
+      else `Idle
+
+let step_merge2 t ~quota =
+  match t.merge2 with
+  | Some m -> (
+      match Merge_process.step_c12 m ~quota with
+      | `More -> `More
+      | `Done ->
+          complete_merge2 t m;
+          `Completed)
+  | None -> `Idle
+
+(** {1 Progress estimators} *)
+
+let merge1_inprogress t =
+  match t.merge1 with Some m -> Merge_process.c0_inprogress m | None -> 0.0
+
+let merge2_inprogress t =
+  match t.merge2 with Some m -> Merge_process.c12_inprogress m | None -> 1.0
+
+let outprogress1 t =
+  Scheduler.outprogress ~inprogress:(merge1_inprogress t)
+    ~ci_bytes:(component_bytes t.c1)
+    ~ram_bytes:(Config.c0_capacity t.config)
+    ~r:(effective_r t)
+
+let merge1_remaining_bytes t =
+  match t.merge1 with
+  | Some m ->
+      let p = Merge_process.c0_progress m in
+      max 0 (p.Merge_process.bytes_total - p.Merge_process.bytes_read)
+  | None -> Memtable.bytes t.c0 + component_bytes t.c1
+
+let merge2_remaining_bytes t =
+  match t.merge2 with
+  | Some m ->
+      let p = Merge_process.c12_progress m in
+      max 0 (p.Merge_process.bytes_total - p.Merge_process.bytes_read)
+  | None -> 0
+
+(** {1 Scheduling: pacing merge work into the write path} *)
+
+let chunk = 64 * 1024 (* stepping granularity, bytes of merge input *)
+
+(* Couple the bottom merge to C1's overall progress, gear-style: merge2
+   must stay at least as far along as outprogress1. *)
+let pace_merge2 t ~cap =
+  let spent = ref 0 in
+  let continue = ref true in
+  while
+    !continue && !spent < cap
+    && t.merge2 <> None
+    && merge2_inprogress t < outprogress1 t
+  do
+    match step_merge2 t ~quota:chunk with
+    | `More -> spent := !spent + chunk
+    | `Completed | `Idle | `Started -> continue := false
+  done
+
+(* Hard limit: C0 is at capacity and the write cannot be admitted. Force
+   merges forward until space frees; this is the unbounded-latency path
+   that good pacing is supposed to avoid (Table 1, last row). *)
+let force_space t =
+  t.stats.hard_stalls <- t.stats.hard_stalls + 1;
+  let cap = Config.c0_capacity t.config in
+  let guard = ref 0 in
+  while Memtable.bytes t.c0 >= cap do
+    incr guard;
+    if !guard > 1_000_000 then failwith "bLSM: stall loop failed to free C0";
+    match step_merge1 t ~quota:(4 * chunk) with
+    | `More | `Completed | `Started -> ()
+    | `Idle ->
+        (* merge1 blocked (C1 full, C1':C2 behind) or sourceless: push the
+           bottom merge *)
+        (match step_merge2 t ~quota:(4 * chunk) with
+        | `More | `Completed -> ()
+        | `Idle | `Started ->
+            (* nothing to do anywhere: C0 must have been drained *)
+            if Memtable.bytes t.c0 >= cap then
+              failwith "bLSM: C0 full but no merge can run")
+  done
+
+let pace_naive t ~write_bytes:_ =
+  (* The base LSM algorithm (§2.3.1): nothing happens until C0 is full,
+     then the application blocks while the entire C0:C1 merge (and any
+     C1':C2 merge it is waiting on) completes — the unbounded write pause
+     every level scheduler exists to avoid. *)
+  if Memtable.bytes t.c0 >= Config.c0_capacity t.config then begin
+    t.stats.hard_stalls <- t.stats.hard_stalls + 1;
+    let guard = ref 0 in
+    let drained () =
+      Memtable.is_empty t.c0
+      && (match t.frozen with Some f -> Memtable.is_empty f | None -> true)
+      && t.merge1 = None
+    in
+    while not (drained ()) do
+      incr guard;
+      if !guard > 1_000_000 then failwith "bLSM: naive drain stuck";
+      match step_merge1 t ~quota:(16 * chunk) with
+      | `More | `Completed | `Started -> ()
+      | `Idle -> (
+          match step_merge2 t ~quota:(16 * chunk) with
+          | `More | `Completed -> ()
+          | `Idle | `Started ->
+              if not (drained ()) then failwith "bLSM: naive drain wedged")
+    done
+  end
+
+let pace_gear t ~write_bytes:_ =
+  let cap = t.config.Config.max_quota_per_write in
+  let partition = Config.c0_capacity t.config in
+  let f0 = float_of_int (Memtable.bytes t.c0) /. float_of_int partition in
+  (* keep C0' merge at least as far along as C0's fill *)
+  let spent = ref 0 in
+  let continue = ref true in
+  while !continue && !spent < cap && t.merge1 <> None && merge1_inprogress t < f0 do
+    match step_merge1 t ~quota:chunk with
+    | `More -> spent := !spent + chunk
+    | `Completed | `Idle | `Started -> continue := false
+  done;
+  pace_merge2 t ~cap;
+  if Memtable.bytes t.c0 >= partition then begin
+    (* C0 partition full: C0' must hand off now; finish it, swap, restart *)
+    let guard = ref 0 in
+    while t.merge1 <> None do
+      incr guard;
+      if !guard > 1_000_000 then failwith "bLSM: gear handoff stuck";
+      match step_merge1 t ~quota:(4 * chunk) with
+      | `More | `Completed | `Started -> ()
+      | `Idle -> ()
+    done;
+    (match step_merge1 t ~quota:0 with
+    | `Started | `Idle | `More | `Completed -> ());
+    if Memtable.bytes t.c0 >= partition && t.merge1 = None then force_space t
+  end
+
+let pace_spring t ~write_bytes =
+  let budget = Config.c0_capacity t.config in
+  let fill = c0_fill t in
+  let low = t.config.Config.low_watermark in
+  let high = t.config.Config.high_watermark in
+  let cap = t.config.Config.max_quota_per_write in
+  (* the spring: below the low watermark merges rest; inside the band a
+     deadline controller paces merge1 to finish before C0 hits high *)
+  if fill > low then begin
+    let quota =
+      Scheduler.spring_quota ~write_bytes ~fill ~low ~high
+        ~remaining_bytes:(merge1_remaining_bytes t) ~c0_capacity:budget
+      |> min cap
+    in
+    let spent = ref 0 in
+    let continue = ref true in
+    while !continue && !spent < quota do
+      match step_merge1 t ~quota:(min chunk (quota - !spent)) with
+      | `More -> spent := !spent + chunk
+      | `Completed | `Started -> ()
+      | `Idle -> continue := false
+    done
+  end;
+  pace_merge2 t ~cap;
+  (* hard deadline for the bottom merge: it must complete before C0 and
+     C1 are simultaneously full (Figure 4's danger state), or merge1 will
+     block and writes will stall unboundedly. Same controller shape as
+     the C0 band, with the remaining C0+C1 headroom as the deadline. *)
+  (match t.merge2 with
+  | None -> ()
+  | Some _ ->
+      let remaining2 = merge2_remaining_bytes t in
+      let headroom =
+        max write_bytes
+          (target_c1_bytes t + budget
+          - (component_bytes t.c1 + Memtable.bytes t.c0))
+      in
+      let quota2 =
+        min cap (write_bytes * remaining2 / max write_bytes headroom)
+      in
+      let spent = ref 0 in
+      let continue = ref true in
+      while !continue && !spent < quota2 do
+        match step_merge2 t ~quota:(min chunk (quota2 - !spent)) with
+        | `More -> spent := !spent + chunk
+        | `Completed | `Idle | `Started -> continue := false
+      done);
+  if Memtable.bytes t.c0 >= budget then force_space t
+
+let before_write t ~write_bytes =
+  let t0 = Pagestore.Store.now_us t.store in
+  (match t.config.Config.scheduler with
+  | Config.Naive -> pace_naive t ~write_bytes
+  | Config.Gear -> pace_gear t ~write_bytes
+  | Config.Spring -> pace_spring t ~write_bytes);
+  let dt = Pagestore.Store.now_us t.store -. t0 in
+  Repro_util.Histogram.add t.stats.stall_us (int_of_float dt)
+
+(** {1 Write path} *)
+
+let write_entry t key entry =
+  let bytes = String.length key + Kv.Entry.payload_bytes entry in
+  before_write t ~write_bytes:(max 64 bytes);
+  let lsn =
+    Pagestore.Wal.append (Pagestore.Store.wal t.store) (encode_ops [ (key, entry) ])
+  in
+  Memtable.write t.c0 ~lsn key entry;
+  t.stats.user_bytes_written <- t.stats.user_bytes_written + bytes
+
+(** [write_batch t ops] applies [ops] atomically: one log record covers
+    the whole batch, so after a crash either every operation is recovered
+    or none is. Operations apply in list order (later entries for the
+    same key win). *)
+let write_batch t ops =
+  if ops <> [] then begin
+    let bytes =
+      List.fold_left
+        (fun a (k, e) -> a + String.length k + Kv.Entry.payload_bytes e)
+        0 ops
+    in
+    before_write t ~write_bytes:(max 64 bytes);
+    let lsn = Pagestore.Wal.append (Pagestore.Store.wal t.store) (encode_ops ops) in
+    List.iter (fun (key, entry) -> Memtable.write t.c0 ~lsn key entry) ops;
+    t.stats.puts <- t.stats.puts + List.length ops;
+    t.stats.user_bytes_written <- t.stats.user_bytes_written + bytes
+  end
+
+(** [put t key value]: blind write — insert or overwrite, zero seeks. *)
+let put t key value =
+  t.stats.puts <- t.stats.puts + 1;
+  write_entry t key (Kv.Entry.Base value)
+
+(** [delete t key]: blind tombstone write. *)
+let delete t key =
+  t.stats.deletes <- t.stats.deletes + 1;
+  write_entry t key Kv.Entry.Tombstone
+
+(** [apply_delta t key d]: zero-seek delta write (§2.3); the delta is
+    resolved against the base record by reads and merges. *)
+let apply_delta t key d =
+  t.stats.deltas <- t.stats.deltas + 1;
+  write_entry t key (Kv.Entry.Delta [ d ])
+
+(** {1 Read path} *)
+
+let shadow_lookup t key =
+  match t.merge1 with
+  | Some m -> (
+      match Merge_process.c0_shadow m with
+      | Some shadow ->
+          Option.map fst (Memtable.Skiplist.find shadow key)
+      | None -> None)
+  | None -> None
+
+let frozen_lookup t key =
+  match t.frozen with Some f -> Memtable.get f key | None -> None
+
+(* Visit record states newest-first. Early termination (§3.1.1) stops at
+   the first base record or tombstone; the ablation visits everything and
+   merges, which costs extra seeks for frequently-updated keys. *)
+let lookup_entry t key =
+  let early = t.config.Config.early_termination in
+  let sources =
+    [
+      (fun () -> Memtable.get t.c0 key);
+      (fun () -> shadow_lookup t key);
+      (fun () -> frozen_lookup t key);
+      (fun () -> Option.bind t.c1 (fun c -> Component.get c key));
+      (fun () -> Option.bind t.c1_prime (fun c -> Component.get c key));
+      (fun () -> Option.bind t.c2 (fun c -> Component.get c key));
+    ]
+  in
+  let rec visit acc = function
+    | [] -> acc
+    | src :: rest -> (
+        match src () with
+        | None -> visit acc rest
+        | Some e ->
+            let acc =
+              match acc with
+              | None -> Some e
+              | Some newer -> Some (Kv.Entry.merge t.config.Config.resolver ~newer ~older:e)
+            in
+            if early then
+              match acc with
+              | Some (Kv.Entry.Base _ | Kv.Entry.Tombstone) -> acc
+              | _ -> visit acc rest
+            else visit acc rest)
+  in
+  visit None sources
+
+(* Newest LSN affecting [key]'s visible state: C0/shadow slots track it
+   directly; durable components store it per record. 0 = never written
+   (within retained history). OCC validation compares these. *)
+let read_version t key =
+  let c0_v =
+    match Memtable.peek_geq_lsn t.c0 key with
+    | Some (k, _, lsn) when String.equal k key -> Some lsn
+    | _ -> None
+  in
+  match c0_v with
+  | Some v -> v
+  | None -> (
+      let shadow_v =
+        match t.merge1 with
+        | Some m -> (
+            match Merge_process.c0_shadow m with
+            | Some shadow ->
+                Option.map snd (Memtable.Skiplist.find shadow key)
+            | None -> None)
+        | None -> None
+      in
+      match shadow_v with
+      | Some v -> v
+      | None -> (
+          let frozen_v =
+            match t.frozen with
+            | Some f -> (
+                match Memtable.peek_geq_lsn f key with
+                | Some (k, _, lsn) when String.equal k key -> Some lsn
+                | _ -> None)
+            | None -> None
+          in
+          match frozen_v with
+          | Some v -> v
+          | None ->
+              let comp c =
+                Option.bind c (fun c ->
+                    if not (Component.maybe_contains c key) then None
+                    else
+                      match Sstable.Reader.get_with_lsn c.Component.sst key with
+                      | Some (_, lsn) -> Some lsn
+                      | None -> None)
+              in
+              let rec first = function
+                | [] -> 0
+                | c :: rest -> ( match comp c with Some v -> v | None -> first rest)
+              in
+              first [ t.c1; t.c1_prime; t.c2 ]))
+
+let interpret t = function
+  | None -> None
+  | Some (Kv.Entry.Base v) -> Some v
+  | Some Kv.Entry.Tombstone -> None
+  | Some (Kv.Entry.Delta ds) ->
+      (* no base record anywhere below: resolve against nothing *)
+      Kv.Entry.resolve t.config.Config.resolver ~base:None ds
+
+(** [get t key] point lookup: at most ~1 seek on a settled tree thanks to
+    Bloom filters and early termination. *)
+let get t key =
+  t.stats.gets <- t.stats.gets + 1;
+  interpret t (lookup_entry t key)
+
+(** [read_modify_write t key f] reads, applies [f], writes back: the
+    B-Tree-equivalent primitive (1 seek vs InnoDB's 2, Table 1). *)
+let read_modify_write t key f =
+  t.stats.rmws <- t.stats.rmws + 1;
+  let v = interpret t (lookup_entry t key) in
+  write_entry t key (Kv.Entry.Base (f v))
+
+(** [insert_if_absent t key value] checks for the key and inserts only if
+    missing. The check consults C0 and the Bloom filters; when every
+    filter says "absent" the whole operation performs zero seeks (§3.1.2). *)
+let insert_if_absent t key value =
+  t.stats.checked_inserts <- t.stats.checked_inserts + 1;
+  let disk = Pagestore.Store.disk t.store in
+  let before = (Simdisk.Disk.snapshot disk).Simdisk.Disk.seeks in
+  let existing = interpret t (lookup_entry t key) in
+  let after = (Simdisk.Disk.snapshot disk).Simdisk.Disk.seeks in
+  if after = before then
+    t.stats.checked_insert_seekfree <- t.stats.checked_insert_seekfree + 1;
+  match existing with
+  | Some _ -> false
+  | None ->
+      write_entry t key (Kv.Entry.Base value);
+      true
+
+(** {1 Scans} *)
+
+let mem_pull mem ~from =
+  let cursor = ref from in
+  fun () ->
+    match Memtable.peek_geq_lsn mem !cursor with
+    | Some (k, _, _) as r ->
+        cursor := k ^ "\000";
+        r
+    | None -> None
+
+let skiplist_pull sl ~from =
+  let cursor = ref from in
+  fun () ->
+    match Memtable.Skiplist.succ_geq sl !cursor with
+    | Some (k, (e, lsn)) ->
+        cursor := k ^ "\000";
+        Some (k, e, lsn)
+    | None -> None
+
+let component_pull c ~from =
+  let it = Component.iterator ~from c in
+  fun () -> Sstable.Reader.iter_next_full it
+
+let scan_sources t start =
+  List.filteri
+    (fun _ -> Option.is_some)
+    [
+      Some (mem_pull t.c0 ~from:start);
+      (match t.merge1 with
+      | Some m ->
+          Option.map
+            (fun s -> skiplist_pull s ~from:start)
+            (Merge_process.c0_shadow m)
+      | None -> None);
+      Option.map (fun f -> mem_pull f ~from:start) t.frozen;
+      Option.map (fun c -> component_pull c ~from:start) t.c1;
+      Option.map (fun c -> component_pull c ~from:start) t.c1_prime;
+      Option.map (fun c -> component_pull c ~from:start) t.c2;
+    ]
+  |> List.map Option.get
+  |> List.mapi (fun i pull -> (i, pull))
+
+(** A streaming range cursor over the merged tree. The cursor reflects
+    the components live at creation; do not interleave writes with
+    cursor pulls (single-writer discipline, as for merges). *)
+type cursor = { cursor_merge : Sstable.Merge_iter.t }
+
+(** [cursor t ?from ()] opens a cursor at the smallest key >= [from]. *)
+let cursor ?(from = "") t =
+  t.stats.scans <- t.stats.scans + 1;
+  {
+    cursor_merge =
+      Sstable.Merge_iter.create ~resolver:t.config.Config.resolver
+        ~drop_tombstones:true (scan_sources t from);
+  }
+
+(** [cursor_next c] yields the next live record, deltas resolved. *)
+let rec cursor_next c =
+  match Sstable.Merge_iter.next c.cursor_merge with
+  | None -> None
+  | Some (key, Kv.Entry.Base v, _) -> Some (key, v)
+  | Some (_, (Kv.Entry.Delta _ | Kv.Entry.Tombstone), _) ->
+      (* drop_tombstones output is Base-only; defensive *)
+      cursor_next c
+
+(** [scan t start n] returns up to [n] live records with key >= [start],
+    fully resolved. Touches every component: 2-3 seeks (§3.3). *)
+let scan t start n =
+  let c = cursor ~from:start t in
+  let rec collect acc k =
+    if k = 0 then List.rev acc
+    else
+      match cursor_next c with
+      | None -> List.rev acc
+      | Some row -> collect (row :: acc) (k - 1)
+  in
+  collect [] n
+
+(** {1 Maintenance, flush, recovery} *)
+
+(** [maintenance t] runs active merges to completion (between experiment
+    phases; never during measurement). *)
+let maintenance t =
+  let guard = ref 0 in
+  while t.merge1 <> None || t.merge2 <> None do
+    incr guard;
+    if !guard > 10_000_000 then failwith "bLSM: maintenance stuck";
+    (match step_merge1 t ~quota:(16 * chunk) with
+    | `More | `Completed | `Started -> ()
+    | `Idle -> ());
+    match step_merge2 t ~quota:(16 * chunk) with
+    | `More | `Completed | `Idle | `Started -> ()
+  done
+
+(** [flush t] drains C0 (and C0') entirely to disk. *)
+let flush t =
+  let guard = ref 0 in
+  let dirty () =
+    (not (Memtable.is_empty t.c0))
+    || (match t.frozen with Some f -> not (Memtable.is_empty f) | None -> false)
+    || t.merge1 <> None || t.merge2 <> None
+  in
+  while dirty () do
+    incr guard;
+    if !guard > 10_000_000 then failwith "bLSM: flush stuck";
+    (match step_merge1 t ~quota:(16 * chunk) with
+    | `More | `Completed | `Started -> ()
+    | `Idle -> (
+        match step_merge2 t ~quota:(16 * chunk) with
+        | `More | `Completed -> ()
+        | `Idle | `Started -> ()));
+    ()
+  done
+
+(** [crash_and_recover t] simulates power loss and runs recovery: the
+    buffer pool and all in-memory tree state vanish; the committed root is
+    read back, components reopened (indexes re-read, Bloom filters rebuilt
+    by scanning — they are not persisted, §4.4.3), and the logical log
+    replayed into a fresh C0. *)
+let crash_and_recover ?(should_replay = fun _ -> true) t =
+  (* abort in-flight merge transactions: their output regions are freed,
+     exactly as Stasis would roll back an uncommitted merge *)
+  (match t.merge1 with Some m -> Merge_process.abandon_c0 m | None -> ());
+  (match t.merge2 with Some m -> Merge_process.abandon_c12 m | None -> ());
+  Pagestore.Store.crash t.store;
+  let root = Pagestore.Store.read_root ~slot:t.root_slot t.store in
+  let fresh = create ~config:t.config ~root_slot:t.root_slot t.store in
+  (if String.length root >= 4 && String.sub root 0 4 = "BLSM" then begin
+     let ts, pos = Repro_util.Varint.read root 4 in
+     fresh.timestamp <- ts;
+     let pos = ref pos in
+     let read_opt () =
+       let len, p = Repro_util.Varint.read root !pos in
+       if len = 0 then begin
+         pos := p;
+         None
+       end
+       else begin
+         let blob = String.sub root p len in
+         pos := p + len;
+         let sst = Sstable.Reader.of_meta t.store blob in
+         let bloom =
+           Component.build_bloom
+             ~bits_per_key:t.config.Config.bloom_bits_per_key sst
+         in
+         Some (Component.of_sst ?bloom sst)
+       end
+     in
+     fresh.c1 <- read_opt ();
+     fresh.c1_prime <- read_opt ();
+     fresh.c2 <- read_opt ();
+     (* a C1':C2 merge was in flight at the crash: restart it from scratch
+        (its uncommitted output was rolled back above) *)
+     match fresh.c1_prime with
+     | Some c1p ->
+         fresh.merge2 <-
+           Some
+             (Merge_process.create_c12 ~config:t.config ~store:t.store
+                ~c1_prime:c1p ~c2:fresh.c2)
+     | None -> ()
+   end);
+  (* Replay the logical log into C0, skipping records whose effect is
+     already durable in a committed component: every component record
+     carries the newest LSN folded into it, so a WAL record with
+     lsn <= that is covered. Base/Tombstone replays would be idempotent,
+     but replaying a covered *delta* would apply it twice. *)
+  let durable_lsn key =
+    let check = function
+      | Some c -> (
+          match Sstable.Reader.get_with_lsn c.Component.sst key with
+          | Some (_, lsn) -> Some lsn
+          | None -> None)
+      | None -> None
+    in
+    match check fresh.c1 with
+    | Some l -> l
+    | None -> (
+        match check fresh.c1_prime with
+        | Some l -> l
+        | None -> ( match check fresh.c2 with Some l -> l | None -> 0))
+  in
+  let wal = Pagestore.Store.wal t.store in
+  Pagestore.Wal.replay wal ~from_lsn:0 (fun lsn payload ->
+      List.iter
+        (fun (key, entry) ->
+          (* [should_replay] scopes a shared log to this tree's key range
+             (partitioned stores); singleton trees replay everything *)
+          if should_replay key && lsn > durable_lsn key then
+            Memtable.write fresh.c0 ~lsn key entry)
+        (decode_ops payload));
+  fresh
+
+(** {1 Introspection} *)
+
+type level_info = {
+  level : string;
+  bytes : int;
+  records : int;
+  level_timestamp : int;
+}
+
+let levels t =
+  let comp name = function
+    | None -> []
+    | Some c ->
+        [
+          {
+            level = name;
+            bytes = Component.data_bytes c;
+            records = Component.record_count c;
+            level_timestamp = Component.timestamp c;
+          };
+        ]
+  in
+  [
+    {
+      level = "C0";
+      bytes = Memtable.bytes t.c0;
+      records = Memtable.count t.c0;
+      level_timestamp = 0;
+    };
+  ]
+  @ comp "C1" t.c1 @ comp "C1'" t.c1_prime @ comp "C2" t.c2
+
+(** Total bloom-filter RAM currently allocated (Appendix A overhead). *)
+let bloom_bytes t =
+  List.fold_left
+    (fun acc c ->
+      match c with
+      | Some { Component.bloom = Some b; _ } -> acc + Bloom.size_bytes b
+      | _ -> acc)
+    0
+    [ t.c1; t.c1_prime; t.c2 ]
+
+(** {1 Engine adapter} *)
+
+let engine ?(name = "bLSM") t =
+  {
+    Kv.Kv_intf.name;
+    disk = disk t;
+    get = (fun k -> get t k);
+    put = (fun k v -> put t k v);
+    delete = (fun k -> delete t k);
+    apply_delta = (fun k d -> apply_delta t k d);
+    read_modify_write = (fun k f -> read_modify_write t k f);
+    insert_if_absent = (fun k v -> insert_if_absent t k v);
+    scan = (fun start n -> scan t start n);
+    maintenance = (fun () -> maintenance t);
+  }

@@ -1,0 +1,29 @@
+(** Optimistic multi-key transactions (§4.4.2, §7).
+
+    Validate-at-commit OCC over the bLSM tree: reads record the key's
+    version ({!Tree.read_version}); writes buffer locally and become one
+    atomic {!Tree.write_batch} at commit, after re-validating every read.
+    A conflicted commit writes nothing and can simply be retried. *)
+
+type t
+
+val begin_txn : Tree.t -> t
+
+(** [get t key] reads through the transaction's own writes, then the
+    tree; tree reads join the validation read-set. *)
+val get : t -> string -> string option
+
+val put : t -> string -> string -> unit
+val delete : t -> string -> unit
+val apply_delta : t -> string -> string -> unit
+val read_modify_write : t -> string -> (string option -> string) -> unit
+
+(** [`Conflict keys]: reads that changed since they were taken; the tree
+    is untouched. *)
+val commit : t -> [ `Committed | `Conflict of string list ]
+
+val abort : t -> unit
+
+(** [run ?max_retries tree f]: execute-and-commit with automatic retry on
+    conflict (default 16 attempts; raises [Failure] beyond that). *)
+val run : ?max_retries:int -> Tree.t -> (t -> 'a) -> 'a

@@ -1,0 +1,1 @@
+lib/kv/entry.ml: Buffer Char Fmt List Printf Repro_util String Varint

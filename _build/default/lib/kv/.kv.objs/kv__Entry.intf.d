@@ -1,0 +1,1 @@
+lib/kv/entry.mli: Buffer Format

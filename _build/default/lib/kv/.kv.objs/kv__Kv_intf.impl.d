@@ -1,0 +1,1 @@
+lib/kv/kv_intf.ml: Simdisk

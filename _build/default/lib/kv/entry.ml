@@ -1,0 +1,114 @@
+(** Record states flowing through every tree component.
+
+    bLSM distinguishes *base records* from *deltas* so that reads can
+    terminate at the first base record found (§3.1.1), and uses tombstones
+    for deletes in append-only components. A delta is an application-defined
+    patch; bLSM composes pending deltas until a base record (or the bottom
+    of the tree) is reached and resolves them with the store's resolver. *)
+
+type t =
+  | Base of string  (** a full value; reads stop here *)
+  | Delta of string list  (** pending patches, oldest first *)
+  | Tombstone  (** deletion marker *)
+
+(** [resolver ~base delta] applies one delta. [base = None] means the
+    record did not exist (delta against nothing). The default resolver
+    treats deltas as string appends. *)
+type resolver = base:string option -> string -> string
+
+let append_resolver ~base delta =
+  match base with None -> delta | Some b -> b ^ delta
+
+(** [resolve r ~base deltas] folds [deltas] (oldest first) over [base]. *)
+let resolve (r : resolver) ~base deltas =
+  match deltas with
+  | [] -> base
+  | _ -> List.fold_left (fun acc d -> Some (r ~base:acc d)) base deltas
+
+(** [merge r ~newer ~older] combines two states of one record where
+    [newer] shadows [older]. Updates to the same tuple are placed in tree
+    levels consistent with their ordering (§3.1.1), so during a merge the
+    component closer to C0 is always [newer]. *)
+let merge (r : resolver) ~newer ~older =
+  match (newer, older) with
+  | (Base _ | Tombstone), _ -> newer
+  | Delta ds, Base b -> (
+      match resolve r ~base:(Some b) ds with
+      | Some v -> Base v
+      | None -> assert false)
+  | Delta ds, Delta older_ds -> Delta (older_ds @ ds)
+  | Delta ds, Tombstone -> (
+      match resolve r ~base:None ds with
+      | Some v -> Base v
+      | None -> assert false)
+
+(** [payload_bytes e] is the user-data size of [e]; memtable accounting and
+    write-amplification arithmetic both use it. *)
+let payload_bytes = function
+  | Base v -> String.length v
+  | Delta ds -> List.fold_left (fun a d -> a + String.length d) 0 ds
+  | Tombstone -> 0
+
+let is_base = function Base _ -> true | Delta _ | Tombstone -> false
+
+(** {1 Wire format}
+
+    tag byte, then: Base = varint len + bytes; Delta = varint count then
+    per-delta varint len + bytes; Tombstone = nothing. *)
+
+let encode buf = function
+  | Base v ->
+      Buffer.add_char buf '\000';
+      Repro_util.Varint.write buf (String.length v);
+      Buffer.add_string buf v
+  | Tombstone -> Buffer.add_char buf '\001'
+  | Delta ds ->
+      Buffer.add_char buf '\002';
+      Repro_util.Varint.write buf (List.length ds);
+      List.iter
+        (fun d ->
+          Repro_util.Varint.write buf (String.length d);
+          Buffer.add_string buf d)
+        ds
+
+(** [decode s pos] parses an entry at [pos], returning [(entry, next_pos)]. *)
+let decode s pos =
+  match s.[pos] with
+  | '\000' ->
+      let len, pos = Repro_util.Varint.read s (pos + 1) in
+      (Base (String.sub s pos len), pos + len)
+  | '\001' -> (Tombstone, pos + 1)
+  | '\002' ->
+      let n, pos = Repro_util.Varint.read s (pos + 1) in
+      let rec go acc pos n =
+        if n = 0 then (Delta (List.rev acc), pos)
+        else
+          let len, pos = Repro_util.Varint.read s pos in
+          go (String.sub s pos len :: acc) (pos + len) (n - 1)
+      in
+      go [] pos n
+  | c -> invalid_arg (Printf.sprintf "Entry.decode: bad tag %d" (Char.code c))
+
+let encoded_size e =
+  let open Repro_util in
+  match e with
+  | Base v -> 1 + Varint.size (String.length v) + String.length v
+  | Tombstone -> 1
+  | Delta ds ->
+      1
+      + Varint.size (List.length ds)
+      + List.fold_left
+          (fun a d -> a + Varint.size (String.length d) + String.length d)
+          0 ds
+
+let pp ppf = function
+  | Base v -> Fmt.pf ppf "Base(%d bytes)" (String.length v)
+  | Delta ds -> Fmt.pf ppf "Delta(%d)" (List.length ds)
+  | Tombstone -> Fmt.string ppf "Tombstone"
+
+let equal a b =
+  match (a, b) with
+  | Base x, Base y -> String.equal x y
+  | Tombstone, Tombstone -> true
+  | Delta x, Delta y -> List.length x = List.length y && List.for_all2 String.equal x y
+  | _ -> false

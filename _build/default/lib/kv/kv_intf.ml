@@ -1,0 +1,23 @@
+(** Uniform engine interface used by the workload runner and benchmarks.
+
+    The paper drives InnoDB, LevelDB and bLSM through the same YCSB
+    workloads; this record is the corresponding seam. Each engine exposes
+    the full "B-Tree API superset" of §7: point reads, blind writes,
+    read-modify-write, deltas, deletes, insert-if-not-exists, and scans. *)
+
+type engine = {
+  name : string;
+  disk : Simdisk.Disk.t;
+  get : string -> string option;
+  put : string -> string -> unit;  (** blind write (insert or overwrite) *)
+  delete : string -> unit;
+  apply_delta : string -> string -> unit;  (** zero-seek delta write *)
+  read_modify_write : string -> (string option -> string) -> unit;
+  insert_if_absent : string -> string -> bool;
+      (** returns [true] if inserted, [false] if the key already existed *)
+  scan : string -> int -> (string * string) list;
+      (** [scan start n]: up to [n] records with key >= [start] *)
+  maintenance : unit -> unit;
+      (** give background work (merges, compactions) a chance to finish;
+          used between experiment phases, never during measurement *)
+}

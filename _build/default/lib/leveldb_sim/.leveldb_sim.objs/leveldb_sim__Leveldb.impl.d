@@ -1,0 +1,1 @@
+lib/leveldb_sim/leveldb.ml: Array Buffer Float Kv List Memtable Option Pagestore Repro_util Simdisk Sstable String

@@ -1,0 +1,1 @@
+lib/leveldb_sim/leveldb.mli: Kv Pagestore Simdisk

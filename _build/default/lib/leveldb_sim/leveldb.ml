@@ -1,0 +1,579 @@
+(** LevelDB-style multi-level LSM tree: the paper's log-structured
+    comparator (§5, circa-2012 LevelDB).
+
+    Faithful to the properties the paper measures:
+    - a small memtable and many exponentially-sized levels (ratio 10),
+      with overlapping files in L0;
+    - {b no Bloom filters} (added to LevelDB only later, §5.3), so point
+      reads probe one file per level plus every overlapping L0 file —
+      O(log n) seeks (Table 1);
+    - a {b partition scheduler}: compaction moves one file (plus its
+      overlaps) at a time, picked by level score and a round-robin key
+      pointer (Figure 3), and runs as atomic units charged to the
+      unlucky write that triggers them;
+    - L0-count slowdown/stop thresholds, which produce exactly the long
+      write pauses of Figure 7 (right).
+
+    Reuses the {!Sstable} format for files, so the two systems' I/O is
+    directly comparable. *)
+
+type config = {
+  memtable_bytes : int;
+  file_bytes : int;  (** target size of one output file *)
+  l0_compaction_trigger : int;  (** start compacting L0 at this many files *)
+  l0_slowdown : int;  (** delay each write when L0 reaches this *)
+  l0_stop : int;  (** block writes entirely at this many L0 files *)
+  base_level_bytes : int;  (** L1 size target; Li = base * ratio^(i-1) *)
+  level_ratio : float;
+  max_levels : int;
+  extent_pages : int;
+  slowdown_us : float;  (** per-write delay in the slowdown regime *)
+  compaction_credit_per_byte : float;
+      (** background-thread bandwidth model: bytes of compaction I/O the
+          single compaction thread gets per byte of application writes.
+          When sustained demand (the write amplification) exceeds this,
+          L0 piles up and the slowdown/stop thresholds fire — the write
+          pauses of Figure 7 (right) *)
+  resolver : Kv.Entry.resolver;
+  seed : int;
+}
+
+let default_config =
+  {
+    memtable_bytes = 4 * 1024 * 1024;
+    file_bytes = 2 * 1024 * 1024;
+    l0_compaction_trigger = 4;
+    l0_slowdown = 8;
+    l0_stop = 12;
+    base_level_bytes = 10 * 1024 * 1024;
+    level_ratio = 10.0;
+    max_levels = 7;
+    extent_pages = 256;
+    slowdown_us = 1000.0;
+    compaction_credit_per_byte = 10.0;
+    resolver = Kv.Entry.append_resolver;
+    seed = 42;
+  }
+
+type file = {
+  sst : Sstable.Reader.t;
+  age : int;  (** creation order; L0 lookups go newest-first *)
+}
+
+type stats = {
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable slowdown_writes : int;
+  mutable stop_stalls : int;
+  mutable bytes_compacted : int;
+}
+
+type t = {
+  config : config;
+  store : Pagestore.Store.t;
+  mutable mem : Memtable.t;
+  levels : file list array;
+      (** [levels.(0)]: newest first, ranges overlap; deeper levels:
+          sorted by [min_key], disjoint ranges *)
+  mutable next_age : int;
+  mutable compact_ptr : string array;  (** round-robin pointer per level *)
+  mutable work_credit : float;  (** compaction bytes the thread may spend *)
+  mutable timestamp : int;
+  stats : stats;
+}
+
+let create ?(config = default_config) store =
+  {
+    config;
+    store;
+    mem = Memtable.create ~seed:config.seed ~resolver:config.resolver ();
+    levels = Array.make config.max_levels [];
+    next_age = 1;
+    compact_ptr = Array.make config.max_levels "";
+    work_credit = 0.0;
+    timestamp = 0;
+    stats =
+      { flushes = 0; compactions = 0; slowdown_writes = 0; stop_stalls = 0;
+        bytes_compacted = 0 };
+  }
+
+let stats t = t.stats
+let store t = t.store
+let disk t = Pagestore.Store.disk t.store
+let config t = t.config
+
+let level_target t i =
+  if i = 0 then max_int
+  else
+    int_of_float
+      (float_of_int t.config.base_level_bytes
+      *. (t.config.level_ratio ** float_of_int (i - 1)))
+
+let level_bytes t i =
+  List.fold_left (fun a f -> a + Sstable.Reader.data_bytes f.sst) 0 t.levels.(i)
+
+let file_count t i = List.length t.levels.(i)
+
+(* Compaction priority, as in LevelDB's VersionSet::Finalize. *)
+let score t i =
+  if i = 0 then
+    float_of_int (file_count t 0) /. float_of_int t.config.l0_compaction_trigger
+  else float_of_int (level_bytes t i) /. float_of_int (level_target t i)
+
+let pick_compaction_level t =
+  let best = ref (-1) and best_score = ref 1.0 in
+  for i = 0 to t.config.max_levels - 2 do
+    let s = score t i in
+    if s >= !best_score then begin
+      best := i;
+      best_score := s
+    end
+  done;
+  if !best >= 0 then Some !best else None
+
+(* ---------------------------------------------------------------- *)
+(* Building level files *)
+
+let overlaps f ~min_key ~max_key =
+  let fmin = Sstable.Reader.min_key f.sst and fmax = Sstable.Reader.max_key f.sst in
+  not (String.compare fmax min_key < 0 || String.compare fmin max_key > 0)
+
+(* Write a sorted record stream into files of at most [file_bytes] each. *)
+let build_files ?file_bytes t pull =
+  let file_bytes = Option.value file_bytes ~default:t.config.file_bytes in
+  let out = ref [] in
+  let current = ref None in
+  let fresh () =
+    let b = Sstable.Builder.create ~extent_pages:t.config.extent_pages t.store in
+    current := Some b;
+    b
+  in
+  let finish b =
+    t.timestamp <- t.timestamp + 1;
+    let footer = Sstable.Builder.finish b ~timestamp:t.timestamp in
+    let index = Sstable.Builder.index_blob b in
+    let sst = Sstable.Reader.open_in_ram t.store footer ~index in
+    if Sstable.Reader.is_empty sst then Sstable.Reader.free sst
+    else begin
+      out := { sst; age = t.next_age } :: !out;
+      t.next_age <- t.next_age + 1
+    end;
+    current := None
+  in
+  let rec go () =
+    match pull () with
+    | None -> ()
+    | Some (k, e, lsn) ->
+        let b = match !current with Some b -> b | None -> fresh () in
+        Sstable.Builder.add ~lsn b k e;
+        if Sstable.Builder.data_bytes b >= file_bytes then finish b;
+        go ()
+  in
+  go ();
+  (match !current with Some b -> finish b | None -> ());
+  List.rev !out
+
+(* Concatenate the iterators of a disjoint, sorted file list. *)
+let chain_pull files =
+  let remaining = ref files in
+  let it = ref None in
+  let rec pull () =
+    match !it with
+    | Some i -> (
+        match Sstable.Reader.iter_next_full i with
+        | Some r -> Some r
+        | None ->
+            it := None;
+            pull ())
+    | None -> (
+        match !remaining with
+        | [] -> None
+        | f :: rest ->
+            remaining := rest;
+            it := Some (Sstable.Reader.iterator f.sst);
+            pull ())
+  in
+  pull
+
+let sort_by_min_key files =
+  List.sort
+    (fun a b -> String.compare (Sstable.Reader.min_key a.sst) (Sstable.Reader.min_key b.sst))
+    files
+
+let is_bottom_nonempty t level =
+  (* no data below [level]: deletion markers can be dropped *)
+  let rec empty_below i =
+    i >= t.config.max_levels || (t.levels.(i) = [] && empty_below (i + 1))
+  in
+  empty_below (level + 1)
+
+(* ---------------------------------------------------------------- *)
+(* Flush: memtable -> one L0 file *)
+
+let flush_mem t =
+  if not (Memtable.is_empty t.mem) then begin
+    let pull =
+      let cursor = ref "" in
+      fun () ->
+        match Memtable.peek_geq_lsn t.mem !cursor with
+        | Some (k, _, _) as r ->
+            cursor := k ^ "\000";
+            r
+        | None -> None
+    in
+    (* one L0 file regardless of size: L0 files mirror memtable contents *)
+    let files =
+      build_files
+        ~file_bytes:(max t.config.file_bytes (2 * t.config.memtable_bytes))
+        t pull
+    in
+    t.levels.(0) <- files @ t.levels.(0);
+    t.mem <- Memtable.create ~seed:t.config.seed ~resolver:t.config.resolver ();
+    t.stats.flushes <- t.stats.flushes + 1;
+    (* log entries are now durable in L0 *)
+    let wal = Pagestore.Store.wal t.store in
+    Pagestore.Wal.truncate wal ~upto_lsn:(Pagestore.Wal.next_lsn wal)
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Compaction: one unit of the partition scheduler *)
+
+let run_compaction t level =
+  let inputs_lo, inputs_hi =
+    if level = 0 then begin
+      (* all L0 files (they overlap) plus everything they touch in L1 *)
+      let lo = t.levels.(0) in
+      match lo with
+      | [] -> ([], [])
+      | _ ->
+          let min_key =
+            List.fold_left
+              (fun a f -> min a (Sstable.Reader.min_key f.sst))
+              (Sstable.Reader.min_key (List.hd lo).sst)
+              lo
+          and max_key =
+            List.fold_left
+              (fun a f -> max a (Sstable.Reader.max_key f.sst))
+              (Sstable.Reader.max_key (List.hd lo).sst)
+              lo
+          in
+          (lo, List.filter (overlaps ~min_key ~max_key) t.levels.(level + 1))
+    end
+    else begin
+      (* round-robin: first file starting after the compaction pointer *)
+      let sorted = sort_by_min_key t.levels.(level) in
+      let pick =
+        match
+          List.find_opt
+            (fun f ->
+              String.compare (Sstable.Reader.min_key f.sst) t.compact_ptr.(level) > 0)
+            sorted
+        with
+        | Some f -> f
+        | None -> List.hd sorted (* wrap *)
+      in
+      t.compact_ptr.(level) <- Sstable.Reader.min_key pick.sst;
+      let min_key = Sstable.Reader.min_key pick.sst
+      and max_key = Sstable.Reader.max_key pick.sst in
+      ([ pick ], List.filter (overlaps ~min_key ~max_key) t.levels.(level + 1))
+    end
+  in
+  if inputs_lo = [] then ()
+  else begin
+    (* newest-first priorities: L0 by age, the upper level beats the lower *)
+    let lo_sources =
+      if level = 0 then
+        inputs_lo
+        |> List.sort (fun a b -> compare b.age a.age)
+        |> List.mapi (fun i f ->
+               (i, let it = Sstable.Reader.iterator f.sst in
+                   fun () -> Sstable.Reader.iter_next_full it))
+      else [ (0, chain_pull (sort_by_min_key inputs_lo)) ]
+    in
+    let n_lo = List.length lo_sources in
+    let hi_source = (n_lo, chain_pull (sort_by_min_key inputs_hi)) in
+    let merge =
+      Sstable.Merge_iter.create ~resolver:t.config.resolver
+        ~drop_tombstones:(is_bottom_nonempty t (level + 1))
+        (lo_sources @ [ hi_source ])
+    in
+    let outputs =
+      build_files t (fun () -> Sstable.Merge_iter.next merge)
+    in
+    let moved =
+      List.fold_left (fun a f -> a + Sstable.Reader.data_bytes f.sst) 0 inputs_lo
+      + List.fold_left (fun a f -> a + Sstable.Reader.data_bytes f.sst) 0 inputs_hi
+    in
+    t.stats.bytes_compacted <- t.stats.bytes_compacted + moved;
+    t.work_credit <- t.work_credit -. float_of_int moved;
+    t.stats.compactions <- t.stats.compactions + 1;
+    (* install: remove inputs, add outputs to level+1 *)
+    let not_input inputs f = not (List.memq f inputs) in
+    t.levels.(level) <- List.filter (not_input inputs_lo) t.levels.(level);
+    t.levels.(level + 1) <-
+      sort_by_min_key (outputs @ List.filter (not_input inputs_hi) t.levels.(level + 1));
+    List.iter (fun f -> Sstable.Reader.free f.sst) inputs_lo;
+    List.iter (fun f -> Sstable.Reader.free f.sst) inputs_hi
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Write path *)
+
+let maybe_schedule_work t ~write_bytes =
+  (* the background compaction thread gets a slice of disk bandwidth
+     proportional to the write rate; its work is charged to the
+     triggering write (it shares the disk with the application) *)
+  t.work_credit <-
+    Float.min
+      (2.0 *. float_of_int t.config.base_level_bytes)
+      (t.work_credit
+      +. (float_of_int write_bytes *. t.config.compaction_credit_per_byte));
+  if file_count t 0 >= t.config.l0_stop then begin
+    (* hard stop: writes blocked until L0 drains below the trigger *)
+    t.stats.stop_stalls <- t.stats.stop_stalls + 1;
+    while file_count t 0 > t.config.l0_compaction_trigger do
+      run_compaction t 0
+    done;
+    t.work_credit <- 0.0
+  end
+  else begin
+    if file_count t 0 >= t.config.l0_slowdown then begin
+      t.stats.slowdown_writes <- t.stats.slowdown_writes + 1;
+      (* the 1 ms write delay is disk time the compaction thread uses *)
+      Simdisk.Disk.advance (disk t) t.config.slowdown_us;
+      t.work_credit <-
+        t.work_credit
+        +. (t.config.slowdown_us /. 1e6
+           *. (Simdisk.Disk.profile (disk t)).Simdisk.Profile.write_mb_per_s
+           *. 1e6)
+    end;
+    if t.work_credit > 0.0 then
+      match pick_compaction_level t with
+      | Some level -> run_compaction t level
+      | None -> ()
+  end
+
+let encode_op key entry =
+  let buf = Buffer.create (String.length key + 16) in
+  Repro_util.Varint.write buf (String.length key);
+  Buffer.add_string buf key;
+  Kv.Entry.encode buf entry;
+  Buffer.contents buf
+
+let write_entry t key entry =
+  maybe_schedule_work t
+    ~write_bytes:(String.length key + Kv.Entry.payload_bytes entry);
+  let lsn = Pagestore.Wal.append (Pagestore.Store.wal t.store) (encode_op key entry) in
+  Memtable.write t.mem ~lsn key entry;
+  if Memtable.bytes t.mem >= t.config.memtable_bytes then flush_mem t
+
+let put t key value = write_entry t key (Kv.Entry.Base value)
+let delete t key = write_entry t key Kv.Entry.Tombstone
+let apply_delta t key d = write_entry t key (Kv.Entry.Delta [ d ])
+
+(* ---------------------------------------------------------------- *)
+(* Read path *)
+
+let find_in_level t i key =
+  if i = 0 then
+    (* L0 files overlap, so one key may have versions in several of them:
+       probe newest first, composing deltas until a base record (or
+       tombstone) settles the state *)
+    let files = List.sort (fun a b -> compare b.age a.age) t.levels.(0) in
+    let rec go acc = function
+      | [] -> acc
+      | f :: rest -> (
+          match Sstable.Reader.get f.sst key with
+          | None -> go acc rest
+          | Some e -> (
+              let acc =
+                match acc with
+                | None -> Some e
+                | Some newer ->
+                    Some (Kv.Entry.merge t.config.resolver ~newer ~older:e)
+              in
+              match acc with
+              | Some (Kv.Entry.Base _ | Kv.Entry.Tombstone) -> acc
+              | _ -> go acc rest))
+    in
+    go None files
+  else
+    match
+      List.find_opt
+        (fun f ->
+          String.compare (Sstable.Reader.min_key f.sst) key <= 0
+          && String.compare key (Sstable.Reader.max_key f.sst) <= 0)
+        t.levels.(i)
+    with
+    | Some f -> Sstable.Reader.get f.sst key
+    | None -> None
+
+let lookup_entry t key =
+  let merge_opt acc e =
+    match acc with
+    | None -> Some e
+    | Some newer -> Some (Kv.Entry.merge t.config.resolver ~newer ~older:e)
+  in
+  let rec visit acc i =
+    if i >= t.config.max_levels then acc
+    else
+      match find_in_level t i key with
+      | None -> visit acc (i + 1)
+      | Some e -> (
+          let acc = merge_opt acc e in
+          match acc with
+          | Some (Kv.Entry.Base _ | Kv.Entry.Tombstone) -> acc
+          | _ -> visit acc (i + 1))
+  in
+  let start =
+    match Memtable.get t.mem key with
+    | Some (Kv.Entry.Base _ | Kv.Entry.Tombstone) as e -> `Stop e
+    | Some (Kv.Entry.Delta _ as d) -> `Continue (Some d)
+    | None -> `Continue None
+  in
+  match start with `Stop e -> e | `Continue acc -> visit acc 0
+
+let interpret t = function
+  | None -> None
+  | Some (Kv.Entry.Base v) -> Some v
+  | Some Kv.Entry.Tombstone -> None
+  | Some (Kv.Entry.Delta ds) -> Kv.Entry.resolve t.config.resolver ~base:None ds
+
+let get t key = interpret t (lookup_entry t key)
+
+let read_modify_write t key f = put t key (f (get t key))
+
+(** LevelDB has no filters: the existence check pays the full multi-level
+    probe — the paper's §5.2 complaint about checked bulk loads. *)
+let insert_if_absent t key value =
+  match get t key with
+  | Some _ -> false
+  | None ->
+      put t key value;
+      true
+
+(* ---------------------------------------------------------------- *)
+(* Scans *)
+
+let mem_pull mem ~from =
+  let cursor = ref from in
+  fun () ->
+    match Memtable.peek_geq_lsn mem !cursor with
+    | Some (k, _, _) as r ->
+        cursor := k ^ "\000";
+        r
+    | None -> None
+
+let scan t start n =
+  let sources = ref [ (0, mem_pull t.mem ~from:start) ] in
+  let prio = ref 1 in
+  (* every L0 file is its own source *)
+  List.iter
+    (fun f ->
+      let it = Sstable.Reader.iterator ~from:start f.sst in
+      sources := (!prio, fun () -> Sstable.Reader.iter_next_full it) :: !sources;
+      incr prio)
+    (List.sort (fun a b -> compare b.age a.age) t.levels.(0));
+  for i = 1 to t.config.max_levels - 1 do
+    if t.levels.(i) <> [] then begin
+      let files =
+        sort_by_min_key
+          (List.filter
+             (fun f -> String.compare (Sstable.Reader.max_key f.sst) start >= 0)
+             t.levels.(i))
+      in
+      let started = ref false in
+      let rest = ref files in
+      let it = ref None in
+      let rec pull () =
+        match !it with
+        | Some i -> (
+            match Sstable.Reader.iter_next_full i with
+            | Some r -> Some r
+            | None ->
+                it := None;
+                pull ())
+        | None -> (
+            match !rest with
+            | [] -> None
+            | f :: tl ->
+                rest := tl;
+                it :=
+                  Some
+                    (if !started then Sstable.Reader.iterator f.sst
+                     else begin
+                       started := true;
+                       Sstable.Reader.iterator ~from:start f.sst
+                     end);
+                pull ())
+      in
+      sources := (!prio, pull) :: !sources;
+      incr prio
+    end
+  done;
+  let merge =
+    Sstable.Merge_iter.create ~resolver:t.config.resolver ~drop_tombstones:true
+      (List.rev !sources)
+  in
+  let rec collect acc k =
+    if k = 0 then List.rev acc
+    else
+      match Sstable.Merge_iter.next merge with
+      | None -> List.rev acc
+      | Some (key, Kv.Entry.Base v, _) -> collect ((key, v) :: acc) (k - 1)
+      | Some _ -> assert false
+  in
+  collect [] n
+
+(* ---------------------------------------------------------------- *)
+
+(** [maintenance t] flushes and compacts until every level is in shape. *)
+let maintenance t =
+  flush_mem t;
+  let guard = ref 0 in
+  let rec go () =
+    incr guard;
+    if !guard > 100_000 then failwith "leveldb maintenance stuck";
+    match pick_compaction_level t with
+    | Some level ->
+        run_compaction t level;
+        go ()
+    | None -> ()
+  in
+  go ()
+
+type level_info = { li_level : int; li_files : int; li_bytes : int }
+
+let levels t =
+  List.init t.config.max_levels (fun i ->
+      { li_level = i; li_files = file_count t i; li_bytes = level_bytes t i })
+
+(** Seeks a cold point read would perform right now (Table 1's metric). *)
+let read_cost_estimate t key =
+  let l0 =
+    List.length
+      (List.filter
+         (fun f ->
+           String.compare (Sstable.Reader.min_key f.sst) key <= 0
+           && String.compare key (Sstable.Reader.max_key f.sst) <= 0)
+         t.levels.(0))
+  in
+  let deeper = ref 0 in
+  for i = 1 to t.config.max_levels - 1 do
+    if t.levels.(i) <> [] then incr deeper
+  done;
+  l0 + !deeper
+
+let engine ?(name = "LevelDB") t =
+  {
+    Kv.Kv_intf.name;
+    disk = disk t;
+    get = (fun k -> get t k);
+    put = (fun k v -> put t k v);
+    delete = (fun k -> delete t k);
+    apply_delta = (fun k d -> apply_delta t k d);
+    read_modify_write = (fun k f -> read_modify_write t k f);
+    insert_if_absent = (fun k v -> insert_if_absent t k v);
+    scan = (fun start n -> scan t start n);
+    maintenance = (fun () -> maintenance t);
+  }

@@ -1,0 +1,73 @@
+(** LevelDB-style multi-level LSM tree: the paper's log-structured
+    comparator (§5, circa-2012 LevelDB).
+
+    Faithful to the properties the paper measures: a small memtable and
+    exponentially-sized levels (ratio 10) with overlapping files in L0;
+    {b no Bloom filters} (added to LevelDB later, §5.3), so point reads
+    probe one file per level plus every overlapping L0 file; a partition
+    scheduler moving one file (plus overlaps) at a time, as atomic units
+    charged to the triggering write; L0 slowdown/stop thresholds with a
+    bandwidth-budgeted background thread — the write pauses of Figure 7. *)
+
+type config = {
+  memtable_bytes : int;
+  file_bytes : int;  (** target size of one output file *)
+  l0_compaction_trigger : int;
+  l0_slowdown : int;  (** delay each write at this many L0 files *)
+  l0_stop : int;  (** block writes entirely at this many L0 files *)
+  base_level_bytes : int;  (** L1 target; Li = base * ratio^(i-1) *)
+  level_ratio : float;
+  max_levels : int;
+  extent_pages : int;
+  slowdown_us : float;
+  compaction_credit_per_byte : float;
+      (** background-thread bandwidth model: compaction bytes allowed per
+          byte of application writes; sustained demand above it piles up
+          L0 and fires the slowdown/stop thresholds *)
+  resolver : Kv.Entry.resolver;
+  seed : int;
+}
+
+(** 4 MiB memtable, 2 MiB files, ratio 10, triggers 4/8/12. *)
+val default_config : config
+
+type stats = {
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable slowdown_writes : int;
+  mutable stop_stalls : int;
+  mutable bytes_compacted : int;
+}
+
+type t
+
+val create : ?config:config -> Pagestore.Store.t -> t
+
+val stats : t -> stats
+val store : t -> Pagestore.Store.t
+val disk : t -> Simdisk.Disk.t
+val config : t -> config
+
+val put : t -> string -> string -> unit
+val delete : t -> string -> unit
+val apply_delta : t -> string -> string -> unit
+val get : t -> string -> string option
+val read_modify_write : t -> string -> (string option -> string) -> unit
+
+(** No filters: the existence check pays the full multi-level probe —
+    the paper's §5.2 complaint about checked bulk loads. *)
+val insert_if_absent : t -> string -> string -> bool
+
+val scan : t -> string -> int -> (string * string) list
+
+(** [maintenance t] flushes and compacts until every level is in shape. *)
+val maintenance : t -> unit
+
+type level_info = { li_level : int; li_files : int; li_bytes : int }
+
+val levels : t -> level_info list
+
+(** Seeks a cold point read would perform right now (Table 1's metric). *)
+val read_cost_estimate : t -> string -> int
+
+val engine : ?name:string -> t -> Kv.Kv_intf.engine

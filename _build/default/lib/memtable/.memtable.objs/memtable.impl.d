@@ -1,0 +1,1 @@
+lib/memtable/memtable.ml: Kv List Skiplist String

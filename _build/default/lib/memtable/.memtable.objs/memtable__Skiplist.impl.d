@@ -1,0 +1,1 @@
+lib/memtable/skiplist.ml: Array List Obj Repro_util String

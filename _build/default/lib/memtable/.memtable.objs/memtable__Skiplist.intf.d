@@ -1,0 +1,1 @@
+lib/memtable/skiplist.mli:

@@ -1,0 +1,191 @@
+(** Deterministic skip list: the ordered map behind C0.
+
+    The in-memory tree must support efficient ordered scans and cheap
+    successor queries (§2.3.1); the snowshovel cursor (§4.2) additionally
+    needs "smallest key >= cursor" in O(log n). A skip list provides all of
+    these with simple single-threaded mutation. Levels are drawn from the
+    repository PRNG, so runs are reproducible. *)
+
+let max_level = 20
+let branching = 4 (* promote with probability 1/4 *)
+
+type 'a node = {
+  key : string; (* "" for the head sentinel *)
+  mutable value : 'a;
+  forward : 'a node option array;
+}
+
+type 'a t = {
+  head : 'a node;
+  prng : Repro_util.Prng.t;
+  mutable level : int; (* highest level in use, >= 1 *)
+  mutable length : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    head =
+      { key = ""; value = Obj.magic 0; forward = Array.make max_level None };
+    prng = Repro_util.Prng.of_int seed;
+    level = 1;
+    length = 0;
+  }
+
+let length t = t.length
+
+let is_empty t = t.length = 0
+
+let random_level t =
+  let rec go lvl =
+    if lvl < max_level && Repro_util.Prng.int t.prng branching = 0 then
+      go (lvl + 1)
+    else lvl
+  in
+  go 1
+
+(* Walk down from the top level, collecting the rightmost node < key at
+   each level into [update]. *)
+let find_predecessors t key update =
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let rec advance () =
+      match !x.forward.(lvl) with
+      | Some nxt when String.compare nxt.key key < 0 ->
+          x := nxt;
+          advance ()
+      | _ -> ()
+    in
+    advance ();
+    update.(lvl) <- !x
+  done;
+  !x
+
+(** [find t key] returns the stored value, if any. *)
+let find t key =
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let rec advance () =
+      match !x.forward.(lvl) with
+      | Some nxt when String.compare nxt.key key < 0 ->
+          x := nxt;
+          advance ()
+      | _ -> ()
+    in
+    advance ()
+  done;
+  match !x.forward.(0) with
+  | Some n when String.equal n.key key -> Some n.value
+  | _ -> None
+
+(** [update t key f] inserts or modifies in one descent: [f None] for a
+    fresh key, [f (Some old)] to replace. Returns the previous value. *)
+let update t key f =
+  let update_arr = Array.make max_level t.head in
+  let pred = find_predecessors t key update_arr in
+  match pred.forward.(0) with
+  | Some n when String.equal n.key key ->
+      let old = n.value in
+      n.value <- f (Some old);
+      Some old
+  | _ ->
+      let lvl = random_level t in
+      if lvl > t.level then begin
+        for l = t.level to lvl - 1 do
+          update_arr.(l) <- t.head
+        done;
+        t.level <- lvl
+      end;
+      let node = { key; value = f None; forward = Array.make lvl None } in
+      for l = 0 to lvl - 1 do
+        node.forward.(l) <- update_arr.(l).forward.(l);
+        update_arr.(l).forward.(l) <- Some node
+      done;
+      t.length <- t.length + 1;
+      None
+
+(** [set t key v] is [update] ignoring the previous value. *)
+let set t key v = ignore (update t key (fun _ -> v))
+
+(** [remove t key] deletes the binding, returning the removed value. *)
+let remove t key =
+  let update_arr = Array.make max_level t.head in
+  let _ = find_predecessors t key update_arr in
+  match update_arr.(0).forward.(0) with
+  | Some n when String.equal n.key key ->
+      for l = 0 to Array.length n.forward - 1 do
+        match update_arr.(l).forward.(l) with
+        | Some m when m == n -> update_arr.(l).forward.(l) <- n.forward.(l)
+        | _ -> ()
+      done;
+      while t.level > 1 && t.head.forward.(t.level - 1) = None do
+        t.level <- t.level - 1
+      done;
+      t.length <- t.length - 1;
+      Some n.value
+  | _ -> None
+
+(** [min_binding t] is the smallest key, if any. *)
+let min_binding t =
+  match t.head.forward.(0) with
+  | Some n -> Some (n.key, n.value)
+  | None -> None
+
+(** [succ_geq t key] returns the smallest binding with key >= [key]:
+    the snowshovel cursor's primitive. *)
+let succ_geq t key =
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let rec advance () =
+      match !x.forward.(lvl) with
+      | Some nxt when String.compare nxt.key key < 0 ->
+          x := nxt;
+          advance ()
+      | _ -> ()
+    in
+    advance ()
+  done;
+  match !x.forward.(0) with Some n -> Some (n.key, n.value) | None -> None
+
+(** [iter_from t key f] applies [f] to bindings with key >= [key], in
+    order, while [f] returns [true]. *)
+let iter_from t key f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        if String.compare n.key key >= 0 then
+          if f n.key n.value then go n.forward.(0) else ()
+        else go n.forward.(0)
+  in
+  (* Position near key first to avoid O(n) prefix walk. *)
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let rec advance () =
+      match !x.forward.(lvl) with
+      | Some nxt when String.compare nxt.key key < 0 ->
+          x := nxt;
+          advance ()
+      | _ -> ()
+    in
+    advance ()
+  done;
+  go !x.forward.(0)
+
+(** [iter t f] applies [f] to all bindings in key order. *)
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.key n.value;
+        go n.forward.(0)
+  in
+  go t.head.forward.(0)
+
+(** [fold t init f] folds bindings in key order. *)
+let fold t init f =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc n.key n.value) n.forward.(0)
+  in
+  go init t.head.forward.(0)
+
+let to_list t = List.rev (fold t [] (fun acc k v -> (k, v) :: acc))

@@ -1,0 +1,1 @@
+lib/pagestore/buffer_manager.ml: Array Bytes Fun Hashtbl Page Platter Simdisk

@@ -1,0 +1,1 @@
+lib/pagestore/buffer_manager.mli: Bytes Page Platter Simdisk

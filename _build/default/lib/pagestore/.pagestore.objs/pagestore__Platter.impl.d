@@ -1,0 +1,1 @@
+lib/pagestore/platter.ml: Bytes Hashtbl Page

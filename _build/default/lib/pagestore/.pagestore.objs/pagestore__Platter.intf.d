@@ -1,0 +1,1 @@
+lib/pagestore/platter.mli: Bytes Page

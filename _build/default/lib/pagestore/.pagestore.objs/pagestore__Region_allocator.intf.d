@@ -1,0 +1,1 @@
+lib/pagestore/region_allocator.mli: Page

@@ -1,0 +1,1 @@
+lib/pagestore/store.ml: Buffer_manager Bytes Hashtbl Option Page Platter Region_allocator Simdisk String Wal

@@ -1,0 +1,1 @@
+lib/pagestore/store.mli: Buffer_manager Bytes Page Region_allocator Simdisk Wal

@@ -1,0 +1,1 @@
+lib/pagestore/wal.ml: Hashtbl List Option Simdisk String

@@ -1,0 +1,1 @@
+lib/pagestore/wal.mli: Simdisk

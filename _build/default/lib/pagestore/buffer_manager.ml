@@ -1,0 +1,160 @@
+(** Buffer manager with CLOCK eviction.
+
+    Follows §4.4.2: bLSM's buffer manager uses a CLOCK eviction policy
+    ("LRU was a concurrency bottleneck") and a writeback policy tuned for
+    predictable latencies. Misses charge the simulated disk a seek (or a
+    sequential transfer when the caller declares a streaming access);
+    evicting a dirty frame charges a write, sequential when the writeback
+    happens to continue the previous one. *)
+
+type frame = {
+  slot : int; (* position in the frame array, fixed at creation *)
+  mutable page : Page.id; (* -1 when the frame is empty *)
+  data : Bytes.t;
+  mutable dirty : bool;
+  mutable refbit : bool;
+  mutable pins : int;
+}
+
+type t = {
+  disk : Simdisk.Disk.t;
+  platter : Platter.t;
+  page_size : int;
+  frames : frame array;
+  index : (Page.id, int) Hashtbl.t;
+  mutable hand : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable last_writeback : Page.id;
+}
+
+let create disk platter ~capacity_pages =
+  if capacity_pages < 1 then invalid_arg "Buffer_manager.create: capacity";
+  let page_size = Platter.page_size platter in
+  {
+    disk;
+    platter;
+    page_size;
+    frames =
+      Array.init capacity_pages (fun slot ->
+          { slot; page = -1; data = Bytes.create page_size; dirty = false;
+            refbit = false; pins = 0 });
+    index = Hashtbl.create (2 * capacity_pages);
+    hand = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    last_writeback = -10;
+  }
+
+let capacity t = Array.length t.frames
+
+let writeback t frame =
+  if frame.dirty then begin
+    Platter.write t.platter frame.page frame.data;
+    if frame.page = t.last_writeback + 1 then
+      Simdisk.Disk.seq_write t.disk ~bytes:t.page_size
+    else Simdisk.Disk.seek_write t.disk ~bytes:t.page_size;
+    t.last_writeback <- frame.page;
+    frame.dirty <- false
+  end
+
+(* Advance the CLOCK hand to a victim frame: skip pinned frames, clear
+   reference bits on the first lap. Two full laps of pinned frames means
+   the pool is exhausted, which is a bug in the caller. *)
+let find_victim t =
+  let n = Array.length t.frames in
+  let rec go remaining =
+    if remaining = 0 then failwith "Buffer_manager: all frames pinned";
+    let f = t.frames.(t.hand) in
+    t.hand <- (t.hand + 1) mod n;
+    if f.pins > 0 then go (remaining - 1)
+    else if f.refbit then begin
+      f.refbit <- false;
+      go (remaining - 1)
+    end
+    else f
+  in
+  go (2 * n + 1)
+
+let load t id ~seq =
+  match Hashtbl.find_opt t.index id with
+  | Some fi ->
+      let f = t.frames.(fi) in
+      t.hits <- t.hits + 1;
+      f.refbit <- true;
+      f
+  | None ->
+      t.misses <- t.misses + 1;
+      let f = find_victim t in
+      if f.page >= 0 then begin
+        t.evictions <- t.evictions + 1;
+        writeback t f;
+        Hashtbl.remove t.index f.page
+      end;
+      Platter.read t.platter id f.data;
+      if seq then Simdisk.Disk.seq_read t.disk ~bytes:t.page_size
+      else Simdisk.Disk.seek_read t.disk ~bytes:t.page_size;
+      f.page <- id;
+      f.refbit <- true;
+      f.dirty <- false;
+      Hashtbl.replace t.index id f.slot;
+      f
+
+(** [with_page t id ~seq f] pins page [id], applies [f] to its bytes, and
+    unpins. The callback must not retain the buffer. *)
+let with_page t id ~seq fn =
+  let f = load t id ~seq in
+  f.pins <- f.pins + 1;
+  Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> fn f.data)
+
+(** [with_page_mut] is [with_page] but marks the frame dirty. *)
+let with_page_mut t id ~seq fn =
+  let f = load t id ~seq in
+  f.pins <- f.pins + 1;
+  f.dirty <- true;
+  Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> fn f.data)
+
+(** [force t id] synchronously writes page [id] back if dirty. *)
+let force t id =
+  match Hashtbl.find_opt t.index id with
+  | Some fi -> writeback t t.frames.(fi)
+  | None -> ()
+
+(** [flush_all t] writes back every dirty frame (checkpoint). *)
+let flush_all t =
+  Array.iter (fun f -> if f.page >= 0 then writeback t f) t.frames
+
+(** [discard_region t ~start ~length] drops cached frames for freed pages
+    without writing them back (their region is being deallocated). *)
+let discard_region t ~start ~length =
+  for id = start to start + length - 1 do
+    match Hashtbl.find_opt t.index id with
+    | Some fi ->
+        let f = t.frames.(fi) in
+        f.page <- -1;
+        f.dirty <- false;
+        f.refbit <- false;
+        Hashtbl.remove t.index id
+    | None -> ()
+  done
+
+(** [crash t] simulates power loss: all frames vanish, dirty or not. *)
+let crash t =
+  Array.iter
+    (fun f ->
+      f.page <- -1;
+      f.dirty <- false;
+      f.refbit <- false;
+      f.pins <- 0)
+    t.frames;
+  Hashtbl.reset t.index
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

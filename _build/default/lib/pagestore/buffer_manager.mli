@@ -1,0 +1,35 @@
+(** Buffer manager with CLOCK eviction (§4.4.2).
+
+    Misses charge the simulated disk a seek (or a sequential transfer for
+    declared streaming accesses); evicting a dirty frame charges a write,
+    sequential when it happens to continue the previous writeback.
+    Usually driven through {!Store}. *)
+
+type t
+
+val create : Simdisk.Disk.t -> Platter.t -> capacity_pages:int -> t
+val capacity : t -> int
+
+(** [with_page t id ~seq f] pins page [id], applies [f], unpins. *)
+val with_page : t -> Page.id -> seq:bool -> (Bytes.t -> 'a) -> 'a
+
+(** As {!with_page}, marking the frame dirty. *)
+val with_page_mut : t -> Page.id -> seq:bool -> (Bytes.t -> 'a) -> 'a
+
+(** [force t id] synchronously writes page [id] back if dirty. *)
+val force : t -> Page.id -> unit
+
+(** [flush_all t] writes back every dirty frame (checkpoint). *)
+val flush_all : t -> unit
+
+(** [discard_region t ~start ~length] drops cached frames for freed pages
+    without writeback. *)
+val discard_region : t -> start:Page.id -> length:int -> unit
+
+(** [crash t] simulates power loss: all frames vanish, dirty or not. *)
+val crash : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val hit_rate : t -> float

@@ -1,0 +1,19 @@
+(** Page-level byte helpers shared by the SSTable and B-Tree formats.
+    Little-endian fixed-width accessors over fixed-size page buffers. *)
+
+(** 4096: the minimum SSD transfer size (Appendix A.2). *)
+val default_size : int
+
+type id = int
+
+val get_u16 : Bytes.t -> int -> int
+val set_u16 : Bytes.t -> int -> int -> unit
+val get_u32 : Bytes.t -> int -> int
+val set_u32 : Bytes.t -> int -> int -> unit
+val get_u64 : Bytes.t -> int -> int
+val set_u64 : Bytes.t -> int -> int -> unit
+
+(** [blit_string s b pos] copies all of [s] into [b] at [pos]. *)
+val blit_string : string -> Bytes.t -> int -> unit
+
+val sub_string : Bytes.t -> int -> int -> string

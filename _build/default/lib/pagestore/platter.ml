@@ -1,0 +1,33 @@
+(** The simulated disk platter: durable page payloads.
+
+    Pages written here survive a simulated crash; the buffer manager's
+    dirty frames do not. Absent pages read as zeroes, like a freshly
+    trimmed device. *)
+
+type t = {
+  page_size : int;
+  pages : (Page.id, Bytes.t) Hashtbl.t;
+}
+
+let create ~page_size = { page_size; pages = Hashtbl.create 4096 }
+
+let page_size t = t.page_size
+
+(** [read t id dst] copies page [id] into [dst] (zero-fills if absent). *)
+let read t id dst =
+  match Hashtbl.find_opt t.pages id with
+  | Some src -> Bytes.blit src 0 dst 0 t.page_size
+  | None -> Bytes.fill dst 0 t.page_size '\000'
+
+(** [write t id src] durably stores a copy of [src] as page [id]. *)
+let write t id src =
+  match Hashtbl.find_opt t.pages id with
+  | Some existing -> Bytes.blit src 0 existing 0 t.page_size
+  | None -> Hashtbl.replace t.pages id (Bytes.sub src 0 t.page_size)
+
+(** [drop t id] discards a page (region freed); space is reclaimed. *)
+let drop t id = Hashtbl.remove t.pages id
+
+let stored_pages t = Hashtbl.length t.pages
+
+let stored_bytes t = stored_pages t * t.page_size

@@ -1,0 +1,20 @@
+(** The simulated disk platter: durable page payloads. Pages written here
+    survive a simulated crash; the buffer manager's dirty frames do not.
+    Absent pages read as zeroes. *)
+
+type t
+
+val create : page_size:int -> t
+val page_size : t -> int
+
+(** [read t id dst] copies page [id] into [dst] (zero-fills if absent). *)
+val read : t -> Page.id -> Bytes.t -> unit
+
+(** [write t id src] durably stores a copy of [src] as page [id]. *)
+val write : t -> Page.id -> Bytes.t -> unit
+
+(** [drop t id] discards a page (region freed). *)
+val drop : t -> Page.id -> unit
+
+val stored_pages : t -> int
+val stored_bytes : t -> int

@@ -1,0 +1,23 @@
+(** Contiguous region allocator (§4.4.2).
+
+    Tree components and log segments each live in one contiguous page
+    range, so merge I/O is genuinely sequential. First-fit over an
+    address-ordered free list with coalescing on free. *)
+
+type region = { start : Page.id; length : int }
+
+type t
+
+val create : unit -> t
+
+(** [allocate t n] returns [n] contiguous pages. *)
+val allocate : t -> int -> region
+
+(** [free t r] returns [r] to the free list, coalescing neighbours. *)
+val free : t -> region -> unit
+
+val allocated_pages : t -> int
+val high_watermark : t -> Page.id
+
+(** Pages currently on the free list (space-amplification probe). *)
+val free_pages : t -> int

@@ -1,0 +1,163 @@
+(** Store façade: disk + platter + region allocator + buffer manager +
+    physical metadata journal + logical WAL.
+
+    This is the Stasis substitute described in DESIGN.md §1. Engines
+    allocate contiguous regions for tree components, stream merge output
+    around the cache, do cached point I/O through the buffer manager, and
+    commit metadata (the set of live components) through a force-written
+    root record, so that "a physically consistent version of the tree is
+    available at crash" (§4.4.2). *)
+
+type t = {
+  disk : Simdisk.Disk.t;
+  platter : Platter.t;
+  allocator : Region_allocator.t;
+  buffer : Buffer_manager.t;
+  wal : Wal.t;
+  page_size : int;
+  (* The journal: force-written metadata blobs (think Stasis' physical
+     log distilled to its recovery-visible effect), one slot per tree
+     hosted on this store. *)
+  roots : (string, string) Hashtbl.t;
+  mutable root_writes : int;
+}
+
+type config = {
+  cfg_page_size : int;
+  cfg_buffer_pages : int;  (** buffer-pool capacity, in pages *)
+  cfg_durability : Wal.durability;
+}
+
+let default_config =
+  { cfg_page_size = Page.default_size; cfg_buffer_pages = 1024;
+    cfg_durability = Wal.Full }
+
+let create ?(config = default_config) profile =
+  let disk = Simdisk.Disk.create profile in
+  let platter = Platter.create ~page_size:config.cfg_page_size in
+  {
+    disk;
+    platter;
+    allocator = Region_allocator.create ();
+    buffer =
+      Buffer_manager.create disk platter ~capacity_pages:config.cfg_buffer_pages;
+    wal = Wal.create ~durability:config.cfg_durability disk;
+    page_size = config.cfg_page_size;
+    roots = Hashtbl.create 4;
+    root_writes = 0;
+  }
+
+let disk t = t.disk
+let buffer t = t.buffer
+let wal t = t.wal
+let page_size t = t.page_size
+let now_us t = Simdisk.Disk.now_us t.disk
+
+(** {1 Regions} *)
+
+let allocate_region t ~pages = Region_allocator.allocate t.allocator pages
+
+let free_region t (r : Region_allocator.region) =
+  Buffer_manager.discard_region t.buffer ~start:r.start ~length:r.length;
+  for id = r.start to r.start + r.length - 1 do
+    Platter.drop t.platter id
+  done;
+  Region_allocator.free t.allocator r
+
+(** {1 Cached page access (point reads, update-in-place trees)} *)
+
+let with_page t id fn = Buffer_manager.with_page t.buffer id ~seq:false fn
+let with_page_seq t id fn = Buffer_manager.with_page t.buffer id ~seq:true fn
+let with_page_mut t id fn = Buffer_manager.with_page_mut t.buffer id ~seq:false fn
+
+(** {1 Streaming access (merges, bulk builds)}
+
+    Merge threads "avoid reading pre-images of pages they are about to
+    overwrite" and their output is force-written via the buffer manager
+    (§4.4.2); we model this as direct platter I/O at sequential-bandwidth
+    cost, leaving the buffer pool to the read path. The first page of each
+    stream pays one positioning seek. *)
+
+type write_stream = {
+  ws_store : t;
+  mutable ws_next : Page.id;
+  ws_end : Page.id;
+  mutable ws_first : bool;
+}
+
+let open_write_stream t (r : Region_allocator.region) =
+  { ws_store = t; ws_next = r.start; ws_end = r.start + r.length; ws_first = true }
+
+let stream_write ws page_bytes =
+  if ws.ws_next >= ws.ws_end then failwith "Store.stream_write: region overflow";
+  Platter.write ws.ws_store.platter ws.ws_next page_bytes;
+  (* The buffer pool may hold a stale copy of a recycled page id. *)
+  Buffer_manager.discard_region ws.ws_store.buffer ~start:ws.ws_next ~length:1;
+  if ws.ws_first then begin
+    Simdisk.Disk.seek_write ws.ws_store.disk ~bytes:ws.ws_store.page_size;
+    ws.ws_first <- false
+  end
+  else Simdisk.Disk.seq_write ws.ws_store.disk ~bytes:ws.ws_store.page_size;
+  let id = ws.ws_next in
+  ws.ws_next <- ws.ws_next + 1;
+  id
+
+
+type read_stream = {
+  rs_store : t;
+  mutable rs_next : Page.id;
+  rs_end : Page.id;
+  mutable rs_first : bool;
+  rs_buf : Bytes.t;
+}
+
+let open_read_stream t ~start ~length =
+  { rs_store = t; rs_next = start; rs_end = start + length; rs_first = true;
+    rs_buf = Bytes.create t.page_size }
+
+(** [stream_read rs] returns the next page's bytes, or [None] at region
+    end. The returned buffer is reused by the next call. *)
+let stream_read rs =
+  if rs.rs_next >= rs.rs_end then None
+  else begin
+    Platter.read rs.rs_store.platter rs.rs_next rs.rs_buf;
+    if rs.rs_first then begin
+      Simdisk.Disk.seek_read rs.rs_store.disk ~bytes:rs.rs_store.page_size;
+      rs.rs_first <- false
+    end
+    else Simdisk.Disk.seq_read rs.rs_store.disk ~bytes:rs.rs_store.page_size;
+    rs.rs_next <- rs.rs_next + 1;
+    Some rs.rs_buf
+  end
+
+(** [read_page_direct t id buf] copies a page from the platter without
+    touching the buffer pool or the clock; the caller charges the disk.
+    Only valid for pages written via streams (never dirty in the pool). *)
+let read_page_direct t id buf = Platter.read t.platter id buf
+
+(** {1 Metadata root (the journal's recovery-visible state)} *)
+
+(** [commit_root t blob] force-writes the engine's metadata (live component
+    regions, timestamps). Charged as one random write of one page per 4 KB
+    of metadata. *)
+let commit_root ?(slot = "") t blob =
+  let pages = max 1 ((String.length blob + t.page_size - 1) / t.page_size) in
+  for _ = 1 to pages do
+    Simdisk.Disk.seek_write t.disk ~bytes:t.page_size
+  done;
+  Hashtbl.replace t.roots slot blob;
+  t.root_writes <- t.root_writes + 1
+
+let read_root ?(slot = "") t =
+  Option.value (Hashtbl.find_opt t.roots slot) ~default:""
+
+let root_writes t = t.root_writes
+
+(** {1 Crash simulation} *)
+
+(** [crash t] loses the buffer pool; platter, committed root, and WAL
+    survive. The engine's recovery path must rebuild everything else. *)
+let crash t = Buffer_manager.crash t.buffer
+
+(** Bytes durably stored right now (space amplification probe). *)
+let stored_bytes t = Platter.stored_bytes t.platter

@@ -1,0 +1,95 @@
+(** Store façade: disk + platter + region allocator + buffer manager +
+    physical metadata journal + logical WAL.
+
+    The Stasis substitute (DESIGN.md §1). Engines allocate contiguous
+    regions for tree components, stream merge output around the cache, do
+    cached point I/O through the buffer manager, and commit metadata
+    through a force-written root so a physically consistent tree is
+    available at crash (§4.4.2). *)
+
+type t
+
+type config = {
+  cfg_page_size : int;
+  cfg_buffer_pages : int;  (** buffer-pool capacity, in pages *)
+  cfg_durability : Wal.durability;
+}
+
+(** 4 KiB pages, 1024-frame pool, full durability. *)
+val default_config : config
+
+val create : ?config:config -> Simdisk.Profile.t -> t
+
+val disk : t -> Simdisk.Disk.t
+val buffer : t -> Buffer_manager.t
+val wal : t -> Wal.t
+val page_size : t -> int
+
+(** Simulated clock, µs. *)
+val now_us : t -> float
+
+(** {1 Regions} *)
+
+val allocate_region : t -> pages:int -> Region_allocator.region
+
+(** [free_region t r] returns [r]'s pages: cached copies are dropped,
+    platter space reclaimed. *)
+val free_region : t -> Region_allocator.region -> unit
+
+(** {1 Cached page access (point reads, update-in-place trees)} *)
+
+(** [with_page t id f] pins page [id] in the pool (a miss costs a seek),
+    applies [f], unpins. The callback must not retain the buffer. *)
+val with_page : t -> Page.id -> (Bytes.t -> 'a) -> 'a
+
+(** As {!with_page} but a miss is charged as a sequential transfer
+    (declared streaming access). *)
+val with_page_seq : t -> Page.id -> (Bytes.t -> 'a) -> 'a
+
+(** As {!with_page} but marks the frame dirty; eviction writes it back. *)
+val with_page_mut : t -> Page.id -> (Bytes.t -> 'a) -> 'a
+
+(** {1 Streaming access (merges, bulk builds)}
+
+    Direct platter I/O at sequential-bandwidth cost, bypassing the pool;
+    the first page of each stream pays one positioning seek. *)
+
+type write_stream
+
+val open_write_stream : t -> Region_allocator.region -> write_stream
+
+(** [stream_write ws page] writes the next page of the region, returning
+    its id. Fails on region overflow. *)
+val stream_write : write_stream -> Bytes.t -> Page.id
+
+type read_stream
+
+val open_read_stream : t -> start:Page.id -> length:int -> read_stream
+
+(** [stream_read rs] returns the next page (buffer reused per call), or
+    [None] at region end. *)
+val stream_read : read_stream -> Bytes.t option
+
+(** [read_page_direct t id buf] copies a page from the platter without
+    touching pool or clock; the caller charges the disk. Only valid for
+    pages written via streams (never dirty in the pool). *)
+val read_page_direct : t -> Page.id -> Bytes.t -> unit
+
+(** {1 Metadata root (the journal's recovery-visible state)} *)
+
+(** [commit_root ?slot t blob] force-writes an engine's metadata (live
+    component regions); survives {!crash}. [slot] names the tree when
+    several share one store (partitioned stores); default [""]. *)
+val commit_root : ?slot:string -> t -> string -> unit
+
+val read_root : ?slot:string -> t -> string
+val root_writes : t -> int
+
+(** {1 Crash simulation} *)
+
+(** [crash t] loses the buffer pool; platter, committed root, and WAL
+    survive. Engines rebuild everything else in recovery. *)
+val crash : t -> unit
+
+(** Bytes durably stored right now (space-amplification probe). *)
+val stored_bytes : t -> int

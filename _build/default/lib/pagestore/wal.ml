@@ -1,0 +1,104 @@
+(** Logical write-ahead log.
+
+    bLSM uses a second, logical, log to provide durability for individual
+    writes (§4.4.2); replaying it after a crash rebuilds C0. The engines
+    under test run with group commit and no per-commit fsync ("none of the
+    systems sync their logs at commit", §5.1), so appends cost sequential
+    bandwidth only. Truncation is driven by merge completion; snowshoveling
+    delays it because old entries stay live in C0 longer.
+
+    The log also supports the paper's degraded-durability mode in which
+    updates are not logged at all ([`None] durability). *)
+
+type durability = Full | Degraded | None_
+
+type record = { lsn : int; payload : string }
+
+type t = {
+  disk : Simdisk.Disk.t;
+  durability : durability;
+  mutable records : record list; (* newest first *)
+  mutable next_lsn : int;
+  mutable truncated_to : int; (* lsns below this are gone *)
+  mutable bytes : int;
+  mutable appended_bytes : int; (* lifetime, for write amplification *)
+  floors : (string, int) Hashtbl.t;
+      (* per-client truncation floors: with several trees sharing one log
+         (partitioned stores), the log may only drop records below every
+         client's floor *)
+}
+
+let create ?(durability = Full) disk =
+  { disk; durability; records = []; next_lsn = 1; truncated_to = 1;
+    bytes = 0; appended_bytes = 0; floors = Hashtbl.create 4 }
+
+(* Each record pays a small framing overhead: lsn + length + crc. *)
+let framing = 16
+
+(** [append t payload] durably appends one logical record, returning its
+    LSN. In [None_] durability mode the record is dropped (but still
+    assigned an LSN so callers can reason uniformly). *)
+let append t payload =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  (match t.durability with
+  | None_ -> ()
+  | Full | Degraded ->
+      let cost = String.length payload + framing in
+      Simdisk.Disk.seq_write t.disk ~bytes:cost;
+      t.bytes <- t.bytes + cost;
+      t.appended_bytes <- t.appended_bytes + cost;
+      t.records <- { lsn; payload } :: t.records);
+  lsn
+
+(** [register_client t ~client] declares a log client with a floor at
+    the current truncation point: until the client proposes a higher
+    floor, nothing it might still need can be dropped. Trees register at
+    creation, so a tree that has never merged still holds the log. *)
+let register_client t ~client =
+  if not (Hashtbl.mem t.floors client) then
+    Hashtbl.replace t.floors client t.truncated_to
+
+(** [propose_truncate t ~client ~upto_lsn] records that [client] no
+    longer needs records below [upto_lsn], then truncates to the minimum
+    over all clients' floors — so one tree's merge commit never drops
+    records a co-hosted tree still needs for recovery. *)
+let rec propose_truncate t ~client ~upto_lsn =
+  let current = Option.value (Hashtbl.find_opt t.floors client) ~default:1 in
+  if upto_lsn > current then begin
+    Hashtbl.replace t.floors client upto_lsn;
+    let min_floor = Hashtbl.fold (fun _ v acc -> min v acc) t.floors max_int in
+    if min_floor > t.truncated_to && min_floor < max_int then
+      truncate t ~upto_lsn:min_floor
+  end
+
+(** [truncate t ~upto_lsn] discards records with [lsn < upto_lsn]
+    unconditionally (single-client logs; multi-tree stores must use
+    {!propose_truncate}). *)
+and truncate t ~upto_lsn =
+  if upto_lsn > t.truncated_to then begin
+    let keep, drop = List.partition (fun r -> r.lsn >= upto_lsn) t.records in
+    let dropped = List.fold_left (fun a r -> a + String.length r.payload + framing) 0 drop in
+    t.records <- keep;
+    t.bytes <- t.bytes - dropped;
+    t.truncated_to <- upto_lsn
+  end
+
+(** [replay t ~from_lsn f] feeds surviving records (oldest first, lsn >=
+    [from_lsn]) to [f]. Replay is "extremely expensive" (§4.4.2): we charge
+    a sequential read of the replayed bytes. *)
+let replay t ~from_lsn f =
+  let selected =
+    List.filter (fun r -> r.lsn >= from_lsn) (List.rev t.records)
+  in
+  List.iter
+    (fun r ->
+      Simdisk.Disk.seq_read t.disk ~bytes:(String.length r.payload + framing);
+      f r.lsn r.payload)
+    selected
+
+let next_lsn t = t.next_lsn
+let truncated_to t = t.truncated_to
+let size_bytes t = t.bytes
+let appended_bytes t = t.appended_bytes
+let durability t = t.durability

@@ -1,0 +1,47 @@
+(** Logical write-ahead log (§4.4.2).
+
+    Replaying it after a crash rebuilds C0. Appends are group-committed
+    without per-commit fsync (§5.1), so they cost sequential bandwidth.
+    Truncation is driven by merge completion; snowshoveling delays it
+    because old entries stay live in C0 longer. *)
+
+(** [Full]: every write logged. [Degraded]: logged, but semantics allow
+    loss of a recent suffix (the paper's replication mode). [None_]: no
+    logging; recovery restores only merged data. *)
+type durability = Full | Degraded | None_
+
+type t
+
+val create : ?durability:durability -> Simdisk.Disk.t -> t
+
+(** [append t payload] appends one record, returning its LSN. *)
+val append : t -> string -> int
+
+(** [truncate t ~upto_lsn] discards records with lsn < [upto_lsn]
+    unconditionally (single-client logs). *)
+val truncate : t -> upto_lsn:int -> unit
+
+(** [register_client t ~client] declares a client whose floor starts at
+    the current truncation point; until it proposes higher, nothing it
+    might need is dropped. *)
+val register_client : t -> client:string -> unit
+
+(** [propose_truncate t ~client ~upto_lsn]: multi-tree stores — record
+    [client]'s floor and truncate only below every client's floor. *)
+val propose_truncate : t -> client:string -> upto_lsn:int -> unit
+
+(** [replay t ~from_lsn f] feeds surviving records (oldest first) to
+    [f lsn payload], charging a sequential read per record (§4.4.2:
+    "replaying the log at startup is extremely expensive"). *)
+val replay : t -> from_lsn:int -> (int -> string -> unit) -> unit
+
+val next_lsn : t -> int
+val truncated_to : t -> int
+
+(** Live (untruncated) log size. *)
+val size_bytes : t -> int
+
+(** Lifetime appended bytes (write-amplification accounting). *)
+val appended_bytes : t -> int
+
+val durability : t -> durability

@@ -1,0 +1,121 @@
+(** Simulated storage device: a clock plus I/O cost accounting.
+
+    The paper reasons about indexes exclusively in terms of (a) seeks -
+    "at least one random read is required to access an uncached piece of
+    data, and the seek cost generally dwarfs the transfer cost" - and (b)
+    bytes of sequential I/O (write amplification, §2.1). This device
+    charges exactly those quantities against a simulated clock, so
+    throughput and latency fall out of the same arithmetic the paper uses,
+    deterministically.
+
+    Page payloads live in {!Pagestore}; this module never stores data. *)
+
+type counters = {
+  mutable seeks : int;  (** random read positionings *)
+  mutable random_writes : int;
+  mutable seq_read_bytes : int;
+  mutable seq_write_bytes : int;
+  mutable random_read_bytes : int;
+  mutable random_write_bytes : int;
+}
+
+type t = {
+  profile : Profile.t;
+  mutable now_us : float;
+  c : counters;
+}
+
+let create profile =
+  {
+    profile;
+    now_us = 0.0;
+    c =
+      {
+        seeks = 0;
+        random_writes = 0;
+        seq_read_bytes = 0;
+        seq_write_bytes = 0;
+        random_read_bytes = 0;
+        random_write_bytes = 0;
+      };
+  }
+
+let profile t = t.profile
+
+let now_us t = t.now_us
+
+(** [advance t us] moves the clock forward without I/O (CPU time, think
+    time). *)
+let advance t us = if us > 0.0 then t.now_us <- t.now_us +. us
+
+let transfer_us mb_per_s bytes =
+  float_of_int bytes /. (mb_per_s *. 1e6) *. 1e6
+
+(** One random read: an access (seek) plus the transfer. *)
+let seek_read t ~bytes =
+  t.c.seeks <- t.c.seeks + 1;
+  t.c.random_read_bytes <- t.c.random_read_bytes + bytes;
+  t.now_us <-
+    t.now_us +. t.profile.Profile.access_us
+    +. transfer_us t.profile.Profile.read_mb_per_s bytes
+
+(** One random in-place write (B-Tree page writeback, SSD-penalized). *)
+let seek_write t ~bytes =
+  t.c.random_writes <- t.c.random_writes + 1;
+  t.c.random_write_bytes <- t.c.random_write_bytes + bytes;
+  t.now_us <-
+    t.now_us +. t.profile.Profile.random_write_us
+    +. transfer_us t.profile.Profile.write_mb_per_s bytes
+
+(** Streaming read at device bandwidth (merge inputs, long scans after the
+    initial positioning seek). *)
+let seq_read t ~bytes =
+  t.c.seq_read_bytes <- t.c.seq_read_bytes + bytes;
+  t.now_us <- t.now_us +. transfer_us t.profile.Profile.read_mb_per_s bytes
+
+(** Streaming write at device bandwidth (log appends, merge output). *)
+let seq_write t ~bytes =
+  t.c.seq_write_bytes <- t.c.seq_write_bytes + bytes;
+  t.now_us <- t.now_us +. transfer_us t.profile.Profile.write_mb_per_s bytes
+
+(** Cost of [bytes] of sequential writes without performing them; the merge
+    schedulers use this to convert pacing quotas between bytes and time. *)
+let seq_write_cost_us t ~bytes = transfer_us t.profile.Profile.write_mb_per_s bytes
+
+type snapshot = {
+  at_us : float;
+  seeks : int;
+  random_writes : int;
+  seq_read_bytes : int;
+  seq_write_bytes : int;
+  random_read_bytes : int;
+  random_write_bytes : int;
+}
+
+let snapshot t =
+  {
+    at_us = t.now_us;
+    seeks = t.c.seeks;
+    random_writes = t.c.random_writes;
+    seq_read_bytes = t.c.seq_read_bytes;
+    seq_write_bytes = t.c.seq_write_bytes;
+    random_read_bytes = t.c.random_read_bytes;
+    random_write_bytes = t.c.random_write_bytes;
+  }
+
+(** [diff before after] is the I/O performed between two snapshots; Table 1
+    counts seeks per operation this way. *)
+let diff before after =
+  {
+    at_us = after.at_us -. before.at_us;
+    seeks = after.seeks - before.seeks;
+    random_writes = after.random_writes - before.random_writes;
+    seq_read_bytes = after.seq_read_bytes - before.seq_read_bytes;
+    seq_write_bytes = after.seq_write_bytes - before.seq_write_bytes;
+    random_read_bytes = after.random_read_bytes - before.random_read_bytes;
+    random_write_bytes = after.random_write_bytes - before.random_write_bytes;
+  }
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf "dt=%.1fus seeks=%d rw=%d seqR=%dB seqW=%dB" s.at_us s.seeks
+    s.random_writes s.seq_read_bytes s.seq_write_bytes

@@ -1,0 +1,55 @@
+(** Simulated storage device: a clock plus I/O cost accounting.
+
+    The paper reasons about indexes in seeks and bytes of sequential I/O
+    (§2.1); this device charges exactly those quantities against a
+    simulated clock, so throughput and latency fall out of the same
+    arithmetic the paper uses — deterministically. Page payloads live in
+    {!Pagestore}; this module never stores data. *)
+
+type t
+
+val create : Profile.t -> t
+val profile : t -> Profile.t
+
+(** Simulated time, microseconds since creation. *)
+val now_us : t -> float
+
+(** [advance t us] moves the clock forward without I/O (CPU or think
+    time). *)
+val advance : t -> float -> unit
+
+(** One random read: an access (seek) plus the transfer. *)
+val seek_read : t -> bytes:int -> unit
+
+(** One random in-place write (B-Tree writeback; SSD-penalized). *)
+val seek_write : t -> bytes:int -> unit
+
+(** Streaming read at device bandwidth. *)
+val seq_read : t -> bytes:int -> unit
+
+(** Streaming write at device bandwidth (log appends, merge output). *)
+val seq_write : t -> bytes:int -> unit
+
+(** Cost of [bytes] of sequential writes without performing them; the
+    schedulers use this to convert quotas between bytes and time. *)
+val seq_write_cost_us : t -> bytes:int -> float
+
+(** {1 Counters} *)
+
+type snapshot = {
+  at_us : float;  (** clock value ([diff]: elapsed time) *)
+  seeks : int;
+  random_writes : int;
+  seq_read_bytes : int;
+  seq_write_bytes : int;
+  random_read_bytes : int;
+  random_write_bytes : int;
+}
+
+val snapshot : t -> snapshot
+
+(** [diff before after] is the I/O performed between two snapshots —
+    how Table 1 counts seeks per operation. *)
+val diff : snapshot -> snapshot -> snapshot
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

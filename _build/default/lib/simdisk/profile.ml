@@ -1,0 +1,62 @@
+(** Storage device cost profiles.
+
+    The paper's evaluation machine used two RAID-0 arrays: 2 x 10K-RPM SATA
+    enterprise hard disks and 2 x OCZ Vertex 2 SSDs (§5.1). We model each
+    array as a single device with aggregate bandwidth and per-I/O access
+    costs. The constants follow the paper's own arithmetic: hard disks
+    transfer 100-200 MB/s with >5 ms mean access (§2.2); the Vertex 2 array
+    does 285 (275) MB/s sequential reads (writes) (§5.4); Table 2 assumes
+    50K reads/second per SATA SSD. SSDs "severely penalize random writes"
+    (§5.4), which we express as a larger random-write access cost. *)
+
+type t = {
+  name : string;
+  access_us : float;  (** cost of positioning for one random read, us *)
+  random_write_us : float;  (** cost of one random (in-place) write, us *)
+  read_mb_per_s : float;  (** aggregate sequential read bandwidth *)
+  write_mb_per_s : float;  (** aggregate sequential write bandwidth *)
+}
+
+(** 2 x 10K-RPM SATA RAID-0. Mean access 5 ms; RAID-0 roughly doubles the
+    IOPS of one spindle for concurrent streams, so the array-level access
+    cost is half a spindle's. Aggregate bandwidth 2 x 120 MB/s. *)
+let hdd_raid0 =
+  {
+    name = "hdd";
+    access_us = 2500.0;
+    random_write_us = 2500.0;
+    read_mb_per_s = 240.0;
+    write_mb_per_s = 240.0;
+  }
+
+(** 2 x OCZ Vertex 2 RAID-0. 50K reads/s per drive -> 100K for the array,
+    i.e. 10 us per random read. Random writes on consumer-era SSDs cost an
+    order of magnitude more than reads once the FTL must erase. *)
+let ssd_raid0 =
+  {
+    name = "ssd";
+    access_us = 10.0;
+    random_write_us = 120.0;
+    read_mb_per_s = 570.0;
+    write_mb_per_s = 550.0;
+  }
+
+(** Device classes from Table 2 (Appendix A), used only by the analytic
+    Table 2 reproduction. [capacity_gb] and [reads_per_sec] as printed. *)
+type device_class = {
+  class_name : string;
+  capacity_gb : float;
+  reads_per_sec : float;
+}
+
+let table2_devices =
+  [
+    { class_name = "SSD SATA"; capacity_gb = 512.0; reads_per_sec = 50_000.0 };
+    { class_name = "SSD PCI-E"; capacity_gb = 5000.0; reads_per_sec = 1_000_000.0 };
+    { class_name = "HD Server"; capacity_gb = 300.0; reads_per_sec = 500.0 };
+    { class_name = "HD Media"; capacity_gb = 2000.0; reads_per_sec = 250.0 };
+  ]
+
+let pp ppf t =
+  Fmt.pf ppf "%s(access=%.0fus rw=%.0fus %.0f/%.0fMB/s)" t.name t.access_us
+    t.random_write_us t.read_mb_per_s t.write_mb_per_s

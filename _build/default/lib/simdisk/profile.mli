@@ -1,0 +1,31 @@
+(** Storage device cost profiles.
+
+    Models the paper's two RAID-0 arrays (§5.1) as single devices with
+    aggregate bandwidth and per-I/O access costs, plus the Table 2 device
+    classes for the Appendix A arithmetic. *)
+
+type t = {
+  name : string;
+  access_us : float;  (** cost of positioning one random read, µs *)
+  random_write_us : float;  (** cost of one random in-place write, µs *)
+  read_mb_per_s : float;  (** aggregate sequential read bandwidth *)
+  write_mb_per_s : float;  (** aggregate sequential write bandwidth *)
+}
+
+(** 2 × 10K-RPM SATA RAID-0: 2.5 ms array access, 240 MB/s. *)
+val hdd_raid0 : t
+
+(** 2 × OCZ Vertex 2 RAID-0: 10 µs reads, random writes an order of
+    magnitude dearer (§5.4), ~560 MB/s. *)
+val ssd_raid0 : t
+
+(** Device classes from Table 2 (Appendix A). *)
+type device_class = {
+  class_name : string;
+  capacity_gb : float;
+  reads_per_sec : float;
+}
+
+val table2_devices : device_class list
+
+val pp : Format.formatter -> t -> unit

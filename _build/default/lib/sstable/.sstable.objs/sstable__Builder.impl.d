@@ -1,0 +1,1 @@
+lib/sstable/builder.ml: Buffer Bytes Kv List Option Pagestore Repro_util Simdisk Sst_format String

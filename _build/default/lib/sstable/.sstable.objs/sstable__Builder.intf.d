@@ -1,0 +1,1 @@
+lib/sstable/builder.mli: Kv Pagestore Sst_format

@@ -1,0 +1,1 @@
+lib/sstable/merge_iter.ml: Kv List Option String

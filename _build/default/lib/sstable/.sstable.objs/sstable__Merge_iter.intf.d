@@ -1,0 +1,1 @@
+lib/sstable/merge_iter.mli: Kv

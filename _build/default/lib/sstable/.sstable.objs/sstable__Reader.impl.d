@@ -1,0 +1,1 @@
+lib/sstable/reader.ml: Array Buffer Bytes Char Kv List Pagestore Repro_util Simdisk Sst_format String

@@ -1,0 +1,1 @@
+lib/sstable/reader.mli: Kv Pagestore Sst_format

@@ -1,0 +1,1 @@
+lib/sstable/sst_format.ml: Buffer Kv List Repro_util String

@@ -1,0 +1,1 @@
+lib/sstable/sst_format.mli: Buffer Kv

@@ -1,0 +1,26 @@
+(** K-way merging iterator with age-based shadowing.
+
+    Combines ordered record streams from multiple tree components. Lower
+    priority = fresher component; equal keys are combined with
+    {!Kv.Entry.merge} exactly as the read path would. With
+    [drop_tombstones] (the bottom level) tombstones are elided and orphan
+    deltas resolve into base records, preserving the all-base invariant
+    behind one-seek reads (§3.1.1). *)
+
+type t
+
+(** [create ~resolver ~drop_tombstones inputs] merges [inputs], each a
+    [(priority, pull)] pair where [pull] yields [(key, entry, lsn)] in
+    strictly increasing key order and priority 0 is the freshest source. *)
+val create :
+  resolver:Kv.Entry.resolver ->
+  drop_tombstones:bool ->
+  (int * (unit -> (string * Kv.Entry.t * int) option)) list ->
+  t
+
+(** [next t] is the next surviving record in key order, with the newest
+    contributing LSN. *)
+val next : t -> (string * Kv.Entry.t * int) option
+
+(** [drain t f] pulls every record through [f]. *)
+val drain : t -> (string -> Kv.Entry.t -> int -> unit) -> unit

@@ -1,0 +1,314 @@
+(** SSTable reader: point lookups, ordered iteration, recovery reopen.
+
+    The page index (first key starting in each data page) lives in RAM, as
+    the paper assumes for B-Tree and LSM index nodes alike (Appendix A.1);
+    lookups therefore cost one page read — one seek when uncached. Point
+    reads go through the buffer manager so hot pages are cached; scans and
+    merges stream pages directly, leaving the pool to the read path. *)
+
+type t = {
+  store : Pagestore.Store.t;
+  footer : Sst_format.footer;
+  pages : int array;  (** page ids of the whole chain, in logical order *)
+  index_keys : string array;  (** first key starting in data page [pos] *)
+  index_pos : int array;  (** the corresponding chain positions *)
+}
+
+let footer t = t.footer
+let timestamp t = t.footer.Sst_format.timestamp
+let record_count t = t.footer.Sst_format.record_count
+let data_bytes t = t.footer.Sst_format.data_bytes
+let min_key t = t.footer.Sst_format.min_key
+let max_key t = t.footer.Sst_format.max_key
+let is_empty t = t.footer.Sst_format.record_count = 0
+
+let pages_of_extents extents ~take =
+  let arr = Array.make take 0 in
+  let i = ref 0 in
+  List.iter
+    (fun (start, length) ->
+      for p = start to start + length - 1 do
+        if !i < take then begin
+          arr.(!i) <- p;
+          incr i
+        end
+      done)
+    extents;
+  assert (!i = take);
+  arr
+
+let parse_index blob n =
+  let keys = Array.make n "" in
+  let poss = Array.make n 0 in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    let klen, p = Repro_util.Varint.read blob !pos in
+    let key = String.sub blob p klen in
+    let ppos, p = Repro_util.Varint.read blob (p + klen) in
+    keys.(i) <- key;
+    poss.(i) <- ppos;
+    pos := p
+  done;
+  (keys, poss)
+
+(** [open_in_ram store footer ~index] builds a reader from a freshly built
+    component whose index the builder still has in RAM (the common case:
+    merge output is opened immediately). *)
+let open_in_ram store (footer : Sst_format.footer) ~index =
+  let take = footer.data_pages + footer.index_pages + footer.bloom_pages in
+  let pages = pages_of_extents footer.extents ~take in
+  let index_keys, index_pos = parse_index index footer.index_entries in
+  { store; footer; pages; index_keys; index_pos }
+
+(** [open_from_disk store footer] reopens a component after recovery,
+    re-reading the index pages (charged as sequential I/O). *)
+let open_from_disk store (footer : Sst_format.footer) =
+  let take = footer.data_pages + footer.index_pages + footer.bloom_pages in
+  let pages = pages_of_extents footer.extents ~take in
+  let page_size = Pagestore.Store.page_size store in
+  let buf = Buffer.create (footer.index_pages * page_size) in
+  for i = footer.data_pages to footer.data_pages + footer.index_pages - 1 do
+    Pagestore.Store.with_page_seq store pages.(i) (fun b ->
+        Buffer.add_string buf (Bytes.to_string b))
+  done;
+  let index_keys, index_pos = parse_index (Buffer.contents buf) footer.index_entries in
+  { store; footer; pages; index_keys; index_pos }
+
+(** [of_meta store blob] reopens from the engine's commit-root metadata. *)
+let of_meta store blob = open_from_disk store (Sst_format.decode_footer blob)
+
+let meta_blob t = Sst_format.encode_footer t.footer
+
+(** [load_bloom_blob t] reads a persisted Bloom filter's bytes back from
+    the component (sequential I/O, 1.25 B/key — far cheaper than the
+    full-component scan a rebuild needs). [None] if none was persisted. *)
+let load_bloom_blob t =
+  let f = t.footer in
+  if f.Sst_format.bloom_pages = 0 then None
+  else begin
+    let buf = Buffer.create f.Sst_format.bloom_bytes in
+    let start = f.Sst_format.data_pages + f.Sst_format.index_pages in
+    for i = start to start + f.Sst_format.bloom_pages - 1 do
+      Pagestore.Store.with_page_seq t.store t.pages.(i) (fun b ->
+          Buffer.add_string buf (Bytes.to_string b))
+    done;
+    Some (Buffer.sub buf 0 f.Sst_format.bloom_bytes)
+  end
+
+(** [free t] releases the component's extents (after a merge supersedes
+    it). *)
+let free t =
+  List.iter
+    (fun (start, length) ->
+      Pagestore.Store.free_region t.store
+        { Pagestore.Region_allocator.start; length })
+    t.footer.Sst_format.extents
+
+(* Rightmost index slot whose first key <= [key]; None if key precedes
+   everything. *)
+let index_floor t key =
+  let n = Array.length t.index_keys in
+  if n = 0 || String.compare key t.index_keys.(0) < 0 then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if String.compare t.index_keys.(mid) key <= 0 then lo := mid
+      else hi := mid - 1
+    done;
+    Some !lo
+  end
+
+(** {1 Page byte streams} *)
+
+(* A pull stream of record bytes starting at chain position [pos],
+   concatenating page payloads. [fetch] abstracts cached vs streaming
+   access; [first] marks the positioning access (seek candidate). *)
+type byte_stream = {
+  reader : t;
+  fetch : int -> first:bool -> string; (* whole page as string *)
+  mutable bpos : int; (* next chain position to fetch *)
+  mutable buf : string;
+  mutable off : int;
+  mutable limit : int;
+  mutable started : bool;
+}
+
+let page_size t = Pagestore.Store.page_size t.store
+
+let cached_fetch t pos ~first =
+  Pagestore.Store.(
+    if first then with_page t.store t.pages.(pos) Bytes.to_string
+    else with_page_seq t.store t.pages.(pos) Bytes.to_string)
+
+let streaming_fetch t =
+  (* Track contiguity so that physically consecutive pages cost bandwidth
+     only, while extent jumps and the initial positioning cost a seek. *)
+  let last = ref (-10) in
+  fun pos ~first:_ ->
+    let id = t.pages.(pos) in
+    let buf = Bytes.create (page_size t) in
+    let disk = Pagestore.Store.disk t.store in
+    (* Direct platter read: bypass the buffer pool. *)
+    Pagestore.Store.read_page_direct t.store id buf;
+    if id = !last + 1 then Simdisk.Disk.seq_read disk ~bytes:(page_size t)
+    else Simdisk.Disk.seek_read disk ~bytes:(page_size t);
+    last := id;
+    Bytes.unsafe_to_string buf
+
+(* Open a stream at chain position [pos]; [skip_cont] skips the leading
+   continuation bytes (positioned start) vs consuming them (record
+   continuation handled by read_bytes). *)
+let stream_at t ~fetch pos =
+  { reader = t; fetch; bpos = pos; buf = ""; off = 0; limit = 0; started = false }
+
+exception End_of_component
+
+let refill bs ~continuation =
+  if bs.bpos >= bs.reader.footer.Sst_format.data_pages then
+    raise End_of_component;
+  let page = bs.fetch bs.bpos ~first:(not bs.started) in
+  bs.started <- true;
+  let cont_len = Char.code page.[2] lor (Char.code page.[3] lsl 8)
+                 lor (Char.code page.[4] lsl 16) lor (Char.code page.[5] lsl 24)
+  in
+  bs.buf <- page;
+  bs.limit <- String.length page;
+  bs.off <-
+    (if continuation then Sst_format.header_bytes
+     else Sst_format.header_bytes + cont_len);
+  bs.bpos <- bs.bpos + 1
+
+let read_byte bs =
+  if bs.off >= bs.limit then refill bs ~continuation:true;
+  let c = bs.buf.[bs.off] in
+  bs.off <- bs.off + 1;
+  Char.code c
+
+let read_varint bs =
+  let rec go acc shift =
+    let b = read_byte bs in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b < 0x80 then acc else go acc (shift + 7)
+  in
+  go 0 0
+
+let read_string bs n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if bs.off >= bs.limit then refill bs ~continuation:true;
+    let avail = bs.limit - bs.off in
+    let take = min avail (n - !filled) in
+    Bytes.blit_string bs.buf bs.off out !filled take;
+    bs.off <- bs.off + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string out
+
+(* Zero padding at the tail of the final data page decodes as a 0-length
+   varint; real records always have body_len >= 1, so 0 means "no more
+   records" (padding only ever occurs on the last data page). *)
+let next_record bs =
+  match read_varint bs with
+  | exception End_of_component -> None
+  | 0 -> None
+  | body_len ->
+      let body = read_string bs body_len in
+      Some (Sst_format.decode_body body)
+
+(** {1 Iterators} *)
+
+type iter = {
+  mutable stream : byte_stream option;
+  mutable pending : (string * Kv.Entry.t * int) option;
+}
+
+let make_iter t ~cached ?from () =
+  let fetch = if cached then cached_fetch t else streaming_fetch t in
+  if is_empty t then { stream = None; pending = None }
+  else begin
+    let start_pos, need_skip =
+      match from with
+      | None -> (Some 0, None)
+      | Some key -> (
+          match index_floor t key with
+          | None -> (Some 0, None) (* key precedes component: start at 0 *)
+          | Some slot -> (Some t.index_pos.(slot), Some key))
+    in
+    match start_pos with
+    | None -> { stream = None; pending = None }
+    | Some pos ->
+        let bs = stream_at t ~fetch pos in
+        (try refill bs ~continuation:false with End_of_component -> ());
+        let it = { stream = Some bs; pending = None } in
+        (match need_skip with
+        | None -> ()
+        | Some key ->
+            (* advance past records < key *)
+            let rec skip () =
+              match next_record bs with
+              | None -> it.stream <- None
+              | Some (k, _, _) as r when String.compare k key >= 0 ->
+                  it.pending <- r
+              | Some _ -> skip ()
+            in
+            skip ());
+        it
+  end
+
+(** [iter_next_full it] pulls the next record with its stored LSN. *)
+let iter_next_full it =
+  match it.pending with
+  | Some r ->
+      it.pending <- None;
+      Some r
+  | None -> (
+      match it.stream with
+      | None -> None
+      | Some bs -> (
+          match next_record bs with
+          | None ->
+              it.stream <- None;
+              None
+          | some -> some))
+
+(** [iter_next it] pulls the next record in key order. *)
+let iter_next it =
+  match iter_next_full it with Some (k, e, _) -> Some (k, e) | None -> None
+
+(** [iterator t ?from ()] streams records (merges, scans): bypasses the
+    buffer pool, first access costs a seek, the rest bandwidth. *)
+let iterator ?from t = make_iter t ~cached:false ?from ()
+
+(** [cached_iterator t ?from ()] iterates through the buffer pool (short
+    scans that should benefit from caching). *)
+let cached_iterator ?from t = make_iter t ~cached:true ?from ()
+
+(** [get_with_lsn t key]: point lookup returning the record's stored LSN
+    (recovery's replay filter). *)
+let get_with_lsn t key =
+  if is_empty t then None
+  else if
+    String.compare key t.footer.Sst_format.min_key < 0
+    || String.compare key t.footer.Sst_format.max_key > 0
+  then None
+  else
+    match index_floor t key with
+    | None -> None
+    | Some slot ->
+        let bs = stream_at t ~fetch:(cached_fetch t) t.index_pos.(slot) in
+        (try refill bs ~continuation:false with End_of_component -> ());
+        let rec find () =
+          match next_record bs with
+          | None -> None
+          | Some (k, e, lsn) ->
+              let c = String.compare k key in
+              if c = 0 then Some (e, lsn) else if c > 0 then None else find ()
+        in
+        find ()
+
+(** [get t key] point lookup: one cached page read (one seek when the page
+    is cold), plus continuation pages for records spanning pages. *)
+let get t key =
+  match get_with_lsn t key with Some (e, _) -> Some e | None -> None

@@ -1,0 +1,68 @@
+(** SSTable reader: point lookups, ordered iteration, recovery reopen.
+
+    The page index (first key starting in each data page) lives in RAM,
+    as the paper assumes for index nodes (Appendix A.1); lookups cost one
+    page read — one seek when uncached. Point reads go through the buffer
+    manager so hot pages cache; scans and merges stream pages directly,
+    leaving the pool to the read path. *)
+
+type t
+
+(** {1 Opening} *)
+
+(** [open_in_ram store footer ~index] wraps a freshly built component
+    whose index blob the builder still has in RAM. *)
+val open_in_ram : Pagestore.Store.t -> Sst_format.footer -> index:string -> t
+
+(** [open_from_disk store footer] reopens after recovery, re-reading the
+    index pages (charged as sequential I/O). *)
+val open_from_disk : Pagestore.Store.t -> Sst_format.footer -> t
+
+(** [of_meta store blob] reopens from a commit-root metadata blob. *)
+val of_meta : Pagestore.Store.t -> string -> t
+
+(** The metadata blob to store in a commit root. *)
+val meta_blob : t -> string
+
+(** Bytes of a persisted Bloom filter, read back sequentially; [None] if
+    the component was built without one (§4.4.3). *)
+val load_bloom_blob : t -> string option
+
+(** [free t] releases the component's extents. *)
+val free : t -> unit
+
+(** {1 Metadata} *)
+
+val footer : t -> Sst_format.footer
+val timestamp : t -> int
+val record_count : t -> int
+val data_bytes : t -> int
+val min_key : t -> string
+val max_key : t -> string
+val is_empty : t -> bool
+
+(** {1 Reads} *)
+
+(** [get t key]: point lookup through the buffer pool — one cached page
+    read (one seek when cold), plus sequential continuation pages for
+    records spanning page boundaries. *)
+val get : t -> string -> Kv.Entry.t option
+
+(** As {!get}, also yielding the record's stored LSN — recovery's replay
+    filter (skip WAL records with lsn <= the durable one). *)
+val get_with_lsn : t -> string -> (Kv.Entry.t * int) option
+
+type iter
+
+(** [iterator ?from t] streams records in key order (merges, scans):
+    bypasses the buffer pool; the first access costs a seek, the rest
+    bandwidth. *)
+val iterator : ?from:string -> t -> iter
+
+(** [cached_iterator ?from t] iterates through the buffer pool. *)
+val cached_iterator : ?from:string -> t -> iter
+
+val iter_next : iter -> (string * Kv.Entry.t) option
+
+(** As {!iter_next}, also yielding the record's stored LSN. *)
+val iter_next_full : iter -> (string * Kv.Entry.t * int) option

@@ -1,0 +1,133 @@
+(** On-disk format of a tree component.
+
+    A component is a chain of contiguous extents holding, in order: data
+    pages, index pages, and one footer page. Data pages use the paper's
+    "simple append-only data page format that efficiently stores records
+    that span multiple pages and bounds the fraction of space wasted by
+    inconveniently sized records" (Appendix A.2).
+
+    Data page layout:
+    {v
+      u16 @0  n_starts   records beginning in this page
+      u32 @2  cont_len   leading payload bytes that belong to a record
+                         begun on an earlier page
+      payload [6, page_size)
+    v}
+
+    A record on the wire is [varint body_len][body] where
+    [body = varint key_len ++ key ++ varint lsn ++ entry] (see
+    {!Kv.Entry.encode}). The LSN is the newest write-ahead-log sequence
+    number folded into the record; recovery uses it to skip WAL records
+    whose effect is already durable — without it, replaying a delta that
+    a committed merge already applied would apply it twice (Rose, the
+    paper's substrate, tracks LSNs for the same reason).
+    Bodies flow across page boundaries without padding, so the waste per
+    page is at most the final partial varint — a few bytes. *)
+
+let header_bytes = 6
+
+let payload_capacity ~page_size = page_size - header_bytes
+
+(** [encode_record buf key ~lsn entry] appends one framed record. *)
+let encode_record buf key ~lsn entry =
+  let body = Buffer.create (String.length key + 16) in
+  Repro_util.Varint.write body (String.length key);
+  Buffer.add_string body key;
+  Repro_util.Varint.write body lsn;
+  Kv.Entry.encode body entry;
+  Repro_util.Varint.write buf (Buffer.length body);
+  Buffer.add_buffer buf body
+
+(** [decode_body s] parses a record body into [(key, entry, lsn)]. *)
+let decode_body s =
+  let key_len, pos = Repro_util.Varint.read s 0 in
+  let key = String.sub s pos key_len in
+  let lsn, pos = Repro_util.Varint.read s (pos + key_len) in
+  let entry, _ = Kv.Entry.decode s pos in
+  (key, entry, lsn)
+
+(** {1 Footer}
+
+    The footer describes the component: logical timestamp, record count,
+    user-data bytes, extents, and where the index lives. It doubles as the
+    metadata blob engines store in their commit root. *)
+
+type footer = {
+  timestamp : int;  (** logical timestamp, bumped per merge (§4.4.1) *)
+  record_count : int;
+  tombstone_count : int;
+  data_bytes : int;  (** sum of record body bytes (user data) *)
+  min_key : string;
+  max_key : string;
+  extents : (int * int) list;  (** (start page id, length) in chain order *)
+  data_pages : int;  (** pages [0, data_pages) of the chain hold records *)
+  index_pages : int;  (** pages [data_pages, data_pages+index_pages) *)
+  index_entries : int;
+  bloom_pages : int;  (** optional persisted Bloom filter after the index *)
+  bloom_bytes : int;
+}
+
+let encode_footer f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "SSTF";
+  let w = Repro_util.Varint.write buf in
+  w f.timestamp;
+  w f.record_count;
+  w f.tombstone_count;
+  w f.data_bytes;
+  w (String.length f.min_key);
+  Buffer.add_string buf f.min_key;
+  w (String.length f.max_key);
+  Buffer.add_string buf f.max_key;
+  w (List.length f.extents);
+  List.iter
+    (fun (s, l) ->
+      w s;
+      w l)
+    f.extents;
+  w f.data_pages;
+  w f.index_pages;
+  w f.index_entries;
+  w f.bloom_pages;
+  w f.bloom_bytes;
+  Buffer.contents buf
+
+let decode_footer s =
+  if String.length s < 4 || not (String.equal (String.sub s 0 4) "SSTF") then
+    invalid_arg "Sst_format.decode_footer: bad magic";
+  let pos = ref 4 in
+  let r () =
+    let v, p = Repro_util.Varint.read s !pos in
+    pos := p;
+    v
+  in
+  let rs () =
+    let len = r () in
+    let v = String.sub s !pos len in
+    pos := !pos + len;
+    v
+  in
+  let timestamp = r () in
+  let record_count = r () in
+  let tombstone_count = r () in
+  let data_bytes = r () in
+  let min_key = rs () in
+  let max_key = rs () in
+  let n_extents = r () in
+  let extents =
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else
+        let s = r () in
+        let l = r () in
+        go (n - 1) ((s, l) :: acc)
+    in
+    go n_extents []
+  in
+  let data_pages = r () in
+  let index_pages = r () in
+  let index_entries = r () in
+  let bloom_pages = r () in
+  let bloom_bytes = r () in
+  { timestamp; record_count; tombstone_count; data_bytes; min_key; max_key;
+    extents; data_pages; index_pages; index_entries; bloom_pages; bloom_bytes }

@@ -1,0 +1,37 @@
+(** On-disk format of a tree component (see the .ml for the layout).
+
+    A component is a chain of contiguous extents holding data pages, index
+    pages, and one footer page. Data pages use the paper's append-only
+    format with records spanning pages (Appendix A.2); each record stores
+    the newest WAL LSN folded into it (recovery's replay filter). *)
+
+val header_bytes : int
+val payload_capacity : page_size:int -> int
+
+(** [encode_record buf key ~lsn entry] appends one framed record. *)
+val encode_record : Buffer.t -> string -> lsn:int -> Kv.Entry.t -> unit
+
+(** [decode_body s] parses a record body: [(key, entry, lsn)]. *)
+val decode_body : string -> string * Kv.Entry.t * int
+
+(** Component descriptor: logical timestamp (§4.4.1), counts, extents,
+    index location. Doubles as the commit-root metadata blob. *)
+type footer = {
+  timestamp : int;
+  record_count : int;
+  tombstone_count : int;
+  data_bytes : int;  (** sum of record body bytes (user data) *)
+  min_key : string;
+  max_key : string;
+  extents : (int * int) list;  (** (start page id, length), chain order *)
+  data_pages : int;
+  index_pages : int;
+  index_entries : int;
+  bloom_pages : int;  (** optional persisted Bloom filter after the index *)
+  bloom_bytes : int;
+}
+
+val encode_footer : footer -> string
+
+(** Raises [Invalid_argument] on bad magic. *)
+val decode_footer : string -> footer

@@ -1,0 +1,1 @@
+lib/util/keygen.ml: Char Int64 Printf Prng String

@@ -1,0 +1,38 @@
+(** CRC32C (Castagnoli) checksums, table-driven.
+
+    Page headers and log records carry a CRC so that recovery can detect
+    torn writes, mirroring the checks Stasis performs for bLSM (§4.4.2). *)
+
+let polynomial = 0x82F63B78 (* reflected CRC32C polynomial *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := (!c lsr 1) lxor polynomial
+           else c := !c lsr 1
+         done;
+         !c))
+
+(** [update crc s pos len] folds [len] bytes of [s] starting at [pos] into
+    a running checksum. Start from [0xFFFFFFFF]-complemented state via
+    {!string} unless composing incrementally. *)
+let update crc s pos len =
+  let table = Lazy.force table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    let idx = (!crc lxor Char.code s.[i]) land 0xFF in
+    crc := (!crc lsr 8) lxor table.(idx)
+  done;
+  !crc
+
+(** [string s] is the CRC32C of the whole string. *)
+let string s =
+  let crc = update 0xFFFFFFFF s 0 (String.length s) in
+  crc lxor 0xFFFFFFFF
+
+(** [bytes b pos len] checksums a slice of a byte buffer. *)
+let bytes b pos len =
+  let crc = update 0xFFFFFFFF (Bytes.unsafe_to_string b) pos len in
+  crc lxor 0xFFFFFFFF

@@ -1,0 +1,12 @@
+(** CRC32C (Castagnoli) checksums, table-driven. Page headers and log
+    records carry a CRC so recovery can detect torn writes (§4.4.2). *)
+
+(** [update crc s pos len] folds a slice into a running (pre-inverted)
+    state; compose incrementally or use {!string}/{!bytes}. *)
+val update : int -> string -> int -> int -> int
+
+(** CRC32C of a whole string (CRC32C("123456789") = 0xE3069283). *)
+val string : string -> int
+
+(** CRC32C of a byte-buffer slice. *)
+val bytes : bytes -> int -> int -> int

@@ -1,0 +1,113 @@
+(** Log-bucketed latency histogram.
+
+    Records values (typically simulated microseconds) into exponentially
+    sized buckets with linear sub-buckets, HdrHistogram-style, supporting
+    the percentile and max queries the experiments report (p50/p99/p99.9
+    insert latency, worst-case stall). *)
+
+let sub_bucket_bits = 5 (* 32 linear sub-buckets per power of two *)
+let sub_buckets = 1 lsl sub_bucket_bits
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable max_value : int;
+  mutable min_value : int;
+  mutable sum : float;
+}
+
+let bucket_count = 64 * sub_buckets
+
+let create () =
+  {
+    counts = Array.make bucket_count 0;
+    total = 0;
+    max_value = 0;
+    min_value = max_int;
+    sum = 0.0;
+  }
+
+let clear t =
+  Array.fill t.counts 0 bucket_count 0;
+  t.total <- 0;
+  t.max_value <- 0;
+  t.min_value <- max_int;
+  t.sum <- 0.0
+
+(* Index: for v < sub_buckets the mapping is identity; above that, the top
+   sub_bucket_bits bits of v select a linear position inside the bucket for
+   v's magnitude. Relative error is bounded by 1/sub_buckets ~= 3%. *)
+let index_of v =
+  if v < sub_buckets then v
+  else
+    let magnitude =
+      (* position of highest set bit *)
+      let rec go v acc = if v = 0 then acc - 1 else go (v lsr 1) (acc + 1) in
+      go v 0
+    in
+    let bucket = magnitude - sub_bucket_bits + 1 in
+    let sub = (v lsr (magnitude - sub_bucket_bits)) land (sub_buckets - 1) in
+    (bucket * sub_buckets) + sub
+
+(* Lower edge of the value range covered by histogram slot [idx]. *)
+let value_of idx =
+  if idx < sub_buckets then idx
+  else
+    let bucket = idx / sub_buckets in
+    let sub = idx mod sub_buckets in
+    (sub_buckets lor sub) lsl (bucket - 1)
+
+(** [add t v] records one observation of value [v >= 0]. *)
+let add t v =
+  let v = if v < 0 then 0 else v in
+  let idx = index_of v in
+  if idx < bucket_count then t.counts.(idx) <- t.counts.(idx) + 1
+  else t.counts.(bucket_count - 1) <- t.counts.(bucket_count - 1) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v > t.max_value then t.max_value <- v;
+  if v < t.min_value then t.min_value <- v
+
+let count t = t.total
+
+let max_value t = if t.total = 0 then 0 else t.max_value
+
+let min_value t = if t.total = 0 then 0 else t.min_value
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+(** [percentile t p] returns the smallest recorded bucket edge at or above
+    the [p]-th percentile (0 < p <= 100). *)
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let target =
+      let exact = float_of_int t.total *. p /. 100.0 in
+      let c = int_of_float (Float.ceil exact) in
+      if c < 1 then 1 else if c > t.total then t.total else c
+    in
+    let rec go idx seen =
+      if idx >= bucket_count then t.max_value
+      else
+        let seen = seen + t.counts.(idx) in
+        if seen >= target then
+          let v = value_of idx in
+          if v > t.max_value then t.max_value else v
+        else go (idx + 1) seen
+    in
+    go 0 0
+  end
+
+(** [merge ~into src] accumulates [src] into [into]. *)
+let merge ~into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum +. src.sum;
+  if src.total > 0 then begin
+    if src.max_value > into.max_value then into.max_value <- src.max_value;
+    if src.min_value < into.min_value then into.min_value <- src.min_value
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.1f p50=%d p99=%d p99.9=%d max=%d" t.total (mean t)
+    (percentile t 50.0) (percentile t 99.0) (percentile t 99.9) (max_value t)

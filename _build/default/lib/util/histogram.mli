@@ -1,0 +1,29 @@
+(** Log-bucketed latency histogram.
+
+    Records values (typically simulated microseconds) into exponentially
+    sized buckets with 32 linear sub-buckets per power of two,
+    HdrHistogram-style: relative quantization error is bounded by ~3%.
+    Backs every latency-tail figure in the experiments. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+(** [add t v] records one observation ([v] clamped at 0). *)
+val add : t -> int -> unit
+
+val count : t -> int
+val max_value : t -> int
+val min_value : t -> int
+val mean : t -> float
+
+(** [percentile t p] is the smallest recorded bucket edge at or above the
+    [p]-th percentile (0 < p <= 100); 0 when empty. *)
+val percentile : t -> float -> int
+
+(** [merge ~into src] accumulates [src] into [into]. *)
+val merge : into:t -> t -> unit
+
+(** Renders "n=... mean=... p50=... p99=... p99.9=... max=...". *)
+val pp : Format.formatter -> t -> unit

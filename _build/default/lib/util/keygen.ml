@@ -1,0 +1,32 @@
+(** YCSB-style key formatting.
+
+    YCSB identifies records as ["user" ^ hash(sequence)] so that a
+    sequential load produces keys in random *stored* order while remaining
+    reconstructible from the record number. We reproduce that: keys are
+    fixed-width, zero-padded decimal renderings of a 64-bit mix of the
+    record id, which keeps them "tens of bytes" like the paper's setup. *)
+
+(* fmix64 finalizer from MurmurHash3: a cheap, well-mixed bijection.
+   An additive offset first, because the finalizer fixes zero. *)
+let fnv_mix id =
+  let h = Int64.add (Int64.of_int id) 0x9E3779B97F4A7C15L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xFF51AFD7ED558CCDL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xC4CEB9FE1A85EC53L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  h
+
+(** [key_of_id id] is the YCSB-style hashed key for record number [id]. *)
+let key_of_id id =
+  let h = Int64.logand (fnv_mix id) 0x7FFFFFFFFFFFFFFFL in
+  Printf.sprintf "user%019Ld" h
+
+(** [ordered_key_of_id id] preserves record-number order (used for
+    pre-sorted bulk loads and scan workloads). *)
+let ordered_key_of_id id = Printf.sprintf "user%019d" id
+
+(** [value prng n] is a synthetic payload of [n] bytes. Payloads are
+    printable so dumps stay readable; contents do not affect behaviour. *)
+let value prng n =
+  String.init n (fun _ -> Char.chr (97 + Prng.int prng 26))

@@ -1,0 +1,15 @@
+(** YCSB-style key formatting: fixed-width keys derived from record ids. *)
+
+(** A well-mixed 64-bit bijection of [id] (MurmurHash3 finalizer with an
+    additive offset so 0 is not a fixed point). *)
+val fnv_mix : int -> int64
+
+(** Hashed key for record [id] ("user" + 19 digits): sequential loads
+    produce random *stored* order, as YCSB does. *)
+val key_of_id : int -> string
+
+(** Order-preserving variant (pre-sorted bulk loads, scan workloads). *)
+val ordered_key_of_id : int -> string
+
+(** [value prng n]: printable synthetic payload of [n] bytes. *)
+val value : Prng.t -> int -> string

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized component in the repository draws from this
+    generator so experiments are reproducible from a seed. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val of_int : int -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** 62 nonnegative pseudo-random bits as an OCaml [int]. *)
+val bits : t -> int
+
+(** [int t bound] is uniform in [0, bound) (rejection-sampled, no modulo
+    bias). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [split t] derives an independent generator, decoupling consumers'
+    consumption rates. *)
+val split : t -> t
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [bytes t n] is an [n]-byte random string. *)
+val bytes : t -> int -> string

@@ -1,0 +1,73 @@
+(** Bucketed timeseries of throughput and latency over simulated time.
+
+    The paper's Figures 7 and 9 are timeseries plots (ops/sec and latency
+    against elapsed seconds); this accumulator produces the same rows. *)
+
+type bucket = {
+  mutable ops : int;
+  lat : Histogram.t;
+}
+
+type t = {
+  width_us : int; (* bucket width in simulated microseconds *)
+  buckets : (int, bucket) Hashtbl.t;
+}
+
+let create ~width_us = { width_us; buckets = Hashtbl.create 64 }
+
+let bucket_of t time_us =
+  let idx = time_us / t.width_us in
+  match Hashtbl.find_opt t.buckets idx with
+  | Some b -> b
+  | None ->
+      let b = { ops = 0; lat = Histogram.create () } in
+      Hashtbl.add t.buckets idx b;
+      b
+
+(** [record t ~time_us ~latency_us] attributes one completed operation to
+    the bucket containing its completion time. *)
+let record t ~time_us ~latency_us =
+  let b = bucket_of t time_us in
+  b.ops <- b.ops + 1;
+  Histogram.add b.lat latency_us
+
+type row = {
+  t_sec : float;
+  ops_per_sec : float;
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  max_latency_ms : float;
+}
+
+(** [rows t] returns one row per bucket in time order, including empty
+    buckets between the first and last (an empty bucket is a full stall). *)
+let rows t =
+  if Hashtbl.length t.buckets = 0 then []
+  else begin
+    let indices = Hashtbl.fold (fun k _ acc -> k :: acc) t.buckets [] in
+    let lo = List.fold_left min (List.hd indices) indices in
+    let hi = List.fold_left max (List.hd indices) indices in
+    let width_sec = float_of_int t.width_us /. 1e6 in
+    let result = ref [] in
+    for idx = hi downto lo do
+      let t_sec = float_of_int idx *. width_sec in
+      let row =
+        match Hashtbl.find_opt t.buckets idx with
+        | None ->
+            { t_sec; ops_per_sec = 0.0; mean_latency_ms = 0.0;
+              p99_latency_ms = 0.0; max_latency_ms = 0.0 }
+        | Some b ->
+            {
+              t_sec;
+              ops_per_sec = float_of_int b.ops /. width_sec;
+              mean_latency_ms = Histogram.mean b.lat /. 1000.0;
+              p99_latency_ms =
+                float_of_int (Histogram.percentile b.lat 99.0) /. 1000.0;
+              max_latency_ms =
+                float_of_int (Histogram.max_value b.lat) /. 1000.0;
+            }
+      in
+      result := row :: !result
+    done;
+    !result
+  end

@@ -1,0 +1,23 @@
+(** Bucketed timeseries of throughput and latency over simulated time —
+    the accumulator behind the paper's Figures 7 and 9. *)
+
+type t
+
+(** [create ~width_us] buckets completions by simulated time. *)
+val create : width_us:int -> t
+
+(** [record t ~time_us ~latency_us] attributes one completed operation
+    to the bucket containing its completion time. *)
+val record : t -> time_us:int -> latency_us:int -> unit
+
+type row = {
+  t_sec : float;
+  ops_per_sec : float;
+  mean_latency_ms : float;
+  p99_latency_ms : float;
+  max_latency_ms : float;
+}
+
+(** One row per bucket in time order, including empty buckets between
+    the first and last — an empty bucket is a full stall. *)
+val rows : t -> row list

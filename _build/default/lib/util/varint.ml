@@ -1,0 +1,40 @@
+(** LEB128-style variable-length integer encoding.
+
+    Used by the SSTable data-page format and the write-ahead log so that
+    small keys and values pay small headers, as in the paper's append-only
+    data page layout (Appendix A.2). *)
+
+(** [write buf n] appends the varint encoding of [n] (must be >= 0). *)
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+(** [read s pos] decodes a varint at [pos]; returns [(value, next_pos)].
+    Raises [Invalid_argument] on truncated or oversized input. *)
+let read s pos =
+  let len = String.length s in
+  let rec go acc shift pos =
+    if pos >= len then invalid_arg "Varint.read: truncated";
+    if shift > 62 then invalid_arg "Varint.read: overflow";
+    let b = Char.code s.[pos] in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b < 0x80 then (acc, pos + 1) else go acc (shift + 7) (pos + 1)
+  in
+  go 0 0 pos
+
+(** [read_bytes b pos] is [read] over a [Bytes.t] buffer. *)
+let read_bytes b pos =
+  read (Bytes.unsafe_to_string b) pos
+
+(** [size n] is the encoded length of [n] in bytes. *)
+let size n =
+  if n < 0 then invalid_arg "Varint.size: negative";
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1

@@ -1,0 +1,14 @@
+(** LEB128-style variable-length integer encoding, used by the SSTable
+    record format and the write-ahead log. *)
+
+(** [write buf n] appends the varint encoding of [n >= 0]. *)
+val write : Buffer.t -> int -> unit
+
+(** [read s pos] decodes at [pos]: [(value, next_pos)]. Raises
+    [Invalid_argument] on truncated or oversized input. *)
+val read : string -> int -> int * int
+
+val read_bytes : bytes -> int -> int * int
+
+(** Encoded length of [n], in bytes. *)
+val size : int -> int

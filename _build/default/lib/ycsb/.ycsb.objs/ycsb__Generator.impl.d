@@ -1,0 +1,1 @@
+lib/ycsb/generator.ml: Int64 Repro_util

@@ -1,0 +1,1 @@
+lib/ycsb/generator.mli:

@@ -1,0 +1,1 @@
+lib/ycsb/runner.ml: Fmt Generator Kv List Printf Repro_util Simdisk

@@ -1,0 +1,1 @@
+lib/ycsb/runner.mli: Format Generator Kv Repro_util Simdisk

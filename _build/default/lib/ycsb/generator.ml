@@ -1,0 +1,92 @@
+(** YCSB-style request generators (§5.1).
+
+    The paper drives all three systems with YCSB: 50 GB of 1000-byte
+    values, uniform and Zipfian request distributions (Zipfian with YCSB's
+    default constant 0.99, scrambled so hot keys scatter across the key
+    space), plus the "latest" distribution for completeness. *)
+
+type zipf_state = {
+  prng : Repro_util.Prng.t;
+  theta : float;
+  mutable n : int;
+  mutable zetan : float;
+  mutable eta : float;
+  zeta2 : float;
+  scrambled : bool;
+}
+
+type t =
+  | Uniform of Repro_util.Prng.t
+  | Zipfian of zipf_state
+  | Latest of Repro_util.Prng.t
+
+let zeta n theta =
+  let s = ref 0.0 in
+  for i = 1 to n do
+    s := !s +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !s
+
+let uniform ~seed = Uniform (Repro_util.Prng.of_int seed)
+
+(** YCSB's default Zipfian constant is 0.99; [scrambled] (the YCSB
+    default) hashes ranks so that popular keys are spread over the key
+    space instead of clustered at its start. *)
+let zipfian ?(theta = 0.99) ?(scrambled = true) ~seed ~n () =
+  let n = max 2 n in
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  Zipfian
+    { prng = Repro_util.Prng.of_int seed; theta; n; zetan; eta; zeta2; scrambled }
+
+let latest ~seed = Latest (Repro_util.Prng.of_int seed)
+
+(* Gray et al.'s "Quickly generating billion-record synthetic databases"
+   algorithm, as used by YCSB's ZipfianGenerator. *)
+let zipf_draw z record_count =
+  if z.n <> record_count && record_count > z.n then begin
+    (* keyspace grew (inserts): extend zeta incrementally *)
+    let extra = ref 0.0 in
+    for i = z.n + 1 to record_count do
+      extra := !extra +. (1.0 /. (float_of_int i ** z.theta))
+    done;
+    z.zetan <- z.zetan +. !extra;
+    z.n <- record_count;
+    z.eta <-
+      (1.0 -. ((2.0 /. float_of_int record_count) ** (1.0 -. z.theta)))
+      /. (1.0 -. (z.zeta2 /. z.zetan))
+  end;
+  let u = Repro_util.Prng.float z.prng in
+  let uz = u *. z.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** z.theta) then 1
+  else
+    let alpha = 1.0 /. (1.0 -. z.theta) in
+    let rank =
+      int_of_float
+        (float_of_int record_count *. (((z.eta *. u) -. z.eta +. 1.0) ** alpha))
+    in
+    if rank >= record_count then record_count - 1 else rank
+
+(** [next g ~record_count] draws a record id in [0, record_count). *)
+let next g ~record_count =
+  let record_count = max 1 record_count in
+  match g with
+  | Uniform prng -> Repro_util.Prng.int prng record_count
+  | Latest prng ->
+      (* skewed toward recently inserted ids *)
+      let r = Repro_util.Prng.float prng in
+      let back = int_of_float (float_of_int record_count *. (r ** 4.0)) in
+      max 0 (record_count - 1 - back)
+  | Zipfian z ->
+      let rank = zipf_draw z record_count in
+      if z.scrambled then
+        Int64.to_int
+          (Int64.rem
+             (Int64.logand (Repro_util.Keygen.fnv_mix rank) 0x7FFFFFFFFFFFFFFFL)
+             (Int64.of_int record_count))
+      else rank

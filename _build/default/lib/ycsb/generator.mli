@@ -1,0 +1,23 @@
+(** YCSB-style request generators (§5.1).
+
+    The paper drives all three systems with YCSB: uniform and Zipfian
+    request distributions (Zipfian with YCSB's default constant 0.99,
+    scrambled so hot keys scatter over the key space), plus the "latest"
+    distribution. Draws are record *ids*; {!Repro_util.Keygen} turns them
+    into keys. *)
+
+type t
+
+val uniform : seed:int -> t
+
+(** [zipfian ?theta ?scrambled ~seed ~n ()]: Gray et al.'s generator as
+    in YCSB. [theta] defaults to 0.99; [scrambled] (default) hashes ranks
+    so popular keys spread across the id space. [n] is the initial
+    keyspace size; draws adapt if [record_count] grows. *)
+val zipfian : ?theta:float -> ?scrambled:bool -> seed:int -> n:int -> unit -> t
+
+(** Skewed toward recently inserted ids. *)
+val latest : seed:int -> t
+
+(** [next g ~record_count] draws a record id in [0, record_count). *)
+val next : t -> record_count:int -> int

@@ -1,0 +1,72 @@
+(** Closed-loop workload runner.
+
+    Executes an operation mix against any {!Kv.Kv_intf.engine}, timing
+    each operation on the engine's *simulated* clock — latency includes
+    every merge stall, compaction, slowdown and buffer-pool miss the
+    engine charged; throughput is ops per simulated second. Mirrors
+    running YCSB with unthrottled workers (§5.1): the store is saturated
+    and stalls appear as latency spikes. *)
+
+type op_kind =
+  | Read
+  | Blind_update  (** overwrite with a fresh value *)
+  | Read_modify_write
+  | Insert  (** append a brand-new key *)
+  | Checked_insert  (** insert-if-not-exists of a brand-new key *)
+  | Delta
+  | Scan of int  (** scan of length uniform in [1, n] *)
+
+(** Weighted operation mix; weights need not sum to 1. *)
+type mix = (op_kind * float) list
+
+val pp_op : Format.formatter -> op_kind -> unit
+
+type result = {
+  label : string;
+  ops : int;
+  elapsed_us : float;
+  ops_per_sec : float;
+  latency : Repro_util.Histogram.t;
+  read_latency : Repro_util.Histogram.t;  (** reads and scans *)
+  write_latency : Repro_util.Histogram.t;  (** everything else *)
+  timeseries : Repro_util.Timeseries.t;
+  io : Simdisk.Disk.snapshot;  (** I/O performed during the phase *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Shared mutable keyspace: loads and inserts extend it, reads draw
+    from it. *)
+type keyspace = { mutable records : int; value_bytes : int }
+
+val keyspace : records:int -> value_bytes:int -> keyspace
+
+(** [load engine ks ~n ?ordered ?checked ()] bulk-loads [n] fresh
+    records. [ordered] feeds keys in sorted order (InnoDB's pre-sorted
+    load, §5.2); [checked] uses insert-if-not-exists for every record
+    (bLSM's §5.2 mode). *)
+val load :
+  Kv.Kv_intf.engine ->
+  keyspace ->
+  n:int ->
+  ?ordered:bool ->
+  ?checked:bool ->
+  ?timeseries_bucket_us:int ->
+  ?seed:int ->
+  unit ->
+  result
+
+(** [run engine ks ~label ~mix ~ops ~dist ()] executes [ops] operations
+    drawn from [mix] with record ids from [dist]. *)
+val run :
+  Kv.Kv_intf.engine ->
+  keyspace ->
+  label:string ->
+  mix:mix ->
+  ops:int ->
+  dist:Generator.t ->
+  ?ordered_keys:bool ->
+  ?timeseries_bucket_us:int ->
+  ?seed:int ->
+  unit ->
+  result

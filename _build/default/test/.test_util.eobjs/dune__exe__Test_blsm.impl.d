@@ -1,0 +1,1 @@
+test/test_blsm.ml: Alcotest Blsm Fun Kv List Map Option Pagestore Printf QCheck QCheck_alcotest Repro_util Seq Simdisk String

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree_baseline Fun Kv List Map Pagestore Printf QCheck QCheck_alcotest Repro_util Simdisk String

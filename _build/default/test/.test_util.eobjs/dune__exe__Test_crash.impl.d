@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Blsm Bytes Char Kv List Map Pagestore Printf QCheck QCheck_alcotest Repro_util Simdisk Sstable String

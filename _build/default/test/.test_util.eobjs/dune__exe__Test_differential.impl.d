@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Blsm Btree_baseline Kv Leveldb_sim List Map Option Pagestore Printf QCheck QCheck_alcotest Repro_util Simdisk String

@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Buffer Entry Fmt Kv List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_leveldb.ml: Alcotest Leveldb_sim List Map Pagestore Printf QCheck QCheck_alcotest Repro_util Seq Simdisk String

@@ -1,0 +1,1 @@
+test/test_memtable.ml: Alcotest Gen Kv List Map Memtable Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pagestore.ml: Alcotest Array Bytes Char Gen List Option Pagestore QCheck QCheck_alcotest Simdisk String

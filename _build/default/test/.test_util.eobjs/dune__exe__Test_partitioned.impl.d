@@ -1,0 +1,1 @@
+test/test_partitioned.ml: Alcotest Array Blsm Float Gen List Map Pagestore Printf QCheck QCheck_alcotest Repro_util Seq Simdisk String

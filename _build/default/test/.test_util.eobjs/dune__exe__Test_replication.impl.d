@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Blsm List Map Pagestore Printf QCheck QCheck_alcotest Repro_util Simdisk String

@@ -1,0 +1,1 @@
+test/test_smoothness.ml: Alcotest Blsm Kv List Memtable Pagestore Printf QCheck QCheck_alcotest Simdisk Sstable String

@@ -1,0 +1,1 @@
+test/test_sstable.ml: Alcotest Char Gen Kv List Map Pagestore Printf QCheck QCheck_alcotest Simdisk Sstable String

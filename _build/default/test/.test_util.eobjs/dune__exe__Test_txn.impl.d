@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Blsm Option Pagestore Printf Repro_util Simdisk String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Crc32c Fun Gen Hashtbl Histogram Keygen List Prng QCheck QCheck_alcotest Repro_util String Timeseries Varint

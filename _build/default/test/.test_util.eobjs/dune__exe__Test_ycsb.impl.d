@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Array Hashtbl Kv Option Repro_util Simdisk String Ycsb

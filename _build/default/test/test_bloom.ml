@@ -1,0 +1,87 @@
+(* Bloom filter tests: the no-false-negative guarantee (property), the <1%
+   false-positive target at 10 bits/item (§3.1), sizing, serialization. *)
+
+let check = Alcotest.check
+
+let test_empty_contains_nothing () =
+  let b = Bloom.create ~expected_items:100 () in
+  for i = 0 to 99 do
+    if Bloom.mem b (string_of_int i) then Alcotest.fail "empty filter claims membership"
+  done
+
+let test_added_keys_found () =
+  let b = Bloom.create ~expected_items:1000 () in
+  for i = 0 to 999 do
+    Bloom.add b (Printf.sprintf "key%06d" i)
+  done;
+  for i = 0 to 999 do
+    if not (Bloom.mem b (Printf.sprintf "key%06d" i)) then
+      Alcotest.failf "false negative for key%06d" i
+  done
+
+let test_fp_rate_below_target () =
+  let n = 20_000 in
+  let b = Bloom.create ~expected_items:n () in
+  for i = 0 to n - 1 do
+    Bloom.add b (Printf.sprintf "present%08d" i)
+  done;
+  let fps = ref 0 in
+  let probes = 50_000 in
+  for i = 0 to probes - 1 do
+    if Bloom.mem b (Printf.sprintf "absent%08d" i) then incr fps
+  done;
+  let rate = float_of_int !fps /. float_of_int probes in
+  (* paper target: 1% at 10 bits/item; allow 1.5% slack for hash variance *)
+  if rate > 0.015 then Alcotest.failf "false positive rate %.4f > 0.015" rate;
+  if Bloom.expected_fp_rate b > 0.012 then
+    Alcotest.failf "model fp rate %.4f > 0.012" (Bloom.expected_fp_rate b)
+
+let test_sizing () =
+  let b = Bloom.create ~expected_items:1000 ~bits_per_item:10 () in
+  (* 10 bits/item = 1.25 bytes/item, the paper's memory overhead figure *)
+  check Alcotest.int "bytes" 1250 (Bloom.size_bytes b)
+
+let test_serialization_roundtrip () =
+  let b = Bloom.create ~expected_items:500 () in
+  for i = 0 to 499 do
+    Bloom.add b (string_of_int i)
+  done;
+  let b' = Bloom.of_string (Bloom.to_string b) in
+  check Alcotest.int "inserted preserved" 500 (Bloom.inserted b');
+  for i = 0 to 499 do
+    if not (Bloom.mem b' (string_of_int i)) then Alcotest.fail "lost key"
+  done
+
+let prop_no_false_negatives =
+  QCheck.Test.make ~name:"no false negatives" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) string_small)
+    (fun keys ->
+      let b = Bloom.create ~expected_items:(List.length keys) () in
+      List.iter (Bloom.add b) keys;
+      List.for_all (Bloom.mem b) keys)
+
+let prop_monotone_under_more_adds =
+  (* adding more keys never removes membership: bits only go 0 -> 1 *)
+  QCheck.Test.make ~name:"monotone membership" ~count:100
+    QCheck.(pair (list_of_size Gen.(1 -- 50) string_small) (list_of_size Gen.(1 -- 50) string_small))
+    (fun (first, second) ->
+      let b = Bloom.create ~expected_items:100 () in
+      List.iter (Bloom.add b) first;
+      let ok_before = List.for_all (Bloom.mem b) first in
+      List.iter (Bloom.add b) second;
+      ok_before && List.for_all (Bloom.mem b) first)
+
+let () =
+  Alcotest.run "bloom"
+    [
+      ( "bloom",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_contains_nothing;
+          Alcotest.test_case "membership" `Quick test_added_keys_found;
+          Alcotest.test_case "fp rate" `Quick test_fp_rate_below_target;
+          Alcotest.test_case "sizing" `Quick test_sizing;
+          Alcotest.test_case "serialization" `Quick test_serialization_roundtrip;
+          QCheck_alcotest.to_alcotest prop_no_false_negatives;
+          QCheck_alcotest.to_alcotest prop_monotone_under_more_adds;
+        ] );
+    ]

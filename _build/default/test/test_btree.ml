@@ -1,0 +1,224 @@
+(* B-Tree baseline tests: structural invariants, model-based random ops,
+   split behaviour, scan chains, seek-cost profile (1 seek reads, 2 seek
+   updates via eviction writeback), fragmentation. *)
+
+let check = Alcotest.check
+module B = Btree_baseline.Btree
+module SMap = Map.Make (String)
+
+let mk_store ?(buffer_pages = 64) ?(page_size = 4096) () =
+  Pagestore.Store.create
+    ~config:
+      { Pagestore.Store.cfg_page_size = page_size;
+        cfg_buffer_pages = buffer_pages;
+        cfg_durability = Pagestore.Wal.Full }
+    Simdisk.Profile.hdd_raid0
+
+let test_put_get () =
+  let t = B.create (mk_store ()) in
+  B.put t "b" "2";
+  B.put t "a" "1";
+  B.put t "c" "3";
+  check (Alcotest.option Alcotest.string) "a" (Some "1") (B.get t "a");
+  check (Alcotest.option Alcotest.string) "missing" None (B.get t "zz");
+  check Alcotest.int "count" 3 (B.count t);
+  B.check_invariants t
+
+let test_overwrite () =
+  let t = B.create (mk_store ()) in
+  B.put t "k" "v1";
+  B.put t "k" "v2";
+  check (Alcotest.option Alcotest.string) "latest" (Some "v2") (B.get t "k");
+  check Alcotest.int "count stable" 1 (B.count t)
+
+let test_delete () =
+  let t = B.create (mk_store ()) in
+  B.put t "k" "v";
+  B.delete t "k";
+  check (Alcotest.option Alcotest.string) "gone" None (B.get t "k");
+  check Alcotest.int "count" 0 (B.count t);
+  B.delete t "k" (* idempotent *)
+
+let test_splits_preserve_data () =
+  let t = B.create (mk_store ~page_size:512 ()) in
+  for i = 0 to 999 do
+    B.put t (Printf.sprintf "key%04d" (i * 7 mod 1000)) (Printf.sprintf "val%d" i)
+  done;
+  B.check_invariants t;
+  check Alcotest.bool "tree grew" true (B.height t > 1);
+  check Alcotest.bool "splits happened" true (B.splits t > 0);
+  for i = 0 to 999 do
+    let k = Printf.sprintf "key%04d" i in
+    if B.get t k = None then Alcotest.failf "lost %s" k
+  done
+
+let test_scan_ordered () =
+  let t = B.create (mk_store ~page_size:512 ()) in
+  for i = 0 to 299 do
+    B.put t (Printf.sprintf "k%04d" i) (string_of_int i)
+  done;
+  let out = B.scan t "k0100" 50 in
+  check Alcotest.int "50 rows" 50 (List.length out);
+  check Alcotest.string "first" "k0100" (fst (List.hd out));
+  let keys = List.map fst out in
+  check (Alcotest.list Alcotest.string) "sorted" (List.sort compare keys) keys;
+  check Alcotest.int "tail clipped" 10 (List.length (B.scan t "k0290" 99))
+
+let test_rightmost_split_packs_pages () =
+  (* sorted inserts should produce far fewer pages than random ones *)
+  let sorted = B.create (mk_store ~page_size:512 ()) in
+  let random = B.create (mk_store ~page_size:512 ()) in
+  let prng = Repro_util.Prng.of_int 3 in
+  let n = 600 in
+  let ids = Array.init n Fun.id in
+  Repro_util.Prng.shuffle prng ids;
+  for i = 0 to n - 1 do
+    B.put sorted (Printf.sprintf "k%06d" i) (String.make 40 'v');
+    B.put random (Printf.sprintf "k%06d" ids.(i)) (String.make 40 'v')
+  done;
+  B.check_invariants sorted;
+  B.check_invariants random;
+  if B.splits sorted * 5 < B.splits random * 4 then ()
+  else
+    Alcotest.failf "sorted load should split less (sorted=%d random=%d)"
+      (B.splits sorted) (B.splits random)
+
+let prop_model =
+  QCheck.Test.make ~name:"btree vs Map model" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (1 -- 300)
+           (oneof
+              [
+                map (fun k -> `Put (k mod 100)) small_nat;
+                map (fun k -> `Del (k mod 100)) small_nat;
+                map (fun k -> `Get (k mod 100)) small_nat;
+              ])))
+    (fun ops ->
+      let t = B.create (mk_store ~page_size:512 ()) in
+      let m = ref SMap.empty in
+      let ok = ref true in
+      List.iteri
+        (fun step op ->
+          match op with
+          | `Put k ->
+              let key = Printf.sprintf "key%03d" k in
+              let v = Printf.sprintf "v%d" step in
+              B.put t key v;
+              m := SMap.add key v !m
+          | `Del k ->
+              let key = Printf.sprintf "key%03d" k in
+              B.delete t key;
+              m := SMap.remove key !m
+          | `Get k ->
+              let key = Printf.sprintf "key%03d" k in
+              if B.get t key <> SMap.find_opt key !m then ok := false)
+        ops;
+      B.check_invariants t;
+      !ok
+      && B.count t = SMap.cardinal !m
+      && B.scan t "" 1000 = SMap.bindings !m)
+
+(* Cost profile *)
+
+let test_cold_read_costs_one_seek () =
+  (* leaf level >> buffer pool: reads miss on the leaf but hit on internals *)
+  let store = mk_store ~buffer_pages:16 () in
+  let t = B.create store in
+  for i = 0 to 4999 do
+    B.put t (Repro_util.Keygen.key_of_id i) (String.make 200 'v')
+  done;
+  (* warm the internal nodes *)
+  for i = 0 to 99 do
+    ignore (B.get t (Repro_util.Keygen.key_of_id i))
+  done;
+  let disk = B.disk t in
+  let before = Simdisk.Disk.snapshot disk in
+  let n = 300 in
+  for i = 0 to n - 1 do
+    ignore (B.get t (Repro_util.Keygen.key_of_id (i * 13)))
+  done;
+  let d = Simdisk.Disk.diff before (Simdisk.Disk.snapshot disk) in
+  let per_read = float_of_int d.Simdisk.Disk.seeks /. float_of_int n in
+  if per_read > 1.4 || per_read < 0.5 then
+    Alcotest.failf "expected ~1 seek per cold read, got %.2f" per_read
+
+let test_updates_cost_two_ios () =
+  (* random updates: leaf read (seek) + eventual writeback (random write) *)
+  let store = mk_store ~buffer_pages:16 () in
+  let t = B.create store in
+  for i = 0 to 4999 do
+    B.put t (Repro_util.Keygen.key_of_id i) (String.make 200 'v')
+  done;
+  Pagestore.Buffer_manager.flush_all (Pagestore.Store.buffer store);
+  let disk = B.disk t in
+  let before = Simdisk.Disk.snapshot disk in
+  let n = 300 in
+  for i = 0 to n - 1 do
+    B.put t (Repro_util.Keygen.key_of_id (i * 13)) (String.make 200 'w')
+  done;
+  Pagestore.Buffer_manager.flush_all (Pagestore.Store.buffer store);
+  let d = Simdisk.Disk.diff before (Simdisk.Disk.snapshot disk) in
+  let ios =
+    float_of_int (d.Simdisk.Disk.seeks + d.Simdisk.Disk.random_writes)
+    /. float_of_int n
+  in
+  if ios < 1.4 || ios > 2.6 then
+    Alcotest.failf "expected ~2 I/Os per random update, got %.2f" ios
+
+let test_fragmentation_hurts_scans () =
+  (* after random inserts, long scans seek per leaf; a fresh sorted load
+     scans almost sequentially *)
+  let scan_seeks load_order =
+    let store = mk_store ~buffer_pages:8 ~page_size:512 () in
+    let t = B.create store in
+    List.iter (fun i -> B.put t (Printf.sprintf "k%06d" i) (String.make 100 'v'))
+      load_order;
+    Pagestore.Buffer_manager.flush_all (Pagestore.Store.buffer store);
+    let disk = B.disk t in
+    let before = Simdisk.Disk.snapshot disk in
+    ignore (B.scan t "k000000" 500);
+    (Simdisk.Disk.diff before (Simdisk.Disk.snapshot disk)).Simdisk.Disk.seeks
+  in
+  let n = 2000 in
+  let sorted = List.init n Fun.id in
+  let shuffled =
+    let a = Array.init n Fun.id in
+    Repro_util.Prng.shuffle (Repro_util.Prng.of_int 9) a;
+    Array.to_list a
+  in
+  let s_sorted = scan_seeks sorted and s_random = scan_seeks shuffled in
+  if s_random < 3 * max 1 s_sorted then
+    Alcotest.failf "fragmented scan should seek much more (sorted=%d random=%d)"
+      s_sorted s_random
+
+let test_engine_adapter () =
+  let t = B.create (mk_store ()) in
+  let e = B.engine t in
+  e.Kv.Kv_intf.put "k" "v";
+  check (Alcotest.option Alcotest.string) "get" (Some "v") (e.Kv.Kv_intf.get "k");
+  check Alcotest.bool "iine existing" false (e.Kv.Kv_intf.insert_if_absent "k" "x");
+  e.Kv.Kv_intf.apply_delta "k" "+d";
+  check (Alcotest.option Alcotest.string) "delta=rmw" (Some "v+d") (e.Kv.Kv_intf.get "k")
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "overwrite" `Quick test_overwrite;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "splits preserve data" `Quick test_splits_preserve_data;
+          Alcotest.test_case "scan ordered" `Quick test_scan_ordered;
+          Alcotest.test_case "rightmost split" `Quick test_rightmost_split_packs_pages;
+          QCheck_alcotest.to_alcotest prop_model;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "cold read ~1 seek" `Quick test_cold_read_costs_one_seek;
+          Alcotest.test_case "update ~2 I/Os" `Quick test_updates_cost_two_ios;
+          Alcotest.test_case "fragmentation" `Quick test_fragmentation_hurts_scans;
+          Alcotest.test_case "engine adapter" `Quick test_engine_adapter;
+        ] );
+    ]

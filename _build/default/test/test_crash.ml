@@ -1,0 +1,234 @@
+(* Failure injection: crash the bLSM tree at randomized points in random
+   workloads and verify recovery invariants.
+
+   Durability contract under Full durability with group commit (§4.4.2,
+   §5.1): every completed write is in the WAL or in a committed component,
+   so recovery must reproduce the exact pre-crash logical state - here
+   checked against a Map model. Under None_ durability, recovery must
+   yield a consistent prefix: exactly the state covered by committed
+   components (no torn merges, no resurrection of deleted keys). Also:
+   repeated crashes, crash-during-recovery-adjacent flows, WAL replay
+   idempotence, and binary-key robustness across the whole stack. *)
+
+module SMap = Map.Make (String)
+
+let mk_store ?(durability = Pagestore.Wal.Full) () =
+  Pagestore.Store.create
+    ~config:
+      { Pagestore.Store.cfg_page_size = 4096;
+        cfg_buffer_pages = 128;
+        cfg_durability = durability }
+    Simdisk.Profile.ssd_raid0
+
+let small_config ?(scheduler = Blsm.Config.Spring) ?(snowshovel = true) () =
+  {
+    Blsm.Config.default with
+    Blsm.Config.c0_bytes = 24 * 1024;
+    size_ratio = Blsm.Config.Fixed 3.0;
+    extent_pages = 8;
+    scheduler;
+    snowshovel;
+    max_quota_per_write = 128 * 1024;
+  }
+
+(* Apply [ops] random operations, crashing after a prefix of [crash_at];
+   verify the recovered tree equals the model at the crash point. *)
+let crash_test ~seed ~ops ~crash_at ~scheduler ~snowshovel =
+  let tree =
+    ref (Blsm.Tree.create ~config:(small_config ~scheduler ~snowshovel ()) (mk_store ()))
+  in
+  let model = ref SMap.empty in
+  let prng = Repro_util.Prng.of_int seed in
+  let apply i =
+    let key = Printf.sprintf "key%04d" (Repro_util.Prng.int prng 200) in
+    match Repro_util.Prng.int prng 6 with
+    | 0 | 1 | 2 ->
+        let v = Printf.sprintf "v%d-%s" i (String.make 60 'x') in
+        Blsm.Tree.put !tree key v;
+        model := SMap.add key v !model
+    | 3 ->
+        Blsm.Tree.delete !tree key;
+        model := SMap.remove key !model
+    | 4 ->
+        let d = Printf.sprintf "+%d" i in
+        Blsm.Tree.apply_delta !tree key d;
+        model :=
+          SMap.update key
+            (function Some v -> Some (v ^ d) | None -> Some d)
+            !model
+    | _ -> ignore (Blsm.Tree.get !tree key)
+  in
+  for i = 0 to ops - 1 do
+    apply i;
+    if i = crash_at then tree := Blsm.Tree.crash_and_recover !tree
+  done;
+  (* the recovered tree must match the model exactly *)
+  let ok = ref true in
+  SMap.iter
+    (fun k v -> if Blsm.Tree.get !tree k <> Some v then ok := false)
+    !model;
+  let all = Blsm.Tree.scan !tree "" 100_000 in
+  !ok && all = SMap.bindings !model
+
+let prop_crash_anywhere =
+  QCheck.Test.make ~name:"crash at random op preserves all writes (Full)"
+    ~count:30
+    QCheck.(pair small_int (int_range 0 999))
+    (fun (seed, crash_at) ->
+      crash_test ~seed:(seed + 1) ~ops:1000 ~crash_at ~scheduler:Blsm.Config.Spring
+        ~snowshovel:true)
+
+let prop_crash_anywhere_gear =
+  QCheck.Test.make ~name:"crash at random op preserves all writes (gear)"
+    ~count:15
+    QCheck.(pair small_int (int_range 0 999))
+    (fun (seed, crash_at) ->
+      crash_test ~seed:(seed + 500) ~ops:1000 ~crash_at ~scheduler:Blsm.Config.Gear
+        ~snowshovel:false)
+
+let test_repeated_crashes () =
+  let tree = ref (Blsm.Tree.create ~config:(small_config ()) (mk_store ())) in
+  let model = ref SMap.empty in
+  let prng = Repro_util.Prng.of_int 77 in
+  for round = 0 to 9 do
+    for i = 0 to 299 do
+      let key = Printf.sprintf "k%03d" (Repro_util.Prng.int prng 150) in
+      let v = Printf.sprintf "r%d-%d" round i in
+      Blsm.Tree.put !tree key v;
+      model := SMap.add key v !model
+    done;
+    tree := Blsm.Tree.crash_and_recover !tree
+  done;
+  SMap.iter
+    (fun k v ->
+      if Blsm.Tree.get !tree k <> Some v then
+        Alcotest.failf "key %s wrong after 10 crash cycles" k)
+    !model
+
+let test_crash_before_any_write () =
+  let tree = Blsm.Tree.create ~config:(small_config ()) (mk_store ()) in
+  let tree = Blsm.Tree.crash_and_recover tree in
+  Alcotest.(check (option string)) "empty" None (Blsm.Tree.get tree "x");
+  Blsm.Tree.put tree "x" "works";
+  Alcotest.(check (option string)) "writable" (Some "works") (Blsm.Tree.get tree "x")
+
+let test_none_durability_prefix_consistency () =
+  (* without logging, recovery lands on the last committed merge: a
+     *consistent* earlier state - never a torn one *)
+  let store = mk_store ~durability:Pagestore.Wal.None_ () in
+  let tree = Blsm.Tree.create ~config:(small_config ()) store in
+  for i = 0 to 1999 do
+    Blsm.Tree.put tree (Printf.sprintf "k%05d" i) (String.make 100 'v')
+  done;
+  let tree' = Blsm.Tree.crash_and_recover tree in
+  (* whatever survived must be internally consistent: scan = point gets *)
+  let rows = Blsm.Tree.scan tree' "" 100_000 in
+  List.iter
+    (fun (k, v) ->
+      match Blsm.Tree.get tree' k with
+      | Some v' when v' = v -> ()
+      | _ -> Alcotest.failf "scan/get disagree on %s" k)
+    rows;
+  (* and it must be a *prefix* of the insertion order per merge commits:
+     every surviving record has the value we wrote (no corruption) *)
+  List.iter
+    (fun (k, v) ->
+      if String.length v <> 100 then Alcotest.failf "torn value for %s" k)
+    rows
+
+let test_wal_replay_idempotent_state () =
+  (* two successive crashes with no writes in between must yield the same
+     state: replay does not duplicate or reorder effects *)
+  let tree = Blsm.Tree.create ~config:(small_config ()) (mk_store ()) in
+  Blsm.Tree.put tree "a" "1";
+  Blsm.Tree.apply_delta tree "a" "+2";
+  Blsm.Tree.delete tree "b";
+  Blsm.Tree.put tree "c" "3";
+  let t1 = Blsm.Tree.crash_and_recover tree in
+  let state1 = Blsm.Tree.scan t1 "" 1000 in
+  let t2 = Blsm.Tree.crash_and_recover t1 in
+  let state2 = Blsm.Tree.scan t2 "" 1000 in
+  if state1 <> state2 then Alcotest.fail "replay not idempotent";
+  Alcotest.(check (option string)) "delta preserved" (Some "1+2") (Blsm.Tree.get t2 "a")
+
+(* ------------------------------------------------------------------ *)
+(* Binary keys and values through the whole stack *)
+
+let arb_binary_key =
+  (* keys with NULs, 0xFF, empty-ish, and long runs *)
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun l -> String.concat "" l)
+          (list_size (1 -- 12)
+             (oneof
+                [
+                  return "\000";
+                  return "\255";
+                  return "\001";
+                  map (String.make 1) (char_range 'a' 'z');
+                ]));
+        map Bytes.unsafe_to_string
+          (map (fun l -> Bytes.of_string (String.concat "" (List.map (String.make 1) l)))
+             (list_size (1 -- 30) (map Char.chr (0 -- 255))));
+      ])
+
+let prop_binary_keys =
+  QCheck.Test.make ~name:"binary keys survive merges, scans, recovery" ~count:40
+    (QCheck.make
+       QCheck.Gen.(list_size (1 -- 60) (pair arb_binary_key (string_size (0 -- 80)))))
+    (fun pairs ->
+      (* nonempty keys only: the tree treats keys as opaque but nonempty *)
+      let pairs = List.filter (fun (k, _) -> k <> "") pairs in
+      QCheck.assume (pairs <> []);
+      let tree = Blsm.Tree.create ~config:(small_config ()) (mk_store ()) in
+      let model =
+        List.fold_left
+          (fun m (k, v) ->
+            Blsm.Tree.put tree k v;
+            SMap.add k v m)
+          SMap.empty pairs
+      in
+      Blsm.Tree.flush tree;
+      let tree = Blsm.Tree.crash_and_recover tree in
+      SMap.for_all (fun k v -> Blsm.Tree.get tree k = Some v) model
+      && Blsm.Tree.scan tree "" 10_000 = SMap.bindings model)
+
+let prop_binary_keys_sstable =
+  QCheck.Test.make ~name:"sstable roundtrip with binary keys" ~count:60
+    (QCheck.make
+       QCheck.Gen.(list_size (1 -- 40) (pair arb_binary_key (string_size (0 -- 50)))))
+    (fun pairs ->
+      let pairs = List.filter (fun (k, _) -> k <> "") pairs in
+      QCheck.assume (pairs <> []);
+      let module M = Map.Make (String) in
+      let m =
+        List.fold_left (fun m (k, v) -> M.add k (Kv.Entry.Base v) m) M.empty pairs
+      in
+      let store = mk_store () in
+      let b = Sstable.Builder.create ~extent_pages:4 store in
+      M.iter (fun k e -> Sstable.Builder.add b k e) m;
+      let footer = Sstable.Builder.finish b ~timestamp:1 in
+      let sst =
+        Sstable.Reader.open_in_ram store footer ~index:(Sstable.Builder.index_blob b)
+      in
+      M.for_all (fun k e -> Sstable.Reader.get sst k = Some e) m)
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "recovery",
+        [
+          QCheck_alcotest.to_alcotest prop_crash_anywhere;
+          QCheck_alcotest.to_alcotest prop_crash_anywhere_gear;
+          Alcotest.test_case "repeated crashes" `Quick test_repeated_crashes;
+          Alcotest.test_case "crash before writes" `Quick test_crash_before_any_write;
+          Alcotest.test_case "None_ durability prefix" `Quick test_none_durability_prefix_consistency;
+          Alcotest.test_case "replay idempotent" `Quick test_wal_replay_idempotent_state;
+        ] );
+      ( "binary_keys",
+        [
+          QCheck_alcotest.to_alcotest prop_binary_keys;
+          QCheck_alcotest.to_alcotest prop_binary_keys_sstable;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+(* Skip list and memtable (C0) tests: model-based checks against Stdlib.Map,
+   ordered iteration, successor queries, snowshovel consumption, byte
+   accounting and LSN tracking. *)
+
+let check = Alcotest.check
+
+module SMap = Map.Make (String)
+module Skiplist = Memtable.Skiplist
+
+(* -------------------------------------------------------------------- *)
+(* Skiplist *)
+
+let test_skiplist_basic () =
+  let sl = Skiplist.create () in
+  Skiplist.set sl "b" 2;
+  Skiplist.set sl "a" 1;
+  Skiplist.set sl "c" 3;
+  check (Alcotest.option Alcotest.int) "find a" (Some 1) (Skiplist.find sl "a");
+  check (Alcotest.option Alcotest.int) "find missing" None (Skiplist.find sl "zz");
+  check Alcotest.int "length" 3 (Skiplist.length sl);
+  Skiplist.set sl "a" 10;
+  check (Alcotest.option Alcotest.int) "overwrite" (Some 10) (Skiplist.find sl "a");
+  check Alcotest.int "length unchanged" 3 (Skiplist.length sl)
+
+let test_skiplist_ordered_iteration () =
+  let sl = Skiplist.create () in
+  List.iter (fun k -> Skiplist.set sl k ()) [ "d"; "a"; "c"; "b"; "e" ];
+  let keys = List.map fst (Skiplist.to_list sl) in
+  check (Alcotest.list Alcotest.string) "sorted" [ "a"; "b"; "c"; "d"; "e" ] keys
+
+let test_skiplist_remove () =
+  let sl = Skiplist.create () in
+  List.iter (fun k -> Skiplist.set sl k k) [ "a"; "b"; "c" ];
+  check (Alcotest.option Alcotest.string) "removed value" (Some "b")
+    (Skiplist.remove sl "b");
+  check (Alcotest.option Alcotest.string) "gone" None (Skiplist.find sl "b");
+  check (Alcotest.option Alcotest.string) "remove missing" None
+    (Skiplist.remove sl "b");
+  check Alcotest.int "length" 2 (Skiplist.length sl)
+
+let test_skiplist_succ_geq () =
+  let sl = Skiplist.create () in
+  List.iter (fun k -> Skiplist.set sl k ()) [ "b"; "d"; "f" ];
+  let key_of = Option.map fst in
+  check (Alcotest.option Alcotest.string) "exact" (Some "b")
+    (key_of (Skiplist.succ_geq sl "b"));
+  check (Alcotest.option Alcotest.string) "between" (Some "d")
+    (key_of (Skiplist.succ_geq sl "c"));
+  check (Alcotest.option Alcotest.string) "before all" (Some "b")
+    (key_of (Skiplist.succ_geq sl "a"));
+  check (Alcotest.option Alcotest.string) "past end" None
+    (key_of (Skiplist.succ_geq sl "g"))
+
+let test_skiplist_iter_from () =
+  let sl = Skiplist.create () in
+  List.iter (fun k -> Skiplist.set sl k ()) [ "a"; "b"; "c"; "d" ];
+  let seen = ref [] in
+  Skiplist.iter_from sl "b" (fun k () ->
+      seen := k :: !seen;
+      k <> "c" (* stop after c *));
+  check (Alcotest.list Alcotest.string) "range" [ "b"; "c" ] (List.rev !seen)
+
+(* Model-based property: a random op sequence applied to both the skiplist
+   and Map yields identical contents. *)
+let prop_skiplist_model =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun k -> `Set (string_of_int k)) (0 -- 50);
+          map (fun k -> `Remove (string_of_int k)) (0 -- 50);
+          map (fun k -> `Find (string_of_int k)) (0 -- 50);
+        ])
+  in
+  QCheck.Test.make ~name:"skiplist vs Map model" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (1 -- 200) op_gen))
+    (fun ops ->
+      let sl = Skiplist.create () in
+      let m = ref SMap.empty in
+      let ok = ref true in
+      List.iter
+        (function
+          | `Set k ->
+              Skiplist.set sl k k;
+              m := SMap.add k k !m
+          | `Remove k ->
+              let a = Skiplist.remove sl k in
+              let b = SMap.find_opt k !m in
+              m := SMap.remove k !m;
+              if a <> b then ok := false
+          | `Find k -> if Skiplist.find sl k <> SMap.find_opt k !m then ok := false)
+        ops;
+      !ok
+      && Skiplist.to_list sl = SMap.bindings !m
+      && Skiplist.length sl = SMap.cardinal !m)
+
+let prop_skiplist_succ_matches_model =
+  QCheck.Test.make ~name:"succ_geq vs Map model" ~count:200
+    QCheck.(pair (list_of_size Gen.(0 -- 60) (int_range 0 99)) (int_range 0 99))
+    (fun (keys, probe) ->
+      let sl = Skiplist.create () in
+      let m =
+        List.fold_left
+          (fun m k ->
+            let s = Printf.sprintf "%02d" k in
+            Skiplist.set sl s ();
+            SMap.add s () m)
+          SMap.empty keys
+      in
+      let probe = Printf.sprintf "%02d" probe in
+      let expected = SMap.find_first_opt (fun k -> k >= probe) m in
+      let actual = Skiplist.succ_geq sl probe in
+      Option.map fst expected = Option.map fst actual)
+
+(* -------------------------------------------------------------------- *)
+(* Memtable *)
+
+let resolver = Kv.Entry.append_resolver
+
+let mk () = Memtable.create ~resolver ()
+
+let entry_testable = Alcotest.testable Kv.Entry.pp Kv.Entry.equal
+
+let test_memtable_write_get () =
+  let t = mk () in
+  Memtable.write t ~lsn:1 "k" (Kv.Entry.Base "v");
+  check (Alcotest.option entry_testable) "get" (Some (Kv.Entry.Base "v"))
+    (Memtable.get t "k");
+  check (Alcotest.option entry_testable) "missing" None (Memtable.get t "nope")
+
+let test_memtable_delta_composes_in_c0 () =
+  let t = mk () in
+  Memtable.write t ~lsn:1 "k" (Kv.Entry.Base "v");
+  Memtable.write t ~lsn:2 "k" (Kv.Entry.Delta [ "+d" ]);
+  check (Alcotest.option entry_testable) "composed" (Some (Kv.Entry.Base "v+d"))
+    (Memtable.get t "k");
+  (* delta with no base stays a delta *)
+  Memtable.write t ~lsn:3 "j" (Kv.Entry.Delta [ "x" ]);
+  Memtable.write t ~lsn:4 "j" (Kv.Entry.Delta [ "y" ]);
+  check (Alcotest.option entry_testable) "delta chain"
+    (Some (Kv.Entry.Delta [ "x"; "y" ]))
+    (Memtable.get t "j")
+
+let test_memtable_tombstone () =
+  let t = mk () in
+  Memtable.write t ~lsn:1 "k" (Kv.Entry.Base "v");
+  Memtable.write t ~lsn:2 "k" Kv.Entry.Tombstone;
+  check (Alcotest.option entry_testable) "tombstone visible"
+    (Some Kv.Entry.Tombstone) (Memtable.get t "k")
+
+let test_memtable_bytes_accounting () =
+  let t = mk () in
+  check Alcotest.int "empty" 0 (Memtable.bytes t);
+  Memtable.write t ~lsn:1 "key" (Kv.Entry.Base (String.make 100 'v'));
+  let b1 = Memtable.bytes t in
+  if b1 < 100 then Alcotest.fail "bytes below payload";
+  (* overwriting with a smaller value shrinks usage *)
+  Memtable.write t ~lsn:2 "key" (Kv.Entry.Base "v");
+  if Memtable.bytes t >= b1 then Alcotest.fail "overwrite did not shrink";
+  ignore (Memtable.remove t "key");
+  check Alcotest.int "empty after remove" 0 (Memtable.bytes t)
+
+let test_memtable_consume_geq () =
+  let t = mk () in
+  List.iter
+    (fun k -> Memtable.write t ~lsn:1 k (Kv.Entry.Base k))
+    [ "b"; "d"; "f" ];
+  (match Memtable.consume_geq t "c" with
+  | Some ("d", _) -> ()
+  | _ -> Alcotest.fail "expected d");
+  check (Alcotest.option entry_testable) "d consumed" None (Memtable.get t "d");
+  check Alcotest.int "two left" 2 (Memtable.count t);
+  (* wrap: nothing >= g *)
+  (match Memtable.consume_geq t "g" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected wrap");
+  (match Memtable.consume_min t with
+  | Some ("b", _) -> ()
+  | _ -> Alcotest.fail "expected b")
+
+let test_memtable_oldest_lsn () =
+  let t = mk () in
+  check (Alcotest.option Alcotest.int) "empty" None (Memtable.oldest_lsn t);
+  Memtable.write t ~lsn:5 "a" (Kv.Entry.Base "1");
+  Memtable.write t ~lsn:9 "b" (Kv.Entry.Base "2");
+  check (Alcotest.option Alcotest.int) "min" (Some 5) (Memtable.oldest_lsn t);
+  (* a delta keeps depending on the older lsn *)
+  Memtable.write t ~lsn:12 "a" (Kv.Entry.Delta [ "+d" ]);
+  check (Alcotest.option Alcotest.int) "delta keeps old lsn" (Some 5)
+    (Memtable.oldest_lsn t);
+  (* a base write supersedes the dependency *)
+  Memtable.write t ~lsn:15 "a" (Kv.Entry.Base "fresh");
+  check (Alcotest.option Alcotest.int) "base refreshes" (Some 9)
+    (Memtable.oldest_lsn t);
+  ignore (Memtable.consume_min t);
+  ignore (Memtable.consume_min t);
+  check (Alcotest.option Alcotest.int) "empty again" None (Memtable.oldest_lsn t)
+
+let prop_memtable_snowshovel_drains_sorted =
+  (* consuming with a moving cursor yields sorted output per run, and the
+     union of runs equals the input key set *)
+  QCheck.Test.make ~name:"snowshovel drains everything in sorted runs" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 80) (int_range 0 999))
+    (fun keys ->
+      let t = mk () in
+      List.iter
+        (fun k ->
+          Memtable.write t ~lsn:1 (Printf.sprintf "%03d" k) (Kv.Entry.Base "v"))
+        keys;
+      let expected = Memtable.count t in
+      let drained = ref [] in
+      let cursor = ref "" in
+      let runs = ref 1 in
+      while not (Memtable.is_empty t) do
+        match Memtable.consume_geq t !cursor with
+        | Some (k, _) ->
+            drained := k :: !drained;
+            cursor := k ^ "\000" (* strictly after k *)
+        | None ->
+            cursor := "";
+            incr runs;
+            if !runs > 1000 then failwith "livelock"
+      done;
+      List.length !drained = expected)
+
+let () =
+  Alcotest.run "memtable"
+    [
+      ( "skiplist",
+        [
+          Alcotest.test_case "basic" `Quick test_skiplist_basic;
+          Alcotest.test_case "ordered" `Quick test_skiplist_ordered_iteration;
+          Alcotest.test_case "remove" `Quick test_skiplist_remove;
+          Alcotest.test_case "succ_geq" `Quick test_skiplist_succ_geq;
+          Alcotest.test_case "iter_from" `Quick test_skiplist_iter_from;
+          QCheck_alcotest.to_alcotest prop_skiplist_model;
+          QCheck_alcotest.to_alcotest prop_skiplist_succ_matches_model;
+        ] );
+      ( "memtable",
+        [
+          Alcotest.test_case "write/get" `Quick test_memtable_write_get;
+          Alcotest.test_case "delta composition" `Quick test_memtable_delta_composes_in_c0;
+          Alcotest.test_case "tombstone" `Quick test_memtable_tombstone;
+          Alcotest.test_case "bytes accounting" `Quick test_memtable_bytes_accounting;
+          Alcotest.test_case "consume_geq" `Quick test_memtable_consume_geq;
+          Alcotest.test_case "oldest lsn" `Quick test_memtable_oldest_lsn;
+          QCheck_alcotest.to_alcotest prop_memtable_snowshovel_drains_sorted;
+        ] );
+    ]

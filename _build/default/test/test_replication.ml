@@ -1,0 +1,177 @@
+(* Log-shipping replication tests: incremental catch-up, exactly-once
+   delta application, truncation -> snapshot resync, follower crash
+   recovery, failover, and a randomized end-to-end property comparing
+   follower state to the primary. *)
+
+let check = Alcotest.check
+module SMap = Map.Make (String)
+
+let mk_store () =
+  Pagestore.Store.create
+    ~config:
+      { Pagestore.Store.cfg_page_size = 4096;
+        cfg_buffer_pages = 128;
+        cfg_durability = Pagestore.Wal.Full }
+    Simdisk.Profile.ssd_raid0
+
+let config =
+  {
+    Blsm.Config.default with
+    Blsm.Config.c0_bytes = 32 * 1024;
+    size_ratio = Blsm.Config.Fixed 3.0;
+    extent_pages = 8;
+  }
+
+let mk_primary () = Blsm.Tree.create ~config (mk_store ())
+let mk_follower () = Blsm.Replication.follower ~config (mk_store ())
+
+(* user-visible rows (the follower also stores its position record under
+   the reserved "\000" prefix) *)
+let user_rows tree =
+  List.filter (fun (k, _) -> k = "" || k.[0] <> '\000') (Blsm.Tree.scan tree "" 100_000)
+
+let assert_same_state primary follower_tree =
+  let p = user_rows primary and f = user_rows follower_tree in
+  if p <> f then
+    Alcotest.failf "states diverge: primary %d rows, follower %d rows"
+      (List.length p) (List.length f)
+
+let test_basic_catch_up () =
+  let p = mk_primary () in
+  let f = mk_follower () in
+  Blsm.Tree.put p "a" "1";
+  Blsm.Tree.put p "b" "2";
+  Blsm.Tree.apply_delta p "a" "+x";
+  Blsm.Tree.delete p "b";
+  (match Blsm.Replication.catch_up f ~primary:p with
+  | `Applied 4 -> ()
+  | `Applied n -> Alcotest.failf "expected 4 applied, got %d" n
+  | `Snapshot_needed -> Alcotest.fail "unexpected snapshot request");
+  let ft = Blsm.Replication.tree f in
+  check (Alcotest.option Alcotest.string) "a with delta" (Some "1+x")
+    (Blsm.Tree.get ft "a");
+  check (Alcotest.option Alcotest.string) "b deleted" None (Blsm.Tree.get ft "b");
+  assert_same_state p ft
+
+let test_incremental_exactly_once () =
+  let p = mk_primary () in
+  let f = mk_follower () in
+  Blsm.Tree.put p "k" "base";
+  ignore (Blsm.Replication.catch_up f ~primary:p);
+  (* no new records: repeated catch-up applies nothing (deltas would
+     double otherwise) *)
+  (match Blsm.Replication.catch_up f ~primary:p with
+  | `Applied 0 -> ()
+  | _ -> Alcotest.fail "re-catch-up applied something");
+  Blsm.Tree.apply_delta p "k" "+1";
+  ignore (Blsm.Replication.catch_up f ~primary:p);
+  ignore (Blsm.Replication.catch_up f ~primary:p);
+  check (Alcotest.option Alcotest.string) "delta applied exactly once"
+    (Some "base+1")
+    (Blsm.Tree.get (Blsm.Replication.tree f) "k")
+
+let test_lag_accounting () =
+  let p = mk_primary () in
+  let f = mk_follower () in
+  for i = 0 to 9 do
+    Blsm.Tree.put p (string_of_int i) "v"
+  done;
+  check Alcotest.int "lag 10" 10 (Blsm.Replication.lag f ~primary:p);
+  ignore (Blsm.Replication.catch_up f ~primary:p);
+  check Alcotest.int "lag 0" 0 (Blsm.Replication.lag f ~primary:p)
+
+let test_truncation_forces_resync () =
+  let p = mk_primary () in
+  let f = mk_follower () in
+  (* write enough that merges truncate the primary's WAL *)
+  for i = 0 to 2999 do
+    Blsm.Tree.put p (Repro_util.Keygen.key_of_id i) (String.make 100 'v')
+  done;
+  Blsm.Tree.flush p;
+  (match Blsm.Replication.catch_up f ~primary:p with
+  | `Snapshot_needed -> ()
+  | `Applied _ -> Alcotest.fail "expected snapshot-needed after truncation");
+  Blsm.Replication.resync f ~primary:p;
+  assert_same_state p (Blsm.Replication.tree f);
+  (* incremental tailing works after the bootstrap *)
+  Blsm.Tree.put p "after-sync" "yes";
+  (match Blsm.Replication.catch_up f ~primary:p with
+  | `Applied 1 -> ()
+  | `Applied n -> Alcotest.failf "expected 1, got %d" n
+  | `Snapshot_needed -> Alcotest.fail "snapshot after resync?");
+  check (Alcotest.option Alcotest.string) "tailing live" (Some "yes")
+    (Blsm.Tree.get (Blsm.Replication.tree f) "after-sync")
+
+let test_follower_crash_recovery () =
+  let p = mk_primary () in
+  let f = mk_follower () in
+  Blsm.Tree.put p "a" "1";
+  Blsm.Tree.apply_delta p "a" "+x";
+  ignore (Blsm.Replication.catch_up f ~primary:p);
+  let f = Blsm.Replication.crash_and_recover f in
+  (* position recovered with the data: no re-application *)
+  (match Blsm.Replication.catch_up f ~primary:p with
+  | `Applied 0 -> ()
+  | `Applied n -> Alcotest.failf "re-applied %d after crash" n
+  | `Snapshot_needed -> Alcotest.fail "snapshot after crash?");
+  check (Alcotest.option Alcotest.string) "delta not doubled" (Some "1+x")
+    (Blsm.Tree.get (Blsm.Replication.tree f) "a");
+  (* new primary writes still flow *)
+  Blsm.Tree.put p "b" "2";
+  ignore (Blsm.Replication.catch_up f ~primary:p);
+  check (Alcotest.option Alcotest.string) "caught up" (Some "2")
+    (Blsm.Tree.get (Blsm.Replication.tree f) "b")
+
+let test_failover () =
+  let p = mk_primary () in
+  let f = mk_follower () in
+  Blsm.Tree.put p "user:1" "alice";
+  ignore (Blsm.Replication.catch_up f ~primary:p);
+  (* primary dies; follower becomes primary *)
+  let t = Blsm.Replication.tree f in
+  Blsm.Tree.put t "user:2" "bob";
+  check (Alcotest.option Alcotest.string) "replicated data" (Some "alice")
+    (Blsm.Tree.get t "user:1");
+  check (Alcotest.option Alcotest.string) "new writes" (Some "bob")
+    (Blsm.Tree.get t "user:2")
+
+let prop_replication_converges =
+  QCheck.Test.make ~name:"follower converges to primary under random ops"
+    ~count:25
+    QCheck.(pair small_int (int_range 1 10))
+    (fun (seed, batch) ->
+      let p = mk_primary () in
+      let f = mk_follower () in
+      let prng = Repro_util.Prng.of_int (seed + 7) in
+      let ok = ref true in
+      for i = 0 to 599 do
+        let key = Printf.sprintf "k%03d" (Repro_util.Prng.int prng 120) in
+        (match Repro_util.Prng.int prng 5 with
+        | 0 | 1 | 2 -> Blsm.Tree.put p key (Printf.sprintf "v%d" i)
+        | 3 -> Blsm.Tree.delete p key
+        | _ -> Blsm.Tree.apply_delta p key "+d");
+        if i mod batch = 0 then
+          match Blsm.Replication.catch_up f ~primary:p with
+          | `Applied _ -> ()
+          | `Snapshot_needed -> Blsm.Replication.resync f ~primary:p
+      done;
+      (match Blsm.Replication.catch_up f ~primary:p with
+      | `Applied _ -> ()
+      | `Snapshot_needed -> Blsm.Replication.resync f ~primary:p);
+      if user_rows p <> user_rows (Blsm.Replication.tree f) then ok := false;
+      !ok)
+
+let () =
+  Alcotest.run "replication"
+    [
+      ( "replication",
+        [
+          Alcotest.test_case "basic catch-up" `Quick test_basic_catch_up;
+          Alcotest.test_case "exactly once" `Quick test_incremental_exactly_once;
+          Alcotest.test_case "lag" `Quick test_lag_accounting;
+          Alcotest.test_case "truncation -> resync" `Quick test_truncation_forces_resync;
+          Alcotest.test_case "follower crash" `Quick test_follower_crash_recovery;
+          Alcotest.test_case "failover" `Quick test_failover;
+          QCheck_alcotest.to_alcotest prop_replication_converges;
+        ] );
+    ]

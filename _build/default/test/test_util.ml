@@ -1,0 +1,266 @@
+(* Unit and property tests for lib/util: PRNG, varint, CRC32C, histogram,
+   timeseries, keygen. *)
+
+open Repro_util
+
+let check = Alcotest.check
+
+(* -------------------------------------------------------------------- *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.of_int 7 and b = Prng.of_int 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Prng.bits a) (Prng.bits b)
+  done
+
+let test_prng_bounds () =
+  let p = Prng.of_int 1 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_float_range () =
+  let p = Prng.of_int 2 in
+  for _ = 1 to 10_000 do
+    let f = Prng.float p in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_split_independent () =
+  let p = Prng.of_int 3 in
+  let q = Prng.split p in
+  let a = Prng.bits p and b = Prng.bits q in
+  if a = b then Alcotest.fail "split streams identical"
+
+let test_prng_int_rough_uniformity () =
+  let p = Prng.of_int 4 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int p 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      if frac < 0.08 || frac > 0.12 then
+        Alcotest.failf "bucket fraction %f far from 0.1" frac)
+    counts
+
+let test_shuffle_permutation () =
+  let p = Prng.of_int 5 in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 100 Fun.id) sorted
+
+(* -------------------------------------------------------------------- *)
+(* Varint *)
+
+let varint_roundtrip n =
+  let buf = Buffer.create 10 in
+  Varint.write buf n;
+  let s = Buffer.contents buf in
+  let v, pos = Varint.read s 0 in
+  v = n && pos = String.length s && Varint.size n = String.length s
+
+let test_varint_cases () =
+  List.iter
+    (fun n ->
+      if not (varint_roundtrip n) then Alcotest.failf "roundtrip failed: %d" n)
+    [ 0; 1; 127; 128; 255; 300; 16384; 1 lsl 30; max_int ]
+
+let test_varint_negative_rejected () =
+  let buf = Buffer.create 4 in
+  Alcotest.check_raises "negative" (Invalid_argument "Varint.write: negative")
+    (fun () -> Varint.write buf (-1))
+
+let test_varint_truncated () =
+  (match Varint.read "\x80" 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected failure on truncated varint")
+
+let prop_varint =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:1000
+    QCheck.(map abs small_int)
+    varint_roundtrip
+
+(* -------------------------------------------------------------------- *)
+(* Crc32c *)
+
+let test_crc_known_vector () =
+  (* CRC32C("123456789") = 0xE3069283 *)
+  check Alcotest.int "check vector" 0xE3069283 (Crc32c.string "123456789")
+
+let test_crc_empty () = check Alcotest.int "empty" 0 (Crc32c.string "")
+
+let test_crc_sensitivity () =
+  if Crc32c.string "hello world" = Crc32c.string "hello worle" then
+    Alcotest.fail "CRC collision on 1-byte change"
+
+let test_crc_bytes_slice () =
+  let s = "abcdefgh" in
+  check Alcotest.int "slice"
+    (Crc32c.string "cdef")
+    (Crc32c.bytes (Bytes.of_string s) 2 4)
+
+(* -------------------------------------------------------------------- *)
+(* Histogram *)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  check Alcotest.int "count" 0 (Histogram.count h);
+  check Alcotest.int "p99" 0 (Histogram.percentile h 99.0)
+
+let test_histogram_exact_small () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  check Alcotest.int "p50" 5 (Histogram.percentile h 50.0);
+  check Alcotest.int "max" 10 (Histogram.max_value h);
+  check Alcotest.int "min" 1 (Histogram.min_value h);
+  check (Alcotest.float 0.01) "mean" 5.5 (Histogram.mean h)
+
+let test_histogram_percentile_bounds () =
+  let h = Histogram.create () in
+  for i = 1 to 10_000 do
+    Histogram.add h i
+  done;
+  let p99 = Histogram.percentile h 99.0 in
+  (* log-bucketed: within ~3.2% of 9900 *)
+  if p99 < 9500 || p99 > 10_000 then Alcotest.failf "p99=%d out of range" p99
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 10;
+  Histogram.add b 1000;
+  Histogram.merge ~into:a b;
+  check Alcotest.int "count" 2 (Histogram.count a);
+  check Alcotest.int "max" 1000 (Histogram.max_value a)
+
+let prop_histogram_max =
+  QCheck.Test.make ~name:"histogram max/min/count" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (map abs small_int))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      Histogram.count h = List.length values
+      && Histogram.max_value h = List.fold_left max 0 values
+      && Histogram.min_value h = List.fold_left min max_int values)
+
+let prop_histogram_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (map abs small_int))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      let p25 = Histogram.percentile h 25.0 in
+      let p50 = Histogram.percentile h 50.0 in
+      let p99 = Histogram.percentile h 99.0 in
+      p25 <= p50 && p50 <= p99)
+
+(* -------------------------------------------------------------------- *)
+(* Timeseries *)
+
+let test_timeseries_buckets () =
+  let ts = Timeseries.create ~width_us:1_000_000 in
+  Timeseries.record ts ~time_us:100 ~latency_us:5;
+  Timeseries.record ts ~time_us:200 ~latency_us:10;
+  Timeseries.record ts ~time_us:2_500_000 ~latency_us:20;
+  let rows = Timeseries.rows ts in
+  check Alcotest.int "3 buckets incl. empty middle" 3 (List.length rows);
+  let first = List.hd rows in
+  check (Alcotest.float 0.01) "ops/sec" 2.0 first.Timeseries.ops_per_sec;
+  let middle = List.nth rows 1 in
+  check (Alcotest.float 0.01) "stalled bucket" 0.0 middle.Timeseries.ops_per_sec
+
+let test_timeseries_empty () =
+  let ts = Timeseries.create ~width_us:1000 in
+  check Alcotest.int "no rows" 0 (List.length (Timeseries.rows ts))
+
+(* -------------------------------------------------------------------- *)
+(* Keygen *)
+
+let test_keygen_deterministic () =
+  check Alcotest.string "stable" (Keygen.key_of_id 42) (Keygen.key_of_id 42)
+
+let test_keygen_distinct () =
+  let seen = Hashtbl.create 1000 in
+  for i = 0 to 9999 do
+    let k = Keygen.key_of_id i in
+    if Hashtbl.mem seen k then Alcotest.failf "duplicate key for id %d" i;
+    Hashtbl.add seen k ()
+  done
+
+let test_keygen_unordered () =
+  (* hashed keys must not be in id order (that's the point) *)
+  let ordered = ref true in
+  for i = 0 to 99 do
+    if String.compare (Keygen.key_of_id i) (Keygen.key_of_id (i + 1)) > 0 then
+      ordered := false
+  done;
+  if !ordered then Alcotest.fail "hashed keys unexpectedly sorted"
+
+let test_keygen_ordered_variant () =
+  for i = 0 to 99 do
+    if
+      String.compare (Keygen.ordered_key_of_id i) (Keygen.ordered_key_of_id (i + 1))
+      >= 0
+    then Alcotest.fail "ordered keys must sort by id"
+  done
+
+let test_keygen_value_length () =
+  let p = Prng.of_int 9 in
+  check Alcotest.int "value len" 1000 (String.length (Keygen.value p 1000))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "uniformity" `Quick test_prng_int_rough_uniformity;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+        ] );
+      ( "varint",
+        [
+          Alcotest.test_case "cases" `Quick test_varint_cases;
+          Alcotest.test_case "negative" `Quick test_varint_negative_rejected;
+          Alcotest.test_case "truncated" `Quick test_varint_truncated;
+          QCheck_alcotest.to_alcotest prop_varint;
+        ] );
+      ( "crc32c",
+        [
+          Alcotest.test_case "vector" `Quick test_crc_known_vector;
+          Alcotest.test_case "empty" `Quick test_crc_empty;
+          Alcotest.test_case "sensitivity" `Quick test_crc_sensitivity;
+          Alcotest.test_case "slice" `Quick test_crc_bytes_slice;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "exact small" `Quick test_histogram_exact_small;
+          Alcotest.test_case "p99 bounds" `Quick test_histogram_percentile_bounds;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          QCheck_alcotest.to_alcotest prop_histogram_max;
+          QCheck_alcotest.to_alcotest prop_histogram_percentile_monotone;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "buckets" `Quick test_timeseries_buckets;
+          Alcotest.test_case "empty" `Quick test_timeseries_empty;
+        ] );
+      ( "keygen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_keygen_deterministic;
+          Alcotest.test_case "distinct" `Quick test_keygen_distinct;
+          Alcotest.test_case "unordered" `Quick test_keygen_unordered;
+          Alcotest.test_case "ordered variant" `Quick test_keygen_ordered_variant;
+          Alcotest.test_case "value length" `Quick test_keygen_value_length;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* YCSB generator and runner tests: distribution shape, determinism,
+   keyspace growth, runner bookkeeping. *)
+
+let check = Alcotest.check
+
+let test_uniform_covers_space () =
+  let g = Ycsb.Generator.uniform ~seed:1 in
+  let seen = Array.make 50 0 in
+  for _ = 1 to 50_000 do
+    let i = Ycsb.Generator.next g ~record_count:50 in
+    seen.(i) <- seen.(i) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c = 0 then Alcotest.failf "bucket %d never drawn" i)
+    seen;
+  let mx = Array.fold_left max 0 seen and mn = Array.fold_left min max_int seen in
+  if float_of_int mx /. float_of_int mn > 1.6 then
+    Alcotest.failf "uniform too skewed: %d vs %d" mn mx
+
+let test_zipfian_skew () =
+  (* unscrambled zipfian: rank 0 must dominate *)
+  let g = Ycsb.Generator.zipfian ~scrambled:false ~seed:2 ~n:10_000 () in
+  let counts = Hashtbl.create 64 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Ycsb.Generator.next g ~record_count:10_000 in
+    Hashtbl.replace counts i (1 + Option.value (Hashtbl.find_opt counts i) ~default:0)
+  done;
+  let c0 = Option.value (Hashtbl.find_opt counts 0) ~default:0 in
+  let frac = float_of_int c0 /. float_of_int n in
+  (* YCSB zipfian(0.99) over 10k items: top item ~ 10% of draws *)
+  if frac < 0.04 || frac > 0.25 then
+    Alcotest.failf "rank-0 fraction %.3f outside [0.04, 0.25]" frac;
+  (* top-10 ranks should cover a large chunk *)
+  let top10 = ref 0 in
+  for i = 0 to 9 do
+    top10 := !top10 + Option.value (Hashtbl.find_opt counts i) ~default:0
+  done;
+  if float_of_int !top10 /. float_of_int n < 0.2 then
+    Alcotest.fail "zipfian not skewed enough"
+
+let test_zipfian_scrambled_spreads_hotkeys () =
+  let g = Ycsb.Generator.zipfian ~scrambled:true ~seed:3 ~n:10_000 () in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to 50_000 do
+    let i = Ycsb.Generator.next g ~record_count:10_000 in
+    Hashtbl.replace counts i (1 + Option.value (Hashtbl.find_opt counts i) ~default:0)
+  done;
+  (* the hottest key should NOT be rank 0 or 1 in id space (it is hashed) *)
+  let hottest, _ =
+    Hashtbl.fold (fun k c (bk, bc) -> if c > bc then (k, c) else (bk, bc)) counts (0, 0)
+  in
+  if hottest <= 1 then Alcotest.fail "scramble did not move the hot key"
+
+let test_zipfian_keyspace_growth () =
+  let g = Ycsb.Generator.zipfian ~seed:4 ~n:100 () in
+  (* growing record_count must keep draws in range *)
+  for rc = 100 to 2000 do
+    let i = Ycsb.Generator.next g ~record_count:rc in
+    if i < 0 || i >= rc then Alcotest.failf "draw %d out of range %d" i rc
+  done
+
+let test_latest_prefers_recent () =
+  let g = Ycsb.Generator.latest ~seed:5 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let i = Ycsb.Generator.next g ~record_count:1000 in
+    if i >= 900 then incr hits
+  done;
+  if float_of_int !hits /. float_of_int n < 0.5 then
+    Alcotest.fail "latest distribution not recent-biased"
+
+let test_generator_determinism () =
+  let a = Ycsb.Generator.zipfian ~seed:7 ~n:1000 () in
+  let b = Ycsb.Generator.zipfian ~seed:7 ~n:1000 () in
+  for _ = 1 to 1000 do
+    check Alcotest.int "same draws"
+      (Ycsb.Generator.next a ~record_count:1000)
+      (Ycsb.Generator.next b ~record_count:1000)
+  done
+
+(* Runner against a trivial in-memory engine *)
+
+let dummy_engine () =
+  let disk = Simdisk.Disk.create Simdisk.Profile.ssd_raid0 in
+  let tbl = Hashtbl.create 64 in
+  {
+    Kv.Kv_intf.name = "dummy";
+    disk;
+    get =
+      (fun k ->
+        Simdisk.Disk.seek_read disk ~bytes:4096;
+        Hashtbl.find_opt tbl k);
+    put =
+      (fun k v ->
+        Simdisk.Disk.seq_write disk ~bytes:(String.length v);
+        Hashtbl.replace tbl k v);
+    delete = (fun k -> Hashtbl.remove tbl k);
+    apply_delta =
+      (fun k d ->
+        let v = Option.value (Hashtbl.find_opt tbl k) ~default:"" in
+        Hashtbl.replace tbl k (v ^ d));
+    read_modify_write =
+      (fun k f ->
+        Simdisk.Disk.seek_read disk ~bytes:4096;
+        Hashtbl.replace tbl k (f (Hashtbl.find_opt tbl k)));
+    insert_if_absent =
+      (fun k v ->
+        if Hashtbl.mem tbl k then false
+        else begin
+          Hashtbl.replace tbl k v;
+          true
+        end);
+    scan = (fun _ _ -> []);
+    maintenance = (fun () -> ());
+  }
+
+let test_runner_load () =
+  let e = dummy_engine () in
+  let ks = Ycsb.Runner.keyspace ~records:0 ~value_bytes:100 in
+  let r = Ycsb.Runner.load e ks ~n:500 () in
+  check Alcotest.int "ops" 500 r.Ycsb.Runner.ops;
+  check Alcotest.int "keyspace grew" 500 ks.Ycsb.Runner.records;
+  check Alcotest.int "latencies recorded" 500
+    (Repro_util.Histogram.count r.Ycsb.Runner.latency);
+  if r.Ycsb.Runner.ops_per_sec <= 0.0 then Alcotest.fail "throughput missing"
+
+let test_runner_mix () =
+  let e = dummy_engine () in
+  let ks = Ycsb.Runner.keyspace ~records:0 ~value_bytes:100 in
+  ignore (Ycsb.Runner.load e ks ~n:200 ());
+  let r =
+    Ycsb.Runner.run e ks ~label:"mix"
+      ~mix:[ (Ycsb.Runner.Read, 0.5); (Ycsb.Runner.Blind_update, 0.5) ]
+      ~ops:1000 ~dist:(Ycsb.Generator.uniform ~seed:1) ()
+  in
+  check Alcotest.int "ops" 1000 r.Ycsb.Runner.ops;
+  let reads = Repro_util.Histogram.count r.Ycsb.Runner.read_latency in
+  let writes = Repro_util.Histogram.count r.Ycsb.Runner.write_latency in
+  check Alcotest.int "split covers all" 1000 (reads + writes);
+  if reads < 350 || reads > 650 then Alcotest.failf "mix off: %d reads" reads;
+  (* reads on this dummy cost a seek; writes are bandwidth-only *)
+  if
+    Repro_util.Histogram.mean r.Ycsb.Runner.read_latency
+    <= Repro_util.Histogram.mean r.Ycsb.Runner.write_latency
+  then Alcotest.fail "read latency should exceed write latency here"
+
+let test_runner_inserts_extend_keyspace () =
+  let e = dummy_engine () in
+  let ks = Ycsb.Runner.keyspace ~records:0 ~value_bytes:50 in
+  ignore (Ycsb.Runner.load e ks ~n:100 ());
+  ignore
+    (Ycsb.Runner.run e ks ~label:"inserts"
+       ~mix:[ (Ycsb.Runner.Insert, 1.0) ]
+       ~ops:50 ~dist:(Ycsb.Generator.uniform ~seed:2) ());
+  check Alcotest.int "grew" 150 ks.Ycsb.Runner.records
+
+let () =
+  Alcotest.run "ycsb"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_covers_space;
+          Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
+          Alcotest.test_case "zipfian scrambled" `Quick test_zipfian_scrambled_spreads_hotkeys;
+          Alcotest.test_case "keyspace growth" `Quick test_zipfian_keyspace_growth;
+          Alcotest.test_case "latest" `Quick test_latest_prefers_recent;
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "load" `Quick test_runner_load;
+          Alcotest.test_case "mix" `Quick test_runner_mix;
+          Alcotest.test_case "inserts extend" `Quick test_runner_inserts_extend_keyspace;
+        ] );
+    ]
