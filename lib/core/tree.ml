@@ -12,6 +12,12 @@
     threads sharing the disk with the application, and it makes every
     stall visible as write latency (see DESIGN.md §1). *)
 
+(** Detected damage that could not be masked: a checksum mismatch in the
+    named level that recovery could neither rebuild from the log nor
+    readers route around. "No silent garbage" — the failure surfaces as
+    this typed exception, never as a wrong answer. *)
+exception Corruption of { level : string; what : string; page_or_lsn : int }
+
 type stats = {
   mutable puts : int;
   mutable gets : int;
@@ -27,6 +33,13 @@ type stats = {
   mutable promotions : int;
   mutable hard_stalls : int;  (** writes that hit the C0 hard limit *)
   mutable user_bytes_written : int;
+  mutable corruptions_detected : int;
+      (** checksum mismatches seen (reads, recovery, scrubs) *)
+  mutable component_rebuilds : int;
+      (** corrupt components dropped and rebuilt from WAL replay *)
+  mutable quarantined_components : int;
+      (** corrupt components mounted read-around at recovery *)
+  mutable scrubs : int;
   stall_us : Repro_util.Histogram.t;
       (** synchronous merge time charged to each write *)
 }
@@ -61,6 +74,10 @@ let make_stats () =
     promotions = 0;
     hard_stalls = 0;
     user_bytes_written = 0;
+    corruptions_detected = 0;
+    component_rebuilds = 0;
+    quarantined_components = 0;
+    scrubs = 0;
     stall_us = Repro_util.Histogram.create ();
   }
 
@@ -133,6 +150,16 @@ let encode_root t =
 let commit_root t =
   Pagestore.Store.commit_root ~slot:t.root_slot t.store (encode_root t)
 
+(* Convert a low-level checksum failure into the tree-level typed error,
+   naming the component (or site) it came from. Readers verify before
+   decoding, so rot either surfaces here or is masked — never returned as
+   data. {!Simdisk.Faults.Crash_point} passes through untouched. *)
+let guard t ~level f =
+  try f ()
+  with Sstable.Sst_format.Corrupt { what; page } ->
+    t.stats.corruptions_detected <- t.stats.corruptions_detected + 1;
+    raise (Corruption { level; what; page_or_lsn = page })
+
 (** {1 Write-ahead log records}
 
     One log record carries an atomic batch of operations (usually a
@@ -181,8 +208,9 @@ let try_promote t =
       t.c1 <- None;
       t.merge2 <-
         Some
-          (Merge_process.create_c12 ~config:t.config ~store:t.store
-             ~c1_prime:c1 ~c2:t.c2);
+          (guard t ~level:"C2" (fun () ->
+               Merge_process.create_c12 ~config:t.config ~store:t.store
+                 ~c1_prime:c1 ~c2:t.c2));
       t.stats.promotions <- t.stats.promotions + 1;
       commit_root t;
       true
@@ -240,8 +268,9 @@ let start_merge1 t =
     in
     t.merge1 <-
       Some
-        (Merge_process.create_c0_merge ~config:t.config ~store:t.store ~source
-           ~c1:t.c1 ~run_cap ~expected_items);
+        (guard t ~level:"C1" (fun () ->
+             Merge_process.create_c0_merge ~config:t.config ~store:t.store
+               ~source ~c1:t.c1 ~run_cap ~expected_items));
     true
   end
 
@@ -290,7 +319,7 @@ let complete_merge2 t m =
 let step_merge1 t ~quota =
   match t.merge1 with
   | Some m -> (
-      match Merge_process.step_c0 m ~quota with
+      match guard t ~level:"C1" (fun () -> Merge_process.step_c0 m ~quota) with
       | `More -> `More
       | `Done ->
           complete_merge1 t m;
@@ -303,7 +332,7 @@ let step_merge1 t ~quota =
 let step_merge2 t ~quota =
   match t.merge2 with
   | Some m -> (
-      match Merge_process.step_c12 m ~quota with
+      match guard t ~level:"C2" (fun () -> Merge_process.step_c12 m ~quota) with
       | `More -> `More
       | `Done ->
           complete_merge2 t m;
@@ -561,9 +590,15 @@ let lookup_entry t key =
       (fun () -> Memtable.get t.c0 key);
       (fun () -> shadow_lookup t key);
       (fun () -> frozen_lookup t key);
-      (fun () -> Option.bind t.c1 (fun c -> Component.get c key));
-      (fun () -> Option.bind t.c1_prime (fun c -> Component.get c key));
-      (fun () -> Option.bind t.c2 (fun c -> Component.get c key));
+      (fun () ->
+        guard t ~level:"C1" (fun () ->
+            Option.bind t.c1 (fun c -> Component.get c key)));
+      (fun () ->
+        guard t ~level:"C1'" (fun () ->
+            Option.bind t.c1_prime (fun c -> Component.get c key)));
+      (fun () ->
+        guard t ~level:"C2" (fun () ->
+            Option.bind t.c2 (fun c -> Component.get c key)));
     ]
   in
   let rec visit acc = function
@@ -620,19 +655,21 @@ let read_version t key =
           match frozen_v with
           | Some v -> v
           | None ->
-              let comp c =
+              let comp level c =
                 Option.bind c (fun c ->
                     if not (Component.maybe_contains c key) then None
                     else
-                      match Sstable.Reader.get_with_lsn c.Component.sst key with
-                      | Some (_, lsn) -> Some lsn
-                      | None -> None)
+                      guard t ~level (fun () ->
+                          match Sstable.Reader.get_with_lsn c.Component.sst key with
+                          | Some (_, lsn) -> Some lsn
+                          | None -> None))
               in
               let rec first = function
                 | [] -> 0
-                | c :: rest -> ( match comp c with Some v -> v | None -> first rest)
+                | (level, c) :: rest -> (
+                    match comp level c with Some v -> v | None -> first rest)
               in
-              first [ t.c1; t.c1_prime; t.c2 ]))
+              first [ ("C1", t.c1); ("C1'", t.c1_prime); ("C2", t.c2) ]))
 
 let interpret t = function
   | None -> None
@@ -692,9 +729,10 @@ let skiplist_pull sl ~from =
         Some (k, e, lsn)
     | None -> None
 
-let component_pull c ~from =
-  let it = Component.iterator ~from c in
-  fun () -> Sstable.Reader.iter_next_full it
+let component_pull t ~level c ~from =
+  guard t ~level (fun () ->
+      let it = Component.iterator ~from c in
+      fun () -> guard t ~level (fun () -> Sstable.Reader.iter_next_full it))
 
 let scan_sources t start =
   List.filteri
@@ -708,9 +746,9 @@ let scan_sources t start =
             (Merge_process.c0_shadow m)
       | None -> None);
       Option.map (fun f -> mem_pull f ~from:start) t.frozen;
-      Option.map (fun c -> component_pull c ~from:start) t.c1;
-      Option.map (fun c -> component_pull c ~from:start) t.c1_prime;
-      Option.map (fun c -> component_pull c ~from:start) t.c2;
+      Option.map (fun c -> component_pull t ~level:"C1" c ~from:start) t.c1;
+      Option.map (fun c -> component_pull t ~level:"C1'" c ~from:start) t.c1_prime;
+      Option.map (fun c -> component_pull t ~level:"C2" c ~from:start) t.c2;
     ]
   |> List.map Option.get
   |> List.mapi (fun i pull -> (i, pull))
@@ -791,8 +829,18 @@ let flush t =
     buffer pool and all in-memory tree state vanish; the committed root is
     read back, components reopened (indexes re-read, Bloom filters rebuilt
     by scanning — they are not persisted, §4.4.3), and the logical log
-    replayed into a fresh C0. *)
-let crash_and_recover ?(should_replay = fun _ -> true) t =
+    replayed into a fresh C0.
+
+    Recovery tolerates corruption found on the way back up. A component
+    whose footer, index, or (with [~verify:true], which checksums every
+    page at mount) data fails verification is handled by coverage: if the
+    log still holds everything folded into it ([min_lsn] has not been
+    truncated away, under [Full] durability), the component is dropped and
+    its contents rebuilt by the replay below — the log is the authority.
+    Otherwise an openable component is quarantined (mounted; only reads
+    that touch a rotted page fail, with the typed {!Corruption}), and an
+    unopenable one is a typed recovery failure. Never a wrong answer. *)
+let crash_and_recover ?(should_replay = fun _ -> true) ?(verify = false) t =
   (* abort in-flight merge transactions: their output regions are freed,
      exactly as Stasis would roll back an uncommitted merge *)
   (match t.merge1 with Some m -> Merge_process.abandon_c0 m | None -> ());
@@ -800,11 +848,35 @@ let crash_and_recover ?(should_replay = fun _ -> true) t =
   Pagestore.Store.crash t.store;
   let root = Pagestore.Store.read_root ~slot:t.root_slot t.store in
   let fresh = create ~config:t.config ~root_slot:t.root_slot t.store in
+  let wal = Pagestore.Store.wal t.store in
+  let rebuilds = ref 0 in
   (if String.length root >= 4 && String.sub root 0 4 = "BLSM" then begin
      let ts, pos = Repro_util.Varint.read root 4 in
      fresh.timestamp <- ts;
      let pos = ref pos in
-     let read_opt () =
+     (* Everything folded into the component is still in the log: it can
+        be dropped and recovered by replay. Degraded durability may have
+        lost acked-by-merge records, so only Full qualifies. *)
+     let covered (f : Sstable.Sst_format.footer) =
+       f.record_count = 0
+       || (Pagestore.Wal.durability wal = Pagestore.Wal.Full
+          && f.min_lsn > 0
+          && f.min_lsn >= Pagestore.Wal.truncated_to wal)
+     in
+     let note () =
+       fresh.stats.corruptions_detected <- fresh.stats.corruptions_detected + 1
+     in
+     let drop_component (f : Sstable.Sst_format.footer) =
+       List.iter
+         (fun (start, length) ->
+           Pagestore.Store.free_region t.store
+             { Pagestore.Region_allocator.start; length })
+         f.extents;
+       fresh.stats.component_rebuilds <- fresh.stats.component_rebuilds + 1;
+       incr rebuilds;
+       None
+     in
+     let read_opt ~level () =
        let len, p = Repro_util.Varint.read root !pos in
        if len = 0 then begin
          pos := p;
@@ -813,25 +885,68 @@ let crash_and_recover ?(should_replay = fun _ -> true) t =
        else begin
          let blob = String.sub root p len in
          pos := p + len;
-         let sst = Sstable.Reader.of_meta t.store blob in
-         let bloom =
-           Component.build_bloom
-             ~bits_per_key:t.config.Config.bloom_bits_per_key sst
+         let footer =
+           (* The root is force-written and tiny; a garbled footer means
+              the metadata itself rotted. No extents to rebuild from. *)
+           match Sstable.Sst_format.decode_footer blob with
+           | f -> f
+           | exception Sstable.Sst_format.Corrupt { what; page } ->
+               note ();
+               raise (Corruption { level; what; page_or_lsn = page })
          in
-         Some (Component.of_sst ?bloom sst)
+         match Sstable.Reader.open_from_disk t.store footer with
+         | exception Sstable.Sst_format.Corrupt { what; page } ->
+             (* index blob rotted: unreadable without it *)
+             note ();
+             if covered footer then drop_component footer
+             else raise (Corruption { level; what; page_or_lsn = page })
+         | sst -> (
+             let errs = if verify then Sstable.Reader.verify sst else [] in
+             (* A rotted Bloom blob is derived data: build_bloom masks it
+                by rebuilding from a scan, so it never justifies dropping
+                or quarantining the component. Count it, ignore it. *)
+             fresh.stats.corruptions_detected <-
+               fresh.stats.corruptions_detected
+               + List.length
+                   (List.filter
+                      (fun (what, _) -> what = "bloom blob checksum")
+                      errs);
+             let errs =
+               List.filter (fun (what, _) -> what <> "bloom blob checksum") errs
+             in
+             match errs with
+             | [] ->
+                 let bloom =
+                   Component.build_bloom
+                     ~bits_per_key:t.config.Config.bloom_bits_per_key sst
+                 in
+                 Some (Component.of_sst ?bloom sst)
+             | _ :: _ ->
+                 fresh.stats.corruptions_detected <-
+                   fresh.stats.corruptions_detected + List.length errs;
+                 if covered footer then drop_component footer
+                 else begin
+                   (* Quarantine: mount it — good pages stay readable,
+                      rotted ones raise on touch. Bloomless: the rebuild
+                      scan would trip over the bad page. *)
+                   fresh.stats.quarantined_components <-
+                     fresh.stats.quarantined_components + 1;
+                   Some (Component.of_sst sst)
+                 end)
        end
      in
-     fresh.c1 <- read_opt ();
-     fresh.c1_prime <- read_opt ();
-     fresh.c2 <- read_opt ();
+     fresh.c1 <- read_opt ~level:"C1" ();
+     fresh.c1_prime <- read_opt ~level:"C1'" ();
+     fresh.c2 <- read_opt ~level:"C2" ();
      (* a C1':C2 merge was in flight at the crash: restart it from scratch
         (its uncommitted output was rolled back above) *)
      match fresh.c1_prime with
      | Some c1p ->
          fresh.merge2 <-
            Some
-             (Merge_process.create_c12 ~config:t.config ~store:t.store
-                ~c1_prime:c1p ~c2:fresh.c2)
+             (guard fresh ~level:"C2" (fun () ->
+                  Merge_process.create_c12 ~config:t.config ~store:t.store
+                    ~c1_prime:c1p ~c2:fresh.c2))
      | None -> ()
    end);
   (* Replay the logical log into C0, skipping records whose effect is
@@ -842,9 +957,17 @@ let crash_and_recover ?(should_replay = fun _ -> true) t =
   let durable_lsn key =
     let check = function
       | Some c -> (
+          (* A rotted page in a quarantined component reads as "unknown":
+             replay the record. Reads of that key hit the bad page and
+             raise the typed error anyway, so this cannot turn into a
+             silent double-apply. *)
           match Sstable.Reader.get_with_lsn c.Component.sst key with
           | Some (_, lsn) -> Some lsn
-          | None -> None)
+          | None -> None
+          | exception Sstable.Sst_format.Corrupt _ ->
+              fresh.stats.corruptions_detected <-
+                fresh.stats.corruptions_detected + 1;
+              None)
       | None -> None
     in
     match check fresh.c1 with
@@ -854,16 +977,59 @@ let crash_and_recover ?(should_replay = fun _ -> true) t =
         | Some l -> l
         | None -> ( match check fresh.c2 with Some l -> l | None -> 0))
   in
-  let wal = Pagestore.Store.wal t.store in
-  Pagestore.Wal.replay wal ~from_lsn:0 (fun lsn payload ->
-      List.iter
-        (fun (key, entry) ->
-          (* [should_replay] scopes a shared log to this tree's key range
-             (partitioned stores); singleton trees replay everything *)
-          if should_replay key && lsn > durable_lsn key then
-            Memtable.write fresh.c0 ~lsn key entry)
-        (decode_ops payload));
+  (match
+     Pagestore.Wal.replay wal ~from_lsn:0 (fun lsn payload ->
+         List.iter
+           (fun (key, entry) ->
+             (* [should_replay] scopes a shared log to this tree's key range
+                (partitioned stores); singleton trees replay everything *)
+             if should_replay key && lsn > durable_lsn key then
+               Memtable.write fresh.c0 ~lsn key entry)
+           (decode_ops payload))
+   with
+  | () -> ()
+  | exception Pagestore.Wal.Corrupt { what; lsn } ->
+      (* mid-log rot: power loss cannot explain it, and silently skipping
+         a record would resurrect overwritten state *)
+      fresh.stats.corruptions_detected <- fresh.stats.corruptions_detected + 1;
+      raise (Corruption { level = "WAL"; what; page_or_lsn = lsn }));
+  if !rebuilds > 0 then commit_root fresh;
   fresh
+
+(** {1 Scrubbing} *)
+
+type scrub_report = {
+  scrub_errors : (string * string * int) list;
+      (** (level, what, page-or-lsn) per mismatch *)
+  scrub_wal_records : int;  (** live log records checked *)
+  scrub_clean : bool;
+}
+
+(** [scrub t] proactively verifies every checksum the tree owns — each
+    on-disk component page, the index and Bloom blobs, every live WAL
+    record — and reports what it found, without touching tree state.
+    The on-demand form of the background scrubbing a production store
+    would run; pairs with {!crash_and_recover}'s [~verify]. *)
+let scrub t =
+  t.stats.scrubs <- t.stats.scrubs + 1;
+  let comp name = function
+    | None -> []
+    | Some c ->
+        List.map
+          (fun (what, page) -> (name, what, page))
+          (Sstable.Reader.verify c.Component.sst)
+  in
+  let wal_records, wal_errs =
+    Pagestore.Wal.verify (Pagestore.Store.wal t.store)
+  in
+  let errors =
+    comp "C1" t.c1 @ comp "C1'" t.c1_prime @ comp "C2" t.c2
+    @ List.map (fun (what, lsn) -> ("WAL", what, lsn)) wal_errs
+  in
+  t.stats.corruptions_detected <-
+    t.stats.corruptions_detected + List.length errors;
+  { scrub_errors = errors; scrub_wal_records = wal_records;
+    scrub_clean = errors = [] }
 
 (** {1 Introspection} *)
 
@@ -896,6 +1062,15 @@ let levels t =
     };
   ]
   @ comp "C1" t.c1 @ comp "C1'" t.c1_prime @ comp "C2" t.c2
+
+(** Footer of each mounted on-disk component, newest level first —
+    extents and page layout for scrub tooling and fault tests. *)
+let component_footers t =
+  let comp name = function
+    | None -> []
+    | Some c -> [ (name, Sstable.Reader.footer c.Component.sst) ]
+  in
+  comp "C1" t.c1 @ comp "C1'" t.c1_prime @ comp "C2" t.c2
 
 (** Total bloom-filter RAM currently allocated (Appendix A overhead). *)
 let bloom_bytes t =

@@ -17,6 +17,12 @@
 
 type t
 
+(** Detected damage that could not be masked: a checksum mismatch in the
+    named level ("C1" | "C1'" | "C2" | "WAL") that recovery could neither
+    rebuild from the log nor readers route around. Corruption surfaces as
+    this typed exception, never as a wrong answer. *)
+exception Corruption of { level : string; what : string; page_or_lsn : int }
+
 (** Operation and merge counters. [stall_us] records the synchronous
     merge time charged to each write (the scheduler's backpressure). *)
 type stats = {
@@ -34,6 +40,13 @@ type stats = {
   mutable promotions : int;  (** C1 -> C1' handoffs *)
   mutable hard_stalls : int;  (** writes that hit the C0 hard limit *)
   mutable user_bytes_written : int;
+  mutable corruptions_detected : int;
+      (** checksum mismatches seen (reads, recovery, scrubs) *)
+  mutable component_rebuilds : int;
+      (** corrupt components dropped and rebuilt from WAL replay *)
+  mutable quarantined_components : int;
+      (** corrupt components mounted read-around at recovery *)
+  mutable scrubs : int;
   stall_us : Repro_util.Histogram.t;
 }
 
@@ -120,8 +133,31 @@ val flush : t -> unit
     §4.4.3), and the logical log replayed into a fresh C0.
     [should_replay] scopes a shared log to this tree's key range
     (partitioned stores). Returns the recovered tree; the old handle must
-    not be used again. *)
-val crash_and_recover : ?should_replay:(string -> bool) -> t -> t
+    not be used again.
+
+    Corruption found on the way back up is tolerated: a component that
+    fails verification ([~verify:true] checksums every page at mount;
+    the default only validates footers and index blobs) is rebuilt from
+    WAL replay when the log still covers it, quarantined (reads touching
+    rotted pages raise {!Corruption}) when openable but uncovered, and a
+    typed {!Corruption} failure otherwise. Mid-log WAL rot also raises
+    {!Corruption}; a torn log *tail* is truncated silently — that is
+    ordinary power loss. *)
+val crash_and_recover : ?should_replay:(string -> bool) -> ?verify:bool -> t -> t
+
+(** {1 Scrubbing} *)
+
+type scrub_report = {
+  scrub_errors : (string * string * int) list;
+      (** (level, what, page-or-lsn) per checksum mismatch *)
+  scrub_wal_records : int;  (** live log records checked *)
+  scrub_clean : bool;
+}
+
+(** [scrub t] verifies every checksum the tree owns — component data
+    pages, index/Bloom blobs, live WAL records — and reports findings
+    without modifying tree state. *)
+val scrub : t -> scrub_report
 
 (** {1 Introspection} *)
 
@@ -142,6 +178,11 @@ val effective_r : t -> float
 
 (** Total Bloom-filter RAM currently allocated (Appendix A overhead). *)
 val bloom_bytes : t -> int
+
+(** Footer of each mounted on-disk component ("C1" | "C1'" | "C2"),
+    newest level first — extents and page layout for scrub tooling and
+    fault-injection tests. *)
+val component_footers : t -> (string * Sstable.Sst_format.footer) list
 
 (** {1 Scheduler probes} — the §4.1 progress estimators, exposed for
     tracing and tests. *)

@@ -27,6 +27,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable last_writeback : Page.id;
+  mutable faults : Simdisk.Faults.t;
 }
 
 let create disk platter ~capacity_pages =
@@ -46,13 +47,28 @@ let create disk platter ~capacity_pages =
     misses = 0;
     evictions = 0;
     last_writeback = -10;
+    faults = Simdisk.Faults.create ();
   }
 
 let capacity t = Array.length t.frames
 
+let set_faults t plan = t.faults <- plan
+
 let writeback t frame =
   if frame.dirty then begin
-    Platter.write t.platter frame.page frame.data;
+    (match Simdisk.Faults.on_page_write t.faults ~page_size:t.page_size with
+    | Simdisk.Faults.Pw_ok -> Platter.write t.platter frame.page frame.data
+    | Simdisk.Faults.Pw_lost -> () (* acked but never persisted *)
+    | Simdisk.Faults.Pw_flip (byte, bit) ->
+        Platter.write t.platter frame.page frame.data;
+        ignore (Platter.corrupt t.platter frame.page ~byte ~bit)
+    | Simdisk.Faults.Pw_crash ->
+        raise (Simdisk.Faults.Crash_point "buffer writeback")
+    | Simdisk.Faults.Pw_crash_torn keep ->
+        let torn = Bytes.sub frame.data 0 t.page_size in
+        Bytes.fill torn keep (t.page_size - keep) '\000';
+        Platter.write t.platter frame.page torn;
+        raise (Simdisk.Faults.Crash_point "buffer writeback (torn)"));
     if frame.page = t.last_writeback + 1 then
       Simdisk.Disk.seq_write t.disk ~bytes:t.page_size
     else Simdisk.Disk.seek_write t.disk ~bytes:t.page_size;

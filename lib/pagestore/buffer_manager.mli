@@ -10,6 +10,9 @@ type t
 val create : Simdisk.Disk.t -> Platter.t -> capacity_pages:int -> t
 val capacity : t -> int
 
+(** Attach a fault-injection plan; dirty-frame writebacks consult it. *)
+val set_faults : t -> Simdisk.Faults.t -> unit
+
 (** [with_page t id ~seq f] pins page [id], applies [f], unpins. *)
 val with_page : t -> Page.id -> seq:bool -> (Bytes.t -> 'a) -> 'a
 

@@ -28,6 +28,16 @@ let write t id src =
 (** [drop t id] discards a page (region freed); space is reclaimed. *)
 let drop t id = Hashtbl.remove t.pages id
 
+(** [corrupt t id ~byte ~bit] flips one stored bit — simulated bit rot.
+    Returns false when the page was never written (nothing to rot). *)
+let corrupt t id ~byte ~bit =
+  match Hashtbl.find_opt t.pages id with
+  | Some b when byte >= 0 && byte < t.page_size ->
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit land 7))));
+      true
+  | _ -> false
+
 let stored_pages t = Hashtbl.length t.pages
 
 let stored_bytes t = stored_pages t * t.page_size

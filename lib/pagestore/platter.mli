@@ -16,5 +16,9 @@ val write : t -> Page.id -> Bytes.t -> unit
 (** [drop t id] discards a page (region freed). *)
 val drop : t -> Page.id -> unit
 
+(** [corrupt t id ~byte ~bit] flips one stored bit — simulated bit rot;
+    false when the page was never written. *)
+val corrupt : t -> Page.id -> byte:int -> bit:int -> bool
+
 val stored_pages : t -> int
 val stored_bytes : t -> int

@@ -15,6 +15,7 @@ type t = {
   buffer : Buffer_manager.t;
   wal : Wal.t;
   page_size : int;
+  mutable faults : Simdisk.Faults.t;
   (* The journal: force-written metadata blobs (think Stasis' physical
      log distilled to its recovery-visible effect), one slot per tree
      hosted on this store. *)
@@ -43,6 +44,7 @@ let create ?(config = default_config) profile =
       Buffer_manager.create disk platter ~capacity_pages:config.cfg_buffer_pages;
     wal = Wal.create ~durability:config.cfg_durability disk;
     page_size = config.cfg_page_size;
+    faults = Simdisk.Faults.create ();
     roots = Hashtbl.create 4;
     root_writes = 0;
   }
@@ -52,6 +54,15 @@ let buffer t = t.buffer
 let wal t = t.wal
 let page_size t = t.page_size
 let now_us t = Simdisk.Disk.now_us t.disk
+
+(** [set_faults t plan] arms a fault-injection plan across the store's
+    write sites (streamed pages, buffer writebacks, WAL appends). *)
+let set_faults t plan =
+  t.faults <- plan;
+  Wal.set_faults t.wal plan;
+  Buffer_manager.set_faults t.buffer plan
+
+let faults t = t.faults
 
 (** {1 Regions} *)
 
@@ -90,15 +101,31 @@ let open_write_stream t (r : Region_allocator.region) =
 
 let stream_write ws page_bytes =
   if ws.ws_next >= ws.ws_end then failwith "Store.stream_write: region overflow";
-  Platter.write ws.ws_store.platter ws.ws_next page_bytes;
+  let st = ws.ws_store in
+  let id = ws.ws_next in
   (* The buffer pool may hold a stale copy of a recycled page id. *)
-  Buffer_manager.discard_region ws.ws_store.buffer ~start:ws.ws_next ~length:1;
+  Buffer_manager.discard_region st.buffer ~start:id ~length:1;
+  (match Simdisk.Faults.on_page_write st.faults ~page_size:st.page_size with
+  | Simdisk.Faults.Pw_ok -> Platter.write st.platter id page_bytes
+  | Simdisk.Faults.Pw_lost ->
+      (* acked but never persisted: the platter keeps its old contents *)
+      ()
+  | Simdisk.Faults.Pw_flip (byte, bit) ->
+      Platter.write st.platter id page_bytes;
+      ignore (Platter.corrupt st.platter id ~byte ~bit)
+  | Simdisk.Faults.Pw_crash ->
+      raise (Simdisk.Faults.Crash_point "stream page write")
+  | Simdisk.Faults.Pw_crash_torn keep ->
+      (* only a prefix of the page reached the platter before power loss *)
+      let torn = Bytes.copy page_bytes in
+      Bytes.fill torn keep (st.page_size - keep) '\000';
+      Platter.write st.platter id torn;
+      raise (Simdisk.Faults.Crash_point "stream page write (torn)"));
   if ws.ws_first then begin
-    Simdisk.Disk.seek_write ws.ws_store.disk ~bytes:ws.ws_store.page_size;
+    Simdisk.Disk.seek_write st.disk ~bytes:st.page_size;
     ws.ws_first <- false
   end
-  else Simdisk.Disk.seq_write ws.ws_store.disk ~bytes:ws.ws_store.page_size;
-  let id = ws.ws_next in
+  else Simdisk.Disk.seq_write st.disk ~bytes:st.page_size;
   ws.ws_next <- ws.ws_next + 1;
   id
 
@@ -155,9 +182,18 @@ let root_writes t = t.root_writes
 
 (** {1 Crash simulation} *)
 
-(** [crash t] loses the buffer pool; platter, committed root, and WAL
-    survive. The engine's recovery path must rebuild everything else. *)
-let crash t = Buffer_manager.crash t.buffer
+(** [crash t] loses the buffer pool; platter, committed root, and the
+    synced WAL prefix survive (under [Degraded] durability the WAL's
+    unsynced group-commit tail is discarded). The engine's recovery path
+    must rebuild everything else. *)
+let crash t =
+  Buffer_manager.crash t.buffer;
+  Wal.crash t.wal
+
+(** [corrupt_page t id ~byte ~bit] flips one stored bit of page [id] —
+    bit-rot instrumentation for scrub/recovery tests. False when the
+    page was never written. *)
+let corrupt_page t id ~byte ~bit = Platter.corrupt t.platter id ~byte ~bit
 
 (** Bytes durably stored right now (space amplification probe). *)
 let stored_bytes t = Platter.stored_bytes t.platter

@@ -25,6 +25,13 @@ val buffer : t -> Buffer_manager.t
 val wal : t -> Wal.t
 val page_size : t -> int
 
+(** [set_faults t plan] arms a fault-injection plan across the store's
+    write sites (streamed pages, buffer writebacks, WAL appends); write
+    sites may then raise {!Simdisk.Faults.Crash_point}. *)
+val set_faults : t -> Simdisk.Faults.t -> unit
+
+val faults : t -> Simdisk.Faults.t
+
 (** Simulated clock, µs. *)
 val now_us : t -> float
 
@@ -87,9 +94,16 @@ val root_writes : t -> int
 
 (** {1 Crash simulation} *)
 
-(** [crash t] loses the buffer pool; platter, committed root, and WAL
-    survive. Engines rebuild everything else in recovery. *)
+(** [crash t] loses the buffer pool; platter, committed root, and the
+    synced WAL prefix survive ([Degraded] durability discards the WAL's
+    unsynced group-commit tail). Engines rebuild everything else in
+    recovery. *)
 val crash : t -> unit
+
+(** [corrupt_page t id ~byte ~bit] flips one stored bit of page [id] —
+    bit-rot instrumentation for scrub/recovery tests; false when the page
+    was never written. *)
+val corrupt_page : t -> Page.id -> byte:int -> bit:int -> bool
 
 (** Bytes durably stored right now (space-amplification probe). *)
 val stored_bytes : t -> int

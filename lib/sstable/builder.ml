@@ -26,6 +26,8 @@ type t = {
   mutable data_bytes : int;
   mutable min_key : string option;
   mutable max_key : string option;
+  mutable min_lsn : int;  (* over records with a real lsn; 0 when none *)
+  mutable max_lsn : int;
   (* index under construction: first key starting in each data page *)
   mutable index_rev : (string * int) list; (* (key, page position) *)
   mutable page_pos : int; (* position of the page under construction *)
@@ -52,6 +54,8 @@ let create ?(extent_pages = 1024) store =
     data_bytes = 0;
     min_key = None;
     max_key = None;
+    min_lsn = 0;
+    max_lsn = 0;
     index_rev = [];
     page_pos = 0;
     current_page_first_key = None;
@@ -78,6 +82,7 @@ let flush_page t ~upcoming_cont =
   Pagestore.Page.set_u32 t.page_buf 2 t.cont_len;
   if t.page_off < t.page_size then
     Bytes.fill t.page_buf t.page_off (t.page_size - t.page_off) '\000';
+  Sst_format.seal_page t.page_buf;
   let ws = ensure_stream t in
   let id = Pagestore.Store.stream_write ws t.page_buf in
   t.pages_in_extent <- t.pages_in_extent + 1;
@@ -101,6 +106,10 @@ let add ?(lsn = 0) t key entry =
   | _ -> ());
   if t.min_key = None then t.min_key <- Some key;
   t.max_key <- Some key;
+  if lsn > 0 then begin
+    if t.min_lsn = 0 || lsn < t.min_lsn then t.min_lsn <- lsn;
+    if lsn > t.max_lsn then t.max_lsn <- lsn
+  end;
   t.record_count <- t.record_count + 1;
   (match entry with
   | Kv.Entry.Tombstone -> t.tombstone_count <- t.tombstone_count + 1
@@ -194,6 +203,8 @@ let finish ?(bloom_blob = "") t ~timestamp =
       record_count = t.record_count;
       tombstone_count = t.tombstone_count;
       data_bytes = t.data_bytes;
+      min_lsn = t.min_lsn;
+      max_lsn = t.max_lsn;
       min_key = Option.value t.min_key ~default:"";
       max_key = Option.value t.max_key ~default:"";
       extents =
@@ -203,8 +214,11 @@ let finish ?(bloom_blob = "") t ~timestamp =
       data_pages;
       index_pages;
       index_entries;
+      index_bytes = String.length index;
+      index_crc = Repro_util.Crc32c.string index;
       bloom_pages;
       bloom_bytes = String.length bloom_blob;
+      bloom_crc = Repro_util.Crc32c.string bloom_blob;
     }
   in
   (* Footer page: belt-and-braces copy on disk (the engine also stores the

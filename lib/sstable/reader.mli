@@ -15,7 +15,8 @@ type t
 val open_in_ram : Pagestore.Store.t -> Sst_format.footer -> index:string -> t
 
 (** [open_from_disk store footer] reopens after recovery, re-reading the
-    index pages (charged as sequential I/O). *)
+    index pages (charged as sequential I/O). Raises {!Sst_format.Corrupt}
+    if the index blob fails its checksum. *)
 val open_from_disk : Pagestore.Store.t -> Sst_format.footer -> t
 
 (** [of_meta store blob] reopens from a commit-root metadata blob. *)
@@ -25,7 +26,9 @@ val of_meta : Pagestore.Store.t -> string -> t
 val meta_blob : t -> string
 
 (** Bytes of a persisted Bloom filter, read back sequentially; [None] if
-    the component was built without one (§4.4.3). *)
+    the component was built without one (§4.4.3) — or if the stored blob
+    fails its checksum, masking the corruption so the caller rebuilds the
+    filter from a scan. *)
 val load_bloom_blob : t -> string option
 
 (** [free t] releases the component's extents. *)
@@ -66,3 +69,10 @@ val iter_next : iter -> (string * Kv.Entry.t) option
 
 (** As {!iter_next}, also yielding the record's stored LSN. *)
 val iter_next_full : iter -> (string * Kv.Entry.t * int) option
+
+(** {1 Scrubbing} *)
+
+(** [verify t] checksums every data page and the index/Bloom blobs,
+    returning [(what, page)] mismatches (empty: clean). Streams directly
+    from the platter with merge-scan charging; never raises. *)
+val verify : t -> (string * int) list

@@ -11,8 +11,16 @@
       u16 @0  n_starts   records beginning in this page
       u32 @2  cont_len   leading payload bytes that belong to a record
                          begun on an earlier page
-      payload [6, page_size)
+      u32 @6  crc32c     over header [0,6) ++ payload [10, page_size)
+      payload [10, page_size)
     v}
+
+    Every data page carries a CRC32C so that torn writes and bit rot are
+    *detected* — the read path verifies before decoding, and a mismatch
+    raises the typed {!Corrupt} instead of yielding garbage records.
+    Index and Bloom pages are raw blob bytes; their integrity is covered
+    by whole-blob CRCs stored in the footer, and the footer blob itself
+    is sealed with a trailing CRC.
 
     A record on the wire is [varint body_len][body] where
     [body = varint key_len ++ key ++ varint lsn ++ entry] (see
@@ -24,9 +32,42 @@
     Bodies flow across page boundaries without padding, so the waste per
     page is at most the final partial varint — a few bytes. *)
 
-let header_bytes = 6
+(** A checksum mismatch: the page (or blob, [page = -1]) does not contain
+    what was written. Never decoded past — "no silent garbage". *)
+exception Corrupt of { what : string; page : int }
+
+let header_bytes = 10
+
+let crc_offset = 6
 
 let payload_capacity ~page_size = page_size - header_bytes
+
+(* CRC32C over the page with the checksum field skipped: header [0,6)
+   then payload [10, page_size). *)
+let page_crc s =
+  let c = Repro_util.Crc32c.update 0xFFFFFFFF s 0 crc_offset in
+  let c = Repro_util.Crc32c.update c s header_bytes (String.length s - header_bytes) in
+  c lxor 0xFFFFFFFF
+
+(** [seal_page b] computes and stores the page checksum; the builder
+    calls this once the header and payload are final. *)
+let seal_page b =
+  Pagestore.Page.set_u32 b crc_offset 0;
+  Pagestore.Page.set_u32 b crc_offset (page_crc (Bytes.unsafe_to_string b))
+
+let stored_page_crc s =
+  Char.code s.[crc_offset]
+  lor (Char.code s.[crc_offset + 1] lsl 8)
+  lor (Char.code s.[crc_offset + 2] lsl 16)
+  lor (Char.code s.[crc_offset + 3] lsl 24)
+
+(** [page_ok s] checks a data page's checksum. *)
+let page_ok s = page_crc s = stored_page_crc s
+
+(** [verify_page s ~page] raises {!Corrupt} on checksum mismatch,
+    reporting [page] (the platter page id). *)
+let verify_page s ~page =
+  if not (page_ok s) then raise (Corrupt { what = "data page checksum"; page })
 
 (** [encode_record buf key ~lsn entry] appends one framed record. *)
 let encode_record buf key ~lsn entry =
@@ -49,22 +90,30 @@ let decode_body s =
 (** {1 Footer}
 
     The footer describes the component: logical timestamp, record count,
-    user-data bytes, extents, and where the index lives. It doubles as the
-    metadata blob engines store in their commit root. *)
+    user-data bytes, LSN range, extents, where the index lives, and the
+    blob checksums. It doubles as the metadata blob engines store in
+    their commit root, sealed by a trailing CRC32C of its own. *)
 
 type footer = {
   timestamp : int;  (** logical timestamp, bumped per merge (§4.4.1) *)
   record_count : int;
   tombstone_count : int;
   data_bytes : int;  (** sum of record body bytes (user data) *)
+  min_lsn : int;  (** smallest WAL LSN folded into any record (0: none) *)
+  max_lsn : int;  (** largest; [min_lsn >= wal.truncated_to] means the
+                      component is still fully covered by the log and can
+                      be rebuilt from replay if it rots *)
   min_key : string;
   max_key : string;
   extents : (int * int) list;  (** (start page id, length) in chain order *)
   data_pages : int;  (** pages [0, data_pages) of the chain hold records *)
   index_pages : int;  (** pages [data_pages, data_pages+index_pages) *)
   index_entries : int;
+  index_bytes : int;  (** exact blob length before page padding *)
+  index_crc : int;  (** CRC32C of the index blob *)
   bloom_pages : int;  (** optional persisted Bloom filter after the index *)
   bloom_bytes : int;
+  bloom_crc : int;  (** CRC32C of the Bloom blob *)
 }
 
 let encode_footer f =
@@ -75,6 +124,8 @@ let encode_footer f =
   w f.record_count;
   w f.tombstone_count;
   w f.data_bytes;
+  w f.min_lsn;
+  w f.max_lsn;
   w (String.length f.min_key);
   Buffer.add_string buf f.min_key;
   w (String.length f.max_key);
@@ -88,13 +139,18 @@ let encode_footer f =
   w f.data_pages;
   w f.index_pages;
   w f.index_entries;
+  w f.index_bytes;
+  w f.index_crc;
   w f.bloom_pages;
   w f.bloom_bytes;
+  w f.bloom_crc;
+  (* seal: CRC32C of everything above, appended as a varint *)
+  Repro_util.Varint.write buf (Repro_util.Crc32c.string (Buffer.contents buf));
   Buffer.contents buf
 
 let decode_footer s =
   if String.length s < 4 || not (String.equal (String.sub s 0 4) "SSTF") then
-    invalid_arg "Sst_format.decode_footer: bad magic";
+    raise (Corrupt { what = "footer magic"; page = -1 });
   let pos = ref 4 in
   let r () =
     let v, p = Repro_util.Varint.read s !pos in
@@ -107,27 +163,45 @@ let decode_footer s =
     pos := !pos + len;
     v
   in
-  let timestamp = r () in
-  let record_count = r () in
-  let tombstone_count = r () in
-  let data_bytes = r () in
-  let min_key = rs () in
-  let max_key = rs () in
-  let n_extents = r () in
-  let extents =
-    let rec go n acc =
-      if n = 0 then List.rev acc
-      else
-        let s = r () in
-        let l = r () in
-        go (n - 1) ((s, l) :: acc)
+  match
+    let timestamp = r () in
+    let record_count = r () in
+    let tombstone_count = r () in
+    let data_bytes = r () in
+    let min_lsn = r () in
+    let max_lsn = r () in
+    let min_key = rs () in
+    let max_key = rs () in
+    let n_extents = r () in
+    let extents =
+      let rec go n acc =
+        if n = 0 then List.rev acc
+        else
+          let s = r () in
+          let l = r () in
+          go (n - 1) ((s, l) :: acc)
+      in
+      go n_extents []
     in
-    go n_extents []
-  in
-  let data_pages = r () in
-  let index_pages = r () in
-  let index_entries = r () in
-  let bloom_pages = r () in
-  let bloom_bytes = r () in
-  { timestamp; record_count; tombstone_count; data_bytes; min_key; max_key;
-    extents; data_pages; index_pages; index_entries; bloom_pages; bloom_bytes }
+    let data_pages = r () in
+    let index_pages = r () in
+    let index_entries = r () in
+    let index_bytes = r () in
+    let index_crc = r () in
+    let bloom_pages = r () in
+    let bloom_bytes = r () in
+    let bloom_crc = r () in
+    let body_end = !pos in
+    let stored_crc = r () in
+    ( { timestamp; record_count; tombstone_count; data_bytes; min_lsn; max_lsn;
+        min_key; max_key; extents; data_pages; index_pages; index_entries;
+        index_bytes; index_crc; bloom_pages; bloom_bytes; bloom_crc },
+      body_end, stored_crc )
+  with
+  | footer, body_end, stored_crc ->
+      if Repro_util.Crc32c.string (String.sub s 0 body_end) <> stored_crc then
+        raise (Corrupt { what = "footer checksum"; page = -1 });
+      footer
+  | exception _ ->
+      (* truncated or garbled varints: the blob is not a footer *)
+      raise (Corrupt { what = "footer encoding"; page = -1 })

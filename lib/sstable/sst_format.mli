@@ -3,10 +3,28 @@
     A component is a chain of contiguous extents holding data pages, index
     pages, and one footer page. Data pages use the paper's append-only
     format with records spanning pages (Appendix A.2); each record stores
-    the newest WAL LSN folded into it (recovery's replay filter). *)
+    the newest WAL LSN folded into it (recovery's replay filter). Every
+    data page carries a CRC32C; index/Bloom blobs and the footer are
+    sealed with whole-blob CRCs, so torn writes and bit rot are detected
+    (typed {!Corrupt}) instead of decoded into garbage. *)
+
+(** A checksum mismatch: the page (or blob, [page = -1]) does not contain
+    what was written. *)
+exception Corrupt of { what : string; page : int }
 
 val header_bytes : int
 val payload_capacity : page_size:int -> int
+
+(** [seal_page b] computes and stores the page checksum (header and
+    payload final). *)
+val seal_page : Bytes.t -> unit
+
+(** [page_ok s] checks a data page's checksum. *)
+val page_ok : string -> bool
+
+(** [verify_page s ~page] raises {!Corrupt} on mismatch, reporting
+    [page]. *)
+val verify_page : string -> page:int -> unit
 
 (** [encode_record buf key ~lsn entry] appends one framed record. *)
 val encode_record : Buffer.t -> string -> lsn:int -> Kv.Entry.t -> unit
@@ -14,24 +32,31 @@ val encode_record : Buffer.t -> string -> lsn:int -> Kv.Entry.t -> unit
 (** [decode_body s] parses a record body: [(key, entry, lsn)]. *)
 val decode_body : string -> string * Kv.Entry.t * int
 
-(** Component descriptor: logical timestamp (§4.4.1), counts, extents,
-    index location. Doubles as the commit-root metadata blob. *)
+(** Component descriptor: logical timestamp (§4.4.1), counts, LSN range,
+    extents, index location, blob checksums. Doubles as the commit-root
+    metadata blob; sealed by a trailing CRC of its own. *)
 type footer = {
   timestamp : int;
   record_count : int;
   tombstone_count : int;
   data_bytes : int;  (** sum of record body bytes (user data) *)
+  min_lsn : int;  (** smallest WAL LSN folded into any record (0: none) *)
+  max_lsn : int;
   min_key : string;
   max_key : string;
   extents : (int * int) list;  (** (start page id, length), chain order *)
   data_pages : int;
   index_pages : int;
   index_entries : int;
+  index_bytes : int;  (** exact blob length before page padding *)
+  index_crc : int;  (** CRC32C of the index blob *)
   bloom_pages : int;  (** optional persisted Bloom filter after the index *)
   bloom_bytes : int;
+  bloom_crc : int;  (** CRC32C of the Bloom blob *)
 }
 
 val encode_footer : footer -> string
 
-(** Raises [Invalid_argument] on bad magic. *)
+(** Raises {!Corrupt} on bad magic, garbled encoding, or checksum
+    mismatch. *)
 val decode_footer : string -> footer

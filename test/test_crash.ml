@@ -152,6 +152,87 @@ let test_wal_replay_idempotent_state () =
   Alcotest.(check (option string)) "delta preserved" (Some "1+2") (Blsm.Tree.get t2 "a")
 
 (* ------------------------------------------------------------------ *)
+(* Crash points inside merge commits and memtable flushes, via the fault
+   scheduler: power loss no longer lands only between operations but in
+   the middle of component writes. Full durability must still recover the
+   exact acked state (§4.4.2: uncommitted merge output rolls back). *)
+
+let test_crash_inside_merge_commit () =
+  let store = mk_store () in
+  let plan = Simdisk.Faults.create ~seed:99 () in
+  Pagestore.Store.set_faults store plan;
+  let tree = ref (Blsm.Tree.create ~config:(small_config ()) store) in
+  let model = ref SMap.empty in
+  let prng = Repro_util.Prng.of_int 5 in
+  let crashes = ref 0 in
+  for round = 0 to 5 do
+    (* tear the in-flight page on even rounds, lose power cleanly on odd *)
+    Simdisk.Faults.schedule_crash_at_page_write ~torn:(round mod 2 = 0) plan
+      ~after:(5 + (7 * round));
+    try
+      for i = 0 to 499 do
+        let key = Printf.sprintf "k%03d" (Repro_util.Prng.int prng 600) in
+        if Repro_util.Prng.int prng 5 = 0 then begin
+          Blsm.Tree.delete !tree key;
+          model := SMap.remove key !model
+        end
+        else begin
+          let v = Printf.sprintf "r%d-%d-%s" round i (String.make 50 'c') in
+          Blsm.Tree.put !tree key v;
+          model := SMap.add key v !model
+        end
+      done
+    with Simdisk.Faults.Crash_point _ ->
+      incr crashes;
+      tree := Blsm.Tree.crash_and_recover ~verify:true !tree
+  done;
+  Simdisk.Faults.clear plan;
+  Blsm.Tree.flush !tree;
+  SMap.iter
+    (fun k v ->
+      if Blsm.Tree.get !tree k <> Some v then
+        Alcotest.failf "key %s wrong after mid-merge crashes" k)
+    !model;
+  if Blsm.Tree.scan !tree "" 100_000 <> SMap.bindings !model then
+    Alcotest.fail "scan disagrees with model after mid-merge crashes";
+  Alcotest.(check bool) "crash points actually fired mid-merge" true
+    (!crashes >= 3)
+
+let test_crash_inside_memtable_flush () =
+  (* gear mode: C0 freezes into C0' and drains; kill the machine inside
+     the flush's page writes *)
+  let store = mk_store () in
+  let plan = Simdisk.Faults.create ~seed:7 () in
+  Pagestore.Store.set_faults store plan;
+  let tree =
+    ref
+      (Blsm.Tree.create
+         ~config:(small_config ~scheduler:Blsm.Config.Gear ~snowshovel:false ())
+         store)
+  in
+  let model = ref SMap.empty in
+  for i = 0 to 199 do
+    let key = Printf.sprintf "k%03d" i in
+    let v = Printf.sprintf "v%d-%s" i (String.make 40 'f') in
+    Blsm.Tree.put !tree key v;
+    model := SMap.add key v !model
+  done;
+  Simdisk.Faults.schedule_crash_at_page_write ~torn:true plan ~after:3;
+  (match Blsm.Tree.flush !tree with
+  | () -> Alcotest.fail "flush should have hit the crash point"
+  | exception Simdisk.Faults.Crash_point _ -> ());
+  tree := Blsm.Tree.crash_and_recover ~verify:true !tree;
+  SMap.iter
+    (fun k v ->
+      if Blsm.Tree.get !tree k <> Some v then
+        Alcotest.failf "key %s wrong after mid-flush crash" k)
+    !model;
+  (* and the interrupted flush completes cleanly afterwards *)
+  Blsm.Tree.flush !tree;
+  if Blsm.Tree.scan !tree "" 100_000 <> SMap.bindings !model then
+    Alcotest.fail "scan disagrees with model after re-flush"
+
+(* ------------------------------------------------------------------ *)
 (* Binary keys and values through the whole stack *)
 
 let arb_binary_key =
@@ -225,6 +306,13 @@ let () =
           Alcotest.test_case "crash before writes" `Quick test_crash_before_any_write;
           Alcotest.test_case "None_ durability prefix" `Quick test_none_durability_prefix_consistency;
           Alcotest.test_case "replay idempotent" `Quick test_wal_replay_idempotent_state;
+        ] );
+      ( "crash_points",
+        [
+          Alcotest.test_case "crash inside merge commit" `Quick
+            test_crash_inside_merge_commit;
+          Alcotest.test_case "crash inside memtable flush" `Quick
+            test_crash_inside_memtable_flush;
         ] );
       ( "binary_keys",
         [
