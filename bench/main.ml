@@ -78,6 +78,9 @@ let experiments : (string * string * (opts -> unit)) list =
         Ablation.run o.scale
           (profile_of_name (Option.value o.disk ~default:"hdd")) );
     ("micro", "Bechamel micro-benchmarks", fun _ -> Micro.run ());
+    ( "perf",
+      "Perf regression harness: CPU kernels -> BENCH_PR2.json",
+      fun o -> Perf.run o.scale );
   ]
 
 let usage () =

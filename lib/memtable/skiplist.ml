@@ -4,28 +4,36 @@
     successor queries (§2.3.1); the snowshovel cursor (§4.2) additionally
     needs "smallest key >= cursor" in O(log n). A skip list provides all of
     these with simple single-threaded mutation. Levels are drawn from the
-    repository PRNG, so runs are reproducible. *)
+    repository PRNG, so runs are reproducible.
+
+    Forward pointers are unboxed: every level ends at a per-list [nil]
+    sentinel node instead of [None], so the descent compares pointers
+    ([!=]) rather than destructuring an [option] per hop — no [Some]
+    allocation at insert, one less indirection on the hot comparison
+    path. *)
 
 let max_level = 20
 let branching = 4 (* promote with probability 1/4 *)
 
 type 'a node = {
-  key : string; (* "" for the head sentinel *)
+  key : string; (* "" for the head and nil sentinels *)
   mutable value : 'a;
-  forward : 'a node option array;
+  forward : 'a node array; (* physically [nil] past the last node *)
 }
 
 type 'a t = {
   head : 'a node;
+  nil : 'a node; (* unique per list; compared with [==] only *)
   prng : Repro_util.Prng.t;
   mutable level : int; (* highest level in use, >= 1 *)
   mutable length : int;
 }
 
 let create ?(seed = 42) () =
+  let nil = { key = ""; value = Obj.magic 0; forward = [||] } in
   {
-    head =
-      { key = ""; value = Obj.magic 0; forward = Array.make max_level None };
+    head = { key = ""; value = Obj.magic 0; forward = Array.make max_level nil };
+    nil;
     prng = Repro_util.Prng.of_int seed;
     level = 1;
     length = 0;
@@ -43,65 +51,63 @@ let random_level t =
   in
   go 1
 
+(* Rightmost node whose key < [key], starting the walk at [from] on level
+   [lvl]. *)
+let rec advance t node lvl key =
+  let nxt = node.forward.(lvl) in
+  if nxt != t.nil && String.compare nxt.key key < 0 then advance t nxt lvl key
+  else node
+
 (* Walk down from the top level, collecting the rightmost node < key at
    each level into [update]. *)
 let find_predecessors t key update =
   let x = ref t.head in
   for lvl = t.level - 1 downto 0 do
-    let rec advance () =
-      match !x.forward.(lvl) with
-      | Some nxt when String.compare nxt.key key < 0 ->
-          x := nxt;
-          advance ()
-      | _ -> ()
-    in
-    advance ();
+    x := advance t !x lvl key;
     update.(lvl) <- !x
+  done;
+  !x
+
+(* Descend without recording predecessors (read-only lookups). *)
+let find_floor t key =
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    x := advance t !x lvl key
   done;
   !x
 
 (** [find t key] returns the stored value, if any. *)
 let find t key =
-  let x = ref t.head in
-  for lvl = t.level - 1 downto 0 do
-    let rec advance () =
-      match !x.forward.(lvl) with
-      | Some nxt when String.compare nxt.key key < 0 ->
-          x := nxt;
-          advance ()
-      | _ -> ()
-    in
-    advance ()
-  done;
-  match !x.forward.(0) with
-  | Some n when String.equal n.key key -> Some n.value
-  | _ -> None
+  let n = (find_floor t key).forward.(0) in
+  if n != t.nil && String.equal n.key key then Some n.value else None
 
 (** [update t key f] inserts or modifies in one descent: [f None] for a
     fresh key, [f (Some old)] to replace. Returns the previous value. *)
 let update t key f =
   let update_arr = Array.make max_level t.head in
   let pred = find_predecessors t key update_arr in
-  match pred.forward.(0) with
-  | Some n when String.equal n.key key ->
-      let old = n.value in
-      n.value <- f (Some old);
-      Some old
-  | _ ->
-      let lvl = random_level t in
-      if lvl > t.level then begin
-        for l = t.level to lvl - 1 do
-          update_arr.(l) <- t.head
-        done;
-        t.level <- lvl
-      end;
-      let node = { key; value = f None; forward = Array.make lvl None } in
-      for l = 0 to lvl - 1 do
-        node.forward.(l) <- update_arr.(l).forward.(l);
-        update_arr.(l).forward.(l) <- Some node
+  let n = pred.forward.(0) in
+  if n != t.nil && String.equal n.key key then begin
+    let old = n.value in
+    n.value <- f (Some old);
+    Some old
+  end
+  else begin
+    let lvl = random_level t in
+    if lvl > t.level then begin
+      for l = t.level to lvl - 1 do
+        update_arr.(l) <- t.head
       done;
-      t.length <- t.length + 1;
-      None
+      t.level <- lvl
+    end;
+    let node = { key; value = f None; forward = Array.make lvl t.nil } in
+    for l = 0 to lvl - 1 do
+      node.forward.(l) <- update_arr.(l).forward.(l);
+      update_arr.(l).forward.(l) <- node
+    done;
+    t.length <- t.length + 1;
+    None
+  end
 
 (** [set t key v] is [update] ignoring the previous value. *)
 let set t key v = ignore (update t key (fun _ -> v))
@@ -110,81 +116,58 @@ let set t key v = ignore (update t key (fun _ -> v))
 let remove t key =
   let update_arr = Array.make max_level t.head in
   let _ = find_predecessors t key update_arr in
-  match update_arr.(0).forward.(0) with
-  | Some n when String.equal n.key key ->
-      for l = 0 to Array.length n.forward - 1 do
-        match update_arr.(l).forward.(l) with
-        | Some m when m == n -> update_arr.(l).forward.(l) <- n.forward.(l)
-        | _ -> ()
-      done;
-      while t.level > 1 && t.head.forward.(t.level - 1) = None do
-        t.level <- t.level - 1
-      done;
-      t.length <- t.length - 1;
-      Some n.value
-  | _ -> None
+  let n = update_arr.(0).forward.(0) in
+  if n != t.nil && String.equal n.key key then begin
+    for l = 0 to Array.length n.forward - 1 do
+      if update_arr.(l).forward.(l) == n then
+        update_arr.(l).forward.(l) <- n.forward.(l)
+    done;
+    while t.level > 1 && t.head.forward.(t.level - 1) == t.nil do
+      t.level <- t.level - 1
+    done;
+    t.length <- t.length - 1;
+    Some n.value
+  end
+  else None
 
 (** [min_binding t] is the smallest key, if any. *)
 let min_binding t =
-  match t.head.forward.(0) with
-  | Some n -> Some (n.key, n.value)
-  | None -> None
+  let n = t.head.forward.(0) in
+  if n == t.nil then None else Some (n.key, n.value)
 
 (** [succ_geq t key] returns the smallest binding with key >= [key]:
     the snowshovel cursor's primitive. *)
 let succ_geq t key =
-  let x = ref t.head in
-  for lvl = t.level - 1 downto 0 do
-    let rec advance () =
-      match !x.forward.(lvl) with
-      | Some nxt when String.compare nxt.key key < 0 ->
-          x := nxt;
-          advance ()
-      | _ -> ()
-    in
-    advance ()
-  done;
-  match !x.forward.(0) with Some n -> Some (n.key, n.value) | None -> None
+  let n = (find_floor t key).forward.(0) in
+  if n == t.nil then None else Some (n.key, n.value)
 
 (** [iter_from t key f] applies [f] to bindings with key >= [key], in
     order, while [f] returns [true]. *)
 let iter_from t key f =
-  let rec go = function
-    | None -> ()
-    | Some n ->
-        if String.compare n.key key >= 0 then
-          if f n.key n.value then go n.forward.(0) else ()
-        else go n.forward.(0)
-  in
   (* Position near key first to avoid O(n) prefix walk. *)
-  let x = ref t.head in
-  for lvl = t.level - 1 downto 0 do
-    let rec advance () =
-      match !x.forward.(lvl) with
-      | Some nxt when String.compare nxt.key key < 0 ->
-          x := nxt;
-          advance ()
-      | _ -> ()
-    in
-    advance ()
-  done;
-  go !x.forward.(0)
+  let rec go n =
+    if n != t.nil then
+      if String.compare n.key key >= 0 then begin
+        if f n.key n.value then go n.forward.(0)
+      end
+      else go n.forward.(0)
+  in
+  go (find_floor t key).forward.(0)
 
 (** [iter t f] applies [f] to all bindings in key order. *)
 let iter t f =
-  let rec go = function
-    | None -> ()
-    | Some n ->
-        f n.key n.value;
-        go n.forward.(0)
+  let rec go n =
+    if n != t.nil then begin
+      f n.key n.value;
+      go n.forward.(0)
+    end
   in
   go t.head.forward.(0)
 
 (** [fold t init f] folds bindings in key order. *)
 let fold t init f =
-  let rec go acc = function
-    | None -> acc
-    | Some n -> go (f acc n.key n.value) n.forward.(0)
+  let rec go acc n =
+    if n == t.nil then acc else go (f acc n.key n.value) n.forward.(0)
   in
   go init t.head.forward.(0)
 

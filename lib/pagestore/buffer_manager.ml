@@ -14,6 +14,12 @@ type frame = {
   mutable dirty : bool;
   mutable refbit : bool;
   mutable pins : int;
+  (* Verified-once bookkeeping: integrity checks and derived navigation
+     metadata run when a frame is (re)loaded from the platter, then pool
+     hits skip them entirely. Bit rot lands on the platter, so it is
+     still caught at the load that brings it into RAM. *)
+  mutable verified : bool;
+  mutable starts : int array option; (* derived record-start offsets *)
 }
 
 type t = {
@@ -40,7 +46,7 @@ let create disk platter ~capacity_pages =
     frames =
       Array.init capacity_pages (fun slot ->
           { slot; page = -1; data = Bytes.create page_size; dirty = false;
-            refbit = false; pins = 0 });
+            refbit = false; pins = 0; verified = false; starts = None });
     index = Hashtbl.create (2 * capacity_pages);
     hand = 0;
     hits = 0;
@@ -115,6 +121,8 @@ let load t id ~seq =
       f.page <- id;
       f.refbit <- true;
       f.dirty <- false;
+      f.verified <- false;
+      f.starts <- None;
       Hashtbl.replace t.index id f.slot;
       f
 
@@ -125,12 +133,84 @@ let with_page t id ~seq fn =
   f.pins <- f.pins + 1;
   Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> fn f.data)
 
-(** [with_page_mut] is [with_page] but marks the frame dirty. *)
+(** [with_page_mut] is [with_page] but marks the frame dirty. Mutation
+    invalidates the verified bit and any derived metadata. *)
 let with_page_mut t id ~seq fn =
   let f = load t id ~seq in
   f.pins <- f.pins + 1;
   f.dirty <- true;
+  f.verified <- false;
+  f.starts <- None;
   Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> fn f.data)
+
+(* Run the caller's integrity check exactly once per platter load. *)
+let ensure_verified f ~verify =
+  if not f.verified then begin
+    verify f.data;
+    f.verified <- true
+  end
+
+(** [with_page_verified t id ~seq ~verify fn] is {!with_page}, except
+    [verify] (which must raise on a bad frame) runs only when this frame
+    was (re)read from the platter since its last verification — pool hits
+    skip the check. *)
+let with_page_verified t id ~seq ~verify fn =
+  let f = load t id ~seq in
+  f.pins <- f.pins + 1;
+  Fun.protect
+    ~finally:(fun () -> f.pins <- f.pins - 1)
+    (fun () ->
+      ensure_verified f ~verify;
+      fn f.data)
+
+(** [with_page_starts t id ~seq ~verify ~derive fn] additionally caches
+    [derive frame_bytes] (record-start offsets, or any per-page navigation
+    metadata) alongside the frame; [derive] runs once per load, strictly
+    after [verify], so derived offsets never come from unverified bytes. *)
+let with_page_starts t id ~seq ~verify ~derive fn =
+  let f = load t id ~seq in
+  f.pins <- f.pins + 1;
+  Fun.protect
+    ~finally:(fun () -> f.pins <- f.pins - 1)
+    (fun () ->
+      ensure_verified f ~verify;
+      let starts =
+        match f.starts with
+        | Some a -> a
+        | None ->
+            let a = derive f.data in
+            f.starts <- Some a;
+            a
+      in
+      fn f.data starts)
+
+(** {1 Pinned access}
+
+    A [pin] keeps a frame resident (CLOCK skips pinned frames) so callers
+    can read records straight out of the pool's bytes across several
+    operations — the zero-copy read path — instead of copying the page
+    out. Pins must be released promptly; a leaked pin permanently shrinks
+    the pool. *)
+
+type pin = { p_frame : frame; p_page : Page.id }
+
+let pin t id ~seq ~verify =
+  let f = load t id ~seq in
+  f.pins <- f.pins + 1;
+  (try ensure_verified f ~verify
+   with e ->
+     f.pins <- f.pins - 1;
+     raise e);
+  { p_frame = f; p_page = id }
+
+let pin_bytes p = p.p_frame.data
+
+(* Tolerates a crash (or discard) having recycled the frame in between:
+   unpinning is then a no-op rather than corrupting another page's pin
+   count. *)
+let unpin p =
+  if p.p_frame.page = p.p_page && p.p_frame.pins > 0 then
+    p.p_frame.pins <- p.p_frame.pins - 1
 
 (** [force t id] synchronously writes page [id] back if dirty. *)
 let force t id =
@@ -152,6 +232,8 @@ let discard_region t ~start ~length =
         f.page <- -1;
         f.dirty <- false;
         f.refbit <- false;
+        f.verified <- false;
+        f.starts <- None;
         Hashtbl.remove t.index id
     | None -> ()
   done
@@ -163,7 +245,9 @@ let crash t =
       f.page <- -1;
       f.dirty <- false;
       f.refbit <- false;
-      f.pins <- 0)
+      f.pins <- 0;
+      f.verified <- false;
+      f.starts <- None)
     t.frames;
   Hashtbl.reset t.index
 

@@ -16,8 +16,54 @@ val set_faults : t -> Simdisk.Faults.t -> unit
 (** [with_page t id ~seq f] pins page [id], applies [f], unpins. *)
 val with_page : t -> Page.id -> seq:bool -> (Bytes.t -> 'a) -> 'a
 
-(** As {!with_page}, marking the frame dirty. *)
+(** As {!with_page}, marking the frame dirty. Invalidates the frame's
+    verified bit and derived metadata. *)
 val with_page_mut : t -> Page.id -> seq:bool -> (Bytes.t -> 'a) -> 'a
+
+(** {1 Verified-once access}
+
+    Integrity checks and derived navigation metadata run when a frame is
+    (re)loaded from the platter; pool hits skip them. Bit rot lands on
+    the platter, so it is still caught at the load that brings the page
+    into RAM. *)
+
+(** As {!with_page}, but [verify] (which must raise on a bad frame) runs
+    only when this frame was read from the platter since its last
+    verification. *)
+val with_page_verified :
+  t -> Page.id -> seq:bool -> verify:(Bytes.t -> unit) -> (Bytes.t -> 'a) -> 'a
+
+(** As {!with_page_verified}, additionally caching [derive frame_bytes]
+    (per-page record-start offsets) alongside the frame. [derive] runs
+    once per load, strictly after [verify]. *)
+val with_page_starts :
+  t ->
+  Page.id ->
+  seq:bool ->
+  verify:(Bytes.t -> unit) ->
+  derive:(Bytes.t -> int array) ->
+  (Bytes.t -> int array -> 'a) ->
+  'a
+
+(** {1 Pinned access (zero-copy reads)}
+
+    A pin keeps a frame resident (CLOCK skips pinned frames) so callers
+    can read records straight out of the pool's bytes across several
+    operations instead of copying the page out. Release promptly: a
+    leaked pin permanently shrinks the pool. *)
+
+type pin
+
+(** [pin t id ~seq ~verify] loads, verifies (once per platter load), and
+    pins page [id]. The pin is released (and no frame left over-pinned)
+    if [verify] raises. *)
+val pin : t -> Page.id -> seq:bool -> verify:(Bytes.t -> unit) -> pin
+
+(** The pinned frame's bytes — valid until {!unpin}. Do not mutate. *)
+val pin_bytes : pin -> Bytes.t
+
+(** Release a pin. Safe (a no-op) if a {!crash} recycled the frame. *)
+val unpin : pin -> unit
 
 (** [force t id] synchronously writes page [id] back if dirty. *)
 val force : t -> Page.id -> unit

@@ -81,6 +81,25 @@ let with_page t id fn = Buffer_manager.with_page t.buffer id ~seq:false fn
 let with_page_seq t id fn = Buffer_manager.with_page t.buffer id ~seq:true fn
 let with_page_mut t id fn = Buffer_manager.with_page_mut t.buffer id ~seq:false fn
 
+(** {1 Verified zero-copy access (the hot read path)}
+
+    Point lookups verify a page's CRC once, when the frame is loaded from
+    the platter, and then read records straight out of the pool's bytes —
+    no per-access checksum, no 4 KiB copy-out (DESIGN.md "Read-path CPU
+    costs"). *)
+
+let with_page_verified t id ~seq ~verify fn =
+  Buffer_manager.with_page_verified t.buffer id ~seq ~verify fn
+
+let with_page_starts t id ~seq ~verify ~derive fn =
+  Buffer_manager.with_page_starts t.buffer id ~seq ~verify ~derive fn
+
+type pin = Buffer_manager.pin
+
+let pin_page t id ~seq ~verify = Buffer_manager.pin t.buffer id ~seq ~verify
+let pinned_bytes = Buffer_manager.pin_bytes
+let unpin = Buffer_manager.unpin
+
 (** {1 Streaming access (merges, bulk builds)}
 
     Merge threads "avoid reading pre-images of pages they are about to

@@ -56,6 +56,43 @@ val with_page_seq : t -> Page.id -> (Bytes.t -> 'a) -> 'a
 (** As {!with_page} but marks the frame dirty; eviction writes it back. *)
 val with_page_mut : t -> Page.id -> (Bytes.t -> 'a) -> 'a
 
+(** {1 Verified zero-copy access (the hot read path)}
+
+    Point lookups verify a page's CRC once, when the frame is loaded from
+    the platter, and then read records straight out of the pool's bytes —
+    no per-access checksum, no copy-out. See DESIGN.md, "Read-path CPU
+    costs". *)
+
+(** As {!with_page}, but [verify] (raises on a bad frame) runs only when
+    the frame was read from the platter since its last verification —
+    pool hits skip it. *)
+val with_page_verified :
+  t -> Page.id -> seq:bool -> verify:(Bytes.t -> unit) -> (Bytes.t -> 'a) -> 'a
+
+(** As {!with_page_verified}, additionally caching [derive frame_bytes]
+    (per-page record-start offsets) alongside the frame; [derive] runs
+    once per load, strictly after [verify]. *)
+val with_page_starts :
+  t ->
+  Page.id ->
+  seq:bool ->
+  verify:(Bytes.t -> unit) ->
+  derive:(Bytes.t -> int array) ->
+  (Bytes.t -> int array -> 'a) ->
+  'a
+
+(** A pinned buffer-pool frame: the page stays resident and its bytes
+    can be read in place until {!unpin}. Release promptly — a leaked pin
+    permanently shrinks the pool. *)
+type pin
+
+val pin_page : t -> Page.id -> seq:bool -> verify:(Bytes.t -> unit) -> pin
+
+(** The pinned frame's bytes — valid until {!unpin}. Do not mutate. *)
+val pinned_bytes : pin -> Bytes.t
+
+val unpin : pin -> unit
+
 (** {1 Streaming access (merges, bulk builds)}
 
     Direct platter I/O at sequential-bandwidth cost, bypassing the pool;

@@ -65,16 +65,37 @@ let open_in_ram store (footer : Sst_format.footer) ~index =
     blob is checksum-verified before parsing: parsing rotted varints
     would chase garbage page positions, so a mismatch raises
     {!Sst_format.Corrupt} instead. *)
+(* Reassemble a blob stored across whole pages by blitting each cached
+   page straight into one preallocated buffer — the seed built a string
+   per page and then re-copied the concatenation (two copies per byte).
+   Returns [None] when the footer claims more bytes than the pages can
+   hold (a rotted footer field). *)
+let read_blob store pages ~start ~npages ~bytes =
+  let page_size = Pagestore.Store.page_size store in
+  if bytes > npages * page_size then None
+  else begin
+    let out = Bytes.create bytes in
+    for i = 0 to npages - 1 do
+      let off = i * page_size in
+      let n = min page_size (bytes - off) in
+      if n > 0 then
+        Pagestore.Store.with_page_seq store pages.(start + i) (fun b ->
+            Bytes.blit b 0 out off n)
+    done;
+    Some (Bytes.unsafe_to_string out)
+  end
+
 let open_from_disk store (footer : Sst_format.footer) =
   let take = footer.data_pages + footer.index_pages + footer.bloom_pages in
   let pages = pages_of_extents footer.extents ~take in
-  let page_size = Pagestore.Store.page_size store in
-  let buf = Buffer.create (footer.index_pages * page_size) in
-  for i = footer.data_pages to footer.data_pages + footer.index_pages - 1 do
-    Pagestore.Store.with_page_seq store pages.(i) (fun b ->
-        Buffer.add_string buf (Bytes.to_string b))
-  done;
-  let blob = Buffer.sub buf 0 (min footer.index_bytes (Buffer.length buf)) in
+  let blob =
+    match
+      read_blob store pages ~start:footer.data_pages
+        ~npages:footer.index_pages ~bytes:footer.index_bytes
+    with
+    | Some b -> b
+    | None -> ""
+  in
   if String.length blob <> footer.index_bytes
      || Repro_util.Crc32c.string blob <> footer.index_crc
   then
@@ -96,23 +117,20 @@ let meta_blob t = Sst_format.encode_footer t.footer
 let load_bloom_blob t =
   let f = t.footer in
   if f.Sst_format.bloom_pages = 0 then None
-  else begin
-    let buf = Buffer.create f.Sst_format.bloom_bytes in
-    let start = f.Sst_format.data_pages + f.Sst_format.index_pages in
-    for i = start to start + f.Sst_format.bloom_pages - 1 do
-      Pagestore.Store.with_page_seq t.store t.pages.(i) (fun b ->
-          Buffer.add_string buf (Bytes.to_string b))
-    done;
-    if Buffer.length buf < f.Sst_format.bloom_bytes then None
-    else
-      let blob = Buffer.sub buf 0 f.Sst_format.bloom_bytes in
-      (* A rotted Bloom filter is derived data: mask the corruption by
-         pretending none was persisted, so the caller rebuilds it from a
-         component scan (§4.4.3's other branch) instead of trusting
-         garbage bits that could turn false negatives into lost reads. *)
-      if Repro_util.Crc32c.string blob <> f.Sst_format.bloom_crc then None
-      else Some blob
-  end
+  else
+    match
+      read_blob t.store t.pages
+        ~start:(f.Sst_format.data_pages + f.Sst_format.index_pages)
+        ~npages:f.Sst_format.bloom_pages ~bytes:f.Sst_format.bloom_bytes
+    with
+    | None -> None
+    | Some blob ->
+        (* A rotted Bloom filter is derived data: mask the corruption by
+           pretending none was persisted, so the caller rebuilds it from a
+           component scan (§4.4.3's other branch) instead of trusting
+           garbage bits that could turn false negatives into lost reads. *)
+        if Repro_util.Crc32c.string blob <> f.Sst_format.bloom_crc then None
+        else Some blob
 
 (** [free t] releases the component's extents (after a merge supersedes
     it). *)
@@ -140,14 +158,23 @@ let index_floor t key =
 
 (** {1 Page byte streams} *)
 
-(* A pull stream of record bytes starting at chain position [pos],
-   concatenating page payloads. [fetch] abstracts cached vs streaming
-   access; [first] marks the positioning access (seek candidate). *)
+(* Where a stream's bytes come from. Cached streams pin buffer-pool
+   frames and alias their bytes in place — zero copy, and the page CRC
+   runs at most once per platter load (verified-once frames). Streaming
+   access reads each page into a private reused buffer, bypassing the
+   pool, and verifies every page: each read is a fresh platter copy, so
+   there is no frame whose verification could be remembered. *)
+type source =
+  | Cached of { mutable pin : Pagestore.Store.pin option }
+  | Streaming of { sbuf : Bytes.t; mutable slast : int (* last page id *) }
+
+(* A pull stream of record bytes starting at chain position [bpos],
+   concatenating page payloads. *)
 type byte_stream = {
   reader : t;
-  fetch : int -> first:bool -> string; (* whole page as string *)
+  src : source;
   mutable bpos : int; (* next chain position to fetch *)
-  mutable buf : string;
+  mutable buf : string; (* current page; cached: alias of the pinned frame *)
   mutable off : int;
   mutable limit : int;
   mutable started : bool;
@@ -155,45 +182,72 @@ type byte_stream = {
 
 let page_size t = Pagestore.Store.page_size t.store
 
-let cached_fetch t pos ~first =
-  Pagestore.Store.(
-    if first then with_page t.store t.pages.(pos) Bytes.to_string
-    else with_page_seq t.store t.pages.(pos) Bytes.to_string)
+(* Release a cached stream's pin. Safe to call repeatedly; a no-op for
+   streaming sources. Every stream must end up released, or the pinned
+   frame is lost to the pool for good. *)
+let release bs =
+  match bs.src with
+  | Cached c -> (
+      match c.pin with
+      | Some p ->
+          Pagestore.Store.unpin p;
+          c.pin <- None
+      | None -> ())
+  | Streaming _ -> ()
 
-let streaming_fetch t =
-  (* Track contiguity so that physically consecutive pages cost bandwidth
-     only, while extent jumps and the initial positioning cost a seek. *)
-  let last = ref (-10) in
-  fun pos ~first:_ ->
-    let id = t.pages.(pos) in
-    let buf = Bytes.create (page_size t) in
-    let disk = Pagestore.Store.disk t.store in
-    (* Direct platter read: bypass the buffer pool. *)
-    Pagestore.Store.read_page_direct t.store id buf;
-    if id = !last + 1 then Simdisk.Disk.seq_read disk ~bytes:(page_size t)
-    else Simdisk.Disk.seek_read disk ~bytes:(page_size t);
-    last := id;
-    Bytes.unsafe_to_string buf
+let fetch_page bs pos ~first =
+  let t = bs.reader in
+  let id = t.pages.(pos) in
+  (match bs.src with
+  | Cached c ->
+      (* Unpin before pinning the successor so a lookup never holds two
+         frames at once — point reads must work in arbitrarily small
+         pools. The first access charges a seek on miss, continuation
+         pages a sequential transfer. *)
+      (match c.pin with
+      | Some p ->
+          Pagestore.Store.unpin p;
+          c.pin <- None
+      | None -> ());
+      let pin =
+        Pagestore.Store.pin_page t.store id ~seq:(not first)
+          ~verify:(fun b -> Sst_format.verify_page_bytes b ~page:id)
+      in
+      c.pin <- Some pin;
+      bs.buf <- Bytes.unsafe_to_string (Pagestore.Store.pinned_bytes pin)
+  | Streaming s ->
+      (* Track contiguity so physically consecutive pages cost bandwidth
+         only, while extent jumps and initial positioning cost a seek. *)
+      let disk = Pagestore.Store.disk t.store in
+      Pagestore.Store.read_page_direct t.store id s.sbuf;
+      if id = s.slast + 1 then Simdisk.Disk.seq_read disk ~bytes:(page_size t)
+      else Simdisk.Disk.seek_read disk ~bytes:(page_size t);
+      s.slast <- id;
+      Sst_format.verify_page_bytes s.sbuf ~page:id;
+      bs.buf <- Bytes.unsafe_to_string s.sbuf);
+  bs.limit <- String.length bs.buf
 
-(* Open a stream at chain position [pos]; [skip_cont] skips the leading
-   continuation bytes (positioned start) vs consuming them (record
-   continuation handled by read_bytes). *)
-let stream_at t ~fetch pos =
-  { reader = t; fetch; bpos = pos; buf = ""; off = 0; limit = 0; started = false }
+(* Open a stream at chain position [pos]. *)
+let stream_at t ~cached pos =
+  let src =
+    if cached then Cached { pin = None }
+    else Streaming { sbuf = Bytes.create (page_size t); slast = -10 }
+  in
+  { reader = t; src; bpos = pos; buf = ""; off = 0; limit = 0; started = false }
 
 exception End_of_component
 
 let refill bs ~continuation =
-  if bs.bpos >= bs.reader.footer.Sst_format.data_pages then
-    raise End_of_component;
-  let page = bs.fetch bs.bpos ~first:(not bs.started) in
-  Sst_format.verify_page page ~page:bs.reader.pages.(bs.bpos);
+  if bs.bpos >= bs.reader.footer.Sst_format.data_pages then begin
+    release bs;
+    raise End_of_component
+  end;
+  fetch_page bs bs.bpos ~first:(not bs.started);
   bs.started <- true;
+  let page = bs.buf in
   let cont_len = Char.code page.[2] lor (Char.code page.[3] lsl 8)
                  lor (Char.code page.[4] lsl 16) lor (Char.code page.[5] lsl 24)
   in
-  bs.buf <- page;
-  bs.limit <- String.length page;
   bs.off <-
     (if continuation then Sst_format.header_bytes
      else Sst_format.header_bytes + cont_len);
@@ -228,11 +282,14 @@ let read_string bs n =
 
 (* Zero padding at the tail of the final data page decodes as a 0-length
    varint; real records always have body_len >= 1, so 0 means "no more
-   records" (padding only ever occurs on the last data page). *)
+   records" (padding only ever occurs on the last data page). A stream
+   that reports no more records releases its pin. *)
 let next_record bs =
   match read_varint bs with
-  | exception End_of_component -> None
-  | 0 -> None
+  | exception End_of_component -> None (* refill already released *)
+  | 0 ->
+      release bs;
+      None
   | body_len ->
       let body = read_string bs body_len in
       Some (Sst_format.decode_body body)
@@ -245,7 +302,6 @@ type iter = {
 }
 
 let make_iter t ~cached ?from () =
-  let fetch = if cached then cached_fetch t else streaming_fetch t in
   if is_empty t then { stream = None; pending = None }
   else begin
     let start_pos, need_skip =
@@ -259,7 +315,7 @@ let make_iter t ~cached ?from () =
     match start_pos with
     | None -> { stream = None; pending = None }
     | Some pos ->
-        let bs = stream_at t ~fetch pos in
+        let bs = stream_at t ~cached pos in
         (try refill bs ~continuation:false with End_of_component -> ());
         let it = { stream = Some bs; pending = None } in
         (match need_skip with
@@ -302,8 +358,157 @@ let iter_next it =
 let iterator ?from t = make_iter t ~cached:false ?from ()
 
 (** [cached_iterator t ?from ()] iterates through the buffer pool (short
-    scans that should benefit from caching). *)
+    scans that should benefit from caching). Call {!iter_close} if the
+    iterator is abandoned before exhaustion, or its page stays pinned. *)
 let cached_iterator ?from t = make_iter t ~cached:true ?from ()
+
+(** [iter_close it] releases the iterator's resources (a cached
+    iterator's pinned frame). Exhausted iterators release themselves;
+    closing is idempotent. *)
+let iter_close it =
+  (match it.stream with Some bs -> release bs | None -> ());
+  it.stream <- None;
+  it.pending <- None
+
+(** {1 Point lookup}
+
+    [get] binary-searches the derived in-page restart points (cached per
+    buffer-pool frame, see {!Sst_format.record_starts}) and compares
+    candidate keys against the frame's bytes in place: no page copy, no
+    per-record decode before the target, no re-CRC on pool hits. The
+    linear decode survives as {!get_linear_with_lsn}, the reference the
+    property tests hold the fast path to. *)
+
+(* Compare the key stored at [pos, pos+len) of [s] with [key], without
+   materializing it. *)
+let cmp_key_at s pos len key =
+  let klen = String.length key in
+  let n = if len < klen then len else klen in
+  let rec go i =
+    if i = n then compare len klen
+    else
+      let c =
+        Char.compare (String.unsafe_get s (pos + i)) (String.unsafe_get key i)
+      in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Probing a restart point within one page. Only the final restart can be
+   [Unreadable]: its record spills past the page end before the key does. *)
+type probe = Cmp of int | Unreadable
+
+(* What the in-page search concluded. [Resume off] means the linear scan
+   must take over at payload offset [off]: the record there (or its
+   successors) needs bytes from later pages. Settling those cases in any
+   other way would touch a different set of pages than the seed's linear
+   decode — the restart search must leave the simulated-I/O accounting
+   byte-identical, so every page-crossing case defers to the same loop
+   the seed ran. *)
+type page_verdict =
+  | Found of Kv.Entry.t * int
+  | Absent
+  | Resume of int
+
+let probe_key s psz start key =
+  match Repro_util.Varint.read s start with
+  | exception _ -> Unreadable (* body-length varint split by the page end *)
+  | body_len, p ->
+      if p > psz then Unreadable
+      else (
+        match Repro_util.Varint.read s p with
+        | exception _ -> Unreadable
+        | key_len, kp ->
+            if kp + key_len > psz || kp + key_len > p + body_len then Unreadable
+            else Cmp (cmp_key_at s kp key_len key))
+
+(* Decode the record at [start] entirely from page bytes; the caller has
+   checked it does not spill. *)
+let decode_at s start =
+  let body_len, p = Repro_util.Varint.read s start in
+  ignore body_len;
+  let key_len, kp = Repro_util.Varint.read s p in
+  let lsn, lp = Repro_util.Varint.read s (kp + key_len) in
+  let entry, _ = Kv.Entry.decode s lp in
+  (entry, lsn)
+
+let complete_at s psz start =
+  match Repro_util.Varint.read s start with
+  | exception _ -> false
+  | body_len, p -> p + body_len <= psz
+
+(* Binary-search the restart array for [key]. The page was chosen by
+   index floor, so the first restart's key is <= [key]; a miss whose
+   stopping record sits whole in this page is a miss outright, because
+   the next page's first key (the next index entry) is > [key]. An
+   [Unreadable] probe sorts high; any verdict that the seed's linear
+   scan would have crossed a page boundary to reach — a spilled match,
+   a spilled stopping record, or all in-page keys < [key] (the linear
+   scan walked on and fully decoded the next page's first record before
+   giving up) — comes back as [Resume]. *)
+let search_page page starts key =
+  let s = Bytes.unsafe_to_string page in
+  let psz = String.length s in
+  let n = Array.length starts in
+  if n = 0 then Absent
+  else begin
+    let probe i =
+      match probe_key s psz starts.(i) key with
+      | Unreadable -> 1 (* sort high; resolved via Resume below *)
+      | Cmp c -> c
+    in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if probe mid <= 0 then lo := mid else hi := mid - 1
+    done;
+    let i = !lo in
+    match probe_key s psz starts.(i) key with
+    | Unreadable -> Resume starts.(i)
+    | Cmp 0 ->
+        if complete_at s psz starts.(i) then
+          let e, lsn = decode_at s starts.(i) in
+          Found (e, lsn)
+        else Resume starts.(i)
+    | Cmp c when c < 0 ->
+        (* All readable keys up to [i] are < key. The linear scan stops at
+           record [i+1] if it exists, is whole, and its key settles the
+           question; otherwise it crossed into later pages. *)
+        if i + 1 >= n then Resume starts.(i)
+        else if
+          complete_at s psz starts.(i + 1)
+          && probe_key s psz starts.(i + 1) key <> Unreadable
+        then Absent
+        else Resume starts.(i + 1)
+    | Cmp _ ->
+        (* key < first restart: the linear scan stops at record 0 — whole
+           in this page, or it crossed. *)
+        if complete_at s psz starts.(0) then Absent else Resume starts.(0)
+  end
+
+(* Continue the seed's linear find loop at payload offset [off] of chain
+   position [pos]: decode records (pulling continuation pages through the
+   pool as sequential accesses, exactly as the seed charged them) until
+   the key matches or passes by. *)
+let linear_from t pos off key =
+  let bs = stream_at t ~cached:true pos in
+  Fun.protect
+    ~finally:(fun () -> release bs)
+    (fun () ->
+      match refill bs ~continuation:true with
+      | exception End_of_component -> None
+      | () ->
+          bs.off <- off;
+          let rec find () =
+            match next_record bs with
+            | None -> None
+            | Some (k, e, lsn) ->
+                let c = String.compare k key in
+                if c = 0 then Some (e, lsn)
+                else if c > 0 then None
+                else find ()
+          in
+          find ())
 
 (** [get_with_lsn t key]: point lookup returning the record's stored LSN
     (recovery's replay filter). *)
@@ -317,16 +522,54 @@ let get_with_lsn t key =
     match index_floor t key with
     | None -> None
     | Some slot ->
-        let bs = stream_at t ~fetch:(cached_fetch t) t.index_pos.(slot) in
-        (try refill bs ~continuation:false with End_of_component -> ());
-        let rec find () =
-          match next_record bs with
-          | None -> None
-          | Some (k, e, lsn) ->
-              let c = String.compare k key in
-              if c = 0 then Some (e, lsn) else if c > 0 then None else find ()
+        let pos = t.index_pos.(slot) in
+        let id = t.pages.(pos) in
+        let verdict =
+          Pagestore.Store.with_page_starts t.store id ~seq:false
+            ~verify:(fun b -> Sst_format.verify_page_bytes b ~page:id)
+            ~derive:Sst_format.record_starts
+            (fun page starts -> search_page page starts key)
         in
-        find ()
+        (* Resolve page-crossing cases outside the pinned-page callback so
+           the lookup never stacks pins (tiny pools stay workable). *)
+        (match verdict with
+        | Found (e, lsn) -> Some (e, lsn)
+        | Absent -> None
+        | Resume off -> linear_from t pos off key)
+
+(** [get_linear_with_lsn t key] is the seed's linear lookup — decode
+    records from the page's first restart until the key passes by. Kept
+    as the reference implementation the restart-point search is tested
+    against (and as documentation of what the fast path must equal). *)
+let get_linear_with_lsn t key =
+  if is_empty t then None
+  else if
+    String.compare key t.footer.Sst_format.min_key < 0
+    || String.compare key t.footer.Sst_format.max_key > 0
+  then None
+  else
+    match index_floor t key with
+    | None -> None
+    | Some slot ->
+        let bs = stream_at t ~cached:true t.index_pos.(slot) in
+        Fun.protect
+          ~finally:(fun () -> release bs)
+          (fun () ->
+            (try refill bs ~continuation:false
+             with End_of_component -> ());
+            let rec find () =
+              match next_record bs with
+              | None -> None
+              | Some (k, e, lsn) ->
+                  let c = String.compare k key in
+                  if c = 0 then Some (e, lsn)
+                  else if c > 0 then None
+                  else find ()
+            in
+            find ())
+
+let get_linear t key =
+  match get_linear_with_lsn t key with Some (e, _) -> Some e | None -> None
 
 (** [get t key] point lookup: one cached page read (one seek when the page
     is cold), plus continuation pages for records spanning pages. *)

@@ -48,12 +48,22 @@ val is_empty : t -> bool
 
 (** [get t key]: point lookup through the buffer pool — one cached page
     read (one seek when cold), plus sequential continuation pages for
-    records spanning page boundaries. *)
+    records spanning page boundaries. Binary-searches the page's derived
+    restart points and compares candidate keys against the pinned
+    frame's bytes in place: no page copy-out, no re-CRC on pool hits
+    (the frame is verified once, when loaded from the platter). *)
 val get : t -> string -> Kv.Entry.t option
 
 (** As {!get}, also yielding the record's stored LSN — recovery's replay
     filter (skip WAL records with lsn <= the durable one). *)
 val get_with_lsn : t -> string -> (Kv.Entry.t * int) option
+
+(** The seed's linear lookup (decode records from the page's first
+    restart until the key passes by). Reference implementation the
+    restart-point search is property-tested against. *)
+val get_linear : t -> string -> Kv.Entry.t option
+
+val get_linear_with_lsn : t -> string -> (Kv.Entry.t * int) option
 
 type iter
 
@@ -62,8 +72,14 @@ type iter
     bandwidth. *)
 val iterator : ?from:string -> t -> iter
 
-(** [cached_iterator ?from t] iterates through the buffer pool. *)
+(** [cached_iterator ?from t] iterates through the buffer pool. The
+    current page stays pinned between pulls; call {!iter_close} if the
+    iterator is abandoned before exhaustion. *)
 val cached_iterator : ?from:string -> t -> iter
+
+(** Release an iterator's resources (a cached iterator's pinned frame).
+    Exhausted iterators release themselves; closing is idempotent. *)
+val iter_close : iter -> unit
 
 val iter_next : iter -> (string * Kv.Entry.t) option
 

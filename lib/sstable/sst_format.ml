@@ -69,6 +69,59 @@ let page_ok s = page_crc s = stored_page_crc s
 let verify_page s ~page =
   if not (page_ok s) then raise (Corrupt { what = "data page checksum"; page })
 
+(** [page_ok_bytes b] is {!page_ok} on a byte buffer without copying it
+    out (the buffer is aliased only for the duration of the fold). *)
+let page_ok_bytes b = page_ok (Bytes.unsafe_to_string b)
+
+(** [verify_page_bytes b ~page] is {!verify_page} without the copy. *)
+let verify_page_bytes b ~page =
+  if not (page_ok_bytes b) then
+    raise (Corrupt { what = "data page checksum"; page })
+
+(** [record_starts b] derives the in-page restart points: the payload
+    offset of each record that *begins* in this page, in key order. The
+    read path binary-searches this array instead of decoding every record
+    before the target (Appendix A.2's format stays byte-identical on
+    disk; the array is cached per buffer-pool frame). Only the last entry
+    may belong to a record that spills past the page end — its offset is
+    still exact, the spill is the reader's problem. Call only on a
+    CRC-verified page: the walk trusts the length varints. *)
+let record_starts b =
+  let s = Bytes.unsafe_to_string b in
+  let psz = String.length s in
+  let n = Char.code s.[0] lor (Char.code s.[1] lsl 8) in
+  let cont =
+    Char.code s.[2] lor (Char.code s.[3] lsl 8) lor (Char.code s.[4] lsl 16)
+    lor (Char.code s.[5] lsl 24)
+  in
+  let starts = Array.make n 0 in
+  let off = ref (header_bytes + cont) in
+  for i = 0 to n - 1 do
+    if !off >= psz then raise (Corrupt { what = "record start walk"; page = -1 });
+    starts.(i) <- !off;
+    (* Hop over [varint body_len][body]. The body-length varint itself can
+       be split by the page boundary (the builder spills records byte by
+       byte); a split varint or body just parks [off] past the end, which
+       is legal only for the final start. *)
+    let v = ref 0 and shift = ref 0 and p = ref !off and fits = ref true in
+    let scanning = ref true in
+    while !scanning do
+      if !p >= psz then begin
+        fits := false;
+        scanning := false
+      end
+      else begin
+        let byte = Char.code (String.unsafe_get s !p) in
+        incr p;
+        v := !v lor ((byte land 0x7F) lsl !shift);
+        shift := !shift + 7;
+        if byte < 0x80 then scanning := false
+      end
+    done;
+    off := (if !fits then !p + !v else psz)
+  done;
+  starts
+
 (** [encode_record buf key ~lsn entry] appends one framed record. *)
 let encode_record buf key ~lsn entry =
   let body = Buffer.create (String.length key + 16) in

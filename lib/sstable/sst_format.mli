@@ -26,6 +26,18 @@ val page_ok : string -> bool
     [page]. *)
 val verify_page : string -> page:int -> unit
 
+(** {!page_ok} on a byte buffer without copying it out. *)
+val page_ok_bytes : Bytes.t -> bool
+
+(** {!verify_page} without the copy. *)
+val verify_page_bytes : Bytes.t -> page:int -> unit
+
+(** [record_starts b] derives the in-page restart points (payload offset
+    of each record beginning in this page, key order) from a
+    CRC-verified data page; the on-disk format is unchanged. Only the
+    final offset may belong to a record spilling past the page end. *)
+val record_starts : Bytes.t -> int array
+
 (** [encode_record buf key ~lsn entry] appends one framed record. *)
 val encode_record : Buffer.t -> string -> lsn:int -> Kv.Entry.t -> unit
 

@@ -1,5 +1,6 @@
-(** CRC32C (Castagnoli) checksums, table-driven. Page headers and log
-    records carry a CRC so recovery can detect torn writes (§4.4.2). *)
+(** CRC32C (Castagnoli) checksums, table-slicing (16 bytes per
+    iteration). Page headers and log records carry a CRC so recovery can
+    detect torn writes (§4.4.2). *)
 
 (** [update crc s pos len] folds a slice into a running (pre-inverted)
     state; compose incrementally or use {!string}/{!bytes}. *)

@@ -107,6 +107,53 @@ let test_crc_bytes_slice () =
     (Crc32c.string "cdef")
     (Crc32c.bytes (Bytes.of_string s) 2 4)
 
+(* The table-slicing kernel folds 16 bytes per iteration with an 8-byte
+   step and a bytewise tail; every length from 0 to a few strides
+   exercises each alignment of the three regimes. Check them all against
+   an independent bit-at-a-time CRC32C. *)
+let crc_reference s =
+  let poly = 0x82F63B78 in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      crc := !crc lxor Char.code ch;
+      for _ = 0 to 7 do
+        if !crc land 1 = 1 then crc := (!crc lsr 1) lxor poly
+        else crc := !crc lsr 1
+      done)
+    s;
+  !crc lxor 0xFFFFFFFF
+
+let test_crc_matches_bitwise_reference () =
+  let prng = Prng.of_int 99 in
+  for len = 0 to 300 do
+    let s = String.init len (fun _ -> Char.chr (Prng.int prng 256)) in
+    check Alcotest.int
+      (Printf.sprintf "len %d" len)
+      (crc_reference s) (Crc32c.string s)
+  done
+
+let test_crc_incremental_compose () =
+  (* update must be splittable at any point, including mid-stride. *)
+  let prng = Prng.of_int 7 in
+  let s = String.init 257 (fun _ -> Char.chr (Prng.int prng 256)) in
+  let whole = Crc32c.string s in
+  List.iter
+    (fun cut ->
+      let c = Crc32c.update 0xFFFFFFFF s 0 cut in
+      let c = Crc32c.update c s cut (String.length s - cut) in
+      check Alcotest.int (Printf.sprintf "cut %d" cut) whole (c lxor 0xFFFFFFFF))
+    [ 1; 7; 8; 9; 15; 16; 17; 31; 32; 100; 256 ]
+
+let test_crc_standard_vectors () =
+  (* RFC 3720 §B.4 test patterns. *)
+  check Alcotest.int "32 zeros" 0x8A9136AA
+    (Crc32c.string (String.make 32 '\x00'));
+  check Alcotest.int "32 ones" 0x62A8AB43
+    (Crc32c.string (String.make 32 '\xff'));
+  check Alcotest.int "ascending" 0x46DD794E
+    (Crc32c.string (String.init 32 Char.chr))
+
 (* -------------------------------------------------------------------- *)
 (* Histogram *)
 
@@ -240,6 +287,11 @@ let () =
           Alcotest.test_case "empty" `Quick test_crc_empty;
           Alcotest.test_case "sensitivity" `Quick test_crc_sensitivity;
           Alcotest.test_case "slice" `Quick test_crc_bytes_slice;
+          Alcotest.test_case "bitwise reference" `Quick
+            test_crc_matches_bitwise_reference;
+          Alcotest.test_case "incremental compose" `Quick
+            test_crc_incremental_compose;
+          Alcotest.test_case "standard vectors" `Quick test_crc_standard_vectors;
         ] );
       ( "histogram",
         [
