@@ -111,6 +111,9 @@ let lookup_kernel ~repeats ~iters =
   let d = Simdisk.Disk.diff before (Simdisk.Disk.snapshot disk) in
   (ns, d)
 
+(* Returns (ns/op, trace_noop_ok): the tracer is never enabled here, so
+   a single event reaching the sink would mean the "zero-cost when
+   disabled" contract broke somewhere on the insert path. *)
 let insert_kernel ~repeats ~iters =
   let store = mk_store ~buffer_pages:1024 () in
   let config =
@@ -118,11 +121,14 @@ let insert_kernel ~repeats ~iters =
   in
   let tree = Blsm.Tree.create ~config store in
   let i = ref 0 in
-  time_best ~repeats ~iters (fun () ->
-      incr i;
-      Blsm.Tree.put tree
-        (Repro_util.Keygen.key_of_id (!i mod 100_000))
-        (String.make 100 'v'))
+  let ns =
+    time_best ~repeats ~iters (fun () ->
+        incr i;
+        Blsm.Tree.put tree
+          (Repro_util.Keygen.key_of_id (!i mod 100_000))
+          (String.make 100 'v'))
+  in
+  (ns, Obs.Trace.events_emitted (Pagestore.Store.trace store) = 0)
 
 let skiplist_kernel ~repeats ~iters =
   let sl = Memtable.Skiplist.create () in
@@ -150,7 +156,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~kernels ~io_ok =
+let write_json ~path ~kernels ~io_ok ~trace_noop_ok =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -158,6 +164,7 @@ let write_json ~path ~kernels ~io_ok =
   out "  \"harness\": \"bench perf\",\n";
   out "  \"units\": \"ns_per_op\",\n";
   out "  \"io_invariance_ok\": %b,\n" io_ok;
+  out "  \"trace_noop_ok\": %b,\n" trace_noop_ok;
   out "  \"kernels\": [\n";
   let n = List.length kernels in
   List.iteri
@@ -188,7 +195,7 @@ let run ?(out = "BENCH_PR2.json") (s : Scale.t) =
   in
   let crc = crc_kernel ~repeats ~iters in
   let lookup_ns, io = lookup_kernel ~repeats ~iters in
-  let insert = insert_kernel ~repeats ~iters:(iters * 2) in
+  let insert, trace_noop_ok = insert_kernel ~repeats ~iters:(iters * 2) in
   let skiplist = skiplist_kernel ~repeats ~iters:(iters * 2) in
   let io_ok =
     io.Simdisk.Disk.seeks = 0
@@ -223,5 +230,8 @@ let run ?(out = "BENCH_PR2.json") (s : Scale.t) =
       "WARNING: warmed lookups charged simulated I/O (seeks=%d seq=%dB rand=%dB)\n"
       io.Simdisk.Disk.seeks io.Simdisk.Disk.seq_read_bytes
       io.Simdisk.Disk.random_read_bytes;
-  write_json ~path:out ~kernels ~io_ok;
+  if not trace_noop_ok then
+    Printf.printf
+      "WARNING: disabled tracer emitted events during the insert kernel\n";
+  write_json ~path:out ~kernels ~io_ok ~trace_noop_ok;
   Printf.printf "wrote %s\n" out

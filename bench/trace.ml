@@ -16,7 +16,7 @@
     - naive: C0 fill saws from 0 to 1 with a full-drain stall at each
       peak. *)
 
-let run_one scale profile ~scheduler ~snowshovel ~label =
+let run_one scale profile ~scheduler ~snowshovel ~label ~trace_file =
   Printf.printf "\n[%s]\n" label;
   Printf.printf "%8s %8s %10s %12s %10s %10s\n" "ops" "C0-fill" "m1-inprog"
     "outprogress1" "m2-inprog" "stall(ms)";
@@ -26,6 +26,12 @@ let run_one scale profile ~scheduler ~snowshovel ~label =
         { c with Blsm.Config.scheduler; snowshovel })
       scale profile
   in
+  (* Every pacing decision, merge quantum, and per-op span goes to the
+     trace file, so the figure can be regenerated from the file alone
+     (see DESIGN.md "Observability") instead of the inline samples. *)
+  Obs.Trace.enable_file
+    (Pagestore.Store.trace (Blsm.Tree.store tree))
+    ~format:Obs.Trace.Chrome trace_file;
   let disk = Blsm.Tree.disk tree in
   let prng = Repro_util.Prng.of_int scale.Scale.seed in
   let n = scale.Scale.records in
@@ -46,7 +52,11 @@ let run_one scale profile ~scheduler ~snowshovel ~label =
         (!worst /. 1000.);
       worst := 0.0
     end
-  done
+  done;
+  let tr = Pagestore.Store.trace (Blsm.Tree.store tree) in
+  let events = Obs.Trace.events_emitted tr in
+  Obs.Trace.disable tr;
+  Printf.printf "  trace: %d events -> %s\n" events trace_file
 
 let run scale profile =
   Scale.section
@@ -54,8 +64,11 @@ let run scale profile =
        "Figures 5-6: scheduler mechanics timeline (%s, saturated inserts)"
        profile.Simdisk.Profile.name);
   run_one scale profile ~scheduler:Blsm.Config.Gear ~snowshovel:false
-    ~label:"gear scheduler (Figure 5): merge hands mesh with C0 fill";
+    ~label:"gear scheduler (Figure 5): merge hands mesh with C0 fill"
+    ~trace_file:"fig56_gear.trace.json";
   run_one scale profile ~scheduler:Blsm.Config.Spring ~snowshovel:true
-    ~label:"spring-and-gear (Figure 6): C0 rides the watermark band";
+    ~label:"spring-and-gear (Figure 6): C0 rides the watermark band"
+    ~trace_file:"fig56_spring.trace.json";
   run_one scale profile ~scheduler:Blsm.Config.Naive ~snowshovel:true
     ~label:"naive (no pacing): sawtooth fill, full-drain stalls"
+    ~trace_file:"fig56_naive.trace.json"

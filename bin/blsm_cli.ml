@@ -21,8 +21,11 @@ let usage = {|commands:
   flush                    drain C0 and all merges to disk
   crash                    power-fail and recover (WAL replay)
   levels                   component sizes and timestamps
-  stats                    operation counters and merge activity
-  io                       simulated disk counters and clock
+  stats [json]             tree metrics (registry dump, tree.*)
+  io [json]                disk metrics (registry dump, disk.*)
+  metrics [json]           full metrics registry (tree + store stack)
+  trace on <file> [jsonl]  start tracing to <file> (Chrome JSON default)
+  trace off                stop tracing and finalise the file
   help                     this text
   quit                     exit|}
 
@@ -137,27 +140,33 @@ let () =
                     l.Blsm.Tree.level l.Blsm.Tree.records l.Blsm.Tree.bytes
                     l.Blsm.Tree.level_timestamp)
                 (Blsm.Tree.levels !tree)
+          (* one code path for human and JSON output: the registry dump *)
           | [ "stats" ] ->
-              let s = Blsm.Tree.stats !tree in
-              Printf.printf
-                "  puts=%d gets=%d dels=%d deltas=%d rmws=%d scans=%d\n\
-                \  checked-inserts=%d (seek-free %d)\n\
-                \  merges: C0:C1=%d C1':C2=%d promotions=%d hard-stalls=%d\n\
-                \  write stall: %s\n"
-                s.Blsm.Tree.puts s.Blsm.Tree.gets s.Blsm.Tree.deletes
-                s.Blsm.Tree.deltas s.Blsm.Tree.rmws s.Blsm.Tree.scans
-                s.Blsm.Tree.checked_inserts s.Blsm.Tree.checked_insert_seekfree
-                s.Blsm.Tree.merge1_completions s.Blsm.Tree.merge2_completions
-                s.Blsm.Tree.promotions s.Blsm.Tree.hard_stalls
-                (Fmt.str "%a" Repro_util.Histogram.pp s.Blsm.Tree.stall_us)
+              print_string (Obs.Metrics.dump ~prefix:"tree." (Blsm.Tree.metrics !tree))
+          | [ "stats"; "json" ] ->
+              print_string
+                (Obs.Metrics.dump_json ~prefix:"tree." (Blsm.Tree.metrics !tree))
           | [ "io" ] ->
-              let d = Simdisk.Disk.snapshot (Blsm.Tree.disk !tree) in
-              Printf.printf
-                "  t=%.3fms seeks=%d random-writes=%d seqR=%.1fKiB seqW=%.1fKiB\n"
-                (d.Simdisk.Disk.at_us /. 1000.)
-                d.Simdisk.Disk.seeks d.Simdisk.Disk.random_writes
-                (float_of_int d.Simdisk.Disk.seq_read_bytes /. 1024.)
-                (float_of_int d.Simdisk.Disk.seq_write_bytes /. 1024.)
+              print_string (Obs.Metrics.dump ~prefix:"disk." (Blsm.Tree.metrics !tree))
+          | [ "io"; "json" ] ->
+              print_string
+                (Obs.Metrics.dump_json ~prefix:"disk." (Blsm.Tree.metrics !tree))
+          | [ "metrics" ] -> print_string (Obs.Metrics.dump (Blsm.Tree.metrics !tree))
+          | [ "metrics"; "json" ] ->
+              print_string (Obs.Metrics.dump_json (Blsm.Tree.metrics !tree))
+          | [ "trace"; "on"; file ] | [ "trace"; "on"; file; "chrome" ] ->
+              Obs.Trace.enable_file (Pagestore.Store.trace store)
+                ~format:Obs.Trace.Chrome file;
+              Printf.printf "tracing to %s (Chrome trace_event JSON)\n" file
+          | [ "trace"; "on"; file; "jsonl" ] ->
+              Obs.Trace.enable_file (Pagestore.Store.trace store)
+                ~format:Obs.Trace.Jsonl file;
+              Printf.printf "tracing to %s (JSONL)\n" file
+          | [ "trace"; "off" ] ->
+              let tr = Pagestore.Store.trace store in
+              let n = Obs.Trace.events_emitted tr in
+              Obs.Trace.disable tr;
+              Printf.printf "tracing stopped (%d events emitted)\n" n
           | cmd :: _ -> Printf.printf "unknown command %S (try `help`)\n" cmd
         with
         | Failure m -> Printf.printf "error: %s\n" m

@@ -51,6 +51,7 @@ type c0_merge = {
   denom : int;  (** |C0'| + |C1| at run start: the gear denominator *)
   mutable mem_bytes_read : int;
   mutable c1_bytes_read : int;
+  tr : Obs.Trace.t;  (** the store's tracer, captured at creation *)
 }
 
 let record_bytes key entry =
@@ -97,6 +98,14 @@ let create_c0_merge ~config ~store ~source ~c1 ~run_cap ~expected_items =
            ~expected_items ())
     else None
   in
+  let tr = Pagestore.Store.trace store in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~cat:"merge" ~name:"merge1.start"
+      ~args:
+        [ ("source", Obs.Trace.S (match source with Live _ -> "live" | Frozen _ -> "frozen"));
+          ("c0_bytes", Obs.Trace.I source_bytes);
+          ("c1_bytes", Obs.Trace.I c1_total);
+          ("run_cap", Obs.Trace.I run_cap) ];
   {
     persist_bloom = config.Config.persist_bloom;
     resolver = config.Config.resolver;
@@ -112,6 +121,7 @@ let create_c0_merge ~config ~store ~source ~c1 ~run_cap ~expected_items =
     denom = source_bytes + c1_total;
     mem_bytes_read = 0;
     c1_bytes_read = 0;
+    tr;
   }
 
 (* The snowshovel cursor is "the lowest key that comes after the last
@@ -162,6 +172,9 @@ let step_one_c0 m =
 
 (** [step_c0 m ~quota] consumes up to [quota] input bytes. *)
 let step_c0 m ~quota : outcome =
+  let traced = Obs.Trace.enabled m.tr in
+  let ts = if traced then Obs.Trace.now_us m.tr else 0.0 in
+  let before = if traced then m.mem_bytes_read + m.c1_bytes_read else 0 in
   let rec go budget =
     if budget <= 0 then `More
     else
@@ -169,7 +182,15 @@ let step_c0 m ~quota : outcome =
       | None -> `Done
       | Some consumed -> go (budget - consumed)
   in
-  go quota
+  let r = go quota in
+  if traced then
+    Obs.Trace.complete m.tr ~cat:"merge" ~name:"merge1.quantum" ~ts_us:ts
+      ~dur_us:(Obs.Trace.now_us m.tr -. ts)
+      ~args:
+        [ ("quota", Obs.Trace.I quota);
+          ("consumed", Obs.Trace.I (m.mem_bytes_read + m.c1_bytes_read - before));
+          ("done", Obs.Trace.B (r = `Done)) ];
+  r
 
 let c0_progress m =
   let read = m.mem_bytes_read + m.c1_bytes_read in
@@ -202,13 +223,21 @@ let bloom_blob_of ~persist bloom =
   | _ -> ""
 
 let finish_c0 m ~timestamp =
+  if Obs.Trace.enabled m.tr then
+    Obs.Trace.instant m.tr ~cat:"merge" ~name:"merge1.commit"
+      ~args:
+        [ ("output_bytes", Obs.Trace.I (Sstable.Builder.data_bytes m.builder));
+          ("input_bytes", Obs.Trace.I (m.mem_bytes_read + m.c1_bytes_read)) ];
   let footer =
     Sstable.Builder.finish m.builder ~timestamp
       ~bloom_blob:(bloom_blob_of ~persist:m.persist_bloom m.bloom)
   in
   (footer, Sstable.Builder.index_blob m.builder, m.bloom)
 
-let abandon_c0 m = Sstable.Builder.abandon m.builder
+let abandon_c0 m =
+  if Obs.Trace.enabled m.tr then
+    Obs.Trace.instant m.tr ~cat:"merge" ~name:"merge1.abort" ~args:[];
+  Sstable.Builder.abandon m.builder
 
 let c0_shadow m =
   match m.source with Live { shadow; _ } -> Some shadow | Frozen _ -> None
@@ -233,6 +262,7 @@ type c12_merge = {
   bloom12 : Bloom.t option;
   total12 : int;
   mutable read12 : int;
+  tr12 : Obs.Trace.t;  (** the store's tracer, captured at creation *)
 }
 
 let create_c12_merge ~config ~store ~c1_prime ~c2 =
@@ -266,6 +296,18 @@ let create_c12_merge ~config ~store ~c1_prime ~c2 =
            ~expected_items:(max 1 expected) ())
     else None
   in
+  let tr12 = Pagestore.Store.trace store in
+  let total12 =
+    Component.data_bytes c1_prime
+    + match c2 with Some c -> Component.data_bytes c | None -> 0
+  in
+  if Obs.Trace.enabled tr12 then
+    Obs.Trace.instant tr12 ~cat:"merge" ~name:"merge2.start"
+      ~args:
+        [ ("c1p_bytes", Obs.Trace.I (Component.data_bytes c1_prime));
+          ("c2_bytes",
+           Obs.Trace.I
+             (match c2 with Some c -> Component.data_bytes c | None -> 0)) ];
   let m =
     {
       persist_bloom12 = config.Config.persist_bloom;
@@ -276,10 +318,9 @@ let create_c12_merge ~config ~store ~c1_prime ~c2 =
       builder12 =
         Sstable.Builder.create ~extent_pages:config.Config.extent_pages store;
       bloom12;
-      total12 =
-        (Component.data_bytes c1_prime
-        + match c2 with Some c -> Component.data_bytes c | None -> 0);
+      total12;
       read12 = 0;
+      tr12;
     }
   in
   (m, read_counter)
@@ -294,6 +335,8 @@ let create_c12 ~config ~store ~c1_prime ~c2 =
     bytes. *)
 let step_c12 t ~quota : outcome =
   let m = t.m12 in
+  let traced = Obs.Trace.enabled m.tr12 in
+  let ts = if traced then Obs.Trace.now_us m.tr12 else 0.0 in
   let start = !(t.counter) in
   let rec go () =
     if !(t.counter) - start >= quota then begin
@@ -310,7 +353,15 @@ let step_c12 t ~quota : outcome =
           (match m.bloom12 with Some b -> Bloom.add b k | None -> ());
           go ()
   in
-  go ()
+  let r = go () in
+  if traced then
+    Obs.Trace.complete m.tr12 ~cat:"merge" ~name:"merge2.quantum" ~ts_us:ts
+      ~dur_us:(Obs.Trace.now_us m.tr12 -. ts)
+      ~args:
+        [ ("quota", Obs.Trace.I quota);
+          ("consumed", Obs.Trace.I (!(t.counter) - start));
+          ("done", Obs.Trace.B (r = `Done)) ];
+  r
 
 let c12_inprogress t =
   let m = t.m12 in
@@ -327,12 +378,20 @@ let c12_progress t =
 
 let finish_c12 t ~timestamp =
   let m = t.m12 in
+  if Obs.Trace.enabled m.tr12 then
+    Obs.Trace.instant m.tr12 ~cat:"merge" ~name:"merge2.commit"
+      ~args:
+        [ ("output_bytes", Obs.Trace.I (Sstable.Builder.data_bytes m.builder12));
+          ("input_bytes", Obs.Trace.I m.read12) ];
   let footer =
     Sstable.Builder.finish m.builder12 ~timestamp
       ~bloom_blob:(bloom_blob_of ~persist:m.persist_bloom12 m.bloom12)
   in
   (footer, Sstable.Builder.index_blob m.builder12, m.bloom12)
 
-let abandon_c12 t = Sstable.Builder.abandon t.m12.builder12
+let abandon_c12 t =
+  if Obs.Trace.enabled t.m12.tr12 then
+    Obs.Trace.instant t.m12.tr12 ~cat:"merge" ~name:"merge2.abort" ~args:[];
+  Sstable.Builder.abandon t.m12.builder12
 
 let c12_inputs t = (t.m12.c1p, t.m12.c2)

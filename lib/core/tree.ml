@@ -42,6 +42,36 @@ type stats = {
   mutable scrubs : int;
   stall_us : Repro_util.Histogram.t;
       (** synchronous merge time charged to each write *)
+  (* Cumulative stall attribution (simulated µs): where the pacing time
+     recorded in [stall_us] actually went. merge1 + merge2 + hard tile
+     the histogram's total within float rounding. WAL and recovery time
+     are charged to writes / recovery outside the pacing window. *)
+  mutable stall_merge1_us : float;
+  mutable stall_merge2_us : float;
+  mutable stall_hard_us : float;
+  mutable wal_us : float;  (** WAL append/group-commit time, all writes *)
+  mutable recovery_us : float;  (** replay + component-rebuild time *)
+}
+
+(** Per-operation stall attribution: how the last write's pacing time
+    ([total_us], the sample added to [stall_us]) divides across causes.
+    [merge1_us + merge2_us + hard_us = total_us] within float rounding;
+    [wal_us] is the WAL append time, charged outside the pacing window. *)
+type stall_breakdown = {
+  sb_merge1_us : float;
+  sb_merge2_us : float;
+  sb_hard_us : float;
+  sb_wal_us : float;
+  sb_total_us : float;
+}
+
+(* Mutable scratch behind {!stall_breakdown}, reset per write. *)
+type stall_scratch = {
+  mutable sc_merge1_us : float;
+  mutable sc_merge2_us : float;
+  mutable sc_hard_us : float;
+  mutable sc_wal_us : float;
+  mutable sc_total_us : float;
 }
 
 type t = {
@@ -57,6 +87,11 @@ type t = {
   mutable merge2 : Merge_process.c12 option;
   mutable timestamp : int;
   stats : stats;
+  scratch : stall_scratch;
+  mutable in_hard_stall : bool;
+      (** inside {!force_space} / the naive drain: merge time is a
+          hard-stall wait, whichever merge performs it *)
+  mutable metrics_cache : Obs.Metrics.t option;
 }
 
 let make_stats () =
@@ -79,6 +114,11 @@ let make_stats () =
     quarantined_components = 0;
     scrubs = 0;
     stall_us = Repro_util.Histogram.create ();
+    stall_merge1_us = 0.0;
+    stall_merge2_us = 0.0;
+    stall_hard_us = 0.0;
+    wal_us = 0.0;
+    recovery_us = 0.0;
   }
 
 let create ?(config = Config.default) ?(root_slot = "") store =
@@ -98,9 +138,23 @@ let create ?(config = Config.default) ?(root_slot = "") store =
     merge2 = None;
     timestamp = 0;
     stats = make_stats ();
+    scratch =
+      { sc_merge1_us = 0.0; sc_merge2_us = 0.0; sc_hard_us = 0.0;
+        sc_wal_us = 0.0; sc_total_us = 0.0 };
+    in_hard_stall = false;
+    metrics_cache = None;
   }
 
 let stats t = t.stats
+
+let last_stall t =
+  {
+    sb_merge1_us = t.scratch.sc_merge1_us;
+    sb_merge2_us = t.scratch.sc_merge2_us;
+    sb_hard_us = t.scratch.sc_hard_us;
+    sb_wal_us = t.scratch.sc_wal_us;
+    sb_total_us = t.scratch.sc_total_us;
+  }
 let store t = t.store
 let disk t = Pagestore.Store.disk t.store
 let config t = t.config
@@ -316,7 +370,7 @@ let complete_merge2 t m =
   ignore (try_promote t)
 
 (* Advance merge1 by [quota] input bytes; starts a run when appropriate. *)
-let step_merge1 t ~quota =
+let do_step_merge1 t ~quota =
   match t.merge1 with
   | Some m -> (
       match guard t ~level:"C1" (fun () -> Merge_process.step_c0 m ~quota) with
@@ -329,7 +383,7 @@ let step_merge1 t ~quota =
         `Started
       else `Idle
 
-let step_merge2 t ~quota =
+let do_step_merge2 t ~quota =
   match t.merge2 with
   | Some m -> (
       match guard t ~level:"C2" (fun () -> Merge_process.step_c12 m ~quota) with
@@ -338,6 +392,31 @@ let step_merge2 t ~quota =
           complete_merge2 t m;
           `Completed)
   | None -> `Idle
+
+(* Stall attribution: every quantum of synchronous merge work is timed on
+   the simulated clock and charged to a cause. The clock only advances
+   inside disk operations, and during pacing those all happen inside
+   these two wrappers — so the per-cause sums tile the pacing window
+   exactly (within float-addition rounding). Work done while
+   [in_hard_stall] is a hard-stall *wait* regardless of which merge
+   performs it: the write is blocked on space, not electively pacing. *)
+let step_merge1 t ~quota =
+  let t0 = Pagestore.Store.now_us t.store in
+  let r = do_step_merge1 t ~quota in
+  let dt = Pagestore.Store.now_us t.store -. t0 in
+  let sc = t.scratch in
+  if t.in_hard_stall then sc.sc_hard_us <- sc.sc_hard_us +. dt
+  else sc.sc_merge1_us <- sc.sc_merge1_us +. dt;
+  r
+
+let step_merge2 t ~quota =
+  let t0 = Pagestore.Store.now_us t.store in
+  let r = do_step_merge2 t ~quota in
+  let dt = Pagestore.Store.now_us t.store -. t0 in
+  let sc = t.scratch in
+  if t.in_hard_stall then sc.sc_hard_us <- sc.sc_hard_us +. dt
+  else sc.sc_merge2_us <- sc.sc_merge2_us +. dt;
+  r
 
 (** {1 Progress estimators} *)
 
@@ -393,21 +472,26 @@ let force_space t =
   t.stats.hard_stalls <- t.stats.hard_stalls + 1;
   let cap = Config.c0_capacity t.config in
   let guard = ref 0 in
-  while Memtable.bytes t.c0 >= cap do
-    incr guard;
-    if !guard > 1_000_000 then failwith "bLSM: stall loop failed to free C0";
-    match step_merge1 t ~quota:(4 * chunk) with
-    | `More | `Completed | `Started -> ()
-    | `Idle ->
-        (* merge1 blocked (C1 full, C1':C2 behind) or sourceless: push the
-           bottom merge *)
-        (match step_merge2 t ~quota:(4 * chunk) with
-        | `More | `Completed -> ()
-        | `Idle | `Started ->
-            (* nothing to do anywhere: C0 must have been drained *)
-            if Memtable.bytes t.c0 >= cap then
-              failwith "bLSM: C0 full but no merge can run")
-  done
+  let was_hard = t.in_hard_stall in
+  t.in_hard_stall <- true;
+  Fun.protect
+    ~finally:(fun () -> t.in_hard_stall <- was_hard)
+    (fun () ->
+      while Memtable.bytes t.c0 >= cap do
+        incr guard;
+        if !guard > 1_000_000 then failwith "bLSM: stall loop failed to free C0";
+        match step_merge1 t ~quota:(4 * chunk) with
+        | `More | `Completed | `Started -> ()
+        | `Idle ->
+            (* merge1 blocked (C1 full, C1':C2 behind) or sourceless: push the
+               bottom merge *)
+            (match step_merge2 t ~quota:(4 * chunk) with
+            | `More | `Completed -> ()
+            | `Idle | `Started ->
+                (* nothing to do anywhere: C0 must have been drained *)
+                if Memtable.bytes t.c0 >= cap then
+                  failwith "bLSM: C0 full but no merge can run")
+      done)
 
 let pace_naive t ~write_bytes:_ =
   (* The base LSM algorithm (§2.3.1): nothing happens until C0 is full,
@@ -422,17 +506,22 @@ let pace_naive t ~write_bytes:_ =
       && (match t.frozen with Some f -> Memtable.is_empty f | None -> true)
       && t.merge1 = None
     in
-    while not (drained ()) do
-      incr guard;
-      if !guard > 1_000_000 then failwith "bLSM: naive drain stuck";
-      match step_merge1 t ~quota:(16 * chunk) with
-      | `More | `Completed | `Started -> ()
-      | `Idle -> (
-          match step_merge2 t ~quota:(16 * chunk) with
-          | `More | `Completed -> ()
-          | `Idle | `Started ->
-              if not (drained ()) then failwith "bLSM: naive drain wedged")
-    done
+    let was_hard = t.in_hard_stall in
+    t.in_hard_stall <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_hard_stall <- was_hard)
+      (fun () ->
+        while not (drained ()) do
+          incr guard;
+          if !guard > 1_000_000 then failwith "bLSM: naive drain stuck";
+          match step_merge1 t ~quota:(16 * chunk) with
+          | `More | `Completed | `Started -> ()
+          | `Idle -> (
+              match step_merge2 t ~quota:(16 * chunk) with
+              | `More | `Completed -> ()
+              | `Idle | `Started ->
+                  if not (drained ()) then failwith "bLSM: naive drain wedged")
+        done)
   end
 
 let pace_gear t ~write_bytes:_ =
@@ -512,25 +601,74 @@ let pace_spring t ~write_bytes =
       done);
   if Memtable.bytes t.c0 >= budget then force_space t
 
+let scheduler_name = function
+  | Config.Naive -> "naive"
+  | Config.Gear -> "gear"
+  | Config.Spring -> "spring"
+
 let before_write t ~write_bytes =
+  let sc = t.scratch in
+  sc.sc_merge1_us <- 0.0;
+  sc.sc_merge2_us <- 0.0;
+  sc.sc_hard_us <- 0.0;
+  sc.sc_wal_us <- 0.0;
+  sc.sc_total_us <- 0.0;
+  let tr = Pagestore.Store.trace t.store in
+  if Obs.Trace.enabled tr then
+    (* one event per pacing decision, carrying the §4.1 inputs the
+       scheduler is about to act on *)
+    Obs.Trace.instant tr ~cat:"sched" ~name:"pace"
+      ~args:
+        [ ("scheduler", Obs.Trace.S (scheduler_name t.config.Config.scheduler));
+          ("c0_fill", Obs.Trace.F (c0_fill t));
+          ("inprogress1", Obs.Trace.F (merge1_inprogress t));
+          ("inprogress2", Obs.Trace.F (merge2_inprogress t));
+          ("outprogress1", Obs.Trace.F (outprogress1 t));
+          ("write_bytes", Obs.Trace.I write_bytes) ];
   let t0 = Pagestore.Store.now_us t.store in
   (match t.config.Config.scheduler with
   | Config.Naive -> pace_naive t ~write_bytes
   | Config.Gear -> pace_gear t ~write_bytes
   | Config.Spring -> pace_spring t ~write_bytes);
   let dt = Pagestore.Store.now_us t.store -. t0 in
+  sc.sc_total_us <- dt;
+  t.stats.stall_merge1_us <- t.stats.stall_merge1_us +. sc.sc_merge1_us;
+  t.stats.stall_merge2_us <- t.stats.stall_merge2_us +. sc.sc_merge2_us;
+  t.stats.stall_hard_us <- t.stats.stall_hard_us +. sc.sc_hard_us;
   Repro_util.Histogram.add t.stats.stall_us (int_of_float dt)
 
 (** {1 Write path} *)
 
-let write_entry t key entry =
+(* Emit the write's span: wall-to-wall duration plus the stall
+   attribution the breakdown scratch accumulated during this write. *)
+let emit_write_span t tr ~op ~ts =
+  let sc = t.scratch in
+  Obs.Trace.complete tr ~cat:"tree" ~name:op ~ts_us:ts
+    ~dur_us:(Obs.Trace.now_us tr -. ts)
+    ~args:
+      [ ("stall_us", Obs.Trace.F sc.sc_total_us);
+        ("merge1_us", Obs.Trace.F sc.sc_merge1_us);
+        ("merge2_us", Obs.Trace.F sc.sc_merge2_us);
+        ("hard_us", Obs.Trace.F sc.sc_hard_us);
+        ("wal_us", Obs.Trace.F sc.sc_wal_us);
+        ("c0_fill", Obs.Trace.F (c0_fill t)) ]
+
+let write_entry ?(op = "put") t key entry =
+  let tr = Pagestore.Store.trace t.store in
+  let traced = Obs.Trace.enabled tr in
+  let ts = if traced then Obs.Trace.now_us tr else 0.0 in
   let bytes = String.length key + Kv.Entry.payload_bytes entry in
   before_write t ~write_bytes:(max 64 bytes);
+  let t_wal = Pagestore.Store.now_us t.store in
   let lsn =
     Pagestore.Wal.append (Pagestore.Store.wal t.store) (encode_ops [ (key, entry) ])
   in
+  let wal_dt = Pagestore.Store.now_us t.store -. t_wal in
+  t.scratch.sc_wal_us <- t.scratch.sc_wal_us +. wal_dt;
+  t.stats.wal_us <- t.stats.wal_us +. wal_dt;
   Memtable.write t.c0 ~lsn key entry;
-  t.stats.user_bytes_written <- t.stats.user_bytes_written + bytes
+  t.stats.user_bytes_written <- t.stats.user_bytes_written + bytes;
+  if traced then emit_write_span t tr ~op ~ts
 
 (** [write_batch t ops] applies [ops] atomically: one log record covers
     the whole batch, so after a crash either every operation is recovered
@@ -538,16 +676,24 @@ let write_entry t key entry =
     same key win). *)
 let write_batch t ops =
   if ops <> [] then begin
+    let tr = Pagestore.Store.trace t.store in
+    let traced = Obs.Trace.enabled tr in
+    let ts = if traced then Obs.Trace.now_us tr else 0.0 in
     let bytes =
       List.fold_left
         (fun a (k, e) -> a + String.length k + Kv.Entry.payload_bytes e)
         0 ops
     in
     before_write t ~write_bytes:(max 64 bytes);
+    let t_wal = Pagestore.Store.now_us t.store in
     let lsn = Pagestore.Wal.append (Pagestore.Store.wal t.store) (encode_ops ops) in
+    let wal_dt = Pagestore.Store.now_us t.store -. t_wal in
+    t.scratch.sc_wal_us <- t.scratch.sc_wal_us +. wal_dt;
+    t.stats.wal_us <- t.stats.wal_us +. wal_dt;
     List.iter (fun (key, entry) -> Memtable.write t.c0 ~lsn key entry) ops;
     t.stats.puts <- t.stats.puts + List.length ops;
-    t.stats.user_bytes_written <- t.stats.user_bytes_written + bytes
+    t.stats.user_bytes_written <- t.stats.user_bytes_written + bytes;
+    if traced then emit_write_span t tr ~op:"batch" ~ts
   end
 
 (** [put t key value]: blind write — insert or overwrite, zero seeks. *)
@@ -558,13 +704,13 @@ let put t key value =
 (** [delete t key]: blind tombstone write. *)
 let delete t key =
   t.stats.deletes <- t.stats.deletes + 1;
-  write_entry t key Kv.Entry.Tombstone
+  write_entry ~op:"delete" t key Kv.Entry.Tombstone
 
 (** [apply_delta t key d]: zero-seek delta write (§2.3); the delta is
     resolved against the base record by reads and merges. *)
 let apply_delta t key d =
   t.stats.deltas <- t.stats.deltas + 1;
-  write_entry t key (Kv.Entry.Delta [ d ])
+  write_entry ~op:"delta" t key (Kv.Entry.Delta [ d ])
 
 (** {1 Read path} *)
 
@@ -683,14 +829,23 @@ let interpret t = function
     Bloom filters and early termination. *)
 let get t key =
   t.stats.gets <- t.stats.gets + 1;
-  interpret t (lookup_entry t key)
+  let tr = Pagestore.Store.trace t.store in
+  if not (Obs.Trace.enabled tr) then interpret t (lookup_entry t key)
+  else begin
+    let ts = Obs.Trace.now_us tr in
+    let r = interpret t (lookup_entry t key) in
+    Obs.Trace.complete tr ~cat:"tree" ~name:"get" ~ts_us:ts
+      ~dur_us:(Obs.Trace.now_us tr -. ts)
+      ~args:[ ("found", Obs.Trace.B (r <> None)) ];
+    r
+  end
 
 (** [read_modify_write t key f] reads, applies [f], writes back: the
     B-Tree-equivalent primitive (1 seek vs InnoDB's 2, Table 1). *)
 let read_modify_write t key f =
   t.stats.rmws <- t.stats.rmws + 1;
   let v = interpret t (lookup_entry t key) in
-  write_entry t key (Kv.Entry.Base (f v))
+  write_entry ~op:"rmw" t key (Kv.Entry.Base (f v))
 
 (** [insert_if_absent t key value] checks for the key and inserts only if
     missing. The check consults C0 and the Bloom filters; when every
@@ -706,7 +861,7 @@ let insert_if_absent t key value =
   match existing with
   | Some _ -> false
   | None ->
-      write_entry t key (Kv.Entry.Base value);
+      write_entry ~op:"insert_if_absent" t key (Kv.Entry.Base value);
       true
 
 (** {1 Scans} *)
@@ -779,6 +934,9 @@ let rec cursor_next c =
 (** [scan t start n] returns up to [n] live records with key >= [start],
     fully resolved. Touches every component: 2-3 seeks (§3.3). *)
 let scan t start n =
+  let tr = Pagestore.Store.trace t.store in
+  let traced = Obs.Trace.enabled tr in
+  let ts = if traced then Obs.Trace.now_us tr else 0.0 in
   let c = cursor ~from:start t in
   let rec collect acc k =
     if k = 0 then List.rev acc
@@ -787,7 +945,14 @@ let scan t start n =
       | None -> List.rev acc
       | Some row -> collect (row :: acc) (k - 1)
   in
-  collect [] n
+  let rows = collect [] n in
+  if traced then
+    Obs.Trace.complete tr ~cat:"tree" ~name:"scan" ~ts_us:ts
+      ~dur_us:(Obs.Trace.now_us tr -. ts)
+      ~args:
+        [ ("requested", Obs.Trace.I n);
+          ("returned", Obs.Trace.I (List.length rows)) ];
+  rows
 
 (** {1 Maintenance, flush, recovery} *)
 
@@ -841,6 +1006,7 @@ let flush t =
     that touch a rotted page fail, with the typed {!Corruption}), and an
     unopenable one is a typed recovery failure. Never a wrong answer. *)
 let crash_and_recover ?(should_replay = fun _ -> true) ?(verify = false) t =
+  let t_rec = Pagestore.Store.now_us t.store in
   (* abort in-flight merge transactions: their output regions are freed,
      exactly as Stasis would roll back an uncommitted merge *)
   (match t.merge1 with Some m -> Merge_process.abandon_c0 m | None -> ());
@@ -994,6 +1160,15 @@ let crash_and_recover ?(should_replay = fun _ -> true) ?(verify = false) t =
       fresh.stats.corruptions_detected <- fresh.stats.corruptions_detected + 1;
       raise (Corruption { level = "WAL"; what; page_or_lsn = lsn }));
   if !rebuilds > 0 then commit_root fresh;
+  let rec_dt = Pagestore.Store.now_us t.store -. t_rec in
+  fresh.stats.recovery_us <- fresh.stats.recovery_us +. rec_dt;
+  let tr = Pagestore.Store.trace t.store in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.complete tr ~cat:"tree" ~name:"recovery" ~ts_us:t_rec
+      ~dur_us:rec_dt
+      ~args:
+        [ ("rebuilds", Obs.Trace.I !rebuilds);
+          ("replayed_c0_bytes", Obs.Trace.I (Memtable.bytes fresh.c0)) ];
   fresh
 
 (** {1 Scrubbing} *)
@@ -1081,6 +1256,79 @@ let bloom_bytes t =
       | _ -> acc)
     0
     [ t.c1; t.c1_prime; t.c2 ]
+
+(** {1 Metrics} *)
+
+(** [metrics t] is the tree's registry: every [tree.*] stat plus the
+    whole store stack ([disk.*], [wal.*], [buf.*], [faults.*]) as
+    pull-closures over the live records. Built once per tree and cached;
+    dumps sample at call time. *)
+let metrics t =
+  match t.metrics_cache with
+  | Some reg -> reg
+  | None ->
+      let reg = Obs.Metrics.create () in
+      let open Obs.Metrics in
+      let s = t.stats in
+      counter reg "tree.puts" ~help:"blind writes" (fun () -> s.puts);
+      counter reg "tree.gets" ~help:"point lookups" (fun () -> s.gets);
+      counter reg "tree.deletes" ~help:"tombstone writes" (fun () -> s.deletes);
+      counter reg "tree.deltas" ~help:"delta writes" (fun () -> s.deltas);
+      counter reg "tree.scans" ~help:"range scans" (fun () -> s.scans);
+      counter reg "tree.rmws" ~help:"read-modify-writes" (fun () -> s.rmws);
+      counter reg "tree.checked_inserts" ~help:"insert-if-absent calls"
+        (fun () -> s.checked_inserts);
+      counter reg "tree.checked_insert_seekfree"
+        ~help:"insert-if-absent resolved by Bloom filters alone" (fun () ->
+          s.checked_insert_seekfree);
+      counter reg "tree.merge1_completions" ~help:"C0:C1 runs committed"
+        (fun () -> s.merge1_completions);
+      counter reg "tree.merge2_completions" ~help:"C1':C2 merges committed"
+        (fun () -> s.merge2_completions);
+      counter reg "tree.promotions" ~help:"C1 -> C1' promotions" (fun () ->
+          s.promotions);
+      counter reg "tree.hard_stalls" ~help:"writes that hit the C0 hard limit"
+        (fun () -> s.hard_stalls);
+      counter reg "tree.user_bytes_written" ~help:"application payload bytes"
+        (fun () -> s.user_bytes_written);
+      counter reg "tree.corruptions_detected" ~help:"checksum mismatches seen"
+        (fun () -> s.corruptions_detected);
+      counter reg "tree.component_rebuilds" ~help:"components rebuilt from WAL"
+        (fun () -> s.component_rebuilds);
+      counter reg "tree.quarantined_components"
+        ~help:"corrupt components mounted read-around" (fun () ->
+          s.quarantined_components);
+      counter reg "tree.scrubs" ~help:"scrub passes" (fun () -> s.scrubs);
+      histogram reg "tree.stall_us" ~help:"per-write pacing time, µs"
+        s.stall_us;
+      gauge reg "tree.stall.merge1_us" ~help:"pacing time spent in merge1, µs"
+        (fun () -> s.stall_merge1_us);
+      gauge reg "tree.stall.merge2_us" ~help:"pacing time spent in merge2, µs"
+        (fun () -> s.stall_merge2_us);
+      gauge reg "tree.stall.hard_us" ~help:"pacing time spent hard-stalled, µs"
+        (fun () -> s.stall_hard_us);
+      gauge reg "tree.wal_us" ~help:"WAL append/group-commit time, µs"
+        (fun () -> s.wal_us);
+      gauge reg "tree.recovery_us" ~help:"recovery replay/rebuild time, µs"
+        (fun () -> s.recovery_us);
+      gauge reg "tree.c0_fill" ~help:"C0 fill fraction" (fun () -> c0_fill t);
+      gauge reg "tree.c0_bytes" ~help:"C0 bytes" (fun () ->
+          float_of_int (Memtable.bytes t.c0));
+      gauge reg "tree.disk_data_bytes" ~help:"bytes in C1 + C1' + C2"
+        (fun () -> float_of_int (disk_data_bytes t));
+      gauge reg "tree.effective_r" ~help:"effective size ratio R" (fun () ->
+          effective_r t);
+      gauge reg "tree.bloom_bytes" ~help:"Bloom filter RAM" (fun () ->
+          float_of_int (bloom_bytes t));
+      gauge reg "tree.inprogress1" ~help:"merge1 progress estimator (§4.1)"
+        (fun () -> merge1_inprogress t);
+      gauge reg "tree.inprogress2" ~help:"merge2 progress estimator (§4.1)"
+        (fun () -> merge2_inprogress t);
+      gauge reg "tree.outprogress1" ~help:"merge1 out-progress target (§4.1)"
+        (fun () -> outprogress1 t);
+      Pagestore.Store.register_metrics reg t.store;
+      t.metrics_cache <- Some reg;
+      reg
 
 (** {1 Engine adapter} *)
 

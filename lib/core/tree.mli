@@ -48,6 +48,27 @@ type stats = {
       (** corrupt components mounted read-around at recovery *)
   mutable scrubs : int;
   stall_us : Repro_util.Histogram.t;
+  mutable stall_merge1_us : float;
+      (** cumulative pacing time spent in merge1 quanta, simulated µs *)
+  mutable stall_merge2_us : float;
+      (** cumulative pacing time spent in merge2 quanta *)
+  mutable stall_hard_us : float;
+      (** cumulative pacing time spent waiting out hard C0 stalls *)
+  mutable wal_us : float;
+      (** cumulative WAL append / group-commit time (outside pacing) *)
+  mutable recovery_us : float;  (** replay + component-rebuild time *)
+}
+
+(** Per-operation stall attribution: how the last write's pacing time
+    divided across causes. [merge1_us + merge2_us + hard_us = total_us]
+    within float rounding ([total_us] is the sample added to
+    [stall_us]); [wal_us] is WAL append time, charged outside pacing. *)
+type stall_breakdown = {
+  sb_merge1_us : float;
+  sb_merge2_us : float;
+  sb_hard_us : float;
+  sb_wal_us : float;
+  sb_total_us : float;
 }
 
 (** [create ?config ?root_slot store] opens an empty tree on [store].
@@ -60,6 +81,16 @@ val config : t -> Config.t
 val store : t -> Pagestore.Store.t
 val disk : t -> Simdisk.Disk.t
 val stats : t -> stats
+
+(** Stall attribution of the most recent write (valid after any
+    [put]/[delete]/[apply_delta]/[read_modify_write]/batch). *)
+val last_stall : t -> stall_breakdown
+
+(** [metrics t] is the tree's metrics registry — every [tree.*] stat
+    plus the underlying store's [disk.*]/[wal.*]/[buf.*]/[faults.*]
+    metrics, registered as pull-closures over the live stat records.
+    Built once per tree and cached; dumps sample at call time. *)
+val metrics : t -> Obs.Metrics.t
 
 (** {1 Writes — all blind, zero seeks (§3.1.2)} *)
 

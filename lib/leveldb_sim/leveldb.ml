@@ -80,6 +80,7 @@ type t = {
   mutable work_credit : float;  (** compaction bytes the thread may spend *)
   mutable timestamp : int;
   stats : stats;
+  mutable metrics_cache : Obs.Metrics.t option;
 }
 
 let create ?(config = default_config) store =
@@ -95,9 +96,36 @@ let create ?(config = default_config) store =
     stats =
       { flushes = 0; compactions = 0; slowdown_writes = 0; stop_stalls = 0;
         bytes_compacted = 0 };
+    metrics_cache = None;
   }
 
 let stats t = t.stats
+
+(** [metrics t] is the engine's registry: the [leveldb.*] stats plus the
+    store stack, as pull-closures over the live records. *)
+let metrics t =
+  match t.metrics_cache with
+  | Some reg -> reg
+  | None ->
+      let reg = Obs.Metrics.create () in
+      let open Obs.Metrics in
+      let s = t.stats in
+      counter reg "leveldb.flushes" ~help:"memtable flushes to L0" (fun () ->
+          s.flushes);
+      counter reg "leveldb.compactions" ~help:"compactions run" (fun () ->
+          s.compactions);
+      counter reg "leveldb.slowdown_writes" ~help:"writes hit by the L0 slowdown"
+        (fun () -> s.slowdown_writes);
+      counter reg "leveldb.stop_stalls" ~help:"writes hit by the L0 hard stop"
+        (fun () -> s.stop_stalls);
+      counter reg "leveldb.bytes_compacted" ~help:"lifetime compaction input bytes"
+        (fun () -> s.bytes_compacted);
+      gauge reg "leveldb.files" ~help:"table files across all levels" (fun () ->
+          float_of_int
+            (Array.fold_left (fun acc l -> acc + List.length l) 0 t.levels));
+      Pagestore.Store.register_metrics reg t.store;
+      t.metrics_cache <- Some reg;
+      reg
 let store t = t.store
 let disk t = Pagestore.Store.disk t.store
 let config t = t.config

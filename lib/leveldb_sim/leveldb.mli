@@ -44,6 +44,11 @@ type t
 val create : ?config:config -> Pagestore.Store.t -> t
 
 val stats : t -> stats
+
+(** [metrics t] is the engine's metrics registry ([leveldb.*] plus the
+    store's [disk.*]/[wal.*]/[buf.*]/[faults.*]), pull-closures over the
+    live stat records; built once and cached. *)
+val metrics : t -> Obs.Metrics.t
 val store : t -> Pagestore.Store.t
 val disk : t -> Simdisk.Disk.t
 val config : t -> config

@@ -1,0 +1,67 @@
+(** Deterministic event tracing keyed to the simulated clock.
+
+    A tracer is created once per store with a clock closure and is a
+    no-op until a sink is attached ({!enable_file} / {!enable_buffer}).
+    Emission sites gate on {!enabled} so a disabled tracer costs one
+    mutable-field load on the hot path and allocates nothing.
+
+    Two wire formats:
+    - [Chrome]: a Chrome [trace_event] document
+      [{"traceEvents":[...]}] loadable in [chrome://tracing] / Perfetto;
+      spans are "X" (complete) events, instants are "i" events.
+    - [Jsonl]: one JSON object per line, no enclosing document —
+      cheap to stream and to post-process with line-oriented tools.
+
+    All timestamps come from the simulated clock (µs), and floats are
+    printed with a fixed ["%.3f"] format, so two runs with the same seed
+    produce byte-identical trace output. *)
+
+type t
+
+type format = Chrome | Jsonl
+
+(** Event argument payload. *)
+type arg = I of int | F of float | S of string | B of bool
+
+(** [create ~now ()] makes a disabled tracer reading timestamps from
+    [now] (simulated µs). *)
+val create : ?now:(unit -> float) -> unit -> t
+
+(** Current simulated time as seen by this tracer. *)
+val now_us : t -> float
+
+(** True when a sink is attached. Instrumentation sites check this
+    before computing event arguments. *)
+val enabled : t -> bool
+
+(** Events written since [create] (across all sinks ever attached) —
+    the perf harness asserts this stays 0 for disabled-tracer runs. *)
+val events_emitted : t -> int
+
+(** [enable_file t ~format path] starts writing events to [path],
+    replacing any current sink (the old sink is finalised first). *)
+val enable_file : t -> format:format -> string -> unit
+
+(** [enable_buffer t ~format] collects output in memory; the returned
+    closure finalises the document and returns its full contents
+    (used for byte-identical determinism checks). *)
+val enable_buffer : t -> format:format -> (unit -> string)
+
+(** Detach and finalise the current sink (writes the Chrome document
+    footer, flushes, closes the file). No-op when disabled. *)
+val disable : t -> unit
+
+(** [instant t ~cat ~name ~args] emits a point event stamped with the
+    current simulated time. No-op when disabled. *)
+val instant : t -> cat:string -> name:string -> args:(string * arg) list -> unit
+
+(** [complete t ~cat ~name ~ts_us ~dur_us ~args] emits a span covering
+    [\[ts_us, ts_us + dur_us\]]. No-op when disabled. *)
+val complete :
+  t ->
+  cat:string ->
+  name:string ->
+  ts_us:float ->
+  dur_us:float ->
+  args:(string * arg) list ->
+  unit

@@ -34,6 +34,8 @@ type t = {
   mutable evictions : int;
   mutable last_writeback : Page.id;
   mutable faults : Simdisk.Faults.t;
+  mutable trace : Obs.Trace.t;
+  mutable pins_taken : int; (* lifetime pin acquisitions, all access paths *)
 }
 
 let create disk platter ~capacity_pages =
@@ -54,11 +56,20 @@ let create disk platter ~capacity_pages =
     evictions = 0;
     last_writeback = -10;
     faults = Simdisk.Faults.create ();
+    trace = Obs.Trace.create ();
+    pins_taken = 0;
   }
 
 let capacity t = Array.length t.frames
 
 let set_faults t plan = t.faults <- plan
+let set_trace t tr = t.trace <- tr
+
+(* Every access path pins its frame for the callback's duration; count
+   them all so the metrics registry can expose pin traffic. *)
+let take_pin t f =
+  f.pins <- f.pins + 1;
+  t.pins_taken <- t.pins_taken + 1
 
 let writeback t frame =
   if frame.dirty then begin
@@ -112,6 +123,9 @@ let load t id ~seq =
       let f = find_victim t in
       if f.page >= 0 then begin
         t.evictions <- t.evictions + 1;
+        if Obs.Trace.enabled t.trace then
+          Obs.Trace.instant t.trace ~cat:"buf" ~name:"evict"
+            ~args:[ ("page", Obs.Trace.I f.page); ("dirty", Obs.Trace.B f.dirty) ];
         writeback t f;
         Hashtbl.remove t.index f.page
       end;
@@ -130,14 +144,14 @@ let load t id ~seq =
     unpins. The callback must not retain the buffer. *)
 let with_page t id ~seq fn =
   let f = load t id ~seq in
-  f.pins <- f.pins + 1;
+  take_pin t f;
   Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> fn f.data)
 
 (** [with_page_mut] is [with_page] but marks the frame dirty. Mutation
     invalidates the verified bit and any derived metadata. *)
 let with_page_mut t id ~seq fn =
   let f = load t id ~seq in
-  f.pins <- f.pins + 1;
+  take_pin t f;
   f.dirty <- true;
   f.verified <- false;
   f.starts <- None;
@@ -156,7 +170,7 @@ let ensure_verified f ~verify =
     skip the check. *)
 let with_page_verified t id ~seq ~verify fn =
   let f = load t id ~seq in
-  f.pins <- f.pins + 1;
+  take_pin t f;
   Fun.protect
     ~finally:(fun () -> f.pins <- f.pins - 1)
     (fun () ->
@@ -169,7 +183,7 @@ let with_page_verified t id ~seq ~verify fn =
     after [verify], so derived offsets never come from unverified bytes. *)
 let with_page_starts t id ~seq ~verify ~derive fn =
   let f = load t id ~seq in
-  f.pins <- f.pins + 1;
+  take_pin t f;
   Fun.protect
     ~finally:(fun () -> f.pins <- f.pins - 1)
     (fun () ->
@@ -196,11 +210,14 @@ type pin = { p_frame : frame; p_page : Page.id }
 
 let pin t id ~seq ~verify =
   let f = load t id ~seq in
-  f.pins <- f.pins + 1;
+  take_pin t f;
   (try ensure_verified f ~verify
    with e ->
      f.pins <- f.pins - 1;
      raise e);
+  if Obs.Trace.enabled t.trace then
+    Obs.Trace.instant t.trace ~cat:"buf" ~name:"pin"
+      ~args:[ ("page", Obs.Trace.I id) ];
   { p_frame = f; p_page = id }
 
 let pin_bytes p = p.p_frame.data
@@ -254,6 +271,10 @@ let crash t =
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let pins_taken t = t.pins_taken
+
+let pinned_frames t =
+  Array.fold_left (fun acc f -> if f.pins > 0 then acc + 1 else acc) 0 t.frames
 
 let hit_rate t =
   let total = t.hits + t.misses in

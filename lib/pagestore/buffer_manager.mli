@@ -13,6 +13,10 @@ val capacity : t -> int
 (** Attach a fault-injection plan; dirty-frame writebacks consult it. *)
 val set_faults : t -> Simdisk.Faults.t -> unit
 
+(** Attach a tracer; evictions and explicit pins emit events on it.
+    Usually the store's shared tracer. *)
+val set_trace : t -> Obs.Trace.t -> unit
+
 (** [with_page t id ~seq f] pins page [id], applies [f], unpins. *)
 val with_page : t -> Page.id -> seq:bool -> (Bytes.t -> 'a) -> 'a
 
@@ -82,3 +86,9 @@ val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
 val hit_rate : t -> float
+
+(** Lifetime pin acquisitions across every access path. *)
+val pins_taken : t -> int
+
+(** Frames currently held by at least one pin. *)
+val pinned_frames : t -> int

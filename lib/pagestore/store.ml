@@ -15,6 +15,9 @@ type t = {
   buffer : Buffer_manager.t;
   wal : Wal.t;
   page_size : int;
+  trace : Obs.Trace.t;
+      (* one tracer per store, on the simulated clock, shared by the WAL,
+         the buffer manager, and every engine hosted on this store *)
   mutable faults : Simdisk.Faults.t;
   (* The journal: force-written metadata blobs (think Stasis' physical
      log distilled to its recovery-visible effect), one slot per tree
@@ -36,14 +39,21 @@ let default_config =
 let create ?(config = default_config) profile =
   let disk = Simdisk.Disk.create profile in
   let platter = Platter.create ~page_size:config.cfg_page_size in
+  let trace = Obs.Trace.create ~now:(fun () -> Simdisk.Disk.now_us disk) () in
+  let buffer =
+    Buffer_manager.create disk platter ~capacity_pages:config.cfg_buffer_pages
+  in
+  let wal = Wal.create ~durability:config.cfg_durability disk in
+  Buffer_manager.set_trace buffer trace;
+  Wal.set_trace wal trace;
   {
     disk;
     platter;
     allocator = Region_allocator.create ();
-    buffer =
-      Buffer_manager.create disk platter ~capacity_pages:config.cfg_buffer_pages;
-    wal = Wal.create ~durability:config.cfg_durability disk;
+    buffer;
+    wal;
     page_size = config.cfg_page_size;
+    trace;
     faults = Simdisk.Faults.create ();
     roots = Hashtbl.create 4;
     root_writes = 0;
@@ -63,6 +73,68 @@ let set_faults t plan =
   Buffer_manager.set_faults t.buffer plan
 
 let faults t = t.faults
+let trace t = t.trace
+
+(** [register_metrics reg t] registers the store's whole stack — disk
+    counters, WAL, buffer pool, fault injection — as pull-closures over
+    the live stat records (the compatibility shim: the records stay the
+    hot-path representation, the registry samples them at dump time). *)
+let register_metrics reg t =
+  let open Obs.Metrics in
+  let dsnap f = fun () -> f (Simdisk.Disk.snapshot t.disk) in
+  counter reg "disk.seeks" ~help:"random positionings (reads + writes)"
+    (dsnap (fun s -> s.Simdisk.Disk.seeks));
+  counter reg "disk.random_writes" ~help:"random in-place page writes"
+    (dsnap (fun s -> s.Simdisk.Disk.random_writes));
+  counter reg "disk.seq_read_bytes" ~help:"streamed read bytes"
+    (dsnap (fun s -> s.Simdisk.Disk.seq_read_bytes));
+  counter reg "disk.seq_write_bytes" ~help:"streamed write bytes"
+    (dsnap (fun s -> s.Simdisk.Disk.seq_write_bytes));
+  counter reg "disk.random_read_bytes" ~help:"random-read bytes"
+    (dsnap (fun s -> s.Simdisk.Disk.random_read_bytes));
+  counter reg "disk.random_write_bytes" ~help:"random-write bytes"
+    (dsnap (fun s -> s.Simdisk.Disk.random_write_bytes));
+  gauge reg "disk.now_us" ~help:"simulated clock, microseconds"
+    (fun () -> Simdisk.Disk.now_us t.disk);
+  gauge reg "disk.stored_bytes" ~help:"bytes durably stored (space amp)"
+    (fun () -> float_of_int (Platter.stored_bytes t.platter));
+  counter reg "wal.size_bytes" ~help:"live WAL bytes"
+    (fun () -> Wal.size_bytes t.wal);
+  counter reg "wal.appended_bytes" ~help:"lifetime appended bytes (write amp)"
+    (fun () -> Wal.appended_bytes t.wal);
+  counter reg "wal.synced_lsn" ~help:"highest durable LSN"
+    (fun () -> Wal.synced_lsn t.wal);
+  counter reg "wal.truncated_to" ~help:"lowest live LSN"
+    (fun () -> Wal.truncated_to t.wal);
+  counter reg "wal.torn_tail_drops" ~help:"torn tail records dropped by replay"
+    (fun () -> Wal.torn_tail_drops t.wal);
+  counter reg "wal.dropped_unsynced" ~help:"records lost to the group-commit window"
+    (fun () -> Wal.dropped_unsynced t.wal);
+  counter reg "buf.hits" ~help:"buffer-pool hits" (fun () ->
+      Buffer_manager.hits t.buffer);
+  counter reg "buf.misses" ~help:"buffer-pool misses" (fun () ->
+      Buffer_manager.misses t.buffer);
+  counter reg "buf.evictions" ~help:"frames evicted" (fun () ->
+      Buffer_manager.evictions t.buffer);
+  counter reg "buf.pins_taken" ~help:"lifetime pin acquisitions" (fun () ->
+      Buffer_manager.pins_taken t.buffer);
+  gauge reg "buf.pinned_frames" ~help:"frames currently pinned" (fun () ->
+      float_of_int (Buffer_manager.pinned_frames t.buffer));
+  gauge reg "buf.hit_rate" ~help:"hits / (hits + misses)" (fun () ->
+      Buffer_manager.hit_rate t.buffer);
+  (* read through [t.faults] at sample time: [set_faults] swaps plans *)
+  counter reg "faults.injected_lost_writes" ~help:"page writes silently dropped"
+    (fun () -> (Simdisk.Faults.counters t.faults).Simdisk.Faults.injected_lost_writes);
+  counter reg "faults.injected_bit_flips" ~help:"stored bits flipped"
+    (fun () -> (Simdisk.Faults.counters t.faults).Simdisk.Faults.injected_bit_flips);
+  counter reg "faults.injected_torn_writes" ~help:"writes torn at power loss"
+    (fun () -> (Simdisk.Faults.counters t.faults).Simdisk.Faults.injected_torn_writes);
+  counter reg "faults.crashes_fired" ~help:"scheduled crash points hit"
+    (fun () -> (Simdisk.Faults.counters t.faults).Simdisk.Faults.crashes_fired);
+  counter reg "store.root_writes" ~help:"metadata root force-writes"
+    (fun () -> t.root_writes);
+  counter reg "trace.events_emitted" ~help:"trace events written so far"
+    (fun () -> Obs.Trace.events_emitted t.trace)
 
 (** {1 Regions} *)
 

@@ -32,6 +32,15 @@ val set_faults : t -> Simdisk.Faults.t -> unit
 
 val faults : t -> Simdisk.Faults.t
 
+(** The store's tracer: created with the store on its simulated clock
+    and shared by the WAL, buffer manager, and hosted engines. Disabled
+    (no sink) until [Obs.Trace.enable_file]/[enable_buffer]. *)
+val trace : t -> Obs.Trace.t
+
+(** [register_metrics reg t] registers disk/WAL/buffer/fault metrics as
+    pull-closures over the store's live stat records. *)
+val register_metrics : Obs.Metrics.t -> t -> unit
+
 (** Simulated clock, µs. *)
 val now_us : t -> float
 

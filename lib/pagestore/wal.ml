@@ -35,6 +35,7 @@ type t = {
   group_commit_bytes : int;
       (* Degraded: bytes appended between group-commit syncs *)
   mutable faults : Simdisk.Faults.t;
+  mutable trace : Obs.Trace.t;
   mutable records : record list; (* newest first *)
   mutable next_lsn : int;
   mutable truncated_to : int; (* lsns below this are gone *)
@@ -53,6 +54,7 @@ type t = {
 let create ?(durability = Full) ?(group_commit_bytes = 4096) disk =
   { disk; durability; group_commit_bytes;
     faults = Simdisk.Faults.create ();
+    trace = Obs.Trace.create ();
     records = []; next_lsn = 1; truncated_to = 1;
     synced_lsn = 0; unsynced_bytes = 0;
     bytes = 0; appended_bytes = 0;
@@ -60,6 +62,7 @@ let create ?(durability = Full) ?(group_commit_bytes = 4096) disk =
     floors = Hashtbl.create 4 }
 
 let set_faults t f = t.faults <- f
+let set_trace t tr = t.trace <- tr
 
 (* Each record pays a fixed framing overhead:
    u64 lsn @0, u32 payload length @8, u32 CRC32C @12 (over bytes [0,12)
@@ -112,6 +115,11 @@ let verify_frame frame =
 
 let sync t =
   (match t.records with r :: _ -> t.synced_lsn <- max t.synced_lsn r.lsn | [] -> ());
+  if Obs.Trace.enabled t.trace && t.unsynced_bytes > 0 then
+    Obs.Trace.instant t.trace ~cat:"wal" ~name:"group_commit_sync"
+      ~args:
+        [ ("bytes", Obs.Trace.I t.unsynced_bytes);
+          ("synced_lsn", Obs.Trace.I t.synced_lsn) ];
   t.unsynced_bytes <- 0
 
 let store_record t ~lsn frame =
@@ -180,7 +188,12 @@ and truncate t ~upto_lsn =
     let dropped = List.fold_left (fun a r -> a + String.length r.frame) 0 drop in
     t.records <- keep;
     t.bytes <- t.bytes - dropped;
-    t.truncated_to <- upto_lsn
+    t.truncated_to <- upto_lsn;
+    if Obs.Trace.enabled t.trace then
+      Obs.Trace.instant t.trace ~cat:"wal" ~name:"truncate"
+        ~args:
+          [ ("upto_lsn", Obs.Trace.I upto_lsn);
+            ("dropped_bytes", Obs.Trace.I dropped) ]
   end
 
 (* Drop one specific record (the torn tail found by replay). *)

@@ -26,6 +26,10 @@ val create : ?durability:durability -> ?group_commit_bytes:int -> Simdisk.Disk.t
 (** Attach a fault-injection plan; appends consult it before acking. *)
 val set_faults : t -> Simdisk.Faults.t -> unit
 
+(** Attach a tracer; group-commit syncs and truncations emit events on
+    it. Usually the store's shared tracer. *)
+val set_trace : t -> Obs.Trace.t -> unit
+
 (** [append t payload] appends one record, returning its LSN (the ack).
     May raise {!Simdisk.Faults.Crash_point} when a scheduled fault kills
     the machine mid-append (the record is then torn or lost, never

@@ -86,6 +86,11 @@ let percentile t p =
       let c = int_of_float (Float.ceil exact) in
       if c < 1 then 1 else if c > t.total then t.total else c
     in
+    if target = t.total then t.max_value
+      (* the rank is the whole population (p = 100, or p rounds up to
+         it): answer with the exact recorded maximum, not the lower
+         edge of its bucket *)
+    else
     let rec go idx seen =
       if idx >= bucket_count then t.max_value
       else

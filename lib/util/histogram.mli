@@ -19,7 +19,9 @@ val min_value : t -> int
 val mean : t -> float
 
 (** [percentile t p] is the smallest recorded bucket edge at or above the
-    [p]-th percentile (0 < p <= 100); 0 when empty. *)
+    [p]-th percentile (0 < p <= 100); 0 when empty. When the rank rounds
+    up to the full population (in particular [p = 100]) the exact
+    recorded maximum is returned, so [percentile t 100.0 = max_value t]. *)
 val percentile : t -> float -> int
 
 (** [merge ~into src] accumulates [src] into [into]. *)

@@ -180,6 +180,68 @@ let prop_model =
       && SMap.for_all (fun k v -> L.get t k = Some v) !m
       && L.scan t "" 10_000 = SMap.bindings !m)
 
+(* Deterministic mixed-workload regression, converted from the old
+   dbg/dbg.ml repro script (seed 1, 1500 ops over 300 keys, the full op
+   mix including deltas and read-modify-writes). The original script
+   chased a lost update around op 866; here every read is checked
+   against an SMap oracle so any recurrence pinpoints the first
+   divergent operation instead of a hardcoded one. *)
+let test_seeded_mixed_workload_regression () =
+  let t = mk () in
+  let prng = Repro_util.Prng.of_int 1 in
+  let m = ref SMap.empty in
+  (* oracle mirror of each engine op under append_resolver semantics *)
+  let o_put k v = m := SMap.add k v !m in
+  let o_delete k = m := SMap.remove k !m in
+  let o_delta k d =
+    o_put k (match SMap.find_opt k !m with None -> d | Some b -> b ^ d)
+  in
+  for i = 0 to 1499 do
+    let key = Printf.sprintf "key%03d" (Repro_util.Prng.int prng 300) in
+    match Repro_util.Prng.int prng 12 with
+    | 0 | 1 | 2 | 3 ->
+        let v = Printf.sprintf "v%d-%s" i (String.make 40 'd') in
+        L.put t key v;
+        o_put key v
+    | 4 ->
+        L.delete t key;
+        o_delete key
+    | 5 ->
+        let d = Printf.sprintf "+%d" i in
+        L.apply_delta t key d;
+        o_delta key d
+    | 6 ->
+        L.read_modify_write t key (fun v ->
+            Option.value v ~default:"" ^ "!");
+        o_put key (Option.value (SMap.find_opt key !m) ~default:"" ^ "!")
+    | 7 ->
+        if L.insert_if_absent t key (Printf.sprintf "ia%d" i) then
+          o_put key (Printf.sprintf "ia%d" i)
+    | 8 | 9 ->
+        if L.get t key <> SMap.find_opt key !m then
+          Alcotest.failf "op %d: get %s diverged from oracle" i key
+    | _ ->
+        let n = 1 + Repro_util.Prng.int prng 8 in
+        let expected =
+          SMap.to_seq_from key !m |> Seq.take n |> List.of_seq
+        in
+        if L.scan t key n <> expected then
+          Alcotest.failf "op %d: scan %s diverged from oracle" i key
+  done;
+  (* full sweep, then again after compactions settle *)
+  let sweep label =
+    SMap.iter
+      (fun k v ->
+        if L.get t k <> Some v then
+          Alcotest.failf "%s: key %s diverged from oracle" label k)
+      !m;
+    check Alcotest.int (label ^ " scan size") (SMap.cardinal !m)
+      (List.length (L.scan t "" 10_000))
+  in
+  sweep "pre-maintenance";
+  L.maintenance t;
+  sweep "post-maintenance"
+
 let () =
   Alcotest.run "leveldb"
     [
@@ -193,6 +255,8 @@ let () =
           Alcotest.test_case "multi-seek reads" `Quick test_multi_level_reads_cost_multiple_seeks;
           Alcotest.test_case "L0 stalls" `Quick test_l0_stop_stalls_writes;
           Alcotest.test_case "scan across levels" `Quick test_scan_across_levels;
+          Alcotest.test_case "seeded mixed-workload regression" `Quick
+            test_seeded_mixed_workload_regression;
           QCheck_alcotest.to_alcotest prop_model;
         ] );
     ]

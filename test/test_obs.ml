@@ -1,0 +1,293 @@
+(* Tests for lib/obs (metrics registry, event tracing) and the tree's
+   stall attribution: registry dump formats, duplicate rejection, prefix
+   filtering; trace sinks, zero-cost-when-disabled, determinism; and the
+   ISSUE-3 acceptance property that for a saturated spring-scheduler run
+   the attributed stall causes sum to stall_us for every operation. *)
+
+let check = Alcotest.check
+
+(* substring test (no Str dependency) *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* -------------------------------------------------------------------- *)
+(* Metrics registry *)
+
+let test_registry_dump_text () =
+  let reg = Obs.Metrics.create () in
+  let n = ref 0 in
+  Obs.Metrics.counter reg "b.count" ~help:"ops" (fun () -> !n);
+  Obs.Metrics.gauge reg "a.fill" ~help:"fraction" (fun () -> 0.25);
+  n := 41;
+  incr n;
+  check Alcotest.string "sorted name value lines"
+    "a.fill 0.250\nb.count 42\n" (Obs.Metrics.dump reg)
+
+let test_registry_samples_at_dump_time () =
+  let reg = Obs.Metrics.create () in
+  let n = ref 0 in
+  Obs.Metrics.counter reg "x" ~help:"" (fun () -> !n);
+  let before = Obs.Metrics.dump reg in
+  n := 7;
+  let after = Obs.Metrics.dump reg in
+  check Alcotest.string "before" "x 0\n" before;
+  check Alcotest.string "after" "x 7\n" after
+
+let test_registry_histogram_expansion () =
+  let reg = Obs.Metrics.create () in
+  let h = Repro_util.Histogram.create () in
+  List.iter (fun v -> Repro_util.Histogram.add h v) [ 1; 2; 3; 4; 100 ];
+  Obs.Metrics.histogram reg "lat" ~help:"" h;
+  let out = Obs.Metrics.dump reg in
+  List.iter
+    (fun field ->
+      if not (contains out field)
+      then Alcotest.failf "missing %s in %S" field out)
+    [ "lat.count 5"; "lat.mean"; "lat.p50"; "lat.p99"; "lat.p999"; "lat.max" ]
+
+let test_registry_prefix_filter () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.counter reg "tree.puts" ~help:"" (fun () -> 1);
+  Obs.Metrics.counter reg "disk.seeks" ~help:"" (fun () -> 2);
+  Obs.Metrics.counter reg "tree.gets" ~help:"" (fun () -> 3);
+  check Alcotest.string "tree only" "tree.gets 3\ntree.puts 1\n"
+    (Obs.Metrics.dump ~prefix:"tree." reg);
+  check Alcotest.string "disk only" "disk.seeks 2\n"
+    (Obs.Metrics.dump ~prefix:"disk." reg)
+
+let test_registry_duplicate_rejected () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.counter reg "dup" ~help:"" (fun () -> 0);
+  match Obs.Metrics.gauge reg "dup" ~help:"" (fun () -> 0.0) with
+  | () -> Alcotest.fail "duplicate name accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_registry_json_shape () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.counter reg "c" ~help:"" (fun () -> 3);
+  Obs.Metrics.gauge reg "g" ~help:"" (fun () -> 1.5);
+  let h = Repro_util.Histogram.create () in
+  Repro_util.Histogram.add h 10;
+  Obs.Metrics.histogram reg "h" ~help:"" h;
+  let out = Obs.Metrics.dump_json reg in
+  List.iter
+    (fun frag ->
+      if not (contains out frag) then
+        Alcotest.failf "missing %s in %S" frag out)
+    [ "\"c\": 3"; "\"g\": 1.500"; "\"h\": {"; "\"count\": 1" ];
+  check Alcotest.bool "object delimited" true
+    (String.length out > 2 && out.[0] = '{')
+
+(* -------------------------------------------------------------------- *)
+(* Trace sinks *)
+
+let test_trace_disabled_is_noop () =
+  let tr = Obs.Trace.create () in
+  check Alcotest.bool "disabled" false (Obs.Trace.enabled tr);
+  Obs.Trace.instant tr ~cat:"t" ~name:"e" ~args:[];
+  Obs.Trace.complete tr ~cat:"t" ~name:"s" ~ts_us:0.0 ~dur_us:1.0 ~args:[];
+  check Alcotest.int "nothing emitted" 0 (Obs.Trace.events_emitted tr)
+
+let test_trace_chrome_buffer () =
+  let clock = ref 100.0 in
+  let tr = Obs.Trace.create ~now:(fun () -> !clock) () in
+  let finish = Obs.Trace.enable_buffer tr ~format:Obs.Trace.Chrome in
+  check Alcotest.bool "enabled" true (Obs.Trace.enabled tr);
+  Obs.Trace.instant tr ~cat:"c" ~name:"tick"
+    ~args:[ ("n", Obs.Trace.I 1); ("ok", Obs.Trace.B true) ];
+  clock := 250.0;
+  Obs.Trace.complete tr ~cat:"c" ~name:"span" ~ts_us:100.0 ~dur_us:150.0
+    ~args:[ ("f", Obs.Trace.F 1.5); ("s", Obs.Trace.S "x\"y") ];
+  let doc = finish () in
+  check Alcotest.bool "disabled after finish" false (Obs.Trace.enabled tr);
+  check Alcotest.int "two events" 2 (Obs.Trace.events_emitted tr);
+  let has frag = contains doc frag in
+  List.iter
+    (fun frag ->
+      if not (has frag) then Alcotest.failf "missing %s in %S" frag doc)
+    [
+      "{\"traceEvents\":[";
+      "\"ph\":\"i\"";
+      "\"name\":\"tick\"";
+      "\"ts\":100.000";
+      "\"ph\":\"X\"";
+      "\"dur\":150.000";
+      "\"s\":\"x\\\"y\"";
+    ]
+
+let test_trace_jsonl_lines () =
+  let tr = Obs.Trace.create () in
+  let finish = Obs.Trace.enable_buffer tr ~format:Obs.Trace.Jsonl in
+  for i = 1 to 3 do
+    Obs.Trace.instant tr ~cat:"c" ~name:"e" ~args:[ ("i", Obs.Trace.I i) ]
+  done;
+  let doc = finish () in
+  let lines =
+    String.split_on_char '\n' doc |> List.filter (fun l -> l <> "")
+  in
+  check Alcotest.int "one object per line" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      if not (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}')
+      then Alcotest.failf "line not an object: %S" l)
+    lines
+
+let test_trace_file_sink () =
+  let path = Filename.temp_file "obs_test" ".trace.json" in
+  let tr = Obs.Trace.create () in
+  Obs.Trace.enable_file tr ~format:Obs.Trace.Chrome path;
+  Obs.Trace.instant tr ~cat:"c" ~name:"e" ~args:[];
+  Obs.Trace.disable tr;
+  let doc = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  check Alcotest.bool "has header" true
+    (contains doc "{\"traceEvents\":[");
+  check Alcotest.bool "has footer" true
+    (contains doc "]}")
+
+(* -------------------------------------------------------------------- *)
+(* Tree integration: attribution and determinism *)
+
+let mk_tree ?(scheduler = Blsm.Config.Spring) ?(c0_kb = 64) () =
+  let store =
+    Pagestore.Store.create
+      ~config:
+        {
+          Pagestore.Store.cfg_page_size = 4096;
+          cfg_buffer_pages = 1024;
+          cfg_durability = Pagestore.Wal.Full;
+        }
+      Simdisk.Profile.ssd_raid0
+  in
+  Blsm.Tree.create
+    ~config:
+      {
+        Blsm.Config.default with
+        Blsm.Config.c0_bytes = c0_kb * 1024;
+        scheduler;
+        snowshovel = scheduler <> Blsm.Config.Gear;
+      }
+    store
+
+let saturated_run ?scheduler ~ops () =
+  let tree = mk_tree ?scheduler () in
+  let prng = Repro_util.Prng.of_int 11 in
+  let worst = ref 0.0 in
+  for i = 0 to ops - 1 do
+    Blsm.Tree.put tree
+      (Repro_util.Keygen.key_of_id i)
+      (Repro_util.Keygen.value prng 512);
+    let sb = Blsm.Tree.last_stall tree in
+    let attributed =
+      sb.Blsm.Tree.sb_merge1_us +. sb.Blsm.Tree.sb_merge2_us
+      +. sb.Blsm.Tree.sb_hard_us
+    in
+    worst :=
+      Float.max !worst (Float.abs (attributed -. sb.Blsm.Tree.sb_total_us))
+  done;
+  (tree, !worst)
+
+let test_attribution_sums_spring () =
+  let tree, worst = saturated_run ~ops:2_000 () in
+  if worst > 0.5 then
+    Alcotest.failf "worst attribution error %.6f us over 0.5" worst;
+  let s = Blsm.Tree.stats tree in
+  check Alcotest.bool "spring run paced merges" true (s.stall_merge1_us > 0.0);
+  check Alcotest.bool "wal time attributed" true (s.wal_us > 0.0)
+
+let test_attribution_naive_hard_stalls () =
+  let tree, worst =
+    saturated_run ~scheduler:Blsm.Config.Naive ~ops:2_000 ()
+  in
+  if worst > 0.5 then
+    Alcotest.failf "worst attribution error %.6f us over 0.5" worst;
+  let s = Blsm.Tree.stats tree in
+  check Alcotest.bool "naive run hard-stalled" true (s.hard_stalls > 0);
+  check Alcotest.bool "hard time attributed" true (s.stall_hard_us > 0.0)
+
+let test_recovery_time_attributed () =
+  let tree = mk_tree () in
+  for i = 0 to 200 do
+    Blsm.Tree.put tree (Repro_util.Keygen.key_of_id i) (String.make 100 'v')
+  done;
+  let fresh = Blsm.Tree.crash_and_recover tree in
+  check Alcotest.bool "recovery_us > 0" true
+    ((Blsm.Tree.stats fresh).recovery_us > 0.0)
+
+let traced_run ~seed ~ops =
+  let tree = mk_tree () in
+  let tr = Pagestore.Store.trace (Blsm.Tree.store tree) in
+  let finish = Obs.Trace.enable_buffer tr ~format:Obs.Trace.Chrome in
+  let prng = Repro_util.Prng.of_int seed in
+  for i = 0 to ops - 1 do
+    (* per-op sizes drawn from the seed so distinct seeds give distinct
+       timings (value *content* alone never reaches the trace) *)
+    Blsm.Tree.put tree
+      (Repro_util.Keygen.key_of_id i)
+      (Repro_util.Keygen.value prng (64 + Repro_util.Prng.int prng 256))
+  done;
+  finish ()
+
+let test_trace_deterministic () =
+  let a = traced_run ~seed:5 ~ops:800 in
+  let b = traced_run ~seed:5 ~ops:800 in
+  check Alcotest.bool "byte-identical same-seed traces" true (String.equal a b);
+  let c = traced_run ~seed:6 ~ops:800 in
+  check Alcotest.bool "different seed differs" false (String.equal a c)
+
+let test_tree_metrics_registry () =
+  let tree = mk_tree () in
+  for i = 0 to 99 do
+    Blsm.Tree.put tree (Repro_util.Keygen.key_of_id i) (String.make 100 'v')
+  done;
+  ignore (Blsm.Tree.get tree (Repro_util.Keygen.key_of_id 1));
+  let reg = Blsm.Tree.metrics tree in
+  check Alcotest.bool "cached" true (reg == Blsm.Tree.metrics tree);
+  let out = Obs.Metrics.dump reg in
+  List.iter
+    (fun frag ->
+      if not (contains out frag) then
+        Alcotest.failf "missing %s in dump" frag)
+    [ "tree.puts 100"; "tree.gets 1"; "disk."; "wal."; "buf."; "faults." ]
+
+(* -------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "dump text" `Quick test_registry_dump_text;
+          Alcotest.test_case "samples at dump time" `Quick
+            test_registry_samples_at_dump_time;
+          Alcotest.test_case "histogram expansion" `Quick
+            test_registry_histogram_expansion;
+          Alcotest.test_case "prefix filter" `Quick test_registry_prefix_filter;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_registry_duplicate_rejected;
+          Alcotest.test_case "json shape" `Quick test_registry_json_shape;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is no-op" `Quick
+            test_trace_disabled_is_noop;
+          Alcotest.test_case "chrome buffer" `Quick test_trace_chrome_buffer;
+          Alcotest.test_case "jsonl lines" `Quick test_trace_jsonl_lines;
+          Alcotest.test_case "file sink" `Quick test_trace_file_sink;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "spring sums tile stall_us" `Quick
+            test_attribution_sums_spring;
+          Alcotest.test_case "naive charges hard stalls" `Quick
+            test_attribution_naive_hard_stalls;
+          Alcotest.test_case "recovery time attributed" `Quick
+            test_recovery_time_attributed;
+          Alcotest.test_case "deterministic traces" `Quick
+            test_trace_deterministic;
+          Alcotest.test_case "tree metrics registry" `Quick
+            test_tree_metrics_registry;
+        ] );
+    ]

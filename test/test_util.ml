@@ -208,6 +208,74 @@ let prop_histogram_percentile_monotone =
       let p99 = Histogram.percentile h 99.0 in
       p25 <= p50 && p50 <= p99)
 
+(* Edge cases (ISSUE 3 satellite): empty, p=100 boundary, a single
+   sample, and values sitting exactly on bucket edges. *)
+
+let test_histogram_empty_queries () =
+  let h = Histogram.create () in
+  check Alcotest.int "max of empty" 0 (Histogram.max_value h);
+  check Alcotest.int "min of empty" 0 (Histogram.min_value h);
+  check (Alcotest.float 0.0) "mean of empty" 0.0 (Histogram.mean h);
+  check Alcotest.int "p50 of empty" 0 (Histogram.percentile h 50.0);
+  check Alcotest.int "p100 of empty" 0 (Histogram.percentile h 100.0)
+
+let test_histogram_p100_boundary () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 3; 17; 4096; 123_456 ];
+  (* p=100 must return exactly the recorded maximum, never a bucket edge
+     above it *)
+  check Alcotest.int "p100 = max" (Histogram.max_value h)
+    (Histogram.percentile h 100.0);
+  check Alcotest.int "p100 value" 123_456 (Histogram.percentile h 100.0)
+
+let test_histogram_single_sample () =
+  let h = Histogram.create () in
+  Histogram.add h 777;
+  check Alcotest.int "count" 1 (Histogram.count h);
+  check Alcotest.int "max" 777 (Histogram.max_value h);
+  check Alcotest.int "min" 777 (Histogram.min_value h);
+  check (Alcotest.float 0.0) "mean" 777.0 (Histogram.mean h);
+  (* every percentile of a single sample lands in its bucket; the edge
+     is clamped to the recorded max *)
+  List.iter
+    (fun p -> check Alcotest.int "percentile" 777 (Histogram.percentile h p))
+    [ 0.001; 1.0; 50.0; 99.9; 100.0 ]
+
+let test_histogram_bucket_edges () =
+  (* values on exact power-of-two bucket edges must round-trip through
+     index_of/value_of exactly: the percentile of a pile of identical
+     edge values is that value *)
+  List.iter
+    (fun v ->
+      let h = Histogram.create () in
+      for _ = 1 to 10 do
+        Histogram.add h v
+      done;
+      check Alcotest.int
+        (Printf.sprintf "edge %d" v)
+        v (Histogram.percentile h 50.0))
+    [ 0; 1; 31; 32; 33; 63; 64; 1024; 1 lsl 20 ]
+
+let test_histogram_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.add h (-5);
+  check Alcotest.int "clamped to 0" 0 (Histogram.max_value h);
+  check Alcotest.int "counted" 1 (Histogram.count h)
+
+(* percentile is monotone in p itself, over arbitrary (p1, p2) pairs —
+   stronger than the fixed 25/50/99 triple above *)
+let prop_histogram_monotone_in_p =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 60) (map abs small_int))
+        (float_bound_exclusive 100.0) (float_bound_exclusive 100.0))
+    (fun (values, a, b) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      let lo = Float.min a b +. 0.001 and hi = Float.max a b +. 0.001 in
+      Histogram.percentile h lo <= Histogram.percentile h hi)
+
 (* -------------------------------------------------------------------- *)
 (* Timeseries *)
 
@@ -226,6 +294,42 @@ let test_timeseries_buckets () =
 let test_timeseries_empty () =
   let ts = Timeseries.create ~width_us:1000 in
   check Alcotest.int "no rows" 0 (List.length (Timeseries.rows ts))
+
+let test_timeseries_single_record () =
+  let ts = Timeseries.create ~width_us:500_000 in
+  Timeseries.record ts ~time_us:1_250_000 ~latency_us:4_000;
+  match Timeseries.rows ts with
+  | [ r ] ->
+      check (Alcotest.float 0.001) "bucket start" 1.0 r.Timeseries.t_sec;
+      check (Alcotest.float 0.01) "ops/sec" 2.0 r.Timeseries.ops_per_sec;
+      check (Alcotest.float 0.01) "mean ms" 4.0 r.Timeseries.mean_latency_ms;
+      check (Alcotest.float 0.01) "max ms" 4.0 r.Timeseries.max_latency_ms
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_timeseries_latency_aggregation () =
+  let ts = Timeseries.create ~width_us:1_000_000 in
+  (* 100 ops in one bucket: latencies 1..100 ms *)
+  for i = 1 to 100 do
+    Timeseries.record ts ~time_us:(i * 1000) ~latency_us:(i * 1000)
+  done;
+  match Timeseries.rows ts with
+  | [ r ] ->
+      check (Alcotest.float 0.01) "ops/sec" 100.0 r.Timeseries.ops_per_sec;
+      check (Alcotest.float 0.6) "mean ms" 50.5 r.Timeseries.mean_latency_ms;
+      check (Alcotest.float 0.01) "max ms" 100.0 r.Timeseries.max_latency_ms;
+      if r.Timeseries.p99_latency_ms < 95.0 || r.Timeseries.p99_latency_ms > 100.0
+      then Alcotest.failf "p99 %.1f out of range" r.Timeseries.p99_latency_ms
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_timeseries_leading_stall_not_padded () =
+  (* buckets before the first recorded op are not emitted: rows start at
+     the first active bucket, empties only appear *between* active ones *)
+  let ts = Timeseries.create ~width_us:1_000_000 in
+  Timeseries.record ts ~time_us:5_500_000 ~latency_us:10;
+  let rows = Timeseries.rows ts in
+  check Alcotest.int "one row" 1 (List.length rows);
+  check (Alcotest.float 0.001) "starts at 5s" 5.0
+    (List.hd rows).Timeseries.t_sec
 
 (* -------------------------------------------------------------------- *)
 (* Keygen *)
@@ -299,13 +403,27 @@ let () =
           Alcotest.test_case "exact small" `Quick test_histogram_exact_small;
           Alcotest.test_case "p99 bounds" `Quick test_histogram_percentile_bounds;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "empty queries" `Quick
+            test_histogram_empty_queries;
+          Alcotest.test_case "p100 boundary" `Quick test_histogram_p100_boundary;
+          Alcotest.test_case "single sample" `Quick test_histogram_single_sample;
+          Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
+          Alcotest.test_case "negative clamped" `Quick
+            test_histogram_negative_clamped;
           QCheck_alcotest.to_alcotest prop_histogram_max;
           QCheck_alcotest.to_alcotest prop_histogram_percentile_monotone;
+          QCheck_alcotest.to_alcotest prop_histogram_monotone_in_p;
         ] );
       ( "timeseries",
         [
           Alcotest.test_case "buckets" `Quick test_timeseries_buckets;
           Alcotest.test_case "empty" `Quick test_timeseries_empty;
+          Alcotest.test_case "single record" `Quick
+            test_timeseries_single_record;
+          Alcotest.test_case "latency aggregation" `Quick
+            test_timeseries_latency_aggregation;
+          Alcotest.test_case "no leading padding" `Quick
+            test_timeseries_leading_stall_not_padded;
         ] );
       ( "keygen",
         [
