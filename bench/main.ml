@@ -77,6 +77,9 @@ let experiments : (string * string * (opts -> unit)) list =
       fun o ->
         Ablation.run o.scale
           (profile_of_name (Option.value o.disk ~default:"hdd")) );
+    ( "dst",
+      "DST soak: seeded workload/fault simulation across all engines",
+      fun o -> Dst_soak.run o.scale );
     ("micro", "Bechamel micro-benchmarks", fun _ -> Micro.run ());
     ( "perf",
       "Perf regression harness: CPU kernels -> BENCH_PR2.json",

@@ -29,6 +29,73 @@ let usage = {|commands:
   help                     this text
   quit                     exit|}
 
+(* ------------------------------------------------------------------ *)
+(* `blsm_cli dst ...`: the deterministic-simulation harness face.
+   Dispatched before the REPL; exit 0 = invariants held, 1 = failure. *)
+
+let dst_usage =
+  {|usage:
+  blsm_cli dst replay <file.json>         replay a saved repro trace
+  blsm_cli dst run <driver> <seed> [steps]
+      generate + run one seeded plan; on failure, shrink and write
+      dst/repro_<driver>_seed<seed>.json
+  drivers: |}
+  ^ String.concat ", " Dst.Driver.all_names
+
+let dst_report (outcome : Dst.Interp.outcome) =
+  print_string outcome.Dst.Interp.report;
+  if outcome.Dst.Interp.ok then begin
+    print_endline "DST_OK";
+    0
+  end
+  else begin
+    List.iter (Printf.printf "VIOLATION %s\n") outcome.Dst.Interp.violations;
+    print_endline "DST_FAIL";
+    1
+  end
+
+let dst_main = function
+  | [ "replay"; file ] ->
+      let plan = Dst.Repro.load file in
+      Printf.printf "replaying %s: driver=%s seed=%d steps=%d note=%S\n" file
+        plan.Dst.Plan.driver plan.Dst.Plan.seed
+        (List.length plan.Dst.Plan.steps)
+        plan.Dst.Plan.note;
+      dst_report (Dst.replay plan)
+  | "run" :: driver :: seed :: rest ->
+      let seed = int_of_string seed in
+      let params =
+        match rest with
+        | steps :: _ ->
+            Some
+              {
+                Dst.Plan.default_params with
+                Dst.Plan.n_steps = int_of_string steps;
+              }
+        | [] -> None
+      in
+      let plan, outcome = Dst.run_seed ?params ~driver_name:driver ~seed () in
+      let code = dst_report outcome in
+      if code <> 0 then begin
+        let small, st = Dst.shrink_failing plan in
+        (try Unix.mkdir "dst" 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let path = Printf.sprintf "dst/repro_%s_seed%d.json" driver seed in
+        Dst.Repro.save path
+          {
+            small with
+            Dst.Plan.note = Printf.sprintf "cli run driver=%s seed=%d" driver seed;
+          };
+        Printf.printf "shrunk %d -> %d steps (%d candidates); repro: %s\n"
+          (List.length plan.Dst.Plan.steps)
+          (List.length small.Dst.Plan.steps)
+          st.Dst.Shrink.candidates path
+      end;
+      code
+  | _ ->
+      print_endline dst_usage;
+      2
+
 let parse_args () =
   let disk = ref Simdisk.Profile.ssd_raid0 in
   let c0_kb = ref 1024 in
@@ -57,7 +124,7 @@ let parse_args () =
   go (List.tl (Array.to_list Sys.argv));
   (!disk, !c0_kb * 1024, !scheduler)
 
-let () =
+let repl () =
   let profile, c0_bytes, scheduler = parse_args () in
   let store =
     Pagestore.Store.create
@@ -172,3 +239,8 @@ let () =
         | Failure m -> Printf.printf "error: %s\n" m
         | Invalid_argument m -> Printf.printf "error: %s\n" m)
   done
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "dst" :: rest -> exit (dst_main rest)
+  | _ -> repl ()

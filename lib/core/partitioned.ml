@@ -94,6 +94,43 @@ let read_modify_write t key f = Tree.read_modify_write (partition_of t key) key 
 let insert_if_absent t key value =
   Tree.insert_if_absent (partition_of t key) key value
 
+(** [write_batch t ops] applies [ops] atomically even when the batch
+    straddles partition boundaries. All partitions share one WAL, so one
+    log record can cover the whole batch: we pace every involved
+    partition, append a single combined record, then fold each
+    partition's slice into its C0 under that record's LSN. Recovery
+    replays the shared record into every partition through its
+    [should_replay] range filter, so after a crash either the whole
+    batch is recovered or none of it. *)
+let write_batch t ops =
+  if ops <> [] then begin
+    let n = Array.length t.partitions in
+    let slices = Array.make n [] in
+    List.iter
+      (fun (k, e) ->
+        let i = partition_index t k in
+        slices.(i) <- (k, e) :: slices.(i))
+      ops;
+    Array.iteri
+      (fun i slice ->
+        if slice <> [] then begin
+          let bytes =
+            List.fold_left
+              (fun a (k, e) -> a + String.length k + Kv.Entry.payload_bytes e)
+              0 slice
+          in
+          Tree.before_write t.partitions.(i) ~write_bytes:(max 64 bytes)
+        end)
+      slices;
+    let lsn =
+      Pagestore.Wal.append (Pagestore.Store.wal t.store) (Tree.encode_ops ops)
+    in
+    Array.iteri
+      (fun i slice ->
+        Tree.absorb_batch t.partitions.(i) ~lsn (List.rev slice))
+      slices
+  end
+
 (** {1 Scans: chained across partitions} *)
 
 let scan t start n =
@@ -185,6 +222,52 @@ let disk t = Pagestore.Store.disk t.store
     written ranges (Figure 3's motivation). *)
 let partition_bytes t =
   Array.map Tree.disk_data_bytes t.partitions
+
+(** Live per-partition op counters, partition order. *)
+let partition_stats t = Array.map Tree.stats t.partitions
+
+(** [scrub t] verifies every partition's components plus the shared WAL
+    (once per partition — the log is shared, so each pass re-checks it).
+    Clean iff every per-partition report is clean. *)
+let scrub t = Array.to_list t.partitions |> List.map Tree.scrub
+
+(** [metrics t] aggregates the partitions' op counters under
+    [partitioned.*] and registers the shared store stack. Built fresh on
+    each call — partitions are replaced wholesale by
+    {!crash_and_recover}, so closures must capture [t]'s current array,
+    and the caller is expected to rebuild after recovery. *)
+let metrics t =
+  let reg = Obs.Metrics.create () in
+  let open Obs.Metrics in
+  let sum f = Array.fold_left (fun a p -> a + f (Tree.stats p)) 0 t.partitions in
+  counter reg "partitioned.partitions" ~help:"partition count" (fun () ->
+      Array.length t.partitions);
+  counter reg "partitioned.puts" ~help:"blind writes, all partitions"
+    (fun () -> sum (fun s -> s.Tree.puts));
+  counter reg "partitioned.gets" ~help:"point lookups, all partitions"
+    (fun () -> sum (fun s -> s.Tree.gets));
+  counter reg "partitioned.deletes" ~help:"tombstone writes, all partitions"
+    (fun () -> sum (fun s -> s.Tree.deletes));
+  counter reg "partitioned.deltas" ~help:"delta writes, all partitions"
+    (fun () -> sum (fun s -> s.Tree.deltas));
+  counter reg "partitioned.scans" ~help:"range scans, all partitions"
+    (fun () -> sum (fun s -> s.Tree.scans));
+  counter reg "partitioned.rmws" ~help:"read-modify-writes, all partitions"
+    (fun () -> sum (fun s -> s.Tree.rmws));
+  counter reg "partitioned.merge1_completions"
+    ~help:"C0:C1 runs committed, all partitions" (fun () ->
+      sum (fun s -> s.Tree.merge1_completions));
+  counter reg "partitioned.merge2_completions"
+    ~help:"C1':C2 merges committed, all partitions" (fun () ->
+      sum (fun s -> s.Tree.merge2_completions));
+  counter reg "partitioned.hard_stalls"
+    ~help:"writes that hit a C0 hard limit, all partitions" (fun () ->
+      sum (fun s -> s.Tree.hard_stalls));
+  counter reg "partitioned.corruptions_detected"
+    ~help:"checksum mismatches seen, all partitions" (fun () ->
+      sum (fun s -> s.Tree.corruptions_detected));
+  Pagestore.Store.register_metrics reg t.store;
+  reg
 
 let engine ?(name = "bLSM(partitioned)") t =
   {

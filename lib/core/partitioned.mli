@@ -43,6 +43,12 @@ val apply_delta : t -> string -> string -> unit
 val read_modify_write : t -> string -> (string option -> string) -> unit
 val insert_if_absent : t -> string -> string -> bool
 
+(** [write_batch t ops] applies [ops] atomically even across partition
+    boundaries: the shared WAL takes one record for the whole batch and
+    each partition folds in its slice under that record's LSN, so a
+    crash recovers all of the batch or none of it. *)
+val write_batch : t -> (string * Kv.Entry.t) list -> unit
+
 (** {1 Scans — chained across partitions in key order} *)
 
 val scan : t -> string -> int -> (string * string) list
@@ -72,5 +78,17 @@ val total_merges : t -> int
 (** Per-partition on-disk bytes: shows merge activity concentrating on
     written ranges (Figure 3's motivation). *)
 val partition_bytes : t -> int array
+
+(** Live per-partition op counters, partition order. *)
+val partition_stats : t -> Tree.stats array
+
+(** [scrub t]: per-partition checksum sweep (components + shared WAL,
+    re-verified once per partition). Clean iff every report is clean. *)
+val scrub : t -> Tree.scrub_report list
+
+(** [metrics t]: aggregate [partitioned.*] counters over all partitions
+    plus the shared store stack. Built fresh per call; rebuild after
+    {!crash_and_recover} (partitions are replaced wholesale). *)
+val metrics : t -> Obs.Metrics.t
 
 val engine : ?name:string -> t -> Kv.Kv_intf.engine

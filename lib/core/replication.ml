@@ -43,18 +43,19 @@ let lag f ~primary =
   let wal = Pagestore.Store.wal (Tree.store primary) in
   max 0 (Pagestore.Wal.next_lsn wal - 1 - f.applied_lsn)
 
-(* Apply one decoded logical record through the follower's own write
-   path, so the follower logs/merges/recovers like any other tree. *)
-let apply_record f key entry =
-  match entry with
-  | Kv.Entry.Base v -> Tree.put f.tree key v
-  | Kv.Entry.Tombstone -> Tree.delete f.tree key
-  | Kv.Entry.Delta ds -> List.iter (fun d -> Tree.apply_delta f.tree key d) ds
-
 (** [catch_up f ~primary] tails the primary's WAL from the follower's
     position. Returns [`Applied n] ([n] fresh records applied) or
     [`Snapshot_needed] when the primary has truncated past the
-    follower's position — call {!resync}. *)
+    follower's position — call {!resync}.
+
+    Each primary record is applied as ONE follower batch that also
+    carries the updated position, so record application and position
+    advance are atomic in the follower's log. Applying them separately
+    (data ops, then position once at the end) loses exactly-once: a
+    follower crash mid-catch-up recovers the applied data but the old
+    position, and the next catch_up re-applies those records —
+    idempotent for base writes, wrong for deltas, which append twice.
+    The DST harness caught this (test/repros/). *)
 let catch_up f ~primary =
   let wal = Pagestore.Store.wal (Tree.store primary) in
   if Pagestore.Wal.truncated_to wal > f.applied_lsn + 1 then `Snapshot_needed
@@ -62,13 +63,12 @@ let catch_up f ~primary =
     let applied = ref 0 in
     Pagestore.Wal.replay wal ~from_lsn:(f.applied_lsn + 1) (fun lsn payload ->
         if lsn > f.applied_lsn then begin
-          List.iter
-            (fun (key, entry) -> apply_record f key entry)
-            (Tree.decode_ops payload);
+          Tree.write_batch f.tree
+            (Tree.decode_ops payload
+            @ [ (position_key, Kv.Entry.Base (string_of_int lsn)) ]);
           f.applied_lsn <- lsn;
           incr applied
         end);
-    if !applied > 0 then persist_position f;
     `Applied !applied
   end
 
@@ -80,17 +80,43 @@ let catch_up f ~primary =
 let resync f ~primary =
   let wal = Pagestore.Store.wal (Tree.store primary) in
   let snapshot_lsn = Pagestore.Wal.next_lsn wal - 1 in
+  let module SS = Set.Make (String) in
+  let live = ref SS.empty in
   let c = Tree.cursor primary in
   let rec copy () =
     match Tree.cursor_next c with
     | None -> ()
     | Some (k, v) ->
+        live := SS.add k !live;
         Tree.put f.tree k v;
         copy ()
   in
   copy ();
+  (* Copy-in alone is not a state transfer: keys the primary deleted
+     while the follower was out of log range survive on the follower.
+     Sweep them out (collect first — no deleting under a live cursor).
+     The DST harness caught this (test/repros/). *)
+  let fc = Tree.cursor ~from:"\001" f.tree in
+  let rec stale acc =
+    match Tree.cursor_next fc with
+    | None -> List.rev acc
+    | Some (k, _) -> stale (if SS.mem k !live then acc else k :: acc)
+  in
+  List.iter (Tree.delete f.tree) (stale []);
   f.applied_lsn <- snapshot_lsn;
   persist_position f
+
+(** [sync f ~primary] brings the follower fully up to date whatever its
+    starting position: incremental tailing when the primary's log still
+    covers it, full {!resync} bootstrap when truncation has outrun it.
+    Returns what happened so callers can account for the cursor scan a
+    resync performs on the primary. *)
+let sync f ~primary =
+  match catch_up f ~primary with
+  | `Applied n -> `Applied n
+  | `Snapshot_needed ->
+      resync f ~primary;
+      `Resynced
 
 (** [crash_and_recover f] power-fails the follower and recovers it. The
     replication position rides the follower's own durability machinery

@@ -34,5 +34,11 @@ val catch_up : follower -> primary:Tree.t -> [ `Applied of int | `Snapshot_neede
     primary must be quiescent during the copy. *)
 val resync : follower -> primary:Tree.t -> unit
 
+(** [sync f ~primary]: catch up whatever the starting position —
+    incremental tailing when the primary's log still covers the
+    follower, full {!resync} (a cursor scan of the primary) otherwise. *)
+val sync :
+  follower -> primary:Tree.t -> [ `Applied of int | `Resynced ]
+
 (** Power-fail the follower and recover it, position included. *)
 val crash_and_recover : follower -> follower

@@ -696,6 +696,25 @@ let write_batch t ops =
     if traced then emit_write_span t tr ~op:"batch" ~ts
   end
 
+(** [absorb_batch t ~lsn ops] folds into C0 a batch slice that was
+    already durably logged elsewhere — the per-partition half of
+    {!Partitioned.write_batch}, where one shared-WAL record covers
+    several trees. The caller is responsible for pacing
+    ({!before_write}) and for the WAL append; recovery replays the
+    shared record into each tree through its own [should_replay]
+    filter, so atomicity across the trees rides the single record. *)
+let absorb_batch t ~lsn ops =
+  if ops <> [] then begin
+    let bytes =
+      List.fold_left
+        (fun a (k, e) -> a + String.length k + Kv.Entry.payload_bytes e)
+        0 ops
+    in
+    List.iter (fun (key, entry) -> Memtable.write t.c0 ~lsn key entry) ops;
+    t.stats.puts <- t.stats.puts + List.length ops;
+    t.stats.user_bytes_written <- t.stats.user_bytes_written + bytes
+  end
+
 (** [put t key value]: blind write — insert or overwrite, zero seeks. *)
 let put t key value =
   t.stats.puts <- t.stats.puts + 1;

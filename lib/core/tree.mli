@@ -111,6 +111,19 @@ val apply_delta : t -> string -> string -> unit
     Operations apply in order; later entries for a key win. *)
 val write_batch : t -> (string * Kv.Entry.t) list -> unit
 
+(** [before_write t ~write_bytes] runs the level scheduler's pacing for
+    an upcoming write of [write_bytes] payload bytes — merge quanta,
+    backpressure, hard-stall handling — and resets the per-op stall
+    breakdown. Exposed for multi-tree coordinators ({!Partitioned}) that
+    pace each involved tree before taking a single shared log record. *)
+val before_write : t -> write_bytes:int -> unit
+
+(** [absorb_batch t ~lsn ops] folds into C0 a batch slice already
+    durably logged under [lsn] elsewhere (one shared-WAL record covering
+    several trees). Pairs with {!before_write}; ordinary callers want
+    {!write_batch}. *)
+val absorb_batch : t -> lsn:int -> (string * Kv.Entry.t) list -> unit
+
 (** {1 Reads} *)
 
 (** [get t key]: point lookup — at most ~1 seek on a settled tree thanks

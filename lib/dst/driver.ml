@@ -1,0 +1,425 @@
+(** Engine drivers: the uniform record the DST interpreter executes
+    plans against.
+
+    A driver wraps one engine instance — bLSM {!Blsm.Tree} under any
+    scheduler, {!Blsm.Partitioned}, the B-Tree and LevelDB baselines, or
+    a replication primary/follower pair — behind first-class fields for
+    the whole exercised surface, with optional hooks ([option] fields)
+    for capabilities that vary by engine: crash/recovery, OCC
+    transactions, replication catch-up, scrubbing, op-counter
+    introspection, stall attribution.
+
+    Constructors are [unit -> t] factories: the shrinker builds a fresh
+    engine per candidate plan, and determinism comes from everything —
+    store, tree config, fault PRNG — being seeded from the plan seed. *)
+
+type counts = {
+  n_puts : int;
+  n_gets : int;
+  n_deletes : int;
+  n_deltas : int;
+  n_scans : int;
+  n_rmws : int;
+  n_checked_inserts : int;
+}
+
+(** Handle for one open OCC transaction. *)
+type txn_handle = {
+  tx_get : string -> string option;
+  tx_put : string -> string -> unit;
+  tx_delete : string -> unit;
+  tx_rmw : string -> string -> unit;  (** append suffix *)
+  tx_commit : unit -> [ `Committed | `Conflict ];
+}
+
+type t = {
+  name : string;
+  caps : Plan.caps;
+  get : string -> string option;
+  put : string -> string -> unit;
+  delete : string -> unit;
+  apply_delta : string -> string -> unit;
+  rmw : string -> string -> unit;  (** append suffix *)
+  insert_if_absent : string -> string -> bool;
+  scan : string -> int -> (string * string) list;
+  write_batch : (string * Kv.Entry.t) list -> unit;
+      (** atomic iff [caps.c_batch_atomic]; emulated per-item otherwise *)
+  maintenance : unit -> unit;
+  flush : (unit -> unit) option;
+  crash_recover : (unit -> unit) option;
+      (** power-fail the (primary) store and recover in place *)
+  begin_txn : (unit -> txn_handle) option;
+  catch_up : (unit -> [ `Applied of int | `Resynced ]) option;
+  follower_scan : (unit -> (string * string) list) option;
+      (** full logical state of the follower (position key excluded) *)
+  crash_follower : (unit -> unit) option;
+  scrub : (unit -> int * bool) option;  (** (checksum errors, clean) *)
+  counts : (unit -> counts) option;
+      (** live op counters, compared against the interpreter's mirror *)
+  mask_scans : bool;
+      (** scans counter moves outside the op stream (chained partition
+          scans); skip it in the counter check *)
+  last_stall : (unit -> Blsm.Tree.stall_breakdown) option;
+  metrics_dump : unit -> string;
+      (** deterministic registry dump for the byte-identity check *)
+  faults : Simdisk.Faults.t;  (** (primary) store's fault plan *)
+  follower_faults : Simdisk.Faults.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared construction *)
+
+let mk_store ~fault_seed () =
+  let store =
+    Pagestore.Store.create
+      ~config:
+        {
+          Pagestore.Store.cfg_page_size = 4096;
+          cfg_buffer_pages = 128;
+          cfg_durability = Pagestore.Wal.Full;
+        }
+      Simdisk.Profile.ssd_raid0
+  in
+  let faults = Simdisk.Faults.create ~seed:fault_seed () in
+  Pagestore.Store.set_faults store faults;
+  (store, faults)
+
+(* The crash-test tree shape: a C0 small enough that short plans push
+   data through both merge levels. *)
+let small_config ?(scheduler = Blsm.Config.Spring) seed =
+  {
+    Blsm.Config.default with
+    Blsm.Config.c0_bytes = 24 * 1024;
+    size_ratio = Blsm.Config.Fixed 3.0;
+    extent_pages = 8;
+    scheduler;
+    snowshovel = scheduler <> Blsm.Config.Gear;
+    max_quota_per_write = 128 * 1024;
+    seed;
+  }
+
+let counts_of_stats (s : Blsm.Tree.stats) =
+  {
+    n_puts = s.Blsm.Tree.puts;
+    n_gets = s.Blsm.Tree.gets;
+    n_deletes = s.Blsm.Tree.deletes;
+    n_deltas = s.Blsm.Tree.deltas;
+    n_scans = s.Blsm.Tree.scans;
+    n_rmws = s.Blsm.Tree.rmws;
+    n_checked_inserts = s.Blsm.Tree.checked_inserts;
+  }
+
+let add_counts a b =
+  {
+    n_puts = a.n_puts + b.n_puts;
+    n_gets = a.n_gets + b.n_gets;
+    n_deletes = a.n_deletes + b.n_deletes;
+    n_deltas = a.n_deltas + b.n_deltas;
+    n_scans = a.n_scans + b.n_scans;
+    n_rmws = a.n_rmws + b.n_rmws;
+    n_checked_inserts = a.n_checked_inserts + b.n_checked_inserts;
+  }
+
+let append_rmw suffix = fun v -> Option.value v ~default:"" ^ suffix
+
+let tree_txn tree () =
+  let tx = Blsm.Txn.begin_txn tree in
+  {
+    tx_get = (fun k -> Blsm.Txn.get tx k);
+    tx_put = (fun k v -> Blsm.Txn.put tx k v);
+    tx_delete = (fun k -> Blsm.Txn.delete tx k);
+    tx_rmw =
+      (fun k s -> Blsm.Txn.read_modify_write tx k (append_rmw s));
+    tx_commit =
+      (fun () ->
+        match Blsm.Txn.commit tx with
+        | `Committed -> `Committed
+        | `Conflict _ -> `Conflict);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Capability table (static: generation needs caps before any engine
+   instance exists) *)
+
+let caps_tree =
+  {
+    Plan.c_crash = true;
+    c_txn = true;
+    c_follower = false;
+    c_scrub = true;
+    c_batch_atomic = true;
+  }
+
+let caps_partitioned = { caps_tree with Plan.c_txn = false }
+let caps_replicated = { caps_tree with Plan.c_follower = true }
+
+let caps_baseline =
+  {
+    Plan.c_crash = false;
+    c_txn = false;
+    c_follower = false;
+    c_scrub = false;
+    c_batch_atomic = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Constructors *)
+
+let blsm ?(scheduler = Blsm.Config.Spring) ~name ~seed () =
+  let store, faults = mk_store ~fault_seed:seed () in
+  let tree =
+    ref (Blsm.Tree.create ~config:(small_config ~scheduler seed) store)
+  in
+  {
+    name;
+    caps = caps_tree;
+    get = (fun k -> Blsm.Tree.get !tree k);
+    put = (fun k v -> Blsm.Tree.put !tree k v);
+    delete = (fun k -> Blsm.Tree.delete !tree k);
+    apply_delta = (fun k d -> Blsm.Tree.apply_delta !tree k d);
+    rmw = (fun k s -> Blsm.Tree.read_modify_write !tree k (append_rmw s));
+    insert_if_absent = (fun k v -> Blsm.Tree.insert_if_absent !tree k v);
+    scan = (fun start n -> Blsm.Tree.scan !tree start n);
+    write_batch = (fun ops -> Blsm.Tree.write_batch !tree ops);
+    maintenance = (fun () -> Blsm.Tree.maintenance !tree);
+    flush = Some (fun () -> Blsm.Tree.flush !tree);
+    crash_recover =
+      Some (fun () -> tree := Blsm.Tree.crash_and_recover ~verify:true !tree);
+    begin_txn = Some (fun () -> tree_txn !tree ());
+    catch_up = None;
+    follower_scan = None;
+    crash_follower = None;
+    scrub =
+      Some
+        (fun () ->
+          let r = Blsm.Tree.scrub !tree in
+          (List.length r.Blsm.Tree.scrub_errors, r.Blsm.Tree.scrub_clean));
+    counts = Some (fun () -> counts_of_stats (Blsm.Tree.stats !tree));
+    mask_scans = false;
+    last_stall = Some (fun () -> Blsm.Tree.last_stall !tree);
+    metrics_dump = (fun () -> Obs.Metrics.dump (Blsm.Tree.metrics !tree));
+    faults;
+    follower_faults = None;
+  }
+
+let partitioned ~seed () =
+  let store, faults = mk_store ~fault_seed:seed () in
+  (* 3 partitions sharing one store; boundaries sit inside the generated
+     key space so batches and scans straddle them *)
+  let config =
+    { (small_config seed) with Blsm.Config.c0_bytes = 48 * 1024 }
+  in
+  let pt =
+    ref (Blsm.Partitioned.create ~config ~boundaries:[ "key100"; "key200" ] store)
+  in
+  {
+    name = "partitioned";
+    caps = caps_partitioned;
+    get = (fun k -> Blsm.Partitioned.get !pt k);
+    put = (fun k v -> Blsm.Partitioned.put !pt k v);
+    delete = (fun k -> Blsm.Partitioned.delete !pt k);
+    apply_delta = (fun k d -> Blsm.Partitioned.apply_delta !pt k d);
+    rmw =
+      (fun k s -> Blsm.Partitioned.read_modify_write !pt k (append_rmw s));
+    insert_if_absent = (fun k v -> Blsm.Partitioned.insert_if_absent !pt k v);
+    scan = (fun start n -> Blsm.Partitioned.scan !pt start n);
+    write_batch = (fun ops -> Blsm.Partitioned.write_batch !pt ops);
+    maintenance = (fun () -> Blsm.Partitioned.maintenance !pt);
+    flush = Some (fun () -> Blsm.Partitioned.flush !pt);
+    crash_recover =
+      Some (fun () -> pt := Blsm.Partitioned.crash_and_recover !pt);
+    begin_txn = None;
+    catch_up = None;
+    follower_scan = None;
+    crash_follower = None;
+    scrub =
+      Some
+        (fun () ->
+          let rs = Blsm.Partitioned.scrub !pt in
+          ( List.fold_left
+              (fun a r -> a + List.length r.Blsm.Tree.scrub_errors)
+              0 rs,
+            List.for_all (fun r -> r.Blsm.Tree.scrub_clean) rs ));
+    counts =
+      Some
+        (fun () ->
+          Array.fold_left
+            (fun acc s -> add_counts acc (counts_of_stats s))
+            {
+              n_puts = 0;
+              n_gets = 0;
+              n_deletes = 0;
+              n_deltas = 0;
+              n_scans = 0;
+              n_rmws = 0;
+              n_checked_inserts = 0;
+            }
+            (Blsm.Partitioned.partition_stats !pt));
+    mask_scans = true;
+    last_stall = None;
+    metrics_dump = (fun () -> Obs.Metrics.dump (Blsm.Partitioned.metrics !pt));
+    faults;
+    follower_faults = None;
+  }
+
+let leveldb ~seed () =
+  let store, faults = mk_store ~fault_seed:seed () in
+  let config =
+    {
+      Leveldb_sim.Leveldb.default_config with
+      Leveldb_sim.Leveldb.memtable_bytes = 16 * 1024;
+      file_bytes = 16 * 1024;
+      base_level_bytes = 64 * 1024;
+      extent_pages = 8;
+      seed;
+    }
+  in
+  let db = Leveldb_sim.Leveldb.create ~config store in
+  {
+    name = "leveldb";
+    caps = caps_baseline;
+    get = (fun k -> Leveldb_sim.Leveldb.get db k);
+    put = (fun k v -> Leveldb_sim.Leveldb.put db k v);
+    delete = (fun k -> Leveldb_sim.Leveldb.delete db k);
+    apply_delta = (fun k d -> Leveldb_sim.Leveldb.apply_delta db k d);
+    rmw =
+      (fun k s -> Leveldb_sim.Leveldb.read_modify_write db k (append_rmw s));
+    insert_if_absent = (fun k v -> Leveldb_sim.Leveldb.insert_if_absent db k v);
+    scan = (fun start n -> Leveldb_sim.Leveldb.scan db start n);
+    write_batch = (fun _ -> invalid_arg "leveldb driver: batch is emulated");
+    maintenance = (fun () -> Leveldb_sim.Leveldb.maintenance db);
+    flush = None;
+    crash_recover = None;
+    begin_txn = None;
+    catch_up = None;
+    follower_scan = None;
+    crash_follower = None;
+    scrub = None;
+    counts = None;
+    mask_scans = true;
+    last_stall = None;
+    metrics_dump = (fun () -> Obs.Metrics.dump (Leveldb_sim.Leveldb.metrics db));
+    faults;
+    follower_faults = None;
+  }
+
+let btree ~seed () =
+  let store, faults = mk_store ~fault_seed:seed () in
+  let bt = Btree_baseline.Btree.create store in
+  {
+    name = "btree";
+    caps = caps_baseline;
+    get = (fun k -> Btree_baseline.Btree.get bt k);
+    put = (fun k v -> Btree_baseline.Btree.put bt k v);
+    delete = (fun k -> Btree_baseline.Btree.delete bt k);
+    apply_delta =
+      (fun k d ->
+        (* B-Trees have no delta primitive: emulate as RMW-append *)
+        Btree_baseline.Btree.read_modify_write bt k (fun v ->
+            match v with Some b -> b ^ d | None -> d));
+    rmw =
+      (fun k s -> Btree_baseline.Btree.read_modify_write bt k (append_rmw s));
+    insert_if_absent = (fun k v -> Btree_baseline.Btree.insert_if_absent bt k v);
+    scan = (fun start n -> Btree_baseline.Btree.scan bt start n);
+    write_batch = (fun _ -> invalid_arg "btree driver: batch is emulated");
+    maintenance =
+      (fun () ->
+        Pagestore.Buffer_manager.flush_all
+          (Pagestore.Store.buffer (Btree_baseline.Btree.store bt)));
+    flush = None;
+    crash_recover = None;
+    begin_txn = None;
+    catch_up = None;
+    follower_scan = None;
+    crash_follower = None;
+    scrub = None;
+    counts = None;
+    mask_scans = true;
+    last_stall = None;
+    metrics_dump = (fun () -> "");
+    faults;
+    follower_faults = None;
+  }
+
+let replicated ~seed () =
+  let pstore, faults = mk_store ~fault_seed:seed () in
+  let fstore, follower_faults = mk_store ~fault_seed:(seed + 7919) () in
+  let config = small_config seed in
+  let primary = ref (Blsm.Tree.create ~config pstore) in
+  let fol = ref (Blsm.Replication.follower ~config fstore) in
+  {
+    name = "replicated";
+    caps = caps_replicated;
+    get = (fun k -> Blsm.Tree.get !primary k);
+    put = (fun k v -> Blsm.Tree.put !primary k v);
+    delete = (fun k -> Blsm.Tree.delete !primary k);
+    apply_delta = (fun k d -> Blsm.Tree.apply_delta !primary k d);
+    rmw = (fun k s -> Blsm.Tree.read_modify_write !primary k (append_rmw s));
+    insert_if_absent = (fun k v -> Blsm.Tree.insert_if_absent !primary k v);
+    scan = (fun start n -> Blsm.Tree.scan !primary start n);
+    write_batch = (fun ops -> Blsm.Tree.write_batch !primary ops);
+    maintenance = (fun () -> Blsm.Tree.maintenance !primary);
+    flush = Some (fun () -> Blsm.Tree.flush !primary);
+    crash_recover =
+      Some
+        (fun () -> primary := Blsm.Tree.crash_and_recover ~verify:true !primary);
+    begin_txn = Some (fun () -> tree_txn !primary ());
+    catch_up = Some (fun () -> Blsm.Replication.sync !fol ~primary:!primary);
+    follower_scan =
+      (* from "\001": skips the reserved "\000…" replication-position key *)
+      Some
+        (fun () ->
+          Blsm.Tree.scan (Blsm.Replication.tree !fol) "\001" 1_000_000);
+    crash_follower =
+      Some (fun () -> fol := Blsm.Replication.crash_and_recover !fol);
+    scrub =
+      Some
+        (fun () ->
+          let r = Blsm.Tree.scrub !primary in
+          (List.length r.Blsm.Tree.scrub_errors, r.Blsm.Tree.scrub_clean));
+    counts = Some (fun () -> counts_of_stats (Blsm.Tree.stats !primary));
+    (* resync scans the primary through a cursor; a follower crash midway
+       leaves that bump untracked, so the scans counter is unreliable *)
+    mask_scans = true;
+    last_stall = Some (fun () -> Blsm.Tree.last_stall !primary);
+    metrics_dump = (fun () -> Obs.Metrics.dump (Blsm.Tree.metrics !primary));
+    faults;
+    follower_faults = Some follower_faults;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Factory *)
+
+let all_names =
+  [ "blsm"; "blsm-gear"; "blsm-naive"; "partitioned"; "btree"; "leveldb";
+    "replicated" ]
+
+let caps_of_name = function
+  | "blsm" | "blsm-gear" | "blsm-naive" -> Some caps_tree
+  | "partitioned" -> Some caps_partitioned
+  | "btree" | "leveldb" -> Some caps_baseline
+  | "replicated" -> Some caps_replicated
+  | _ -> None
+
+(** [make name ~seed] is a fresh-engine factory, or [None] for an
+    unknown driver name. *)
+let make name ~seed =
+  match name with
+  | "blsm" -> Some (fun () -> blsm ~name ~seed ())
+  | "blsm-gear" ->
+      Some (fun () -> blsm ~scheduler:Blsm.Config.Gear ~name ~seed ())
+  | "blsm-naive" ->
+      Some (fun () -> blsm ~scheduler:Blsm.Config.Naive ~name ~seed ())
+  | "partitioned" -> Some (partitioned ~seed)
+  | "btree" -> Some (btree ~seed)
+  | "leveldb" -> Some (leveldb ~seed)
+  | "replicated" -> Some (replicated ~seed)
+  | _ -> None
+
+let make_exn name ~seed =
+  match make name ~seed with
+  | Some f -> f
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Dst.Driver: unknown driver %S (known: %s)" name
+           (String.concat ", " all_names))

@@ -1,0 +1,60 @@
+(** The in-memory oracle: a sorted map holding the logical state every
+    engine must agree with.
+
+    Semantics mirror the engines' shared contract: blind put/delete,
+    append-resolver deltas ([base ^ delta], delta-as-base when missing —
+    {!Kv.Entry.append_resolver}), inclusive-start bounded scans. The
+    differential tests and the DST interpreter both check engines
+    against this module, so it is deliberately the dumbest possible
+    implementation of the spec. *)
+
+module SMap = Map.Make (String)
+
+type t = { mutable m : string SMap.t }
+
+let create () = { m = SMap.empty }
+
+(** Cheap snapshot: the map is immutable underneath. *)
+let copy o = { m = o.m }
+
+let get o k = SMap.find_opt k o.m
+let mem o k = SMap.mem k o.m
+let put o k v = o.m <- SMap.add k v o.m
+let delete o k = o.m <- SMap.remove k o.m
+
+let delta o k d =
+  o.m <-
+    SMap.update k
+      (function Some v -> Some (v ^ d) | None -> Some d)
+      o.m
+
+let insert_if_absent o k v =
+  if SMap.mem k o.m then false
+  else begin
+    put o k v;
+    true
+  end
+
+let read_modify_write o k f = put o k (f (get o k))
+
+(** [scan o start n]: up to [n] bindings with key >= [start], in order. *)
+let scan o start n =
+  let rec take seq n acc =
+    if n = 0 then List.rev acc
+    else
+      match seq () with
+      | Seq.Nil -> List.rev acc
+      | Seq.Cons (kv, rest) -> take rest (n - 1) (kv :: acc)
+  in
+  take (SMap.to_seq_from start o.m) n []
+
+let bindings o = SMap.bindings o.m
+let cardinal o = SMap.cardinal o.m
+
+(** Apply a decoded logical-log entry — batch items route through here
+    so oracle semantics stay in one place. *)
+let apply_entry o k (e : Kv.Entry.t) =
+  match e with
+  | Kv.Entry.Base v -> put o k v
+  | Kv.Entry.Tombstone -> delete o k
+  | Kv.Entry.Delta ds -> List.iter (delta o k) ds

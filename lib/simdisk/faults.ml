@@ -92,6 +92,11 @@ let counters t = t.c
 (** A plan with nothing scheduled is inert: hooks are a counter bump. *)
 let armed t = t.page_plan <> [] || t.wal_plan <> []
 
+(** Faults scheduled but not yet fired: [(page_faults, wal_faults)].
+    Harnesses use this to tell "the plan fired" from "the workload never
+    reached the scheduled ordinal". *)
+let pending t = (List.length t.page_plan, List.length t.wal_plan)
+
 let clear t =
   t.page_plan <- [];
   t.wal_plan <- []

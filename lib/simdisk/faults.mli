@@ -41,6 +41,11 @@ val counters : t -> counters
 (** True when any fault is still scheduled. *)
 val armed : t -> bool
 
+(** Faults scheduled but not yet fired: [(page_faults, wal_faults)] —
+    distinguishes "the plan fired" from "the workload never reached the
+    scheduled ordinal". *)
+val pending : t -> int * int
+
 (** Drop all scheduled (not yet fired) faults. *)
 val clear : t -> unit
 
