@@ -136,7 +136,9 @@ let collect ?(quota = 0.5) () =
     (fun test ->
       let raw = Benchmark.all cfg [ instance ] test in
       let results = Analyze.all ols instance raw in
-      Hashtbl.fold
+      (* bechamel keys its results table by test name; sort so the hash
+         order cannot leak into the report. *)
+      (Hashtbl.fold [@lint.allow "D002"])
         (fun name ols_result acc ->
           let est =
             match Analyze.OLS.estimates ols_result with
@@ -144,7 +146,8 @@ let collect ?(quota = 0.5) () =
             | _ -> nan
           in
           (name, est) :: acc)
-        results [])
+        results []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
     tests
 
 let run () =

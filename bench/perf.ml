@@ -27,7 +27,8 @@ let baseline_ns name =
   | _ -> None
 
 (* Best-of-[repeats] wall-clock ns/op of [iters] calls to [f]. *)
-let time_best ~repeats ~iters f =
+(* The perf harness measures real elapsed time by design. *)
+let[@lint.allow "D001"] time_best ~repeats ~iters f =
   f ();
   (* warm code paths and caches before the first timed run *)
   let best = ref infinity in

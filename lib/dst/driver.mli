@@ -1,0 +1,109 @@
+(** Engine drivers: the uniform record the DST interpreter executes
+    plans against.
+
+    A driver wraps one engine instance — bLSM {!Blsm.Tree} under any
+    scheduler, {!Blsm.Partitioned}, the B-Tree and LevelDB baselines, or
+    a replication primary/follower pair — behind first-class fields for
+    the whole exercised surface, with optional hooks ([option] fields)
+    for capabilities that vary by engine.
+
+    Invariant: constructors are [unit -> t] factories, and {e all}
+    nondeterminism is derived from the plan seed (store contents, tree
+    config, fault PRNG).  The shrinker relies on this to rebuild a
+    fresh, byte-identical engine for every candidate plan. *)
+
+(** Mirror of the op counters an engine reports; the interpreter keeps
+    its own copy and the two must agree at every checkpoint. *)
+type counts = {
+  n_puts : int;
+  n_gets : int;
+  n_deletes : int;
+  n_deltas : int;
+  n_scans : int;
+  n_rmws : int;
+  n_checked_inserts : int;
+}
+
+(** Handle for one open OCC transaction. *)
+type txn_handle = {
+  tx_get : string -> string option;
+  tx_put : string -> string -> unit;
+  tx_delete : string -> unit;
+  tx_rmw : string -> string -> unit;
+  tx_commit : unit -> [ `Committed | `Conflict ];
+}
+
+type t = {
+  name : string;
+  caps : Plan.caps;  (** which plan ops the generator may emit *)
+  get : string -> string option;
+  put : string -> string -> unit;
+  delete : string -> unit;
+  apply_delta : string -> string -> unit;
+  rmw : string -> string -> unit;
+  insert_if_absent : string -> string -> bool;
+  scan : string -> int -> (string * string) list;
+  write_batch : (string * Kv.Entry.t) list -> unit;
+  maintenance : unit -> unit;
+      (** advance background work (merges, pacing) one quantum *)
+  flush : (unit -> unit) option;
+  crash_recover : (unit -> unit) option;
+      (** drop unsynced state and rebuild from the WAL, as a real crash
+          would *)
+  begin_txn : (unit -> txn_handle) option;
+  catch_up : (unit -> [ `Applied of int | `Resynced ]) option;
+  follower_scan : (unit -> (string * string) list) option;
+  crash_follower : (unit -> unit) option;
+  scrub : (unit -> int * bool) option;
+      (** [(pages_checked, clean)] full-tree checksum sweep *)
+  counts : (unit -> counts) option;
+  mask_scans : bool;
+      (** engine cannot serve consistent scans mid-merge; the
+          interpreter skips scan equivalence for it *)
+  last_stall : (unit -> Blsm.Tree.stall_breakdown) option;
+  metrics_dump : unit -> string;
+  faults : Simdisk.Faults.t;  (** fault plan armed on the primary store *)
+  follower_faults : Simdisk.Faults.t option;
+}
+
+(** [mk_store ~fault_seed ()] builds a seeded simulated store and the
+    fault plan threaded through it. *)
+val mk_store : fault_seed:int -> unit -> Pagestore.Store.t * Simdisk.Faults.t
+
+(** Small-memtable config so short plans still exercise merges. *)
+val small_config :
+  ?scheduler:Blsm.Config.scheduler_kind -> int -> Blsm.Config.t
+
+val counts_of_stats : Blsm.Tree.stats -> counts
+val add_counts : counts -> counts -> counts
+
+(** The RMW update function every driver and the oracle share:
+    append-with-separator, so lost updates are visible in the value. *)
+val append_rmw : string -> string option -> string
+
+val tree_txn : Blsm.Tree.t -> unit -> txn_handle
+
+val caps_tree : Plan.caps
+val caps_partitioned : Plan.caps
+val caps_replicated : Plan.caps
+val caps_baseline : Plan.caps
+
+(** The seven engine factories exercised by the harness. *)
+
+val blsm :
+  ?scheduler:Blsm.Config.scheduler_kind -> name:string -> seed:int -> unit -> t
+
+val partitioned : seed:int -> unit -> t
+val leveldb : seed:int -> unit -> t
+val btree : seed:int -> unit -> t
+val replicated : seed:int -> unit -> t
+
+(** All driver names the smoke/soak sweeps iterate, in a fixed order so
+    reports are deterministic. *)
+val all_names : string list
+
+val caps_of_name : string -> Plan.caps option
+val make : string -> seed:int -> (unit -> t) option
+
+(** [make_exn name ~seed] — [Invalid_argument] on unknown names. *)
+val make_exn : string -> seed:int -> unit -> t

@@ -662,7 +662,12 @@ let run (d : Driver.t) (plan : Plan.t) : outcome =
     (pp + pw + fp + fw)
     (List.length st.violations);
   Buffer.add_string st.buf
-    (try d.Driver.metrics_dump () with _ -> "<metrics unavailable>\n");
+    (* Expected dump failures only: a crashed engine's registry closures
+       may hit freed state.  Assert_failure / Out_of_memory / injected
+       corruption must escape to the harness, not read as "no metrics". *)
+    (try d.Driver.metrics_dump ()
+     with Not_found | Invalid_argument _ | Failure _ ->
+       "<metrics unavailable>\n");
   {
     ok = st.violations = [];
     violations = List.rev st.violations;

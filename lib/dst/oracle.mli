@@ -1,0 +1,48 @@
+(** The in-memory oracle: a sorted map holding the logical state every
+    engine must agree with.
+
+    Semantics mirror the engines' shared contract: blind put/delete,
+    append-resolver deltas ([base ^ delta], delta-as-base when missing —
+    {!Kv.Entry.append_resolver}), inclusive-start bounded scans.  The
+    differential tests and the DST interpreter both check engines
+    against this module, so it is deliberately the dumbest possible
+    implementation of the spec — any cleverness here would be a second
+    implementation to doubt.
+
+    Invariant: iteration ({!bindings}, {!scan}) is in key order
+    ([String.compare]), matching the engines' one total order on keys —
+    equality of [bindings] with an engine scan is the whole-state
+    equivalence check. *)
+
+module SMap : Map.S with type key = string
+
+type t = { mutable m : string SMap.t }
+
+val create : unit -> t
+
+(** Cheap snapshot: the map is immutable underneath.  The interpreter
+    checkpoints the oracle before every crash-prone op. *)
+val copy : t -> t
+
+val get : t -> string -> string option
+val mem : t -> string -> bool
+val put : t -> string -> string -> unit
+val delete : t -> string -> unit
+
+(** [delta o k d] applies the append resolver: [base ^ d], or [d] as
+    base when [k] is absent. *)
+val delta : t -> string -> string -> unit
+
+val insert_if_absent : t -> string -> string -> bool
+val read_modify_write : t -> string -> (string option -> string) -> unit
+
+(** [scan o start n]: at most [n] bindings with key [>= start], in key
+    order. *)
+val scan : t -> string -> int -> (string * string) list
+
+val bindings : t -> (string * string) list
+val cardinal : t -> int
+
+(** [apply_entry o k e] applies a typed {!Kv.Entry.t} (base, tombstone
+    or delta list) — the write-batch path. *)
+val apply_entry : t -> string -> Kv.Entry.t -> unit

@@ -1,0 +1,103 @@
+(** DST plans: seeded workload traces with interleaved fault schedules.
+
+    A plan is the deterministic unit of the simulation harness: one seed
+    expands to one trace of operations (the full engine surface — point
+    ops, deltas, RMW, scans, atomic batches, OCC transaction blocks,
+    crash/recover, scrub, replica catch-up) with faults from the
+    {!Simdisk.Faults} taxonomy (torn/lost/bit-flip/crash-point) armed
+    between steps.
+
+    Invariants: the grammar is first-order data (no closures) so plans
+    can be serialized ({!Repro}), diffed, and shrunk structurally
+    ({!Shrink}); and generation is a pure function of [(seed, caps,
+    params)] — same inputs, byte-identical plan. *)
+
+type batch_item = B_put of string * string | B_del of string
+
+(** Operations inside an OCC transaction block. No [T_delta]: the
+    transaction layer buffers deltas with resolver semantics the oracle
+    would have to replicate entry-wise; the generated surface sticks to
+    the validated read/write/RMW cycle the §4.4.2 construction is for. *)
+type txn_op =
+  | T_get of string
+  | T_put of string * string
+  | T_delete of string
+  | T_rmw of string * string  (** append suffix via read-modify-write *)
+
+type op =
+  | Put of string * string
+  | Get of string
+  | Delete of string
+  | Delta of string * string
+  | Rmw of string * string
+  | Insert_if_absent of string * string
+  | Scan of string * int
+  | Write_batch of batch_item list
+  | Txn of {
+      t_ops : txn_op list;
+      t_interleave : (string * string) option;
+          (** direct write raced against the open transaction, to
+              provoke OCC conflicts *)
+    }
+  | Crash_recover
+  | Crash_follower
+  | Catch_up
+  | Scrub
+  | Maintenance
+  | Flush
+  | Checkpoint  (** run the full invariant battery here *)
+
+(** Faults armed before a step executes; page/WAL indices count from the
+    moment of arming. *)
+type fault =
+  | F_lost_page of int
+  | F_flip_page of int
+  | F_crash_page of { after : int; torn : bool }
+  | F_crash_wal of { after : int; torn : bool }
+  | F_follower_crash_wal of { after : int; torn : bool }
+
+type step = { faults : fault list; op : op }
+
+type t = { driver : string; seed : int; note : string; steps : step list }
+
+(** Capability mask: which ops the generator may emit for a driver. *)
+type caps = {
+  c_crash : bool;
+  c_txn : bool;
+  c_follower : bool;
+  c_scrub : bool;
+  c_batch_atomic : bool;
+}
+
+type params = {
+  n_steps : int;
+  key_space : int;
+  value_bytes : int;
+  checkpoint_every : int;
+  fault_rate : float;
+  rot_rate : float;  (** share of faults that are lost/flip (rot) *)
+}
+
+val default_params : params
+
+(** Keys at component/page boundaries, always in the generated mix so
+    edge keys stay hot. *)
+val boundary_keys : string array
+
+val gen_key : Repro_util.Prng.t -> params -> string
+val gen_value : Repro_util.Prng.t -> params -> int -> string
+val gen_faults : Repro_util.Prng.t -> caps -> params -> fault list
+val gen_txn : Repro_util.Prng.t -> params -> int -> op
+val gen_batch : Repro_util.Prng.t -> params -> int -> op
+val gen_op : Repro_util.Prng.t -> caps -> params -> int -> op
+
+(** [generate ?params ~caps ~driver ~seed ()] expands one seed into one
+    plan, deterministically. *)
+val generate :
+  ?params:params -> caps:caps -> driver:string -> seed:int -> unit -> t
+
+(** Stable labels for reports and shrink logs. *)
+
+val op_label : op -> string
+val fault_label : fault -> string
+val step_label : step -> string

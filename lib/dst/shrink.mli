@@ -1,0 +1,31 @@
+(** ddmin-style plan shrinker: minimizes a failing plan while preserving
+    its failure.
+
+    Candidates are tried largest-cut-first (drop step ranges, then
+    single steps, then per-step simplifications: drop faults, shrink
+    batches/transactions, simplify ops toward plain puts); a candidate
+    is accepted only if the failure predicate still holds on a {e fresh}
+    engine built by the factory, so shrinking never depends on state
+    leaked from a previous attempt.
+
+    Invariant: the returned plan still fails the predicate, and the
+    process is deterministic — same plan, same factory, same budget,
+    same minimum. *)
+
+type stats = { mutable candidates : int; mutable accepted : int }
+
+val default_budget : int
+
+(** [fails mk plan] — the default failure predicate: the plan produces
+    invariant violations, or escapes the interpreter entirely. *)
+val fails : (unit -> Driver.t) -> Plan.t -> bool
+
+(** [minimize ?budget ?is_failing ~mk plan] returns the shrunk plan and
+    counters.  [budget] caps candidate executions; [is_failing]
+    defaults to [fails mk]. *)
+val minimize :
+  ?budget:int ->
+  ?is_failing:(Plan.t -> bool) ->
+  mk:(unit -> Driver.t) ->
+  Plan.t ->
+  Plan.t * stats

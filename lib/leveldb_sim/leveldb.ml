@@ -312,7 +312,7 @@ let run_compaction t level =
     let lo_sources =
       if level = 0 then
         inputs_lo
-        |> List.sort (fun a b -> compare b.age a.age)
+        |> List.sort (fun a b -> Int.compare b.age a.age)
         |> List.mapi (fun i f ->
                (i, let it = Sstable.Reader.iterator f.sst in
                    fun () -> Sstable.Reader.iter_next_full it))
@@ -407,7 +407,7 @@ let find_in_level t i key =
     (* L0 files overlap, so one key may have versions in several of them:
        probe newest first, composing deltas until a base record (or
        tombstone) settles the state *)
-    let files = List.sort (fun a b -> compare b.age a.age) t.levels.(0) in
+    let files = List.sort (fun a b -> Int.compare b.age a.age) t.levels.(0) in
     let rec go acc = function
       | [] -> acc
       | f :: rest -> (
@@ -501,7 +501,7 @@ let scan t start n =
       let it = Sstable.Reader.iterator ~from:start f.sst in
       sources := (!prio, fun () -> Sstable.Reader.iter_next_full it) :: !sources;
       incr prio)
-    (List.sort (fun a b -> compare b.age a.age) t.levels.(0));
+    (List.sort (fun a b -> Int.compare b.age a.age) t.levels.(0));
   for i = 1 to t.config.max_levels - 1 do
     if t.levels.(i) <> [] then begin
       let files =

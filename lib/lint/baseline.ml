@@ -1,0 +1,57 @@
+(* Baseline file: one suppressed finding per line, in
+   [Finding.baseline_key] form ("file: [RULE] message"), '#' comments
+   and blank lines ignored.  Matching is a multiset subtraction: a
+   baseline line absorbs exactly one identical finding, so a second copy
+   of a baselined violation still fails the build. *)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    String.split_on_char '\n' content
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  end
+
+let filter ~baseline findings =
+  let table = ref [] in
+  List.iter
+    (fun k ->
+      match List.assoc_opt k !table with
+      | Some n -> incr n
+      | None -> table := (k, ref 1) :: !table)
+    baseline;
+  List.filter
+    (fun f ->
+      let k = Finding.baseline_key f in
+      match List.assoc_opt k !table with
+      | Some n when !n > 0 ->
+          decr n;
+          false
+      | _ -> true)
+    findings
+
+let render findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "# blsm-lint baseline: pre-existing findings tolerated by `dune \
+     build @lint`.\n\
+     # One `file: [RULE] message` per line (no line numbers, so edits \
+     elsewhere\n\
+     # in a file do not churn this list).  Remove lines as the debt is \
+     paid down;\n\
+     # regenerate with `blsm_lint --update-baseline`.\n";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.baseline_key f);
+      Buffer.add_char buf '\n')
+    (List.sort Finding.compare findings);
+  Buffer.contents buf
+
+let save path findings =
+  let oc = open_out_bin path in
+  output_string oc (render findings);
+  close_out oc

@@ -1,0 +1,25 @@
+(** The checked-in lint baseline: pre-existing findings tolerated while
+    the rule set grows, so a new rule never blocks unrelated merges.
+
+    Format: one {!Finding.baseline_key} ("file: [RULE] message") per
+    line; ['#'] comments and blank lines are ignored.  Keys carry no
+    line numbers, so edits elsewhere in a file do not churn the
+    baseline. *)
+
+(** [load path] reads baseline keys; a missing file is an empty
+    baseline. *)
+val load : string -> string list
+
+(** [filter ~baseline findings] removes findings absorbed by the
+    baseline.  Matching is multiset subtraction: each baseline line
+    absorbs exactly one identical finding, so introducing a second copy
+    of a baselined violation still fails. *)
+val filter : baseline:string list -> Finding.t list -> Finding.t list
+
+(** [render findings] is the canonical baseline file content for the
+    given findings (sorted, with the explanatory header). *)
+val render : Finding.t list -> string
+
+(** [save path findings] writes [render findings] to [path]
+    ([--update-baseline]). *)
+val save : string -> Finding.t list -> unit

@@ -1,0 +1,45 @@
+type access_rule = {
+  restricted : string list;
+  allowed_dirs : string list;
+  why : string;
+}
+
+type t = {
+  scan_dirs : string list;
+  access_matrix : access_rule list;
+  mli_required_dirs : string list;
+  mli_exempt_suffixes : string list;
+  mli_exempt_modules : string list;
+}
+
+(* The module-access matrix behind rule A001.  Each entry names module
+   paths that are implementation details of the simulated-I/O stack and
+   the directories that may legitimately reference them; every byte of
+   I/O outside those directories has to flow through the Simdisk.Disk
+   API so the paper's seek/bandwidth accounting stays honest. *)
+let default_access_matrix =
+  [
+    {
+      restricted = [ "Platter"; "Pagestore.Platter" ];
+      allowed_dirs = [ "lib/pagestore"; "lib/simdisk" ];
+      why =
+        "platter internals bypass Simdisk.Disk accounting; only the \
+         pagestore/simdisk layers may touch them";
+    };
+    {
+      restricted = [ "Unix" ];
+      allowed_dirs = [ "bench"; "bin"; "tools" ];
+      why =
+        "real-OS syscalls bypass the simulated disk and clock; lib/ \
+         must stay simulation-pure";
+    };
+  ]
+
+let default =
+  {
+    scan_dirs = [ "lib"; "bin"; "bench" ];
+    access_matrix = default_access_matrix;
+    mli_required_dirs = [ "lib" ];
+    mli_exempt_suffixes = [ "_intf" ];
+    mli_exempt_modules = [];
+  }

@@ -1,0 +1,34 @@
+(** blsm-lint configuration: what to scan and the project-specific
+    invariants the AST pass enforces.  The default value below is the
+    checked-in policy for this repository; tests construct restricted
+    configs of their own. *)
+
+(** One row of the A001 module-access matrix. *)
+type access_rule = {
+  restricted : string list;
+      (** dotted module paths, e.g. ["Pagestore.Platter"]; a reference
+          matches when its leading components equal one of these *)
+  allowed_dirs : string list;
+      (** repo-relative directories whose files may reference the
+          restricted modules *)
+  why : string;  (** rendered in the finding message *)
+}
+
+type t = {
+  scan_dirs : string list;  (** directories walked by default *)
+  access_matrix : access_rule list;  (** rule A001 *)
+  mli_required_dirs : string list;
+      (** rule S001: every [.ml] under these roots needs a sibling
+          [.mli] *)
+  mli_exempt_suffixes : string list;
+      (** module basename suffixes exempt from S001 (e.g. ["_intf"] for
+          signature-only modules) *)
+  mli_exempt_modules : string list;
+      (** individual module basenames exempt from S001 *)
+}
+
+(** The policy for this repository: scan [lib/], [bin/], [bench/];
+    platter internals restricted to [lib/pagestore] + [lib/simdisk];
+    [Unix] restricted to [bench]/[bin]/[tools]; [.mli] required for
+    every [lib/] module except [*_intf]. *)
+val default : t

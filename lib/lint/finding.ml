@@ -1,0 +1,22 @@
+type t = { file : string; line : int; col : int; rule : string; msg : string }
+
+let make ~file ~line ~col ~rule msg = { file; line; col; rule; msg }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+
+(* Baseline entries deliberately omit the line number so that unrelated
+   edits above a baselined finding do not churn the baseline file. *)
+let baseline_key f = Printf.sprintf "%s: [%s] %s" f.file f.rule f.msg

@@ -1,0 +1,24 @@
+(** A single lint finding: one rule violation at one source location. *)
+
+type t = {
+  file : string;  (** path relative to the repo root, as scanned *)
+  line : int;  (** 1-based line of the offending node *)
+  col : int;  (** 0-based column, kept for stable sorting *)
+  rule : string;  (** rule id, e.g. ["C001"] *)
+  msg : string;  (** human-readable explanation with the suggested fix *)
+}
+
+val make : file:string -> line:int -> col:int -> rule:string -> string -> t
+
+(** Total order: file, then line, then column, then rule, then message —
+    so reports are byte-identical across runs (the linter holds itself to
+    rule D002). *)
+val compare : t -> t -> int
+
+(** [to_string f] renders ["file:line: [RULE] message"], the format every
+    consumer (CLI, tests, editors) parses. *)
+val to_string : t -> string
+
+(** [baseline_key f] is the line-number-free form used in the baseline
+    file, so edits above a baselined site do not invalidate it. *)
+val baseline_key : t -> string

@@ -1,0 +1,75 @@
+(* Walks the source tree, runs the AST pass on every .ml/.mli, and adds
+   the file-set rule S001 (every lib/ module ships an interface). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  content
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+(* Skip dot-directories and _build so running from a dune sandbox (or a
+   dirty checkout) never picks up generated files. *)
+let skip_dir name =
+  String.length name = 0 || name.[0] = '.' || String.equal name "_build"
+
+let collect_files ~root dirs =
+  let files = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    if Sys.file_exists abs && Sys.is_directory abs then
+      Array.iter
+        (fun entry ->
+          let rel' = Filename.concat rel entry in
+          let abs' = Filename.concat abs entry in
+          if Sys.is_directory abs' then begin
+            if not (skip_dir entry) then walk rel'
+          end
+          else if is_source entry then files := rel' :: !files)
+        (Sys.readdir abs)
+  in
+  List.iter walk dirs;
+  List.sort String.compare !files
+
+let under_dir dir file =
+  String.equal (Filename.dirname file) dir
+  || String.length file > String.length dir
+     && String.sub file 0 (String.length dir + 1) = dir ^ "/"
+
+let mli_findings ~(config : Config.t) files =
+  let mli_present f = List.mem (f ^ "i") files in
+  files
+  |> List.filter (fun f ->
+         Filename.check_suffix f ".ml"
+         && List.exists (fun d -> under_dir d f) config.mli_required_dirs)
+  |> List.filter_map (fun f ->
+         let base = Filename.remove_extension (Filename.basename f) in
+         let exempt =
+           List.mem base config.mli_exempt_modules
+           || List.exists
+                (fun suf -> Filename.check_suffix base suf)
+                config.mli_exempt_suffixes
+         in
+         if exempt || mli_present f then None
+         else
+           Some
+             (Finding.make ~file:f ~line:1 ~col:0 ~rule:"S001"
+                (Printf.sprintf
+                   "module %s has no .mli; every lib/ module ships an \
+                    interface documenting its invariants (signature-only \
+                    *_intf modules are exempt)"
+                   base)))
+
+let run ?(config = Config.default) ~root dirs =
+  let files = collect_files ~root dirs in
+  let ast_findings =
+    List.concat_map
+      (fun f ->
+        Rules.lint_source ~config ~path:f
+          (read_file (Filename.concat root f)))
+      files
+  in
+  List.sort Finding.compare (mli_findings ~config files @ ast_findings)

@@ -1,0 +1,23 @@
+(** Orchestration: walk the tree, lint every unit, apply the file-set
+    rule S001.
+
+    S001 exists because an [.mli] is where a module's invariants are
+    stated — the DST oracle, the pacing maths, the on-disk format all
+    promise things the implementation alone cannot document.  A module
+    without an interface exports everything and promises nothing. *)
+
+(** [collect_files ~root dirs] returns the sorted repo-relative paths of
+    every [.ml]/[.mli] under [dirs] (each relative to [root]),
+    skipping dot-directories and [_build]. *)
+val collect_files : root:string -> string list -> string list
+
+(** [mli_findings ~config files] computes the S001 findings for a file
+    set (paths relative to the repo root). Exposed for the fixture
+    tests. *)
+val mli_findings : config:Config.t -> string list -> Finding.t list
+
+(** [run ?config ~root dirs] lints every source file under [dirs] and
+    returns all findings sorted by {!Finding.compare}.  Suppression
+    attributes are already applied; baseline subtraction is the
+    caller's job ({!Baseline.filter}). *)
+val run : ?config:Config.t -> root:string -> string list -> Finding.t list

@@ -26,7 +26,7 @@ let sorted ?(prefix = "") t =
       String.length m.m_name >= String.length prefix
       && String.sub m.m_name 0 (String.length prefix) = prefix)
     t.metrics
-  |> List.sort (fun a b -> compare a.m_name b.m_name)
+  |> List.sort (fun a b -> String.compare a.m_name b.m_name)
 
 let names t = List.map (fun m -> m.m_name) (sorted t)
 

@@ -24,7 +24,7 @@ let create ~resolver ~drop_tombstones inputs =
   let sources =
     inputs
     |> List.map (fun (priority, pull) -> { priority; pull; cur = pull () })
-    |> List.sort (fun a b -> compare a.priority b.priority)
+    |> List.sort (fun a b -> Int.compare a.priority b.priority)
   in
   { resolver; drop_tombstones; sources }
 

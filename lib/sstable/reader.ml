@@ -412,12 +412,12 @@ type page_verdict =
 
 let probe_key s psz start key =
   match Repro_util.Varint.read s start with
-  | exception _ -> Unreadable (* body-length varint split by the page end *)
+  | exception Invalid_argument _ -> Unreadable (* body-length varint split by the page end *)
   | body_len, p ->
       if p > psz then Unreadable
       else (
         match Repro_util.Varint.read s p with
-        | exception _ -> Unreadable
+        | exception Invalid_argument _ -> Unreadable
         | key_len, kp ->
             if kp + key_len > psz || kp + key_len > p + body_len then Unreadable
             else Cmp (cmp_key_at s kp key_len key))
@@ -434,7 +434,7 @@ let decode_at s start =
 
 let complete_at s psz start =
   match Repro_util.Varint.read s start with
-  | exception _ -> false
+  | exception Invalid_argument _ -> false
   | body_len, p -> p + body_len <= psz
 
 (* Binary-search the restart array for [key]. The page was chosen by

@@ -255,6 +255,6 @@ let decode_footer s =
       if Repro_util.Crc32c.string (String.sub s 0 body_end) <> stored_crc then
         raise (Corrupt { what = "footer checksum"; page = -1 });
       footer
-  | exception _ ->
+  | exception Invalid_argument _ ->
       (* truncated or garbled varints: the blob is not a footer *)
       raise (Corrupt { what = "footer encoding"; page = -1 })

@@ -1,0 +1,6 @@
+(* A001 failing fixture: platter internals referenced from outside the
+   pagestore/simdisk layers (linted under a lib/memtable/ logical
+   path) — expression, qualified expression, and type positions. *)
+let peek id = Platter.read id
+let direct = Pagestore.Platter.write
+let cache : Platter.t option = None

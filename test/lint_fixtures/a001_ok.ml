@@ -1,0 +1,4 @@
+(* A001 passing fixture: everyone may talk to the public Simdisk.Disk
+   API; the matrix only fences the platter internals. *)
+let read d page = Simdisk.Disk.read d page
+let seeks d = Simdisk.Disk.seeks d

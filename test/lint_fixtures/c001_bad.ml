@@ -1,0 +1,6 @@
+(* C001 failing fixture: polymorphic comparison in comparator
+   positions — bare compare, compare inside a lambda, and a polymorphic
+   operator inside a comparator body. *)
+let plain xs = List.sort compare xs
+let by_age xs = List.sort (fun a b -> compare b.age a.age) xs
+let by_op xs = Array.sort (fun a b -> if a.k < b.k then -1 else 1) xs

@@ -1,0 +1,6 @@
+(* C001 passing fixture: monomorphic comparators; polymorphic min/max
+   outside a comparator position are not C001's business (D001/D002
+   cover the dangerous cases). *)
+let plain xs = List.sort String.compare xs
+let by_age xs = List.sort (fun a b -> Int.compare b.age a.age) xs
+let clamp a b = min a b

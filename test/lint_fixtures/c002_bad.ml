@@ -1,0 +1,4 @@
+(* C002 failing fixture: catch-alls in both the try and the
+   match-exception spelling. *)
+let guard g = try g () with _ -> 0
+let guard2 g = match g () with x -> x | exception _ -> 0

@@ -1,0 +1,9 @@
+(* C002 passing fixture: explicit exception lists are fine, and so is
+   binding the exception (it can be logged and re-raised). *)
+let guard g = try g () with Not_found | Failure _ -> 0
+
+let log_and_reraise g =
+  try g ()
+  with e ->
+    print_string "failed";
+    raise e

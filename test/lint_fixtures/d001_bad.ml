@@ -1,0 +1,7 @@
+(* D001 failing fixture: five nondeterminism sources.  Linted under a
+   bench/ logical path so the Unix references do not also trip A001. *)
+let seed () = Random.self_init ()
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let hash k = Hashtbl.hash k
+let draw () = Random.int 10

@@ -1,0 +1,4 @@
+(* D001 passing fixture: explicitly seeded PRNGs are fine. *)
+let prng = Repro_util.Prng.create ~seed:42
+let draw st = Random.State.int st 10
+let state = Random.State.make [| 7 |]

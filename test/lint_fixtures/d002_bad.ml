@@ -1,0 +1,3 @@
+(* D002 failing fixture: raw Hashtbl iteration in both spellings. *)
+let dump tbl = Hashtbl.iter (fun k v -> print_string (k ^ v)) tbl
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,5 @@
+(* D002 passing fixture: iterate a sorted key list, probe the table. *)
+let dump keys tbl =
+  List.iter
+    (fun k -> print_string (k ^ Hashtbl.find tbl k))
+    (List.sort String.compare keys)

@@ -1,0 +1,2 @@
+(* P000 fixture: not OCaml beyond this comment. *)
+let let let = = =

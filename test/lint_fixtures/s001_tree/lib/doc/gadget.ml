@@ -1,0 +1,2 @@
+(* S001 passing fixture: interface alongside. *)
+let y = 2

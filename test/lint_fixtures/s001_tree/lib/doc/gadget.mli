@@ -1,0 +1,2 @@
+(* The interface S001 wants. *)
+val y : int

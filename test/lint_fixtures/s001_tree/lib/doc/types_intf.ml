@@ -1,0 +1,4 @@
+(* Signature-only module: exempt from S001 by the _intf suffix. *)
+module type S = sig
+  val z : int
+end

@@ -1,0 +1,2 @@
+(* S001 failing fixture: a lib/ module with no interface. *)
+let x = 1

@@ -1,0 +1,10 @@
+(* Suppression fixture: the same violations as the *_bad fixtures, each
+   silenced by a scoped [@lint.allow] — expression attribute, binding
+   attribute, and a floating file-level attribute. *)
+let now () = (Unix.gettimeofday [@lint.allow "D001"]) ()
+
+let[@lint.allow "C002"] guard g = try g () with _ -> 0
+
+[@@@lint.allow "D002"]
+
+let dump tbl = Hashtbl.iter (fun _ _ -> ()) tbl

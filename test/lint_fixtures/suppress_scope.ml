@@ -1,0 +1,4 @@
+(* Scoping fixture: an expression-level allow must not leak to later
+   bindings — exactly one of these two clock reads is a finding. *)
+let a () = (Unix.gettimeofday [@lint.allow "D001"]) ()
+let b () = Unix.gettimeofday ()

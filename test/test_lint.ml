@@ -1,0 +1,214 @@
+(* Tests for blsm-lint (lib/lint): every rule has at least one failing
+   and one passing fixture in test/lint_fixtures/, and the two
+   suppression mechanisms — scoped [@lint.allow] attributes and the
+   checked-in baseline — are exercised end to end. *)
+
+let check = Alcotest.check
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Lint a fixture file under a chosen logical path: the path's directory
+   is what rule A001 judges, so the same fixture can be tested from
+   inside and outside an allowed directory. *)
+let lint ~path fixture =
+  Lint.Rules.lint_source ~config:Lint.Config.default ~path
+    (read_file (Filename.concat "lint_fixtures" fixture))
+
+let rules_of findings = List.map (fun f -> f.Lint.Finding.rule) findings
+
+let slist = Alcotest.(list string)
+
+(* ------------------------------------------------------------------ *)
+(* Per-rule fixtures *)
+
+let test_d001_bad () =
+  check slist "five nondeterminism sources"
+    [ "D001"; "D001"; "D001"; "D001"; "D001" ]
+    (rules_of (lint ~path:"bench/d001_bad.ml" "d001_bad.ml"))
+
+let test_d001_ok () =
+  check slist "seeded PRNGs pass" []
+    (rules_of (lint ~path:"bench/d001_ok.ml" "d001_ok.ml"))
+
+let test_d002_bad () =
+  check slist "iter and fold both flagged" [ "D002"; "D002" ]
+    (rules_of (lint ~path:"lib/util/d002_bad.ml" "d002_bad.ml"))
+
+let test_d002_ok () =
+  check slist "sorted-keys probe passes" []
+    (rules_of (lint ~path:"lib/util/d002_ok.ml" "d002_ok.ml"))
+
+let test_c001_bad () =
+  check slist "bare compare, lambda compare, poly operator"
+    [ "C001"; "C001"; "C001" ]
+    (rules_of (lint ~path:"lib/core/c001_bad.ml" "c001_bad.ml"))
+
+let test_c001_ok () =
+  check slist "monomorphic comparators pass" []
+    (rules_of (lint ~path:"lib/core/c001_ok.ml" "c001_ok.ml"))
+
+let test_c002_bad () =
+  check slist "try-catch-all and match-exception-catch-all"
+    [ "C002"; "C002" ]
+    (rules_of (lint ~path:"lib/core/c002_bad.ml" "c002_bad.ml"))
+
+let test_c002_ok () =
+  check slist "explicit exceptions and bind+reraise pass" []
+    (rules_of (lint ~path:"lib/core/c002_ok.ml" "c002_ok.ml"))
+
+let test_a001_bad () =
+  check slist "platter internals from lib/memtable: expr, qualified, type"
+    [ "A001"; "A001"; "A001" ]
+    (rules_of (lint ~path:"lib/memtable/a001_bad.ml" "a001_bad.ml"))
+
+let test_a001_allowed_dir () =
+  check slist "same references are legal inside lib/pagestore" []
+    (rules_of (lint ~path:"lib/pagestore/a001_bad.ml" "a001_bad.ml"))
+
+let test_a001_ok () =
+  check slist "the public Simdisk.Disk API is open to everyone" []
+    (rules_of (lint ~path:"lib/core/a001_ok.ml" "a001_ok.ml"))
+
+let test_p000 () =
+  check slist "garbage does not parse" [ "P000" ]
+    (rules_of (lint ~path:"lib/core/p000_bad.ml" "p000_bad.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* Suppression: [@lint.allow] attributes *)
+
+let test_suppress_attr () =
+  check slist
+    "expression, binding and floating allows silence their subtrees" []
+    (rules_of (lint ~path:"bench/suppress_attr.ml" "suppress_attr.ml"))
+
+let test_suppress_scope () =
+  let fs = lint ~path:"bench/suppress_scope.ml" "suppress_scope.ml" in
+  check slist "allow does not leak past its expression" [ "D001" ]
+    (rules_of fs);
+  check Alcotest.int "the unsuppressed site is the second binding" 4
+    (List.hd fs).Lint.Finding.line
+
+let test_suppress_wrong_rule () =
+  (* an allow for a different rule must not silence anything *)
+  let fs =
+    Lint.Rules.lint_source ~config:Lint.Config.default
+      ~path:"bench/inline.ml"
+      "let now () = (Unix.gettimeofday [@lint.allow \"C001\"]) ()\n"
+  in
+  check slist "C001 allow does not cover D001" [ "D001" ] (rules_of fs)
+
+let test_malformed_allow () =
+  let fs =
+    Lint.Rules.lint_source ~config:Lint.Config.default
+      ~path:"bench/inline.ml"
+      "let now () = (Unix.gettimeofday [@lint.allow 42]) ()\n"
+  in
+  check slist "malformed payload: L000 plus the undimmed D001"
+    [ "D001"; "L000" ]
+    (List.sort String.compare (rules_of fs))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline mechanism *)
+
+let test_baseline_filter () =
+  let fs = lint ~path:"lib/core/c002_bad.ml" "c002_bad.ml" in
+  check Alcotest.int "two findings to play with" 2 (List.length fs);
+  let keys = List.map Lint.Finding.baseline_key fs in
+  check Alcotest.int "full baseline absorbs everything" 0
+    (List.length (Lint.Baseline.filter ~baseline:keys fs));
+  check Alcotest.int "partial baseline leaves the rest" 1
+    (List.length
+       (Lint.Baseline.filter ~baseline:[ List.hd keys ] fs))
+
+let test_baseline_is_multiset () =
+  let f =
+    Lint.Finding.make ~file:"x.ml" ~line:3 ~col:0 ~rule:"C002" "boom"
+  in
+  let dup =
+    Lint.Baseline.filter
+      ~baseline:[ Lint.Finding.baseline_key f ]
+      [ f; { f with Lint.Finding.line = 9 } ]
+  in
+  check Alcotest.int
+    "one baseline line absorbs exactly one identical finding" 1
+    (List.length dup)
+
+let test_baseline_roundtrip () =
+  let fs = lint ~path:"lib/core/c002_bad.ml" "c002_bad.ml" in
+  let path = Filename.temp_file "blsm_lint" ".baseline" in
+  Lint.Baseline.save path fs;
+  let keys = Lint.Baseline.load path in
+  Sys.remove path;
+  check Alcotest.int "comments stripped, one key per finding"
+    (List.length fs) (List.length keys);
+  check Alcotest.int "reloaded baseline absorbs the findings" 0
+    (List.length (Lint.Baseline.filter ~baseline:keys fs))
+
+let test_baseline_missing_file () =
+  check Alcotest.int "missing baseline file is empty, not an error" 0
+    (List.length (Lint.Baseline.load "lint_fixtures/no_such_baseline"))
+
+(* ------------------------------------------------------------------ *)
+(* S001 and the runner *)
+
+let test_s001_tree () =
+  let fs =
+    Lint.Runner.run ~config:Lint.Config.default
+      ~root:"lint_fixtures/s001_tree" [ "lib" ]
+  in
+  check slist "exactly the interface-less module is flagged" [ "S001" ]
+    (rules_of fs);
+  check Alcotest.string "and it is the right module" "lib/nodoc/widget.ml"
+    (List.hd fs).Lint.Finding.file
+
+let test_finding_format () =
+  let f =
+    Lint.Finding.make ~file:"lib/x/y.ml" ~line:7 ~col:2 ~rule:"C001" "msg"
+  in
+  check Alcotest.string "file:line: [RULE] message"
+    "lib/x/y.ml:7: [C001] msg"
+    (Lint.Finding.to_string f)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "D001 bad" `Quick test_d001_bad;
+          Alcotest.test_case "D001 ok" `Quick test_d001_ok;
+          Alcotest.test_case "D002 bad" `Quick test_d002_bad;
+          Alcotest.test_case "D002 ok" `Quick test_d002_ok;
+          Alcotest.test_case "C001 bad" `Quick test_c001_bad;
+          Alcotest.test_case "C001 ok" `Quick test_c001_ok;
+          Alcotest.test_case "C002 bad" `Quick test_c002_bad;
+          Alcotest.test_case "C002 ok" `Quick test_c002_ok;
+          Alcotest.test_case "A001 bad" `Quick test_a001_bad;
+          Alcotest.test_case "A001 allowed dir" `Quick test_a001_allowed_dir;
+          Alcotest.test_case "A001 ok" `Quick test_a001_ok;
+          Alcotest.test_case "P000 parse error" `Quick test_p000;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "attributes" `Quick test_suppress_attr;
+          Alcotest.test_case "scoping" `Quick test_suppress_scope;
+          Alcotest.test_case "wrong rule" `Quick test_suppress_wrong_rule;
+          Alcotest.test_case "malformed payload" `Quick test_malformed_allow;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "filter" `Quick test_baseline_filter;
+          Alcotest.test_case "multiset" `Quick test_baseline_is_multiset;
+          Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_baseline_missing_file;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "S001 tree" `Quick test_s001_tree;
+          Alcotest.test_case "finding format" `Quick test_finding_format;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+(* blsm-lint command line.
+
+   Usage: blsm_lint [--root DIR] [--baseline FILE] [--update-baseline]
+                    [DIR ...]
+
+   Lints every .ml/.mli under the given directories (default: the
+   configured scan set, lib/ bin/ bench/), prints findings as
+   "file:line: [RULE] message" and exits non-zero if any survive the
+   suppression attributes and the baseline. *)
+
+let usage () =
+  prerr_endline
+    "usage: blsm_lint [--root DIR] [--baseline FILE] [--update-baseline] \
+     [DIR ...]";
+  exit 2
+
+let () =
+  let root = ref "." in
+  let baseline_path = ref None in
+  let update = ref false in
+  let dirs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: d :: rest ->
+        root := d;
+        parse rest
+    | "--baseline" :: f :: rest ->
+        baseline_path := Some f;
+        parse rest
+    | "--update-baseline" :: rest ->
+        update := true;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | d :: rest when String.length d > 0 && d.[0] <> '-' ->
+        dirs := d :: !dirs;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let config = Lint.Config.default in
+  let dirs =
+    if !dirs = [] then config.Lint.Config.scan_dirs else List.rev !dirs
+  in
+  let findings = Lint.Runner.run ~config ~root:!root dirs in
+  match (!update, !baseline_path) with
+  | true, Some path ->
+      Lint.Baseline.save path findings;
+      Printf.printf "blsm-lint: wrote %d finding(s) to %s\n"
+        (List.length findings) path
+  | true, None ->
+      prerr_endline "blsm-lint: --update-baseline requires --baseline";
+      exit 2
+  | false, _ ->
+      let baseline =
+        match !baseline_path with
+        | Some path -> Lint.Baseline.load path
+        | None -> []
+      in
+      let live = Lint.Baseline.filter ~baseline findings in
+      List.iter
+        (fun f -> print_endline (Lint.Finding.to_string f))
+        live;
+      if live <> [] then begin
+        Printf.printf
+          "blsm-lint: %d finding(s) (%d baselined); see DESIGN.md §10 \
+           for the rules, [@lint.allow \"RULE\"] for per-site \
+           suppression\n"
+          (List.length live)
+          (List.length findings - List.length live);
+        exit 1
+      end
+      else
+        Printf.printf "blsm-lint: clean (%d file(s) scanned in %s)\n"
+          (List.length (Lint.Runner.collect_files ~root:!root dirs))
+          (String.concat " " dirs)
