@@ -3,9 +3,11 @@
    bLSM was built as backing storage for PNUTS, Yahoo!'s geographically
    distributed serving store, and its logical log exists partly to feed
    replication (§4.4.2; Rose, bLSM's substrate, was a log-structured
-   replication target). This example runs a primary and a follower:
-   log-shipped catch-up, a follower that fell behind and needs a snapshot
-   bootstrap, a follower power-failure, and a failover.
+   replication target). This example runs a primary and a follower over
+   the simulated network: log-shipped catch-up, retries through message
+   loss, a follower that fell behind and needs a snapshot bootstrap, a
+   partition that trips the bounded-staleness shed, and an epoch-fenced
+   failover.
 
    Run with:  dune exec examples/replication.exe *)
 
@@ -23,54 +25,113 @@ let config =
   { Blsm.Config.default with Blsm.Config.c0_bytes = 1024 * 1024 }
 
 let () =
+  (* One seeded network; the primary serves the replication protocol on
+     "west", the follower tails it from "east". *)
+  let net = Simnet.create ~seed:2012 () in
   let primary = Blsm.Tree.create ~config (mk_store ()) in
-  let follower = Blsm.Replication.follower ~config (mk_store ()) in
+  let server = Blsm.Repl_server.create primary in
+  Blsm.Repl_server.attach server (Simnet.endpoint net "west");
+  let follower =
+    Blsm.Replication.follower ~config ~net ~name:"east" ~peer:"west"
+      (mk_store ())
+  in
 
   (* Live traffic on the primary; the follower tails the log. *)
   Blsm.Tree.put primary "user:alice" "sunnyvale";
   Blsm.Tree.put primary "user:bob" "bangalore";
   Blsm.Tree.apply_delta primary "user:alice" ";lastlogin=t1";
-  (match Blsm.Replication.catch_up follower ~primary with
+  (match Blsm.Replication.sync follower with
   | `Applied n -> Printf.printf "catch-up: applied %d log records\n" n
-  | `Snapshot_needed -> assert false);
-  Printf.printf "follower reads user:alice -> %s\n"
-    (Option.value
-       (Blsm.Tree.get (Blsm.Replication.tree follower) "user:alice")
-       ~default:"<missing>");
+  | `Resynced | `Unreachable -> assert false);
+  (match Blsm.Replication.read follower "user:alice" with
+  | `Ok v ->
+      Printf.printf "follower reads user:alice -> %s\n"
+        (Option.value v ~default:"<missing>")
+  | `Too_stale -> assert false);
+
+  (* A lossy stretch: the supervisor retries with seeded backoff and the
+     LSN guard keeps re-sent batches exactly-once. *)
+  Simnet.schedule_drop net ~src:"east" ~dst:"west" ~after:1;
+  Simnet.schedule_duplicate net ~src:"west" ~dst:"east" ~after:1;
+  Blsm.Tree.put primary "user:erin" "reno";
+  (match Blsm.Replication.sync follower with
+  | `Applied n ->
+      Printf.printf "lossy link: applied %d record(s), %d retries\n" n
+        (Blsm.Replication.counters follower).Blsm.Replication.retries
+  | `Resynced | `Unreachable -> assert false);
 
   (* The follower disconnects; the primary churns enough that merges
-     truncate its log past the follower's position. *)
+     truncate its log past the follower's position. Next contact falls
+     back to a snapshot bootstrap (chunked over the same network). *)
   for i = 0 to 4_999 do
     Blsm.Tree.put primary
       (Printf.sprintf "event:%08d" i)
       (String.make 150 (Char.chr (97 + (i mod 26))))
   done;
   Blsm.Tree.flush primary;
-  (match Blsm.Replication.catch_up follower ~primary with
-  | `Snapshot_needed ->
+  (match Blsm.Replication.sync follower with
+  | `Resynced ->
       Printf.printf
-        "follower fell behind (log truncated): bootstrapping snapshot...\n";
-      Blsm.Replication.resync follower ~primary
-  | `Applied n -> Printf.printf "(caught up with %d records)\n" n);
-  Printf.printf "follower has %d rows after bootstrap\n"
-    (List.length (Blsm.Tree.scan (Blsm.Replication.tree follower) "event:" 100_000));
+        "follower fell behind (log truncated): bootstrapped a snapshot\n"
+  | `Applied n -> Printf.printf "(caught up with %d records)\n" n
+  | `Unreachable -> assert false);
+  Printf.printf "follower has %d event rows after bootstrap\n"
+    (List.length
+       (Blsm.Tree.scan (Blsm.Replication.tree follower) "event:" 100_000));
 
   (* Incremental tailing resumes after the bootstrap. *)
   Blsm.Tree.put primary "user:carol" "tokyo";
-  (match Blsm.Replication.catch_up follower ~primary with
+  (match Blsm.Replication.sync follower with
   | `Applied n -> Printf.printf "tailing again: %d record(s)\n" n
-  | `Snapshot_needed -> assert false);
+  | `Resynced | `Unreachable -> assert false);
 
   (* Power-fail the follower: its position recovers with its data, so
      nothing is lost or double-applied. *)
   let follower = Blsm.Replication.crash_and_recover follower in
   Printf.printf "follower recovered at lsn %d, lag %d\n"
     (Blsm.Replication.applied_lsn follower)
-    (Blsm.Replication.lag follower ~primary);
+    (Blsm.Replication.lag follower);
 
-  (* Failover: the follower is a full tree — just start writing. *)
-  let new_primary = Blsm.Replication.tree follower in
+  (* A partition: writes pile up out of reach, the staleness lease
+     expires, and the follower sheds reads instead of serving stale. *)
+  Simnet.partition net "west" "east";
+  Blsm.Tree.put primary "user:frank" "unreplicated";
+  (match Blsm.Replication.sync follower with
+  | `Unreachable -> Printf.printf "partitioned: primary unreachable\n"
+  | `Applied _ | `Resynced -> assert false);
+  Simnet.sleep net
+    (config.Blsm.Config.repl.Blsm.Config.staleness_lease_us + 1_000);
+  (match Blsm.Replication.read follower "user:alice" with
+  | `Too_stale -> Printf.printf "lease expired: reads shed as too stale\n"
+  | `Ok _ -> assert false);
+  Simnet.heal net "west" "east";
+  (match Blsm.Replication.sync follower with
+  | `Applied n -> Printf.printf "healed: applied %d record(s)\n" n
+  | `Resynced | `Unreachable -> assert false);
+
+  (* Failover with epoch fencing: promote the follower, re-point the
+     service at it one epoch up, and demote the old primary. The deposed
+     node's first message carries the stale epoch and is fenced, so no
+     split-brain write survives; it then bootstraps from the new primary. *)
+  let deposed_epoch = Blsm.Repl_server.epoch server in
+  let new_epoch = Blsm.Replication.epoch follower + 1 in
+  let new_primary = Blsm.Replication.promote follower in
+  Simnet.clear_handler (Simnet.endpoint net "west");
+  Blsm.Repl_server.set_tree server new_primary;
+  Blsm.Repl_server.set_epoch server new_epoch;
+  Blsm.Repl_server.attach server (Simnet.endpoint net "east");
+  let old_primary =
+    Blsm.Replication.demote ~config ~net ~name:"west" ~peer:"east"
+      ~epoch:deposed_epoch primary
+  in
   Blsm.Tree.put new_primary "user:dave" "promoted-write";
+  (match Blsm.Replication.sync old_primary with
+  | `Resynced ->
+      Printf.printf
+        "failover: deposed primary fenced (%d reject(s)), rejoined at epoch %d\n"
+        (Blsm.Repl_server.counters server).Blsm.Repl_server.fenced_rejects
+        (Blsm.Replication.epoch old_primary)
+  | `Applied _ | `Unreachable -> assert false);
   Printf.printf "after failover: carol=%s dave=%s\n"
     (Option.value (Blsm.Tree.get new_primary "user:carol") ~default:"<lost>")
     (Option.value (Blsm.Tree.get new_primary "user:dave") ~default:"<lost>")

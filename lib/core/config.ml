@@ -15,6 +15,25 @@ type size_ratio =
   | Fixed of float
   | Adaptive  (** R = sqrt(|data| / |C0|), the 3-level optimum (§2.3.1) *)
 
+(** Replication-supervisor tuning: timeouts, backoff, transfer sizing
+    and the bounded-staleness read policy (all simulated-µs / counts). *)
+type repl = {
+  req_timeout_us : int;  (** per-request deadline before a retry *)
+  backoff_base_us : int;  (** first retry delay *)
+  backoff_cap_us : int;  (** exponential backoff ceiling *)
+  backoff_jitter : float;
+      (** jitter band: each delay is [nominal * (1 + u * jitter)],
+          [u] uniform in [0,1) from the supervisor's seeded PRNG *)
+  max_attempts : int;  (** give up ([`Unreachable]) after this many *)
+  batch_records : int;  (** WAL records per catch-up request *)
+  chunk_rows : int;  (** rows per snapshot chunk during resync *)
+  max_lag_records : int;
+      (** staleness bound: shed reads once the known lag exceeds this *)
+  staleness_lease_us : int;
+      (** shed reads when the primary has not been heard from in this
+          long, whatever the last known lag *)
+}
+
 type t = {
   c0_bytes : int;  (** RAM budget for C0 (the paper's 8 GB, scaled) *)
   size_ratio : size_ratio;
@@ -37,7 +56,21 @@ type t = {
           The paper chose not to persist (§4.4.3); off by default. *)
   resolver : Kv.Entry.resolver;
   seed : int;
+  repl : repl;
 }
+
+let default_repl =
+  {
+    req_timeout_us = 10_000;
+    backoff_base_us = 2_000;
+    backoff_cap_us = 64_000;
+    backoff_jitter = 0.25;
+    max_attempts = 10;
+    batch_records = 32;
+    chunk_rows = 256;
+    max_lag_records = 64;
+    staleness_lease_us = 200_000;
+  }
 
 let default =
   {
@@ -55,6 +88,7 @@ let default =
     persist_bloom = false;
     resolver = Kv.Entry.append_resolver;
     seed = 42;
+    repl = default_repl;
   }
 
 let bloom_enabled t = t.bloom_bits_per_key > 0

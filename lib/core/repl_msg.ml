@@ -1,0 +1,204 @@
+(** Wire format for the replication protocol.
+
+    Every message carries the sender's epoch first (fencing is checked
+    before anything else), then a one-byte tag and varint/length-prefixed
+    fields. Decoding is total: any truncated or unknown message decodes
+    to [None] and is dropped by the receiver — a faulty network may
+    deliver anything, and a garbage frame must never kill a node. *)
+
+type req =
+  | Probe  (** learn the primary's log bounds *)
+  | Wal_batch of { from_lsn : int; max_records : int }
+  | Snapshot_begin  (** start a full-state resync session *)
+  | Snapshot_chunk of { session : int; from_row : int; max_rows : int }
+  | Snapshot_done of { session : int }
+
+type resp =
+  | Fenced of { epoch : int }
+      (** request carried a stale epoch; [epoch] is the server's *)
+  | Status of { next_lsn : int; truncated_to : int }
+  | Batch of { records : (int * string) list; next_lsn : int }
+      (** [(lsn, payload)] in LSN order; [next_lsn] is the log head *)
+  | Truncated of { truncated_to : int }
+      (** the log no longer covers [from_lsn]; resync *)
+  | Snapshot_meta of { session : int; snapshot_lsn : int; total_rows : int }
+  | Chunk of { session : int; rows : (string * string) list; last : bool }
+  | Snapshot_gone  (** unknown/expired session; restart the resync *)
+  | Ack
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let put_string b s =
+  Repro_util.Varint.write b (String.length s);
+  Buffer.add_string b s
+
+let encode_req ~epoch (r : req) =
+  let b = Buffer.create 32 in
+  Repro_util.Varint.write b epoch;
+  (match r with
+  | Probe -> Buffer.add_char b 'p'
+  | Wal_batch { from_lsn; max_records } ->
+      Buffer.add_char b 'w';
+      Repro_util.Varint.write b from_lsn;
+      Repro_util.Varint.write b max_records
+  | Snapshot_begin -> Buffer.add_char b 'b'
+  | Snapshot_chunk { session; from_row; max_rows } ->
+      Buffer.add_char b 'c';
+      Repro_util.Varint.write b session;
+      Repro_util.Varint.write b from_row;
+      Repro_util.Varint.write b max_rows
+  | Snapshot_done { session } ->
+      Buffer.add_char b 'd';
+      Repro_util.Varint.write b session);
+  Buffer.contents b
+
+let encode_resp ~epoch (r : resp) =
+  let b = Buffer.create 64 in
+  Repro_util.Varint.write b epoch;
+  (match r with
+  | Fenced { epoch = e } ->
+      Buffer.add_char b 'F';
+      Repro_util.Varint.write b e
+  | Status { next_lsn; truncated_to } ->
+      Buffer.add_char b 'S';
+      Repro_util.Varint.write b next_lsn;
+      Repro_util.Varint.write b truncated_to
+  | Batch { records; next_lsn } ->
+      Buffer.add_char b 'B';
+      Repro_util.Varint.write b next_lsn;
+      Repro_util.Varint.write b (List.length records);
+      List.iter
+        (fun (lsn, payload) ->
+          Repro_util.Varint.write b lsn;
+          put_string b payload)
+        records
+  | Truncated { truncated_to } ->
+      Buffer.add_char b 'T';
+      Repro_util.Varint.write b truncated_to
+  | Snapshot_meta { session; snapshot_lsn; total_rows } ->
+      Buffer.add_char b 'M';
+      Repro_util.Varint.write b session;
+      Repro_util.Varint.write b snapshot_lsn;
+      Repro_util.Varint.write b total_rows
+  | Chunk { session; rows; last } ->
+      Buffer.add_char b 'C';
+      Repro_util.Varint.write b session;
+      Buffer.add_char b (if last then '1' else '0');
+      Repro_util.Varint.write b (List.length rows);
+      List.iter
+        (fun (k, v) ->
+          put_string b k;
+          put_string b v)
+        rows
+  | Snapshot_gone -> Buffer.add_char b 'G'
+  | Ack -> Buffer.add_char b 'A');
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: total, returns None on anything malformed. Varint.read
+   raises Invalid_argument on truncation — caught here, at the frame
+   boundary, and nowhere deeper. *)
+
+type cursor = { s : string; mutable pos : int }
+
+let rd_int c =
+  let v, next = Repro_util.Varint.read c.s c.pos in
+  c.pos <- next;
+  v
+
+let rd_string c =
+  let n = rd_int c in
+  if n < 0 || c.pos + n > String.length c.s then
+    invalid_arg "Repl_msg: bad string length";
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let rd_char c =
+  if c.pos >= String.length c.s then invalid_arg "Repl_msg: truncated";
+  let v = c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let rd_list c f =
+  let n = rd_int c in
+  if n < 0 || n > String.length c.s then invalid_arg "Repl_msg: bad count";
+  List.init n (fun _ -> f c)
+
+let finished c = c.pos = String.length c.s
+
+let decode_req (s : string) : (int * req) option =
+  let c = { s; pos = 0 } in
+  match
+    let epoch = rd_int c in
+    let r =
+      match rd_char c with
+      | 'p' -> Probe
+      | 'w' ->
+          let from_lsn = rd_int c in
+          let max_records = rd_int c in
+          Wal_batch { from_lsn; max_records }
+      | 'b' -> Snapshot_begin
+      | 'c' ->
+          let session = rd_int c in
+          let from_row = rd_int c in
+          let max_rows = rd_int c in
+          Snapshot_chunk { session; from_row; max_rows }
+      | 'd' -> Snapshot_done { session = rd_int c }
+      | _ -> invalid_arg "Repl_msg: unknown request tag"
+    in
+    if finished c then Some (epoch, r) else None
+  with
+  | v -> v
+  | exception Invalid_argument _ -> None
+
+let decode_resp (s : string) : (int * resp) option =
+  let c = { s; pos = 0 } in
+  match
+    let epoch = rd_int c in
+    let r =
+      match rd_char c with
+      | 'F' -> Fenced { epoch = rd_int c }
+      | 'S' ->
+          let next_lsn = rd_int c in
+          let truncated_to = rd_int c in
+          Status { next_lsn; truncated_to }
+      | 'B' ->
+          let next_lsn = rd_int c in
+          let records =
+            rd_list c (fun c ->
+                let lsn = rd_int c in
+                let payload = rd_string c in
+                (lsn, payload))
+          in
+          Batch { records; next_lsn }
+      | 'T' -> Truncated { truncated_to = rd_int c }
+      | 'M' ->
+          let session = rd_int c in
+          let snapshot_lsn = rd_int c in
+          let total_rows = rd_int c in
+          Snapshot_meta { session; snapshot_lsn; total_rows }
+      | 'C' ->
+          let session = rd_int c in
+          let last =
+            match rd_char c with
+            | '1' -> true
+            | '0' -> false
+            | _ -> invalid_arg "Repl_msg: bad last flag"
+          in
+          let rows =
+            rd_list c (fun c ->
+                let k = rd_string c in
+                let v = rd_string c in
+                (k, v))
+          in
+          Chunk { session; rows; last }
+      | 'G' -> Snapshot_gone
+      | 'A' -> Ack
+      | _ -> invalid_arg "Repl_msg: unknown response tag"
+    in
+    if finished c then Some (epoch, r) else None
+  with
+  | v -> v
+  | exception Invalid_argument _ -> None

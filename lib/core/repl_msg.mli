@@ -1,0 +1,36 @@
+(** Wire format for the replication protocol.
+
+    Every frame leads with the sender's epoch (fencing is judged before
+    anything else), then a tagged body. Decoding is total: truncated or
+    unknown frames decode to [None] and are dropped — a faulty network
+    may deliver anything, and garbage must never kill a node. *)
+
+(** Follower-to-primary requests. *)
+type req =
+  | Probe  (** learn the primary's log bounds *)
+  | Wal_batch of { from_lsn : int; max_records : int }
+  | Snapshot_begin  (** start a full-state resync session *)
+  | Snapshot_chunk of { session : int; from_row : int; max_rows : int }
+  | Snapshot_done of { session : int }
+
+(** Primary-to-follower responses. *)
+type resp =
+  | Fenced of { epoch : int }
+      (** the request carried a stale epoch; [epoch] is the server's *)
+  | Status of { next_lsn : int; truncated_to : int }
+  | Batch of { records : (int * string) list; next_lsn : int }
+      (** [(lsn, payload)] in LSN order; [next_lsn] is the log head *)
+  | Truncated of { truncated_to : int }
+      (** the log no longer covers [from_lsn]; resync *)
+  | Snapshot_meta of { session : int; snapshot_lsn : int; total_rows : int }
+  | Chunk of { session : int; rows : (string * string) list; last : bool }
+  | Snapshot_gone  (** unknown/expired session; restart the resync *)
+  | Ack
+
+val encode_req : epoch:int -> req -> string
+
+(** [(sender epoch, request)], or [None] for malformed frames. *)
+val decode_req : string -> (int * req) option
+
+val encode_resp : epoch:int -> resp -> string
+val decode_resp : string -> (int * resp) option

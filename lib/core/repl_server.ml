@@ -1,0 +1,202 @@
+(** Primary-side replication service.
+
+    Owns the primary's half of the protocol: serves WAL batches from the
+    tree's log and snapshot chunks from a buffered cursor copy, and
+    enforces epoch fencing — any request carrying an epoch below the
+    server's is answered [Fenced] and touches nothing, so a deposed
+    primary's late traffic can never double-apply (split-brain guard).
+    Requests carrying a higher epoch teach the server the new epoch
+    (the failed-over follower announcing its promotion).
+
+    Snapshot sessions buffer the full user-visible state at
+    [Snapshot_begin] with the tree's write fence raised for the duration
+    of the cursor copy, enforcing the "primary must be quiescent during
+    resync" precondition: a concurrent write raises
+    {!Tree.Write_fenced} instead of silently tearing the snapshot. *)
+
+type session = {
+  s_id : int;
+  s_lsn : int;  (** log position the snapshot is consistent with *)
+  s_rows : (string * string) array;
+}
+
+type counters = {
+  mutable fenced_rejects : int;  (** stale-epoch requests refused *)
+  mutable epoch_adoptions : int;  (** higher epochs learned from peers *)
+  mutable batches_served : int;
+  mutable records_served : int;
+  mutable snapshots_started : int;
+  mutable chunks_served : int;
+}
+
+type t = {
+  mutable tree : Tree.t;
+  mutable epoch : int;
+  mutable session : session option;
+  mutable next_session : int;
+  c : counters;
+}
+
+let create ?(epoch = 0) tree =
+  {
+    tree;
+    epoch;
+    session = None;
+    next_session = 1;
+    c =
+      {
+        fenced_rejects = 0;
+        epoch_adoptions = 0;
+        batches_served = 0;
+        records_served = 0;
+        snapshots_started = 0;
+        chunks_served = 0;
+      };
+  }
+
+let tree t = t.tree
+let epoch t = t.epoch
+let counters t = t.c
+
+(* A recovered (or promoted-elsewhere) tree instance replaces the old
+   one; any in-flight snapshot session died with the old process. *)
+let set_tree t tree =
+  t.tree <- tree;
+  t.session <- None
+
+let set_epoch t epoch =
+  t.epoch <- max t.epoch epoch;
+  t.session <- None
+
+(* ------------------------------------------------------------------ *)
+(* Request handling *)
+
+let wal t = Pagestore.Store.wal (Tree.store t.tree)
+
+let serve_batch t ~from_lsn ~max_records =
+  let w = wal t in
+  let truncated_to = Pagestore.Wal.truncated_to w in
+  if truncated_to > from_lsn then Repl_msg.Truncated { truncated_to }
+  else begin
+    let acc = ref [] and n = ref 0 in
+    Pagestore.Wal.replay w ~from_lsn (fun lsn payload ->
+        if !n < max_records then begin
+          acc := (lsn, payload) :: !acc;
+          incr n
+        end);
+    t.c.batches_served <- t.c.batches_served + 1;
+    t.c.records_served <- t.c.records_served + !n;
+    Repl_msg.Batch
+      { records = List.rev !acc; next_lsn = Pagestore.Wal.next_lsn w }
+  end
+
+(* Cursor-copy the user-visible state ("\001" onward: the reserved
+   "\000"-prefixed bookkeeping keys never leave the node) under the
+   write fence. *)
+let begin_snapshot t =
+  let snapshot_lsn = Pagestore.Wal.next_lsn (wal t) - 1 in
+  Tree.set_write_fence t.tree true;
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Tree.set_write_fence t.tree false)
+      (fun () ->
+        let cur = Tree.cursor ~from:"\001" t.tree in
+        let rec collect acc =
+          match Tree.cursor_next cur with
+          | None -> List.rev acc
+          | Some kv -> collect (kv :: acc)
+        in
+        collect [])
+  in
+  let s =
+    { s_id = t.next_session; s_lsn = snapshot_lsn; s_rows = Array.of_list rows }
+  in
+  t.next_session <- t.next_session + 1;
+  t.session <- Some s;
+  t.c.snapshots_started <- t.c.snapshots_started + 1;
+  Repl_msg.Snapshot_meta
+    {
+      session = s.s_id;
+      snapshot_lsn = s.s_lsn;
+      total_rows = Array.length s.s_rows;
+    }
+
+let serve_chunk t ~session ~from_row ~max_rows =
+  match t.session with
+  | Some s when s.s_id = session && from_row >= 0 ->
+      let total = Array.length s.s_rows in
+      let n = min (max 0 max_rows) (max 0 (total - from_row)) in
+      let rows = Array.to_list (Array.sub s.s_rows from_row n) in
+      t.c.chunks_served <- t.c.chunks_served + 1;
+      Repl_msg.Chunk { session; rows; last = from_row + n >= total }
+  | _ -> Repl_msg.Snapshot_gone
+
+(** [handle t ~src body] — the simnet endpoint handler. Malformed
+    frames are dropped ([None]); everything else gets a reply stamped
+    with the server's current epoch. *)
+let handle t ~src:_ body =
+  match Repl_msg.decode_req body with
+  | None -> None
+  | Some (req_epoch, req) ->
+      let resp =
+        if req_epoch < t.epoch then begin
+          t.c.fenced_rejects <- t.c.fenced_rejects + 1;
+          Repl_msg.Fenced { epoch = t.epoch }
+        end
+        else begin
+          if req_epoch > t.epoch then begin
+            t.epoch <- req_epoch;
+            t.c.epoch_adoptions <- t.c.epoch_adoptions + 1
+          end;
+          match req with
+          | Repl_msg.Probe ->
+              let w = wal t in
+              Repl_msg.Status
+                {
+                  next_lsn = Pagestore.Wal.next_lsn w;
+                  truncated_to = Pagestore.Wal.truncated_to w;
+                }
+          | Repl_msg.Wal_batch { from_lsn; max_records } ->
+              serve_batch t ~from_lsn ~max_records
+          | Repl_msg.Snapshot_begin -> begin_snapshot t
+          | Repl_msg.Snapshot_chunk { session; from_row; max_rows } ->
+              serve_chunk t ~session ~from_row ~max_rows
+          | Repl_msg.Snapshot_done { session } ->
+              (match t.session with
+              | Some s when s.s_id = session -> t.session <- None
+              | _ -> ());
+              Repl_msg.Ack
+        end
+      in
+      Some (Repl_msg.encode_resp ~epoch:t.epoch resp)
+
+(** [attach t ep] installs {!handle} as [ep]'s simnet handler.
+
+    Detected corruption on the serving store (a rotted page under the
+    snapshot cursor, a bad WAL frame under replay) must not cross the
+    network as an exception — a real server would die mid-request and
+    the client would see a lost reply.  Dropping the reply keeps the
+    failure inside the retry/timeout model; the follower backs off and
+    eventually reports the primary unreachable. *)
+let attach t ep =
+  Simnet.set_handler ep (fun ~src body ->
+      match handle t ~src body with
+      | reply -> reply
+      | exception Tree.Corruption _ -> None
+      | exception Pagestore.Wal.Corrupt _ -> None
+      | exception Sstable.Sst_format.Corrupt _ -> None)
+
+let register_metrics reg t =
+  let c = t.c in
+  Obs.Metrics.counter reg "repl.server.fenced_rejects"
+    ~help:"stale-epoch requests refused" (fun () -> c.fenced_rejects);
+  Obs.Metrics.counter reg "repl.server.epoch_adoptions"
+    ~help:"higher epochs learned from peers" (fun () -> c.epoch_adoptions);
+  Obs.Metrics.counter reg "repl.server.batches_served"
+    ~help:"WAL batches answered" (fun () -> c.batches_served);
+  Obs.Metrics.counter reg "repl.server.records_served"
+    ~help:"WAL records shipped" (fun () -> c.records_served);
+  Obs.Metrics.counter reg "repl.server.snapshots_started"
+    ~help:"snapshot sessions opened" (fun () -> c.snapshots_started);
+  Obs.Metrics.counter reg "repl.server.chunks_served"
+    ~help:"snapshot chunks shipped" (fun () -> c.chunks_served)

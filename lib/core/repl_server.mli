@@ -1,0 +1,43 @@
+(** Primary-side replication service: serves WAL batches and snapshot
+    chunks over the simnet, and enforces epoch fencing — requests below
+    the server's epoch are answered [Fenced] and touch nothing, so a
+    deposed primary's late traffic can never double-apply. Requests
+    carrying a higher epoch teach the server the new epoch.
+
+    [Snapshot_begin] buffers the user-visible state through a cursor
+    with the tree's write fence raised for the copy (enforcing the
+    "quiescent during resync" precondition: a concurrent write raises
+    {!Tree.Write_fenced} instead of tearing the snapshot). *)
+
+type t
+
+type counters = {
+  mutable fenced_rejects : int;  (** stale-epoch requests refused *)
+  mutable epoch_adoptions : int;  (** higher epochs learned from peers *)
+  mutable batches_served : int;
+  mutable records_served : int;
+  mutable snapshots_started : int;
+  mutable chunks_served : int;
+}
+
+val create : ?epoch:int -> Tree.t -> t
+val tree : t -> Tree.t
+val epoch : t -> int
+val counters : t -> counters
+
+(** Swap in a recovered (or newly promoted) tree instance; any open
+    snapshot session is discarded. *)
+val set_tree : t -> Tree.t -> unit
+
+(** Raise the server's epoch (monotonic; lower values are ignored). *)
+val set_epoch : t -> int -> unit
+
+(** [handle t ~src body] decodes, fences, serves. [None] for malformed
+    frames (dropped); otherwise a reply stamped with the server epoch. *)
+val handle : t -> src:string -> string -> string option
+
+(** [attach t ep] installs {!handle} as the endpoint's handler. *)
+val attach : t -> Simnet.endpoint -> unit
+
+(** Register the [repl.server.*] counter family. *)
+val register_metrics : Obs.Metrics.t -> t -> unit

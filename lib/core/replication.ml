@@ -1,97 +1,332 @@
-(** Log-shipping replication over the logical log.
+(** Log-shipping replication over the simulated network (§4.4.2).
 
     §4.4.2: "The use of a logical log for LSM-Tree recovery is fairly
     common, and can be used to support ACID transactions, database
-    replication and so on" — indeed bLSM's implementation substrate, Rose,
-    was built as a log-structured *replication* target, applying a
-    primary's logical log at high throughput.
+    replication and so on." A {!follower} is a full bLSM tree on its own
+    store that tails the primary's WAL — but here the tailing is a
+    supervised request/response protocol over {!Simnet}, where messages
+    drop, duplicate, delay and reorder. The supervisor owns the retry
+    loop: per-request timeouts, capped exponential backoff with seeded
+    jitter, and idempotent re-application (every record is LSN-guarded,
+    so duplicated batches and replayed retries apply exactly once).
 
-    A {!follower} is a full bLSM tree on its own store that tails the
-    primary's WAL: {!catch_up} applies every record past the follower's
-    high-water LSN, exactly once. If the primary has truncated past the
-    follower's position (merges made old records redundant on the
-    primary; followers that fall too far behind cannot tail anymore),
-    {!catch_up} reports [`Snapshot_needed] and {!resync} performs a full
-    state copy through a cursor — the standard bootstrap path.
+    Epoch fencing: on failover {!promote} raises the follower's epoch;
+    the deposed primary, demoted with its old epoch, gets [Fenced] on
+    first contact and must adopt the new epoch and resync — late
+    deposed-epoch traffic can never double-apply (no split-brain).
 
-    The follower is an ordinary tree: it can serve reads while following
-    and simply starts accepting writes on failover. *)
+    Bounded staleness: a follower whose known lag exceeds
+    [Config.repl.max_lag_records], or that has not heard from the
+    primary within [staleness_lease_us], sheds reads with [`Too_stale]
+    instead of silently serving arbitrarily old data.
+
+    This module never touches the peer's tree or log directly — all
+    peer state arrives as {!Repl_msg} frames through the simnet
+    endpoint (blsm-lint rule A002 enforces exactly that). *)
+
+type counters = {
+  mutable rpcs : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable unreachable : int;  (** rpc gave up after max_attempts *)
+  mutable fenced_seen : int;  (** own requests rejected as stale-epoch *)
+  mutable batches_applied : int;
+  mutable records_applied : int;
+  mutable duplicates_skipped : int;  (** LSN guard hits: exactly-once *)
+  mutable resyncs : int;
+  mutable snapshot_restarts : int;
+  mutable stale_sheds : int;  (** reads refused with [`Too_stale] *)
+  mutable reads_served : int;
+}
 
 type follower = {
   tree : Tree.t;
+  ep : Simnet.endpoint;
+  net : Simnet.t;
+  peer : string;
+  rc : Config.repl;
+  jitter_prng : Repro_util.Prng.t;
+  c : counters;
+  mutable epoch : int;
   mutable applied_lsn : int;  (** newest primary LSN applied *)
+  mutable known_next_lsn : int;  (** primary log head at last contact *)
+  mutable last_contact_us : float;
+  mutable force_snapshot : bool;  (** fenced/truncated: next sync resyncs *)
 }
 
-(* The follower persists its replication position as an ordinary record
-   in its own tree (the mysql.gtid_executed pattern): it then rides the
-   follower's WAL and recovers exactly in step with the applied data.
-   The "\x00" prefix is reserved; user keys sort after it. *)
+(* The follower persists its replication position (and epoch) as
+   ordinary records in its own tree (the mysql.gtid_executed pattern):
+   they ride the follower's WAL and recover exactly in step with the
+   applied data. The "\000" prefix is reserved; user keys sort after
+   it, and every scan/cursor surface starts at "\001". *)
 let position_key = "\000replication.applied_lsn"
+let epoch_key = "\000replication.epoch"
+let is_reserved k = String.length k > 0 && k.[0] = '\000'
+
+let bookkeeping_entries f ~lsn =
+  [
+    (position_key, Kv.Entry.Base (string_of_int lsn));
+    (epoch_key, Kv.Entry.Base (string_of_int f.epoch));
+  ]
 
 let persist_position f =
-  Tree.put f.tree position_key (string_of_int f.applied_lsn)
+  Tree.write_batch f.tree (bookkeeping_entries f ~lsn:f.applied_lsn)
 
-(** [follower ?config store] creates an empty follower on [store]. *)
-let follower ?config store = { tree = Tree.create ?config store; applied_lsn = 0 }
+(* Deterministic string hash for per-follower jitter seeds (djb2-style;
+   Hashtbl.hash is off-limits under lint rule D001). *)
+let name_seed name =
+  String.fold_left (fun a ch -> ((a * 131) + Char.code ch) land 0x3FFFFFFF) 5381 name
+
+let make_counters () =
+  {
+    rpcs = 0;
+    retries = 0;
+    timeouts = 0;
+    unreachable = 0;
+    fenced_seen = 0;
+    batches_applied = 0;
+    records_applied = 0;
+    duplicates_skipped = 0;
+    resyncs = 0;
+    snapshot_restarts = 0;
+    stale_sheds = 0;
+    reads_served = 0;
+  }
+
+let repl_config = function
+  | Some c -> c.Config.repl
+  | None -> Config.default.Config.repl
+
+(** [follower ?config ~net ~name ~peer store] — an empty follower on
+    [store], reachable as [name], replicating from [peer]. *)
+let follower ?config ~net ~name ~peer store =
+  let rc = repl_config config in
+  {
+    tree = Tree.create ?config store;
+    ep = Simnet.endpoint net name;
+    net;
+    peer;
+    rc;
+    jitter_prng = Repro_util.Prng.of_int (name_seed name lxor 0x7265);
+    c = make_counters ();
+    epoch = 0;
+    applied_lsn = 0;
+    known_next_lsn = 1;
+    last_contact_us = Simnet.now_us net;
+    force_snapshot = false;
+  }
 
 let tree f = f.tree
 let applied_lsn f = f.applied_lsn
+let epoch f = f.epoch
+let counters f = f.c
 
-(** Records the primary has durably logged and the follower has not yet
-    applied. *)
-let lag f ~primary =
-  let wal = Pagestore.Store.wal (Tree.store primary) in
-  max 0 (Pagestore.Wal.next_lsn wal - 1 - f.applied_lsn)
+(** Known lag: primary records durably logged at last contact and not
+    yet applied. A partitioned follower's known lag freezes — that is
+    what the staleness lease is for. *)
+let lag f = max 0 (f.known_next_lsn - 1 - f.applied_lsn)
 
-(** [catch_up f ~primary] tails the primary's WAL from the follower's
-    position. Returns [`Applied n] ([n] fresh records applied) or
-    [`Snapshot_needed] when the primary has truncated past the
-    follower's position — call {!resync}.
+(* ------------------------------------------------------------------ *)
+(* Backoff *)
 
-    Each primary record is applied as ONE follower batch that also
-    carries the updated position, so record application and position
-    advance are atomic in the follower's log. Applying them separately
-    (data ops, then position once at the end) loses exactly-once: a
-    follower crash mid-catch-up recovers the applied data but the old
-    position, and the next catch_up re-applies those records —
-    idempotent for base writes, wrong for deltas, which append twice.
-    The DST harness caught this (test/repros/). *)
-let catch_up f ~primary =
-  let wal = Pagestore.Store.wal (Tree.store primary) in
-  if Pagestore.Wal.truncated_to wal > f.applied_lsn + 1 then `Snapshot_needed
-  else begin
-    let applied = ref 0 in
-    Pagestore.Wal.replay wal ~from_lsn:(f.applied_lsn + 1) (fun lsn payload ->
-        if lsn > f.applied_lsn then begin
-          Tree.write_batch f.tree
-            (Tree.decode_ops payload
-            @ [ (position_key, Kv.Entry.Base (string_of_int lsn)) ]);
-          f.applied_lsn <- lsn;
-          incr applied
-        end);
-    `Applied !applied
-  end
+(* Nominal delay for retry [attempt] (1-based): base * 2^(attempt-1),
+   capped. Overflow-safe: stop doubling at the cap. *)
+let nominal_backoff ~base_us ~cap_us attempt =
+  let rec go v n = if n <= 1 || v >= cap_us then v else go (v * 2) (n - 1) in
+  min cap_us (go (max 1 base_us) attempt)
 
-(** [resync f ~primary] full-state bootstrap: streams the primary's
-    merged state through a cursor into the follower, then records the
-    primary's log position so subsequent {!catch_up} calls tail
-    incrementally. The primary must be quiescent for the copy (single-
-    writer discipline). *)
-let resync f ~primary =
-  let wal = Pagestore.Store.wal (Tree.store primary) in
-  let snapshot_lsn = Pagestore.Wal.next_lsn wal - 1 in
-  let module SS = Set.Make (String) in
-  let live = ref SS.empty in
-  let c = Tree.cursor primary in
-  let rec copy () =
-    match Tree.cursor_next c with
-    | None -> ()
-    | Some (k, v) ->
-        live := SS.add k !live;
-        Tree.put f.tree k v;
-        copy ()
+(** [backoff_schedule ~base_us ~cap_us ~jitter ~seed ~attempts] — the
+    exact delays a supervisor with this policy and seed would sleep:
+    [(nominal, jittered)] per retry. Pure; exposed so the QCheck
+    property can pin determinism, monotonicity up to the cap, and the
+    jitter band without driving a whole network. *)
+let backoff_schedule ~base_us ~cap_us ~jitter ~seed ~attempts =
+  let prng = Repro_util.Prng.of_int seed in
+  List.init attempts (fun i ->
+      let nominal = nominal_backoff ~base_us ~cap_us (i + 1) in
+      let extra =
+        int_of_float (float_of_int nominal *. jitter *. Repro_util.Prng.float prng)
+      in
+      (nominal, nominal + extra))
+
+let backoff_sleep f attempt =
+  let nominal =
+    nominal_backoff ~base_us:f.rc.Config.backoff_base_us
+      ~cap_us:f.rc.Config.backoff_cap_us attempt
   in
-  copy ();
+  let extra =
+    int_of_float
+      (float_of_int nominal *. f.rc.Config.backoff_jitter
+      *. Repro_util.Prng.float f.jitter_prng)
+  in
+  Simnet.sleep f.net (nominal + extra)
+
+(* ------------------------------------------------------------------ *)
+(* The RPC loop: timeout -> capped backoff -> retry; Fenced -> adopt *)
+
+let rpc f req =
+  let rec go attempt =
+    f.c.rpcs <- f.c.rpcs + 1;
+    let payload = Repl_msg.encode_req ~epoch:f.epoch req in
+    match
+      Simnet.call f.ep ~dst:f.peer ~timeout_us:f.rc.Config.req_timeout_us
+        payload
+    with
+    | None ->
+        f.c.timeouts <- f.c.timeouts + 1;
+        if attempt >= f.rc.Config.max_attempts then begin
+          f.c.unreachable <- f.c.unreachable + 1;
+          `Unreachable
+        end
+        else begin
+          f.c.retries <- f.c.retries + 1;
+          backoff_sleep f attempt;
+          go (attempt + 1)
+        end
+    | Some frame -> (
+        match Repl_msg.decode_resp frame with
+        | None ->
+            (* garbage frame: treat like a loss *)
+            f.c.timeouts <- f.c.timeouts + 1;
+            if attempt >= f.rc.Config.max_attempts then begin
+              f.c.unreachable <- f.c.unreachable + 1;
+              `Unreachable
+            end
+            else begin
+              f.c.retries <- f.c.retries + 1;
+              backoff_sleep f attempt;
+              go (attempt + 1)
+            end
+        | Some (resp_epoch, resp) -> (
+            f.last_contact_us <- Simnet.now_us f.net;
+            if resp_epoch > f.epoch then f.epoch <- resp_epoch;
+            match resp with
+            | Repl_msg.Fenced { epoch = server_epoch } ->
+                (* we spoke with a stale epoch: adopt and resync *)
+                f.c.fenced_seen <- f.c.fenced_seen + 1;
+                if server_epoch > f.epoch then f.epoch <- server_epoch;
+                f.force_snapshot <- true;
+                `Fenced
+            | r -> `Resp r))
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Applying records: the exactly-once core *)
+
+(* One primary record = one follower batch carrying the data ops AND
+   the updated position/epoch, atomically in the follower's log.
+   Splitting them loses exactly-once under crashes (the DST harness
+   caught this over a perfect channel; see test/repros/). The LSN guard
+   makes network duplicates and retried batches no-ops.
+
+   Reserved "\000"-keys inside the payload are the *primary's own*
+   bookkeeping (a promoted primary's log contains its follower-era
+   position records) — filtered out, never replicated. *)
+let apply_records f records =
+  let applied = ref 0 in
+  List.iter
+    (fun (lsn, payload) ->
+      if lsn > f.applied_lsn then begin
+        let ops =
+          List.filter (fun (k, _) -> not (is_reserved k)) (Tree.decode_ops payload)
+        in
+        Tree.write_batch f.tree (ops @ bookkeeping_entries f ~lsn);
+        f.applied_lsn <- lsn;
+        incr applied
+      end
+      else f.c.duplicates_skipped <- f.c.duplicates_skipped + 1)
+    records;
+  if !applied > 0 then f.c.batches_applied <- f.c.batches_applied + 1;
+  f.c.records_applied <- f.c.records_applied + !applied;
+  !applied
+
+(* ------------------------------------------------------------------ *)
+(* Catch-up and resync *)
+
+let rec catch_up_rounds f total =
+  match
+    rpc f
+      (Repl_msg.Wal_batch
+         {
+           from_lsn = f.applied_lsn + 1;
+           max_records = max 1 f.rc.Config.batch_records;
+         })
+  with
+  | `Unreachable -> `Unreachable
+  | `Fenced -> resync f 1
+  | `Resp (Repl_msg.Batch { records; next_lsn }) ->
+      f.known_next_lsn <- next_lsn;
+      let n = apply_records f records in
+      if f.applied_lsn >= next_lsn - 1 then `Applied (total + n)
+      else if n = 0 && records = [] then begin
+        (* Nothing stored at or past from_lsn even though next_lsn is
+           ahead: the primary crashed after allocating LSNs but before
+           persisting the records (Wal.append advances the counter
+           first).  Those LSNs are a permanent hole — the writes were
+           never acked to anyone — so the follower holds everything the
+           log can ever serve.  Clamp the horizon so lag reads 0. *)
+        f.known_next_lsn <- f.applied_lsn + 1;
+        `Applied (total + n)
+      end
+      else catch_up_rounds f (total + n)
+  | `Resp (Repl_msg.Truncated _) ->
+      (* fell off the log tail: bootstrap *)
+      resync f 1
+  | `Resp _ -> `Unreachable
+
+and resync f restart =
+  if restart > max 1 f.rc.Config.max_attempts then begin
+    f.c.unreachable <- f.c.unreachable + 1;
+    `Unreachable
+  end
+  else
+    match rpc f Repl_msg.Snapshot_begin with
+    | `Unreachable -> `Unreachable
+    | `Fenced ->
+        (* epoch adopted inside rpc; retry the begin with the new one *)
+        f.c.snapshot_restarts <- f.c.snapshot_restarts + 1;
+        resync f (restart + 1)
+    | `Resp (Repl_msg.Snapshot_meta { session; snapshot_lsn; total_rows }) -> (
+        match fetch_chunks f ~session ~from_row:0 ~total_rows [] with
+        | `Rows rows ->
+            install_snapshot f rows ~snapshot_lsn;
+            (* best effort: the session also dies with the reply *)
+            ignore (rpc f (Repl_msg.Snapshot_done { session }));
+            f.c.resyncs <- f.c.resyncs + 1;
+            `Resynced
+        | `Restart ->
+            f.c.snapshot_restarts <- f.c.snapshot_restarts + 1;
+            resync f (restart + 1)
+        | `Unreachable -> `Unreachable)
+    | `Resp _ -> `Unreachable
+
+and fetch_chunks f ~session ~from_row ~total_rows acc =
+  if from_row >= total_rows then `Rows (List.concat (List.rev acc))
+  else
+    match
+      rpc f
+        (Repl_msg.Snapshot_chunk
+           { session; from_row; max_rows = max 1 f.rc.Config.chunk_rows })
+    with
+    | `Unreachable -> `Unreachable
+    | `Fenced -> `Restart
+    | `Resp (Repl_msg.Chunk { session = s; rows; last })
+      when s = session && rows <> [] ->
+        let acc = rows :: acc in
+        if last then `Rows (List.concat (List.rev acc))
+        else fetch_chunks f ~session ~from_row:(from_row + List.length rows)
+               ~total_rows acc
+    | `Resp _ -> `Restart
+
+and install_snapshot f rows ~snapshot_lsn =
+  let module SS = Set.Make (String) in
+  let live =
+    List.fold_left (fun s (k, _) -> SS.add k s) SS.empty rows
+  in
+  List.iter
+    (fun (k, v) -> if not (is_reserved k) then Tree.put f.tree k v)
+    rows;
   (* Copy-in alone is not a state transfer: keys the primary deleted
      while the follower was out of log range survive on the follower.
      Sweep them out (collect first — no deleting under a live cursor).
@@ -100,34 +335,142 @@ let resync f ~primary =
   let rec stale acc =
     match Tree.cursor_next fc with
     | None -> List.rev acc
-    | Some (k, _) -> stale (if SS.mem k !live then acc else k :: acc)
+    | Some (k, _) -> stale (if SS.mem k live then acc else k :: acc)
   in
   List.iter (Tree.delete f.tree) (stale []);
   f.applied_lsn <- snapshot_lsn;
+  f.known_next_lsn <- snapshot_lsn + 1;
+  f.force_snapshot <- false;
   persist_position f
 
-(** [sync f ~primary] brings the follower fully up to date whatever its
-    starting position: incremental tailing when the primary's log still
-    covers it, full {!resync} bootstrap when truncation has outrun it.
-    Returns what happened so callers can account for the cursor scan a
-    resync performs on the primary. *)
-let sync f ~primary =
-  match catch_up f ~primary with
-  | `Applied n -> `Applied n
-  | `Snapshot_needed ->
-      resync f ~primary;
-      `Resynced
+(** [sync f] brings the follower up to date whatever its position:
+    incremental WAL tailing when the primary's log still covers it,
+    full snapshot bootstrap after truncation or fencing. [`Unreachable]
+    when the retry budget ran dry without converging. *)
+let sync f =
+  if f.force_snapshot then resync f 1 else catch_up_rounds f 0
 
-(** [crash_and_recover f] power-fails the follower and recovers it. The
-    replication position rides the follower's own durability machinery
-    (it is a record in the tree), so the recovered position is exactly
-    consistent with the recovered data: the next {!catch_up} resumes
-    without loss or double-application. *)
+(* ------------------------------------------------------------------ *)
+(* Bounded-staleness reads *)
+
+let staleness f =
+  ( lag f,
+    Simnet.now_us f.net -. f.last_contact_us,
+    f.rc.Config.max_lag_records,
+    float_of_int f.rc.Config.staleness_lease_us )
+
+let is_stale f =
+  let l, age, max_lag, lease = staleness f in
+  l > max_lag || age > lease
+
+let read f key =
+  if is_stale f then begin
+    f.c.stale_sheds <- f.c.stale_sheds + 1;
+    `Too_stale
+  end
+  else begin
+    f.c.reads_served <- f.c.reads_served + 1;
+    `Ok (Tree.get f.tree key)
+  end
+
+let user_scan f start n =
+  if is_stale f then begin
+    f.c.stale_sheds <- f.c.stale_sheds + 1;
+    `Too_stale
+  end
+  else begin
+    f.c.reads_served <- f.c.reads_served + 1;
+    let from = if String.compare start "\001" < 0 then "\001" else start in
+    `Ok (Tree.scan f.tree from n)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Failover *)
+
+(** [promote f] — failover: raise the epoch, persist it, and hand back
+    the tree as the new primary. The first stale-epoch message the old
+    primary's server sees from us will teach it the new epoch; the
+    first message the *deposed* primary sends anywhere gets [Fenced]. *)
+let promote f =
+  f.epoch <- f.epoch + 1;
+  persist_position f;
+  f.tree
+
+(** [demote ?config ~net ~name ~peer ~epoch tree] — wrap a deposed
+    primary's tree as a follower of [peer]. [epoch] is the epoch the
+    node believes in (its deposed one): the first exchange gets
+    [Fenced], observably, and forces adoption + snapshot bootstrap. *)
+let demote ?config ~net ~name ~peer ~epoch tree =
+  let rc = repl_config config in
+  {
+    tree;
+    ep = Simnet.endpoint net name;
+    net;
+    peer;
+    rc;
+    jitter_prng = Repro_util.Prng.of_int (name_seed name lxor 0x7265);
+    c = make_counters ();
+    epoch;
+    applied_lsn = 0;
+    known_next_lsn = 1;
+    last_contact_us = Simnet.now_us net;
+    force_snapshot = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery *)
+
+(** Power-fail the follower and recover it. Position and epoch ride the
+    follower's own durability machinery (records in its tree), so the
+    recovered position is exactly consistent with the recovered data:
+    the next {!sync} resumes without loss or double-application. *)
 let crash_and_recover f =
   let tree = Tree.crash_and_recover f.tree in
-  let applied_lsn =
-    match Tree.get tree position_key with
-    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 0)
-    | None -> 0
+  let read_int key fallback =
+    match Tree.get tree key with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> fallback)
+    | None -> fallback
   in
-  { tree; applied_lsn }
+  let applied_lsn = read_int position_key 0 in
+  {
+    f with
+    tree;
+    epoch = read_int epoch_key 0;
+    applied_lsn;
+    known_next_lsn = applied_lsn + 1;
+    last_contact_us = Simnet.now_us f.net;
+    force_snapshot = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Observability *)
+
+(** Register the [repl.follower.*] counter family. [get] is a thunk so
+    the registry survives the follower value being replaced by
+    {!crash_and_recover} / {!demote}. *)
+let register_metrics reg get =
+  let c name help f =
+    Obs.Metrics.counter reg ("repl.follower." ^ name) ~help (fun () ->
+        f (get ()))
+  in
+  c "rpcs" "requests sent (including retries)" (fun f -> f.c.rpcs);
+  c "retries" "requests retried after timeout/garbage" (fun f -> f.c.retries);
+  c "timeouts" "request deadlines hit" (fun f -> f.c.timeouts);
+  c "unreachable" "syncs abandoned after max_attempts" (fun f ->
+      f.c.unreachable);
+  c "fenced_seen" "own requests rejected as stale-epoch" (fun f ->
+      f.c.fenced_seen);
+  c "batches_applied" "catch-up batches applied" (fun f -> f.c.batches_applied);
+  c "records_applied" "WAL records applied" (fun f -> f.c.records_applied);
+  c "duplicates_skipped" "LSN-guard hits (exactly-once)" (fun f ->
+      f.c.duplicates_skipped);
+  c "resyncs" "snapshot bootstraps completed" (fun f -> f.c.resyncs);
+  c "snapshot_restarts" "snapshot sessions restarted" (fun f ->
+      f.c.snapshot_restarts);
+  c "stale_sheds" "reads refused with Too_stale" (fun f -> f.c.stale_sheds);
+  c "reads_served" "reads served within the staleness bound" (fun f ->
+      f.c.reads_served);
+  Obs.Metrics.gauge reg "repl.follower.lag" ~help:"known unapplied records"
+    (fun () -> float_of_int (lag (get ())));
+  Obs.Metrics.gauge reg "repl.follower.epoch" ~help:"current epoch" (fun () ->
+      float_of_int (get ()).epoch)

@@ -1,44 +1,126 @@
-(** Log-shipping replication over the logical log (§4.4.2).
+(** Log-shipping replication over the simulated network (§4.4.2).
 
-    A follower is a full bLSM tree on its own store that tails the
-    primary's WAL, applying each record exactly once. Followers serve
-    reads while replicating and become writable on failover. The
-    replication position is persisted as an ordinary record in the
-    follower's tree (under a reserved ["\000"]-prefixed key), so it
-    recovers exactly in step with the applied data.
+    A {!follower} is a full bLSM tree on its own store that replicates
+    from a primary by exchanging {!Repl_msg} frames over {!Simnet} —
+    never by touching the primary's tree or log directly (lint rule
+    A002 enforces the layering). A supervisor drives catch-up and
+    snapshot resync through a retry loop with per-request timeouts and
+    capped exponential backoff with seeded jitter; every applied record
+    is LSN-guarded, so drops, duplicates and retries apply exactly once.
 
-    [catch_up] is atomic with respect to simulated crashes (the
-    simulation is single-threaded); crash between calls at will. *)
+    Epoch fencing: {!promote} raises the epoch on failover; a deposed
+    primary {!demote}d with its old epoch is answered [Fenced] on first
+    contact and must adopt the new epoch and bootstrap — late traffic
+    can never double-apply (no split-brain).
+
+    Bounded staleness: {!read}/{!user_scan} shed with [`Too_stale] when
+    known lag exceeds [Config.repl.max_lag_records] or the primary has
+    not been heard from within [staleness_lease_us]. *)
+
+type counters = {
+  mutable rpcs : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable unreachable : int;  (** rpc gave up after max_attempts *)
+  mutable fenced_seen : int;  (** own requests rejected as stale-epoch *)
+  mutable batches_applied : int;
+  mutable records_applied : int;
+  mutable duplicates_skipped : int;  (** LSN guard hits: exactly-once *)
+  mutable resyncs : int;
+  mutable snapshot_restarts : int;
+  mutable stale_sheds : int;  (** reads refused with [`Too_stale] *)
+  mutable reads_served : int;
+}
 
 type follower
 
-(** [follower ?config store] creates an empty follower on [store]. *)
-val follower : ?config:Config.t -> Pagestore.Store.t -> follower
+(** The key under which the follower persists its replication position
+    in its own tree. Reserved "\000" prefix: sorts before every user
+    key and never appears in scans/cursors, which start at "\001". *)
+val position_key : string
 
-(** The follower's tree: read from it, or write to it after failover. *)
+(** Companion reserved key persisting the follower's current epoch. *)
+val epoch_key : string
+
+(** [follower ?config ~net ~name ~peer store] — an empty follower on
+    [store], reachable on the simnet as [name], replicating from the
+    endpoint named [peer]. *)
+val follower :
+  ?config:Config.t ->
+  net:Simnet.t ->
+  name:string ->
+  peer:string ->
+  Pagestore.Store.t ->
+  follower
+
 val tree : follower -> Tree.t
-
-(** Newest primary LSN applied. *)
 val applied_lsn : follower -> int
+val epoch : follower -> int
+val counters : follower -> counters
 
-(** Primary records not yet applied. *)
-val lag : follower -> primary:Tree.t -> int
+(** Known replication lag in records (frozen while partitioned — hence
+    the staleness lease). *)
+val lag : follower -> int
 
-(** [catch_up f ~primary] tails the primary's WAL from the follower's
-    position: [`Applied n], or [`Snapshot_needed] when the primary has
-    truncated past the follower's position (fell too far behind) — call
-    {!resync}. *)
-val catch_up : follower -> primary:Tree.t -> [ `Applied of int | `Snapshot_needed ]
+(** [sync f] converges the follower: incremental WAL catch-up when the
+    primary's log still covers its position, snapshot bootstrap after
+    truncation or fencing. [`Applied n] — [n] new records applied;
+    [`Resynced] — full snapshot installed; [`Unreachable] — the retry
+    budget ran dry before convergence (safe to call again later). *)
+val sync : follower -> [ `Applied of int | `Resynced | `Unreachable ]
 
-(** [resync f ~primary] full-state bootstrap through a cursor; the
-    primary must be quiescent during the copy. *)
-val resync : follower -> primary:Tree.t -> unit
+(** True when the follower would shed reads right now. *)
+val is_stale : follower -> bool
 
-(** [sync f ~primary]: catch up whatever the starting position —
-    incremental tailing when the primary's log still covers the
-    follower, full {!resync} (a cursor scan of the primary) otherwise. *)
-val sync :
-  follower -> primary:Tree.t -> [ `Applied of int | `Resynced ]
+(** Bounded-staleness point read. *)
+val read : follower -> string -> [ `Ok of string option | `Too_stale ]
 
-(** Power-fail the follower and recover it, position included. *)
+(** Bounded-staleness range read over user keys (start clamped to
+    "\001": reserved bookkeeping keys never leak). *)
+val user_scan :
+  follower -> string -> int -> [ `Ok of (string * string) list | `Too_stale ]
+
+(** [promote f] — failover: raise and persist the epoch, return the
+    tree to serve as the new primary. [f] must not be used afterwards. *)
+val promote : follower -> Tree.t
+
+(** [demote ?config ~net ~name ~peer ~epoch tree] — wrap a deposed
+    primary's tree as a follower of [peer], still believing [epoch]
+    (its deposed one): the first exchange is observably [Fenced] and
+    forces epoch adoption plus snapshot bootstrap. *)
+val demote :
+  ?config:Config.t ->
+  net:Simnet.t ->
+  name:string ->
+  peer:string ->
+  epoch:int ->
+  Tree.t ->
+  follower
+
+(** Power-fail the follower's store and recover. Position and epoch are
+    ordinary records in the follower's tree — each applied record
+    carries them in the same atomic batch — so the recovered position is
+    exactly consistent with the recovered data and the next {!sync}
+    neither loses nor double-applies. *)
 val crash_and_recover : follower -> follower
+
+(** Nominal backoff delay (µs) for 1-based retry [attempt]: doubling
+    from [base_us], capped at [cap_us]. *)
+val nominal_backoff : base_us:int -> cap_us:int -> int -> int
+
+(** The exact [(nominal, jittered)] delays a supervisor with this
+    policy and seed would sleep across [attempts] retries. Pure — used
+    by the QCheck property pinning determinism, monotonicity up to the
+    cap, and the jitter band. *)
+val backoff_schedule :
+  base_us:int ->
+  cap_us:int ->
+  jitter:float ->
+  seed:int ->
+  attempts:int ->
+  (int * int) list
+
+(** Register the [repl.follower.*] metric family; [get] is a thunk so
+    the registry tracks the current follower value across
+    {!crash_and_recover}/{!demote} replacements. *)
+val register_metrics : Obs.Metrics.t -> (unit -> follower) -> unit

@@ -91,8 +91,13 @@ type t = {
   mutable in_hard_stall : bool;
       (** inside {!force_space} / the naive drain: merge time is a
           hard-stall wait, whichever merge performs it *)
+  mutable write_fenced : bool;
+      (** writes raise {!Write_fenced}; replication raises the fence on
+          a primary while a snapshot cursor copy is in flight *)
   mutable metrics_cache : Obs.Metrics.t option;
 }
+
+exception Write_fenced
 
 let make_stats () =
   {
@@ -142,10 +147,12 @@ let create ?(config = Config.default) ?(root_slot = "") store =
       { sc_merge1_us = 0.0; sc_merge2_us = 0.0; sc_hard_us = 0.0;
         sc_wal_us = 0.0; sc_total_us = 0.0 };
     in_hard_stall = false;
+    write_fenced = false;
     metrics_cache = None;
   }
 
 let stats t = t.stats
+let set_write_fence t fenced = t.write_fenced <- fenced
 
 let last_stall t =
   {
@@ -654,6 +661,7 @@ let emit_write_span t tr ~op ~ts =
         ("c0_fill", Obs.Trace.F (c0_fill t)) ]
 
 let write_entry ?(op = "put") t key entry =
+  if t.write_fenced then raise Write_fenced;
   let tr = Pagestore.Store.trace t.store in
   let traced = Obs.Trace.enabled tr in
   let ts = if traced then Obs.Trace.now_us tr else 0.0 in
@@ -675,6 +683,7 @@ let write_entry ?(op = "put") t key entry =
     or none is. Operations apply in list order (later entries for the
     same key win). *)
 let write_batch t ops =
+  if t.write_fenced then raise Write_fenced;
   if ops <> [] then begin
     let tr = Pagestore.Store.trace t.store in
     let traced = Obs.Trace.enabled tr in
@@ -704,6 +713,7 @@ let write_batch t ops =
     shared record into each tree through its own [should_replay]
     filter, so atomicity across the trees rides the single record. *)
 let absorb_batch t ~lsn ops =
+  if t.write_fenced then raise Write_fenced;
   if ops <> [] then begin
     let bytes =
       List.fold_left

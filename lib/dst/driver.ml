@@ -49,9 +49,21 @@ type t = {
   crash_recover : (unit -> unit) option;
       (** power-fail the (primary) store and recover in place *)
   begin_txn : (unit -> txn_handle) option;
-  catch_up : (unit -> [ `Applied of int | `Resynced ]) option;
+  catch_up : (unit -> [ `Applied of int | `Resynced | `Unreachable ]) option;
+      (** [`Unreachable]: the supervisor's retry budget ran dry (e.g.
+          partitioned link) — converge again after the fault heals *)
+  failover : (unit -> unit) option;
+      (** promote the follower to primary; demote the deposed primary
+          to follower at its old epoch *)
   follower_scan : (unit -> (string * string) list) option;
-      (** full logical state of the follower (position key excluded) *)
+      (** full logical state of the follower (position key excluded);
+          harness-side omniscient view, bypasses staleness shedding *)
+  follower_get : (string -> [ `Ok of string option | `Too_stale ]) option;
+      (** client-facing bounded-staleness read on the follower *)
+  follower_stale : (unit -> bool) option;
+      (** would the follower shed reads right now? *)
+  fenced_rejects : (unit -> int) option;
+      (** primary-side count of stale-epoch requests refused *)
   crash_follower : (unit -> unit) option;
   scrub : (unit -> int * bool) option;  (** (checksum errors, clean) *)
   counts : (unit -> counts) option;
@@ -64,6 +76,9 @@ type t = {
       (** deterministic registry dump for the byte-identity check *)
   faults : Simdisk.Faults.t;  (** (primary) store's fault plan *)
   follower_faults : Simdisk.Faults.t option;
+  net : (Simnet.t * string * string) option;
+      (** the simulated network and the two node names, for arming
+          link faults and advancing simulated time *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -187,7 +202,11 @@ let blsm ?(scheduler = Blsm.Config.Spring) ~name ~seed () =
       Some (fun () -> tree := Blsm.Tree.crash_and_recover ~verify:true !tree);
     begin_txn = Some (fun () -> tree_txn !tree ());
     catch_up = None;
+    failover = None;
     follower_scan = None;
+    follower_get = None;
+    follower_stale = None;
+    fenced_rejects = None;
     crash_follower = None;
     scrub =
       Some
@@ -200,6 +219,7 @@ let blsm ?(scheduler = Blsm.Config.Spring) ~name ~seed () =
     metrics_dump = (fun () -> Obs.Metrics.dump (Blsm.Tree.metrics !tree));
     faults;
     follower_faults = None;
+    net = None;
   }
 
 let partitioned ~seed () =
@@ -230,7 +250,11 @@ let partitioned ~seed () =
       Some (fun () -> pt := Blsm.Partitioned.crash_and_recover !pt);
     begin_txn = None;
     catch_up = None;
+    failover = None;
     follower_scan = None;
+    follower_get = None;
+    follower_stale = None;
+    fenced_rejects = None;
     crash_follower = None;
     scrub =
       Some
@@ -260,6 +284,7 @@ let partitioned ~seed () =
     metrics_dump = (fun () -> Obs.Metrics.dump (Blsm.Partitioned.metrics !pt));
     faults;
     follower_faults = None;
+    net = None;
   }
 
 let leveldb ~seed () =
@@ -292,7 +317,11 @@ let leveldb ~seed () =
     crash_recover = None;
     begin_txn = None;
     catch_up = None;
+    failover = None;
     follower_scan = None;
+    follower_get = None;
+    follower_stale = None;
+    fenced_rejects = None;
     crash_follower = None;
     scrub = None;
     counts = None;
@@ -301,6 +330,7 @@ let leveldb ~seed () =
     metrics_dump = (fun () -> Obs.Metrics.dump (Leveldb_sim.Leveldb.metrics db));
     faults;
     follower_faults = None;
+    net = None;
   }
 
 let btree ~seed () =
@@ -330,7 +360,11 @@ let btree ~seed () =
     crash_recover = None;
     begin_txn = None;
     catch_up = None;
+    failover = None;
     follower_scan = None;
+    follower_get = None;
+    follower_stale = None;
+    fenced_rejects = None;
     crash_follower = None;
     scrub = None;
     counts = None;
@@ -339,52 +373,132 @@ let btree ~seed () =
     metrics_dump = (fun () -> "");
     faults;
     follower_faults = None;
+    net = None;
+  }
+
+(* DST shape for the replication supervisor: timeouts and backoff small
+   against the per-step clock tick, staleness bound tight enough that a
+   partitioned follower goes stale within a plan. *)
+let small_repl =
+  {
+    Blsm.Config.req_timeout_us = 5_000;
+    backoff_base_us = 1_000;
+    backoff_cap_us = 8_000;
+    backoff_jitter = 0.25;
+    max_attempts = 6;
+    batch_records = 16;
+    chunk_rows = 64;
+    max_lag_records = 48;
+    staleness_lease_us = 50_000;
   }
 
 let replicated ~seed () =
   let pstore, faults = mk_store ~fault_seed:seed () in
   let fstore, follower_faults = mk_store ~fault_seed:(seed + 7919) () in
-  let config = small_config seed in
-  let primary = ref (Blsm.Tree.create ~config pstore) in
-  let fol = ref (Blsm.Replication.follower ~config fstore) in
+  let config = { (small_config seed) with Blsm.Config.repl = small_repl } in
+  let net =
+    Simnet.create ~seed:(seed + 104729) ~base_latency_us:100 ~jitter_us:50 ()
+  in
+  let node_a = "node-a" and node_b = "node-b" in
+  (* [ptree]/[fol] track the current primary tree / follower, wherever
+     they live; [a_is_primary] says which node holds which role. Disk
+     fault plans stay per-node: [faults] is node A's store,
+     [follower_faults] node B's. *)
+  let ptree = ref (Blsm.Tree.create ~config pstore) in
+  let server = Blsm.Repl_server.create !ptree in
+  Blsm.Repl_server.attach server (Simnet.endpoint net node_a);
+  let fol =
+    ref (Blsm.Replication.follower ~config ~net ~name:node_b ~peer:node_a fstore)
+  in
+  let a_is_primary = ref true in
+  let recover_primary () =
+    ptree := Blsm.Tree.crash_and_recover ~verify:true !ptree;
+    Blsm.Repl_server.set_tree server !ptree
+  in
+  let failover () =
+    let deposed_epoch = Blsm.Repl_server.epoch server in
+    let old_primary = !ptree in
+    let old_name = if !a_is_primary then node_a else node_b in
+    let new_name = if !a_is_primary then node_b else node_a in
+    let new_epoch = Blsm.Replication.epoch !fol + 1 in
+    ptree := Blsm.Replication.promote !fol;
+    Simnet.clear_handler (Simnet.endpoint net old_name);
+    Blsm.Repl_server.set_tree server !ptree;
+    Blsm.Repl_server.set_epoch server new_epoch;
+    Blsm.Repl_server.attach server (Simnet.endpoint net new_name);
+    fol :=
+      Blsm.Replication.demote ~config ~net ~name:old_name ~peer:new_name
+        ~epoch:deposed_epoch old_primary;
+    a_is_primary := not !a_is_primary
+  in
+  (* One metrics registry for the pair's network-visible state; thunked
+     reads survive follower/tree replacement. *)
+  let netreg = Obs.Metrics.create () in
+  Simnet.register_metrics netreg net;
+  Blsm.Repl_server.register_metrics netreg server;
+  Blsm.Replication.register_metrics netreg (fun () -> !fol);
   {
     name = "replicated";
     caps = caps_replicated;
-    get = (fun k -> Blsm.Tree.get !primary k);
-    put = (fun k v -> Blsm.Tree.put !primary k v);
-    delete = (fun k -> Blsm.Tree.delete !primary k);
-    apply_delta = (fun k d -> Blsm.Tree.apply_delta !primary k d);
-    rmw = (fun k s -> Blsm.Tree.read_modify_write !primary k (append_rmw s));
-    insert_if_absent = (fun k v -> Blsm.Tree.insert_if_absent !primary k v);
-    scan = (fun start n -> Blsm.Tree.scan !primary start n);
-    write_batch = (fun ops -> Blsm.Tree.write_batch !primary ops);
-    maintenance = (fun () -> Blsm.Tree.maintenance !primary);
-    flush = Some (fun () -> Blsm.Tree.flush !primary);
+    get = (fun k -> Blsm.Tree.get !ptree k);
+    put = (fun k v -> Blsm.Tree.put !ptree k v);
+    delete = (fun k -> Blsm.Tree.delete !ptree k);
+    apply_delta = (fun k d -> Blsm.Tree.apply_delta !ptree k d);
+    rmw = (fun k s -> Blsm.Tree.read_modify_write !ptree k (append_rmw s));
+    insert_if_absent = (fun k v -> Blsm.Tree.insert_if_absent !ptree k v);
+    scan =
+      (* clamp to "\001": a promoted primary's tree carries its
+         follower-era "\000…" bookkeeping keys, which must never
+         surface in user scans *)
+      (fun start n ->
+        let from =
+          if String.compare start "\001" < 0 then "\001" else start
+        in
+        Blsm.Tree.scan !ptree from n);
+    write_batch = (fun ops -> Blsm.Tree.write_batch !ptree ops);
+    maintenance = (fun () -> Blsm.Tree.maintenance !ptree);
+    flush = Some (fun () -> Blsm.Tree.flush !ptree);
+    (* Crash_recover always power-fails node A, whatever its current
+       role (its store owns [faults], so injected crash points land
+       there); Crash_follower is node B, symmetrically. *)
     crash_recover =
       Some
-        (fun () -> primary := Blsm.Tree.crash_and_recover ~verify:true !primary);
-    begin_txn = Some (fun () -> tree_txn !primary ());
-    catch_up = Some (fun () -> Blsm.Replication.sync !fol ~primary:!primary);
+        (fun () ->
+          if !a_is_primary then recover_primary ()
+          else fol := Blsm.Replication.crash_and_recover !fol);
+    begin_txn = Some (fun () -> tree_txn !ptree ());
+    catch_up = Some (fun () -> Blsm.Replication.sync !fol);
+    failover = Some failover;
     follower_scan =
-      (* from "\001": skips the reserved "\000…" replication-position key *)
+      (* from "\001": skips the reserved "\000…" bookkeeping keys *)
       Some
         (fun () ->
           Blsm.Tree.scan (Blsm.Replication.tree !fol) "\001" 1_000_000);
+    follower_get = Some (fun k -> Blsm.Replication.read !fol k);
+    follower_stale = Some (fun () -> Blsm.Replication.is_stale !fol);
+    fenced_rejects =
+      Some (fun () -> (Blsm.Repl_server.counters server).fenced_rejects);
     crash_follower =
-      Some (fun () -> fol := Blsm.Replication.crash_and_recover !fol);
+      Some
+        (fun () ->
+          if !a_is_primary then fol := Blsm.Replication.crash_and_recover !fol
+          else recover_primary ());
     scrub =
       Some
         (fun () ->
-          let r = Blsm.Tree.scrub !primary in
+          let r = Blsm.Tree.scrub !ptree in
           (List.length r.Blsm.Tree.scrub_errors, r.Blsm.Tree.scrub_clean));
-    counts = Some (fun () -> counts_of_stats (Blsm.Tree.stats !primary));
+    counts = Some (fun () -> counts_of_stats (Blsm.Tree.stats !ptree));
     (* resync scans the primary through a cursor; a follower crash midway
        leaves that bump untracked, so the scans counter is unreliable *)
     mask_scans = true;
-    last_stall = Some (fun () -> Blsm.Tree.last_stall !primary);
-    metrics_dump = (fun () -> Obs.Metrics.dump (Blsm.Tree.metrics !primary));
+    last_stall = Some (fun () -> Blsm.Tree.last_stall !ptree);
+    metrics_dump =
+      (fun () ->
+        Obs.Metrics.dump (Blsm.Tree.metrics !ptree) ^ Obs.Metrics.dump netreg);
     faults;
     follower_faults = Some follower_faults;
+    net = Some (net, node_a, node_b);
   }
 
 (* ------------------------------------------------------------------ *)

@@ -51,8 +51,18 @@ type t = {
       (** drop unsynced state and rebuild from the WAL, as a real crash
           would *)
   begin_txn : (unit -> txn_handle) option;
-  catch_up : (unit -> [ `Applied of int | `Resynced ]) option;
+  catch_up : (unit -> [ `Applied of int | `Resynced | `Unreachable ]) option;
+      (** [`Unreachable]: retry budget exhausted (e.g. partitioned) *)
+  failover : (unit -> unit) option;
+      (** promote the follower; demote the deposed primary at its old
+          epoch *)
   follower_scan : (unit -> (string * string) list) option;
+      (** omniscient harness view of the follower, bypasses staleness *)
+  follower_get : (string -> [ `Ok of string option | `Too_stale ]) option;
+      (** client-facing bounded-staleness read *)
+  follower_stale : (unit -> bool) option;
+  fenced_rejects : (unit -> int) option;
+      (** primary-side stale-epoch rejections *)
   crash_follower : (unit -> unit) option;
   scrub : (unit -> int * bool) option;
       (** [(pages_checked, clean)] full-tree checksum sweep *)
@@ -64,6 +74,9 @@ type t = {
   metrics_dump : unit -> string;
   faults : Simdisk.Faults.t;  (** fault plan armed on the primary store *)
   follower_faults : Simdisk.Faults.t option;
+  net : (Simnet.t * string * string) option;
+      (** simulated network plus the two node names (for link faults
+          and clock ticks); [Some] only for replication pairs *)
 }
 
 (** [mk_store ~fault_seed ()] builds a seeded simulated store and the

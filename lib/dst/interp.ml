@@ -71,6 +71,13 @@ type st = {
   mutable rot : bool;
   mutable crashes : int;
   mutable steps_run : int;
+  mutable counts_masked : bool;
+      (* failover swaps which tree the stats come from; the mirror can
+         no longer line up, so counter checks are off for the rest *)
+  mutable dirty : bool;
+      (* acked writes since the last full sync: while set, the follower
+         may legitimately lag the oracle, so [Follower_get] checks
+         staleness discipline but not the value *)
 }
 
 let line st fmt =
@@ -292,6 +299,45 @@ let arm st faults =
       | Plan.F_follower_crash_wal { after; torn } -> (
           match st.d.Driver.follower_faults with
           | Some ff -> Simdisk.Faults.schedule_crash_at_wal_append ~torn ff ~after
+          | None -> ())
+      | Plan.F_net_drop after -> (
+          match st.d.Driver.net with
+          | Some (net, a, b) ->
+              (* symmetric: requests and replies are both fair game *)
+              Simnet.schedule_drop net ~src:a ~dst:b ~after;
+              Simnet.schedule_drop net ~src:b ~dst:a ~after
+          | None -> ())
+      | Plan.F_net_dup after -> (
+          match st.d.Driver.net with
+          | Some (net, a, b) ->
+              Simnet.schedule_duplicate net ~src:a ~dst:b ~after;
+              Simnet.schedule_duplicate net ~src:b ~dst:a ~after
+          | None -> ())
+      | Plan.F_net_delay { after; count; extra_us } -> (
+          match st.d.Driver.net with
+          | Some (net, a, b) ->
+              Simnet.schedule_delay_burst net ~src:a ~dst:b ~after ~count
+                ~extra_us;
+              Simnet.schedule_delay_burst net ~src:b ~dst:a ~after ~count
+                ~extra_us
+          | None -> ())
+      | Plan.F_net_reorder after -> (
+          match st.d.Driver.net with
+          | Some (net, a, b) ->
+              Simnet.schedule_reorder net ~src:a ~dst:b ~after;
+              Simnet.schedule_reorder net ~src:b ~dst:a ~after
+          | None -> ())
+      | Plan.F_net_partition -> (
+          match st.d.Driver.net with
+          | Some (net, a, b) ->
+              Simnet.partition net a b;
+              line st "net: partition %s|%s" a b
+          | None -> ())
+      | Plan.F_net_heal -> (
+          match st.d.Driver.net with
+          | Some (net, a, b) ->
+              Simnet.heal net a b;
+              line st "net: heal %s|%s" a b
           | None -> ()))
     faults
 
@@ -445,7 +491,7 @@ let checkpoint st i ~label =
   done;
   (* 3. engine op counters vs the interpreter's mirror *)
   (match d.Driver.counts with
-  | Some counts when not st.rot ->
+  | Some counts when (not st.rot) && not st.counts_masked ->
       let c = counts () in
       let chk name got want =
         if got <> want then
@@ -462,17 +508,39 @@ let checkpoint st i ~label =
   (* 4. replication convergence after catch-up *)
   match (d.Driver.catch_up, d.Driver.follower_scan) with
   | Some cu, Some fs -> (
+      let final = label = "final" in
+      (* at the final checkpoint every link fault is healed first:
+         convergence-after-heal is mandatory, not best-effort *)
+      if final then (
+        match d.Driver.net with
+        | Some (net, a, b) ->
+            if Simnet.partitioned net a b then line st "net: final heal %s|%s" a b;
+            Simnet.clear_faults net
+        | None -> ());
       match
         guarded st i ~what:"checkpoint catch_up" (fun () ->
             let r = cu () in
             (r, fs ()))
       with
-      | `Ok (r, rows) ->
+      | `Ok (`Unreachable, _) ->
+          if final && not st.rot then
+            violation st i "no convergence after heal: follower unreachable"
+          else if final then
+            (* rot can make the primary unserveable (every reply to a
+               batch/snapshot request dies on a corrupt page): with the
+               link healed, unreachability is the corruption surfacing,
+               not a replication bug *)
+            line st "checkpoint final: follower unreachable (rot on primary)"
+          else
+            line st "checkpoint %s step=%d: follower unreachable (faulted link)"
+              label i
+      | `Ok ((`Resynced | `Applied _) as r, rows) ->
+          st.dirty <- false;
           let expect = Oracle.bindings st.oracle in
           if rows <> expect then
             violation st i
               "replication divergence after %s (follower %d keys, oracle %d)%s"
-              (match r with `Resynced -> "resync" | `Applied _ -> "catch_up")
+              (match r with `Resynced -> "resync" | _ -> "catch_up")
               (List.length rows) (List.length expect) (first_diff rows expect)
       | `Crashed | `Corrupt -> ())
   | _ -> ()
@@ -483,6 +551,13 @@ let checkpoint st i ~label =
 let exec_step st i (step : Plan.step) =
   arm st step.Plan.faults;
   let d = st.d in
+  (* conservative: any mutation-bearing step marks the follower as
+     possibly behind until the next successful full sync *)
+  (match step.Plan.op with
+  | Plan.Put _ | Plan.Delete _ | Plan.Delta _ | Plan.Rmw _
+  | Plan.Insert_if_absent _ | Plan.Write_batch _ | Plan.Txn _ ->
+      st.dirty <- true
+  | _ -> ());
   match step.Plan.op with
   | Plan.Put (k, v) -> (
       match guarded st i ~what:"put" (fun () -> d.Driver.put k v) with
@@ -593,8 +668,75 @@ let exec_step st i (step : Plan.step) =
       | None -> ()
       | Some cu -> (
           match guarded st i ~what:"catch_up" (fun () -> cu ()) with
-          | `Ok `Resynced -> line st "step %d: catch_up resynced" i
-          | `Ok (`Applied _) | `Crashed | `Corrupt -> ()))
+          | `Ok `Resynced ->
+              st.dirty <- false;
+              line st "step %d: catch_up resynced" i
+          | `Ok (`Applied _) -> st.dirty <- false
+          | `Ok `Unreachable -> line st "step %d: catch_up unreachable" i
+          | `Crashed | `Corrupt -> ()))
+  | Plan.Failover -> (
+      match (d.Driver.failover, d.Driver.catch_up) with
+      | Some fo, Some cu -> (
+          (* converge first so no acked write is stranded on the node
+             about to be deposed *)
+          match
+            guarded st i ~what:"failover pre-sync" (fun () -> cu ())
+          with
+          | `Ok `Unreachable ->
+              line st "step %d: failover skipped (follower unreachable)" i
+          | `Crashed | `Corrupt -> ()
+          | `Ok (`Applied _ | `Resynced) -> (
+              let fenced_before =
+                match d.Driver.fenced_rejects with
+                | Some fr -> fr ()
+                | None -> 0
+              in
+              fo ();
+              st.counts_masked <- true;
+              st.dirty <- true;
+              line st "step %d: failover (roles swapped, epoch raised)" i;
+              (* the deposed primary, now a follower at its old epoch,
+                 must be observably fenced on its first exchange *)
+              match
+                guarded st i ~what:"post-failover sync" (fun () -> cu ())
+              with
+              | `Ok ((`Applied _ | `Resynced) as r) ->
+                  st.dirty <- false;
+                  (match d.Driver.fenced_rejects with
+                  | Some fr when fr () <= fenced_before ->
+                      violation st i
+                        "fencing: deposed-epoch message was not rejected"
+                  | _ -> ());
+                  line st "step %d: deposed node %s at new epoch" i
+                    (match r with
+                    | `Resynced -> "resynced"
+                    | _ -> "caught up")
+              | `Ok `Unreachable ->
+                  line st "step %d: post-failover sync unreachable" i
+              | `Crashed | `Corrupt -> ()))
+      | _ -> ())
+  | Plan.Follower_get k -> (
+      match (d.Driver.follower_get, d.Driver.follower_stale) with
+      | Some fg, Some stale -> (
+          let expect_shed = stale () in
+          match guarded st i ~what:"follower_get" (fun () -> fg k) with
+          | `Ok `Too_stale ->
+              if not expect_shed then
+                violation st i
+                  "follower_get %s shed while within the staleness bound" k
+              else line st "step %d: follower_get %s -> Too_stale" i k
+          | `Ok (`Ok got) ->
+              if expect_shed then
+                violation st i
+                  "follower_get %s served beyond the staleness bound" k
+              else if not st.dirty then begin
+                let expect = Oracle.get st.oracle k in
+                if got <> expect then
+                  violation st i "follower_get %s: follower=%s oracle=%s" k
+                    (show got) (show expect)
+              end
+          | `Crashed | `Corrupt -> ())
+      | _ -> ())
   | Plan.Scrub -> (
       match d.Driver.scrub with
       | None -> ()
@@ -635,6 +777,8 @@ let run (d : Driver.t) (plan : Plan.t) : outcome =
       rot = false;
       crashes = 0;
       steps_run = 0;
+      counts_masked = false;
+      dirty = false;
     }
   in
   line st "dst: driver=%s seed=%d steps=%d" plan.Plan.driver plan.Plan.seed
@@ -644,6 +788,14 @@ let run (d : Driver.t) (plan : Plan.t) : outcome =
        (fun i step ->
          exec_step st i step;
          update_rot st;
+         (* advance the simulated network clock one step-quantum so
+            delayed traffic lands and staleness leases can expire; the
+            tick can run a server handler (late duplicated request), so
+            crash/corruption raises need the same treatment as an op *)
+         (match d.Driver.net with
+         | Some (net, _, _) ->
+             ignore (guarded st i ~what:"net tick" (fun () -> Simnet.sleep net 1_000))
+         | None -> ());
          st.steps_run <- st.steps_run + 1)
        plan.Plan.steps;
      checkpoint st (List.length plan.Plan.steps) ~label:"final"
@@ -657,9 +809,14 @@ let run (d : Driver.t) (plan : Plan.t) : outcome =
     | Some f -> Simdisk.Faults.pending f
     | None -> (0, 0)
   in
+  let np =
+    match d.Driver.net with
+    | Some (net, _, _) -> Simnet.pending_faults net
+    | None -> 0
+  in
   line st "final: steps=%d crashes=%d rot=%b pending_faults=%d violations=%d"
     st.steps_run st.crashes st.rot
-    (pp + pw + fp + fw)
+    (pp + pw + fp + fw + np)
     (List.length st.violations);
   Buffer.add_string st.buf
     (* Expected dump failures only: a crashed engine's registry closures

@@ -48,6 +48,18 @@ let fault_json = function
       Printf.sprintf
         "{\"kind\":\"follower_crash_wal\",\"after\":%d,\"torn\":%b}" after
         torn
+  | Plan.F_net_drop after ->
+      Printf.sprintf "{\"kind\":\"net_drop\",\"after\":%d}" after
+  | Plan.F_net_dup after ->
+      Printf.sprintf "{\"kind\":\"net_dup\",\"after\":%d}" after
+  | Plan.F_net_delay { after; count; extra_us } ->
+      Printf.sprintf
+        "{\"kind\":\"net_delay\",\"after\":%d,\"count\":%d,\"extra_us\":%d}"
+        after count extra_us
+  | Plan.F_net_reorder after ->
+      Printf.sprintf "{\"kind\":\"net_reorder\",\"after\":%d}" after
+  | Plan.F_net_partition -> "{\"kind\":\"net_partition\"}"
+  | Plan.F_net_heal -> "{\"kind\":\"net_heal\"}"
 
 let item_json = function
   | Plan.B_put (k, v) ->
@@ -100,6 +112,9 @@ let op_json = function
   | Plan.Crash_recover -> "{\"kind\":\"crash_recover\"}"
   | Plan.Crash_follower -> "{\"kind\":\"crash_follower\"}"
   | Plan.Catch_up -> "{\"kind\":\"catch_up\"}"
+  | Plan.Failover -> "{\"kind\":\"failover\"}"
+  | Plan.Follower_get k ->
+      Printf.sprintf "{\"kind\":\"follower_get\",\"key\":%s}" (str k)
   | Plan.Scrub -> "{\"kind\":\"scrub\"}"
   | Plan.Maintenance -> "{\"kind\":\"maintenance\"}"
   | Plan.Flush -> "{\"kind\":\"flush\"}"
@@ -320,14 +335,29 @@ let get_bool_opt obj name ~default =
   match field obj name with Some v -> as_bool name v | None -> default
 
 let fault_of_json j =
-  let after = get_int j "after" in
-  let torn = get_bool_opt j "torn" ~default:false in
+  (* "after" only exists for ordinal-scheduled kinds; partition/heal
+     fire immediately and carry no fields *)
+  let after () = get_int j "after" in
+  let torn () = get_bool_opt j "torn" ~default:false in
   match get_str j "kind" with
-  | "lost_page" -> Plan.F_lost_page after
-  | "flip_page" -> Plan.F_flip_page after
-  | "crash_page" -> Plan.F_crash_page { after; torn }
-  | "crash_wal" -> Plan.F_crash_wal { after; torn }
-  | "follower_crash_wal" -> Plan.F_follower_crash_wal { after; torn }
+  | "lost_page" -> Plan.F_lost_page (after ())
+  | "flip_page" -> Plan.F_flip_page (after ())
+  | "crash_page" -> Plan.F_crash_page { after = after (); torn = torn () }
+  | "crash_wal" -> Plan.F_crash_wal { after = after (); torn = torn () }
+  | "follower_crash_wal" ->
+      Plan.F_follower_crash_wal { after = after (); torn = torn () }
+  | "net_drop" -> Plan.F_net_drop (after ())
+  | "net_dup" -> Plan.F_net_dup (after ())
+  | "net_delay" ->
+      Plan.F_net_delay
+        {
+          after = after ();
+          count = get_int j "count";
+          extra_us = get_int j "extra_us";
+        }
+  | "net_reorder" -> Plan.F_net_reorder (after ())
+  | "net_partition" -> Plan.F_net_partition
+  | "net_heal" -> Plan.F_net_heal
   | k -> raise (Parse_error ("unknown fault kind " ^ k))
 
 let item_of_json j =
@@ -370,6 +400,8 @@ let op_of_json j =
   | "crash_recover" -> Plan.Crash_recover
   | "crash_follower" -> Plan.Crash_follower
   | "catch_up" -> Plan.Catch_up
+  | "failover" -> Plan.Failover
+  | "follower_get" -> Plan.Follower_get (get_str j "key")
   | "scrub" -> Plan.Scrub
   | "maintenance" -> Plan.Maintenance
   | "flush" -> Plan.Flush

@@ -4,9 +4,17 @@ type access_rule = {
   why : string;
 }
 
+type peer_rule = {
+  peer_marker : string;
+  peer_restricted : string list;
+  peer_exempt_dirs : string list;
+  peer_why : string;
+}
+
 type t = {
   scan_dirs : string list;
   access_matrix : access_rule list;
+  peer_rules : peer_rule list;
   mli_required_dirs : string list;
   mli_exempt_suffixes : string list;
   mli_exempt_modules : string list;
@@ -35,10 +43,30 @@ let default_access_matrix =
     };
   ]
 
+(* Rule A002: replication code must treat the peer as remote.  Any file
+   whose basename contains the marker is replication logic; outside the
+   exempt dirs it may not reference the primary-side service module or
+   the WAL directly — peer state arrives only as Repl_msg frames through
+   the Simnet endpoint.  This is what keeps the fault injection honest:
+   a direct call would bypass every drop/delay/partition in the plan. *)
+let default_peer_rules =
+  [
+    {
+      peer_marker = "replication";
+      peer_restricted = [ "Repl_server"; "Blsm.Repl_server"; "Pagestore.Wal" ];
+      peer_exempt_dirs = [ "lib/simnet" ];
+      peer_why =
+        "replication reaches peer state only as Repl_msg frames through \
+         the Simnet endpoint; direct server/WAL access bypasses the \
+         injected network faults";
+    };
+  ]
+
 let default =
   {
     scan_dirs = [ "lib"; "bin"; "bench" ];
     access_matrix = default_access_matrix;
+    peer_rules = default_peer_rules;
     mli_required_dirs = [ "lib" ];
     mli_exempt_suffixes = [ "_intf" ];
     mli_exempt_modules = [];

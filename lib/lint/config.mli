@@ -14,9 +14,23 @@ type access_rule = {
   why : string;  (** rendered in the finding message *)
 }
 
+(** One row of the A002 peer-isolation rule: files whose basename
+    contains [peer_marker] are replication logic and, outside
+    [peer_exempt_dirs], may not reference [peer_restricted] modules —
+    peer state must flow through the simnet endpoint. *)
+type peer_rule = {
+  peer_marker : string;  (** basename substring marking replication code *)
+  peer_restricted : string list;
+      (** dotted module paths such files may not reference *)
+  peer_exempt_dirs : string list;
+      (** directories exempt from the rule (the transport itself) *)
+  peer_why : string;  (** rendered in the finding message *)
+}
+
 type t = {
   scan_dirs : string list;  (** directories walked by default *)
   access_matrix : access_rule list;  (** rule A001 *)
+  peer_rules : peer_rule list;  (** rule A002 *)
   mli_required_dirs : string list;
       (** rule S001: every [.ml] under these roots needs a sibling
           [.mli] *)

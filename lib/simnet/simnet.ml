@@ -1,0 +1,428 @@
+(** Deterministic seeded message passing on a simulated clock.
+
+    The network twin of {!Simdisk}: endpoints exchange opaque byte
+    payloads over directed links, every delivery is charged simulated
+    latency (base + seeded jitter), and each link carries an ordinal
+    fault plan in the {!Simdisk.Faults} style — [schedule_drop ~after:3]
+    fires on the third send over that link counted from the arming
+    point. Partitions are undirected and unordinal: while a pair is
+    partitioned every message between them is dropped, until {!heal}.
+
+    Request/response is layered on the same datagrams: {!call} sends a
+    tagged request and pumps the event queue (advancing the clock event
+    by event) until the matching reply arrives or the deadline passes.
+    A server handler registered with {!set_handler} runs synchronously
+    at its message's delivery time; its reply is itself a message,
+    subject to the reverse link's faults. Late replies to calls that
+    already timed out are counted as strays, never delivered.
+
+    Everything — latency jitter, fault firing, event ordering — derives
+    from the creation seed, so same-seed runs are byte-identical. *)
+
+type link_fault =
+  | Drop
+  | Dup
+  | Delay of int  (** extra microseconds on top of drawn latency *)
+  | Reorder  (** delivered, but pushed behind later traffic *)
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;  (** scheduled drops that fired *)
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable reordered : int;
+  mutable partition_drops : int;
+  mutable strays : int;  (** deliveries no one consumed *)
+  mutable calls : int;
+  mutable call_timeouts : int;
+}
+
+type link = {
+  l_src : string;
+  l_dst : string;
+  (* (absolute send ordinal, fault), Simdisk.Faults-style *)
+  mutable l_plan : (int * link_fault) list;
+  mutable l_seen : int;
+  mutable l_sent : int;
+  mutable l_delivered : int;
+  mutable l_dropped : int;
+}
+
+type event = {
+  ev_deliver_us : float;
+  ev_seq : int;  (** FIFO tiebreak for simultaneous deliveries *)
+  ev_src : string;
+  ev_dst : string;
+  ev_sent_us : float;
+  ev_payload : string;
+}
+
+type endpoint = {
+  ep_name : string;
+  ep_net : net;
+  mutable ep_handler : (src:string -> string -> string option) option;
+  (* one outstanding call per endpoint: (tag, reply slot) *)
+  mutable ep_pending : (string * string option ref) option;
+}
+
+and net = {
+  prng : Repro_util.Prng.t;
+  base_latency_us : int;
+  jitter_us : int;
+  mutable now : float;
+  mutable seq : int;
+  mutable call_id : int;
+  mutable queue : event list;  (** sorted by (deliver_us, seq) *)
+  mutable endpoints : (string * endpoint) list;
+  mutable links : link list;
+  mutable parts : (string * string) list;  (** normalized partitioned pairs *)
+  mutable trace : Obs.Trace.t option;
+  c : counters;
+}
+
+type t = net
+
+let create ?(seed = 1) ?(base_latency_us = 100) ?(jitter_us = 50) () =
+  {
+    prng = Repro_util.Prng.of_int ((seed * 2_147_483_629) lxor 0x6e65);
+    base_latency_us;
+    jitter_us;
+    now = 0.0;
+    seq = 0;
+    call_id = 0;
+    queue = [];
+    endpoints = [];
+    links = [];
+    parts = [];
+    trace = None;
+    c =
+      {
+        sent = 0;
+        delivered = 0;
+        dropped = 0;
+        duplicated = 0;
+        delayed = 0;
+        reordered = 0;
+        partition_drops = 0;
+        strays = 0;
+        calls = 0;
+        call_timeouts = 0;
+      };
+  }
+
+let now_us t = t.now
+let counters t = t.c
+let set_trace t tr = t.trace <- Some tr
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints *)
+
+let endpoint t name =
+  match List.assoc_opt name t.endpoints with
+  | Some ep -> ep
+  | None ->
+      let ep =
+        { ep_name = name; ep_net = t; ep_handler = None; ep_pending = None }
+      in
+      t.endpoints <- t.endpoints @ [ (name, ep) ];
+      ep
+
+let name ep = ep.ep_name
+let set_handler ep h = ep.ep_handler <- Some h
+let clear_handler ep = ep.ep_handler <- None
+
+(* ------------------------------------------------------------------ *)
+(* Links, partitions, fault plans *)
+
+let link t src dst =
+  match
+    List.find_opt
+      (fun l -> String.equal l.l_src src && String.equal l.l_dst dst)
+      t.links
+  with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          l_src = src;
+          l_dst = dst;
+          l_plan = [];
+          l_seen = 0;
+          l_sent = 0;
+          l_delivered = 0;
+          l_dropped = 0;
+        }
+      in
+      t.links <- t.links @ [ l ];
+      l
+
+let norm_pair a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let partitioned t a b =
+  let p = norm_pair a b in
+  List.exists (fun (x, y) -> String.equal x (fst p) && String.equal y (snd p))
+    t.parts
+
+let partition t a b =
+  if not (partitioned t a b) then t.parts <- norm_pair a b :: t.parts
+
+let heal t a b =
+  let p = norm_pair a b in
+  t.parts <-
+    List.filter
+      (fun (x, y) -> not (String.equal x (fst p) && String.equal y (snd p)))
+      t.parts
+
+let schedule t ~src ~dst ~after fault =
+  let l = link t src dst in
+  l.l_plan <- (l.l_seen + after, fault) :: l.l_plan
+
+let schedule_drop t ~src ~dst ~after = schedule t ~src ~dst ~after Drop
+let schedule_duplicate t ~src ~dst ~after = schedule t ~src ~dst ~after Dup
+
+let schedule_delay t ~src ~dst ~after ~extra_us =
+  schedule t ~src ~dst ~after (Delay extra_us)
+
+(* [count] consecutive sends all delayed, starting at [after]. *)
+let schedule_delay_burst t ~src ~dst ~after ~count ~extra_us =
+  for i = 0 to count - 1 do
+    schedule t ~src ~dst ~after:(after + i) (Delay extra_us)
+  done
+
+let schedule_reorder t ~src ~dst ~after = schedule t ~src ~dst ~after Reorder
+
+let pending_faults t =
+  List.fold_left
+    (fun acc l ->
+      acc
+      + List.length (List.filter (fun (ord, _) -> ord > l.l_seen) l.l_plan))
+    0 t.links
+
+let clear_faults t =
+  List.iter (fun l -> l.l_plan <- []) t.links;
+  t.parts <- []
+
+(* ------------------------------------------------------------------ *)
+(* Transmission *)
+
+let trace_event t ~name ~src ~dst ~ts ~dur ~bytes =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      if Obs.Trace.enabled tr then
+        Obs.Trace.complete tr ~cat:"net"
+          ~name:(Printf.sprintf "%s %s->%s" name src dst)
+          ~ts_us:ts ~dur_us:dur
+          ~args:[ ("bytes", Obs.Trace.I bytes) ]
+
+let insert_event t ~deliver ~src ~dst payload =
+  t.seq <- t.seq + 1;
+  let ev =
+    {
+      ev_deliver_us = deliver;
+      ev_seq = t.seq;
+      ev_src = src;
+      ev_dst = dst;
+      ev_sent_us = t.now;
+      ev_payload = payload;
+    }
+  in
+  let rec ins = function
+    | [] -> [ ev ]
+    | e :: rest ->
+        if
+          Float.compare e.ev_deliver_us ev.ev_deliver_us < 0
+          || Float.compare e.ev_deliver_us ev.ev_deliver_us = 0
+             && e.ev_seq < ev.ev_seq
+        then e :: ins rest
+        else ev :: e :: rest
+  in
+  t.queue <- ins t.queue
+
+let latency t =
+  float_of_int t.base_latency_us
+  +.
+  if t.jitter_us = 0 then 0.0
+  else float_of_int (Repro_util.Prng.int t.prng (t.jitter_us + 1))
+
+(* The fault-firing move from Simdisk.Faults: partition the plan on the
+   current ordinal; at most the first match fires. *)
+let take plan seen =
+  let fire, keep = List.partition (fun (ord, _) -> ord = seen) plan in
+  ((match fire with [] -> None | (_, f) :: _ -> Some f), keep)
+
+let transmit t ~src ~dst payload =
+  let l = link t src dst in
+  l.l_seen <- l.l_seen + 1;
+  l.l_sent <- l.l_sent + 1;
+  t.c.sent <- t.c.sent + 1;
+  let bytes = String.length payload in
+  if partitioned t src dst then begin
+    t.c.partition_drops <- t.c.partition_drops + 1;
+    l.l_dropped <- l.l_dropped + 1;
+    trace_event t ~name:"part-drop" ~src ~dst ~ts:t.now ~dur:0.0 ~bytes
+  end
+  else begin
+    let fault, keep = take l.l_plan l.l_seen in
+    l.l_plan <- keep;
+    match fault with
+    | Some Drop ->
+        t.c.dropped <- t.c.dropped + 1;
+        l.l_dropped <- l.l_dropped + 1;
+        trace_event t ~name:"drop" ~src ~dst ~ts:t.now ~dur:0.0 ~bytes
+    | Some Dup ->
+        t.c.duplicated <- t.c.duplicated + 1;
+        insert_event t ~deliver:(t.now +. latency t) ~src ~dst payload;
+        insert_event t ~deliver:(t.now +. latency t) ~src ~dst payload
+    | Some (Delay extra) ->
+        t.c.delayed <- t.c.delayed + 1;
+        insert_event t
+          ~deliver:(t.now +. latency t +. float_of_int extra)
+          ~src ~dst payload
+    | Some Reorder ->
+        (* push behind anything sent within the next few latencies *)
+        t.c.reordered <- t.c.reordered + 1;
+        insert_event t
+          ~deliver:(t.now +. latency t +. float_of_int (4 * t.base_latency_us))
+          ~src ~dst payload
+    | None -> insert_event t ~deliver:(t.now +. latency t) ~src ~dst payload
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Delivery *)
+
+(* Envelope: 'Q'/'R' + 8-hex-digit call tag + body for call traffic,
+   'D' + body for bare datagrams. *)
+
+let stray t =
+  t.c.strays <- t.c.strays + 1
+
+let deliver t ev =
+  t.now <- Float.max t.now ev.ev_deliver_us;
+  trace_event t ~name:"msg" ~src:ev.ev_src ~dst:ev.ev_dst ~ts:ev.ev_sent_us
+    ~dur:(ev.ev_deliver_us -. ev.ev_sent_us)
+    ~bytes:(String.length ev.ev_payload);
+  match List.assoc_opt ev.ev_dst t.endpoints with
+  | None -> stray t
+  | Some ep -> (
+      let p = ev.ev_payload in
+      let plen = String.length p in
+      let consume_link () =
+        let l = link t ev.ev_src ev.ev_dst in
+        l.l_delivered <- l.l_delivered + 1;
+        t.c.delivered <- t.c.delivered + 1
+      in
+      if plen = 0 then stray t
+      else
+        match p.[0] with
+        | 'D' -> (
+            match ep.ep_handler with
+            | None -> stray t
+            | Some h ->
+                consume_link ();
+                ignore (h ~src:ev.ev_src (String.sub p 1 (plen - 1))))
+        | 'Q' when plen >= 9 -> (
+            match ep.ep_handler with
+            | None -> stray t
+            | Some h -> (
+                consume_link ();
+                let tag = String.sub p 1 8 in
+                match h ~src:ev.ev_src (String.sub p 9 (plen - 9)) with
+                | None -> ()
+                | Some reply ->
+                    transmit t ~src:ev.ev_dst ~dst:ev.ev_src
+                      ("R" ^ tag ^ reply)))
+        | 'R' when plen >= 9 -> (
+            let tag = String.sub p 1 8 in
+            match ep.ep_pending with
+            | Some (ptag, slot) when String.equal ptag tag && !slot = None ->
+                consume_link ();
+                slot := Some (String.sub p 9 (plen - 9))
+            | _ -> stray t (* late or duplicate reply *))
+        | _ -> stray t)
+
+(* Process every event due up to [until], then settle the clock there. *)
+let advance_to t until =
+  let rec pump () =
+    match t.queue with
+    | ev :: rest when Float.compare ev.ev_deliver_us until <= 0 ->
+        t.queue <- rest;
+        deliver t ev;
+        pump ()
+    | _ -> ()
+  in
+  pump ();
+  t.now <- Float.max t.now until
+
+let sleep t us = advance_to t (t.now +. float_of_int (max 0 us))
+
+(* ------------------------------------------------------------------ *)
+(* Datagrams and calls *)
+
+let send ep ~dst payload = transmit ep.ep_net ~src:ep.ep_name ~dst ("D" ^ payload)
+
+let call ep ~dst ~timeout_us payload =
+  let t = ep.ep_net in
+  t.c.calls <- t.c.calls + 1;
+  t.call_id <- t.call_id + 1;
+  let tag = Printf.sprintf "%08x" (t.call_id land 0xFFFFFFFF) in
+  let slot = ref None in
+  ep.ep_pending <- Some (tag, slot);
+  let deadline = t.now +. float_of_int timeout_us in
+  (* protect: a handler raising (e.g. detected corruption on the serving
+     store) must not leave a stale pending slot behind *)
+  Fun.protect
+    ~finally:(fun () -> ep.ep_pending <- None)
+    (fun () ->
+      transmit t ~src:ep.ep_name ~dst ("Q" ^ tag ^ payload);
+      let rec pump () =
+        match !slot with
+        | Some reply -> Some reply
+        | None -> (
+            match t.queue with
+            | ev :: rest when Float.compare ev.ev_deliver_us deadline <= 0 ->
+                t.queue <- rest;
+                deliver t ev;
+                pump ()
+            | _ ->
+                t.now <- Float.max t.now deadline;
+                t.c.call_timeouts <- t.c.call_timeouts + 1;
+                None)
+      in
+      pump ())
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let link_stats t =
+  List.map
+    (fun l -> (l.l_src, l.l_dst, l.l_sent, l.l_delivered, l.l_dropped))
+    t.links
+  |> List.sort (fun (a, b, _, _, _) (c, d, _, _, _) ->
+         match String.compare a c with 0 -> String.compare b d | n -> n)
+
+let register_metrics reg t =
+  let c = t.c in
+  Obs.Metrics.counter reg "net.sent" ~help:"messages entering the network"
+    (fun () -> c.sent);
+  Obs.Metrics.counter reg "net.delivered" ~help:"messages consumed by a peer"
+    (fun () -> c.delivered);
+  Obs.Metrics.counter reg "net.dropped" ~help:"scheduled drops fired"
+    (fun () -> c.dropped);
+  Obs.Metrics.counter reg "net.duplicated" ~help:"scheduled duplicates fired"
+    (fun () -> c.duplicated);
+  Obs.Metrics.counter reg "net.delayed" ~help:"scheduled delays fired"
+    (fun () -> c.delayed);
+  Obs.Metrics.counter reg "net.reordered" ~help:"scheduled reorders fired"
+    (fun () -> c.reordered);
+  Obs.Metrics.counter reg "net.partition_drops"
+    ~help:"messages dropped by an active partition" (fun () ->
+      c.partition_drops);
+  Obs.Metrics.counter reg "net.strays"
+    ~help:"deliveries no endpoint consumed (late replies, no handler)"
+    (fun () -> c.strays);
+  Obs.Metrics.counter reg "net.calls" ~help:"request/response calls started"
+    (fun () -> c.calls);
+  Obs.Metrics.counter reg "net.call_timeouts"
+    ~help:"calls that hit their deadline" (fun () -> c.call_timeouts)

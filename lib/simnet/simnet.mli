@@ -1,0 +1,117 @@
+(** Deterministic seeded message passing on a simulated clock — the
+    network twin of {!Simdisk}.
+
+    Named endpoints exchange opaque byte payloads over directed links.
+    Each delivery is charged simulated latency (base + seeded jitter);
+    each directed link carries an ordinal fault plan in the
+    {!Simdisk.Faults} style ([schedule_drop ~after:3] fires on the third
+    send over that link, counted from the arming point); partitions are
+    undirected and absolute until healed. Same seed, same behavior,
+    byte for byte. *)
+
+type t
+
+(** Handle for one named party on the network. *)
+type endpoint
+
+(** Per-network counters (live; read through {!counters}). *)
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;  (** scheduled drops that fired *)
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable reordered : int;
+  mutable partition_drops : int;  (** messages eaten by active partitions *)
+  mutable strays : int;
+      (** deliveries no one consumed: late replies, missing handlers *)
+  mutable calls : int;
+  mutable call_timeouts : int;
+}
+
+(** [create ~seed ~base_latency_us ~jitter_us ()] — a fresh network at
+    simulated time 0. Latency per delivery is
+    [base_latency_us + uniform(0, jitter_us)]. *)
+val create : ?seed:int -> ?base_latency_us:int -> ?jitter_us:int -> unit -> t
+
+(** Simulated network clock, microseconds. *)
+val now_us : t -> float
+
+(** [sleep t us] advances the clock by [us], delivering everything that
+    comes due along the way (a timed-out caller backing off still lets
+    in-flight traffic land — as strays, if nobody wants it anymore). *)
+val sleep : t -> int -> unit
+
+(** {1 Endpoints} *)
+
+(** [endpoint t name] returns the endpoint registered under [name],
+    creating it on first use. *)
+val endpoint : t -> string -> endpoint
+
+val name : endpoint -> string
+
+(** [set_handler ep h] installs the server function: [h ~src body]
+    runs synchronously at each inbound message's delivery time and may
+    return a reply payload. *)
+val set_handler : endpoint -> (src:string -> string -> string option) -> unit
+
+(** Remove the handler: subsequent inbound messages count as strays —
+    the moved-away server stops answering, it does not bounce. *)
+val clear_handler : endpoint -> unit
+
+(** {1 Messaging} *)
+
+(** [send ep ~dst payload] — fire-and-forget datagram. *)
+val send : endpoint -> dst:string -> string -> unit
+
+(** [call ep ~dst ~timeout_us payload] sends a tagged request and pumps
+    the network (advancing the clock event by event) until the matching
+    reply arrives — [Some reply] — or the deadline passes — [None], with
+    the clock settled at the deadline. One outstanding call per
+    endpoint; replies arriving after the timeout are strays. *)
+val call : endpoint -> dst:string -> timeout_us:int -> string -> string option
+
+(** {1 Fault plans (per directed link, ordinal-scheduled)} *)
+
+val schedule_drop : t -> src:string -> dst:string -> after:int -> unit
+val schedule_duplicate : t -> src:string -> dst:string -> after:int -> unit
+
+val schedule_delay :
+  t -> src:string -> dst:string -> after:int -> extra_us:int -> unit
+
+(** [schedule_delay_burst ~after ~count ~extra_us] delays [count]
+    consecutive sends starting at ordinal [after]. *)
+val schedule_delay_burst :
+  t -> src:string -> dst:string -> after:int -> count:int -> extra_us:int ->
+  unit
+
+(** Deliver, but pushed behind several base-latencies of later traffic. *)
+val schedule_reorder : t -> src:string -> dst:string -> after:int -> unit
+
+(** [partition t a b] drops everything between [a] and [b] (both
+    directions) until {!heal}. Idempotent. *)
+val partition : t -> string -> string -> unit
+
+val heal : t -> string -> string -> unit
+val partitioned : t -> string -> string -> bool
+
+(** Scheduled link faults armed but not yet reached (partitions are a
+    state, not a count, and are excluded). *)
+val pending_faults : t -> int
+
+(** Drop all scheduled link faults and heal all partitions. *)
+val clear_faults : t -> unit
+
+(** {1 Introspection} *)
+
+val counters : t -> counters
+
+(** Per-directed-link [(src, dst, sent, delivered, dropped)], sorted. *)
+val link_stats : t -> (string * string * int * int * int) list
+
+(** Register the [net.*] counter family on [reg]. *)
+val register_metrics : Obs.Metrics.t -> t -> unit
+
+(** Attach a tracer: every delivery becomes a ["net"] span from send to
+    delivery time on the simnet clock; drops become zero-length spans. *)
+val set_trace : t -> Obs.Trace.t -> unit

@@ -1,0 +1,8 @@
+(* A002 fixture: replication logic reaching for peer state directly
+   instead of going through the simnet endpoint.  Both the primary-side
+   service module and the WAL are off-limits from a *replication* file:
+   a direct call bypasses every injected drop/delay/partition. *)
+
+let serve tree = Repl_server.create tree
+
+let peek wal = Pagestore.Wal.next_lsn wal

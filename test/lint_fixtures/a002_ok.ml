@@ -1,0 +1,6 @@
+(* A002 fixture: the legal shape — peer state flows only as Repl_msg
+   frames over the Simnet endpoint. *)
+
+let ask ep body = Simnet.call ep ~dst:"primary" ~timeout_us:1_000 body
+
+let frame e = Repl_msg.encode_req ~epoch:e Repl_msg.Probe

@@ -74,6 +74,23 @@ let test_a001_ok () =
   check slist "the public Simdisk.Disk API is open to everyone" []
     (rules_of (lint ~path:"lib/core/a001_ok.ml" "a001_ok.ml"))
 
+let test_a002_bad () =
+  check slist "service module and WAL both flagged from a replication file"
+    [ "A002"; "A002" ]
+    (rules_of (lint ~path:"lib/core/replication.ml" "a002_bad.ml"))
+
+let test_a002_non_replication_file () =
+  check slist "same references are fine when the basename is not marked" []
+    (rules_of (lint ~path:"lib/core/server_glue.ml" "a002_bad.ml"))
+
+let test_a002_exempt_dir () =
+  check slist "the transport layer itself is exempt" []
+    (rules_of (lint ~path:"lib/simnet/replication_xport.ml" "a002_bad.ml"))
+
+let test_a002_ok () =
+  check slist "simnet + Repl_msg is the legal shape" []
+    (rules_of (lint ~path:"lib/core/replication.ml" "a002_ok.ml"))
+
 let test_p000 () =
   check slist "garbage does not parse" [ "P000" ]
     (rules_of (lint ~path:"lib/core/p000_bad.ml" "p000_bad.ml"))
@@ -190,6 +207,11 @@ let () =
           Alcotest.test_case "A001 bad" `Quick test_a001_bad;
           Alcotest.test_case "A001 allowed dir" `Quick test_a001_allowed_dir;
           Alcotest.test_case "A001 ok" `Quick test_a001_ok;
+          Alcotest.test_case "A002 bad" `Quick test_a002_bad;
+          Alcotest.test_case "A002 unmarked file" `Quick
+            test_a002_non_replication_file;
+          Alcotest.test_case "A002 exempt dir" `Quick test_a002_exempt_dir;
+          Alcotest.test_case "A002 ok" `Quick test_a002_ok;
           Alcotest.test_case "P000 parse error" `Quick test_p000;
         ] );
       ( "suppression",

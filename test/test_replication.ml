@@ -1,10 +1,11 @@
-(* Log-shipping replication tests: incremental catch-up, exactly-once
-   delta application, truncation -> snapshot resync, follower crash
-   recovery, failover, and a randomized end-to-end property comparing
-   follower state to the primary. *)
+(* Log-shipping replication over the simulated network: supervised
+   catch-up with retry/backoff, exactly-once under duplication and loss,
+   truncation -> snapshot resync, follower crash recovery racing a
+   catch-up batch, epoch fencing across failover, bounded-staleness
+   shedding, the primary write fence, reserved-key hygiene, and QCheck
+   properties for the backoff schedule and end-to-end convergence. *)
 
 let check = Alcotest.check
-module SMap = Map.Make (String)
 
 let mk_store () =
   Pagestore.Store.create
@@ -14,21 +15,39 @@ let mk_store () =
         cfg_durability = Pagestore.Wal.Full }
     Simdisk.Profile.ssd_raid0
 
+let repl =
+  {
+    Blsm.Config.default_repl with
+    Blsm.Config.req_timeout_us = 5_000;
+    backoff_base_us = 500;
+    backoff_cap_us = 4_000;
+    max_attempts = 5;
+    staleness_lease_us = 50_000;
+  }
+
 let config =
   {
     Blsm.Config.default with
     Blsm.Config.c0_bytes = 32 * 1024;
     size_ratio = Blsm.Config.Fixed 3.0;
     extent_pages = 8;
+    repl;
   }
 
-let mk_primary () = Blsm.Tree.create ~config (mk_store ())
-let mk_follower () = Blsm.Replication.follower ~config (mk_store ())
+(* A primary serving on "primary" and a follower replicating from it. *)
+let mk_pair ?(seed = 1) () =
+  let net = Simnet.create ~seed () in
+  let p = Blsm.Tree.create ~config (mk_store ()) in
+  let server = Blsm.Repl_server.create p in
+  Blsm.Repl_server.attach server (Simnet.endpoint net "primary");
+  let f =
+    Blsm.Replication.follower ~config ~net ~name:"follower" ~peer:"primary"
+      (mk_store ())
+  in
+  (net, p, server, f)
 
-(* user-visible rows (the follower also stores its position record under
-   the reserved "\000" prefix) *)
-let user_rows tree =
-  List.filter (fun (k, _) -> k = "" || k.[0] <> '\000') (Blsm.Tree.scan tree "" 100_000)
+(* user-visible rows: every reserved "\000…" bookkeeping key excluded *)
+let user_rows tree = Blsm.Tree.scan tree "\001" 100_000
 
 let assert_same_state primary follower_tree =
   let p = user_rows primary and f = user_rows follower_tree in
@@ -36,130 +55,355 @@ let assert_same_state primary follower_tree =
     Alcotest.failf "states diverge: primary %d rows, follower %d rows"
       (List.length p) (List.length f)
 
+let sync_exn f =
+  match Blsm.Replication.sync f with
+  | `Unreachable -> Alcotest.fail "sync unreachable on a healthy link"
+  | (`Applied _ | `Resynced) as r -> r
+
 let test_basic_catch_up () =
-  let p = mk_primary () in
-  let f = mk_follower () in
+  let _net, p, _server, f = mk_pair () in
   Blsm.Tree.put p "a" "1";
   Blsm.Tree.put p "b" "2";
   Blsm.Tree.apply_delta p "a" "+x";
   Blsm.Tree.delete p "b";
-  (match Blsm.Replication.catch_up f ~primary:p with
+  (match sync_exn f with
   | `Applied 4 -> ()
   | `Applied n -> Alcotest.failf "expected 4 applied, got %d" n
-  | `Snapshot_needed -> Alcotest.fail "unexpected snapshot request");
+  | `Resynced -> Alcotest.fail "unexpected snapshot bootstrap");
   let ft = Blsm.Replication.tree f in
   check (Alcotest.option Alcotest.string) "a with delta" (Some "1+x")
     (Blsm.Tree.get ft "a");
-  check (Alcotest.option Alcotest.string) "b deleted" None (Blsm.Tree.get ft "b");
+  check (Alcotest.option Alcotest.string) "b deleted" None
+    (Blsm.Tree.get ft "b");
   assert_same_state p ft
 
-let test_incremental_exactly_once () =
-  let p = mk_primary () in
-  let f = mk_follower () in
+let test_exactly_once_under_dup_and_drop () =
+  let net, p, _server, f = mk_pair ~seed:3 () in
   Blsm.Tree.put p "k" "base";
-  ignore (Blsm.Replication.catch_up f ~primary:p);
-  (* no new records: repeated catch-up applies nothing (deltas would
-     double otherwise) *)
-  (match Blsm.Replication.catch_up f ~primary:p with
+  ignore (sync_exn f);
+  (* no new records: repeated sync applies nothing *)
+  (match sync_exn f with
   | `Applied 0 -> ()
-  | _ -> Alcotest.fail "re-catch-up applied something");
+  | _ -> Alcotest.fail "re-sync applied something");
+  (* duplicate the next request AND the next reply: the server serves
+     the batch twice, the follower sees the reply twice — the LSN guard
+     must keep application exactly-once *)
   Blsm.Tree.apply_delta p "k" "+1";
-  ignore (Blsm.Replication.catch_up f ~primary:p);
-  ignore (Blsm.Replication.catch_up f ~primary:p);
+  Simnet.schedule_duplicate net ~src:"follower" ~dst:"primary" ~after:1;
+  Simnet.schedule_duplicate net ~src:"primary" ~dst:"follower" ~after:1;
+  (match sync_exn f with
+  | `Applied 1 -> ()
+  | _ -> Alcotest.fail "expected exactly one applied under duplication");
   check (Alcotest.option Alcotest.string) "delta applied exactly once"
     (Some "base+1")
-    (Blsm.Tree.get (Blsm.Replication.tree f) "k")
+    (Blsm.Tree.get (Blsm.Replication.tree f) "k");
+  (* lose the next request: the supervisor must retry and still apply
+     the record exactly once *)
+  Blsm.Tree.apply_delta p "k" "+2";
+  Simnet.schedule_drop net ~src:"follower" ~dst:"primary" ~after:1;
+  (match sync_exn f with
+  | `Applied 1 -> ()
+  | _ -> Alcotest.fail "expected exactly one applied after a lost request");
+  check (Alcotest.option Alcotest.string) "delta survived the retry"
+    (Some "base+1+2")
+    (Blsm.Tree.get (Blsm.Replication.tree f) "k");
+  let c = Blsm.Replication.counters f in
+  if c.Blsm.Replication.retries < 1 then
+    Alcotest.fail "lost request did not produce a retry"
 
 let test_lag_accounting () =
-  let p = mk_primary () in
-  let f = mk_follower () in
+  let _net, p, _server, f = mk_pair () in
   for i = 0 to 9 do
-    Blsm.Tree.put p (string_of_int i) "v"
+    Blsm.Tree.put p (Printf.sprintf "k%d" i) "v"
   done;
-  check Alcotest.int "lag 10" 10 (Blsm.Replication.lag f ~primary:p);
-  ignore (Blsm.Replication.catch_up f ~primary:p);
-  check Alcotest.int "lag 0" 0 (Blsm.Replication.lag f ~primary:p)
+  ignore (sync_exn f);
+  check Alcotest.int "lag 0 after sync" 0 (Blsm.Replication.lag f);
+  check Alcotest.int "applied 10" 10 (Blsm.Replication.applied_lsn f)
 
 let test_truncation_forces_resync () =
-  let p = mk_primary () in
-  let f = mk_follower () in
+  let _net, p, _server, f = mk_pair () in
   (* write enough that merges truncate the primary's WAL *)
   for i = 0 to 2999 do
     Blsm.Tree.put p (Repro_util.Keygen.key_of_id i) (String.make 100 'v')
   done;
   Blsm.Tree.flush p;
-  (match Blsm.Replication.catch_up f ~primary:p with
-  | `Snapshot_needed -> ()
-  | `Applied _ -> Alcotest.fail "expected snapshot-needed after truncation");
-  Blsm.Replication.resync f ~primary:p;
+  (match sync_exn f with
+  | `Resynced -> ()
+  | `Applied _ -> Alcotest.fail "expected snapshot bootstrap after truncation");
   assert_same_state p (Blsm.Replication.tree f);
   (* incremental tailing works after the bootstrap *)
-  Blsm.Tree.put p "after-sync" "yes";
-  (match Blsm.Replication.catch_up f ~primary:p with
+  Blsm.Tree.put p "zzz-after-sync" "yes";
+  (match sync_exn f with
   | `Applied 1 -> ()
   | `Applied n -> Alcotest.failf "expected 1, got %d" n
-  | `Snapshot_needed -> Alcotest.fail "snapshot after resync?");
+  | `Resynced -> Alcotest.fail "snapshot after resync?");
   check (Alcotest.option Alcotest.string) "tailing live" (Some "yes")
-    (Blsm.Tree.get (Blsm.Replication.tree f) "after-sync")
+    (Blsm.Tree.get (Blsm.Replication.tree f) "zzz-after-sync")
 
 let test_follower_crash_recovery () =
-  let p = mk_primary () in
-  let f = mk_follower () in
+  let _net, p, _server, f = mk_pair () in
   Blsm.Tree.put p "a" "1";
   Blsm.Tree.apply_delta p "a" "+x";
-  ignore (Blsm.Replication.catch_up f ~primary:p);
+  ignore (sync_exn f);
   let f = Blsm.Replication.crash_and_recover f in
   (* position recovered with the data: no re-application *)
-  (match Blsm.Replication.catch_up f ~primary:p with
+  (match sync_exn f with
   | `Applied 0 -> ()
   | `Applied n -> Alcotest.failf "re-applied %d after crash" n
-  | `Snapshot_needed -> Alcotest.fail "snapshot after crash?");
+  | `Resynced -> Alcotest.fail "snapshot after crash?");
   check (Alcotest.option Alcotest.string) "delta not doubled" (Some "1+x")
     (Blsm.Tree.get (Blsm.Replication.tree f) "a");
-  (* new primary writes still flow *)
   Blsm.Tree.put p "b" "2";
-  ignore (Blsm.Replication.catch_up f ~primary:p);
+  ignore (sync_exn f);
   check (Alcotest.option Alcotest.string) "caught up" (Some "2")
     (Blsm.Tree.get (Blsm.Replication.tree f) "b")
 
-let test_failover () =
-  let p = mk_primary () in
-  let f = mk_follower () in
+(* Satellite: crash_and_recover racing a mid-flight catch-up batch under
+   injected message loss. The follower crashes between applying one
+   record of a batch and the next; because each applied record carries
+   the position update in the same follower WAL record, recovery resumes
+   at the exact boundary — nothing lost, nothing double-applied. *)
+let test_crash_races_catch_up () =
+  let net = Simnet.create ~seed:9 () in
+  let p = Blsm.Tree.create ~config (mk_store ()) in
+  let server = Blsm.Repl_server.create p in
+  Blsm.Repl_server.attach server (Simnet.endpoint net "primary");
+  let fstore = mk_store () in
+  let ffaults = Simdisk.Faults.create ~seed:11 () in
+  Pagestore.Store.set_faults fstore ffaults;
+  let f =
+    ref
+      (Blsm.Replication.follower ~config ~net ~name:"follower" ~peer:"primary"
+         fstore)
+  in
+  Blsm.Tree.put p "k" "base";
+  ignore (sync_exn !f);
+  Blsm.Tree.apply_delta p "k" "+1";
+  Blsm.Tree.apply_delta p "k" "+2";
+  Blsm.Tree.put p "j" "x";
+  (* lose the next reply (forcing a retried batch) and power-fail the
+     follower on its 2nd WAL append — i.e. mid-way through applying the
+     retried batch, after "+1" persisted but before "+2" *)
+  Simnet.schedule_drop net ~src:"primary" ~dst:"follower" ~after:1;
+  Simdisk.Faults.schedule_crash_at_wal_append ffaults ~after:2 ~torn:false;
+  (match Blsm.Replication.sync !f with
+  | exception Simdisk.Faults.Crash_point _ -> ()
+  | _ -> Alcotest.fail "expected the follower to crash mid-batch");
+  f := Blsm.Replication.crash_and_recover !f;
+  (match sync_exn !f with
+  | `Applied n when n >= 1 -> ()
+  | _ -> Alcotest.fail "expected remaining records to apply after recovery");
+  let ft = Blsm.Replication.tree !f in
+  check (Alcotest.option Alcotest.string)
+    "deltas exactly once across crash+retry" (Some "base+1+2")
+    (Blsm.Tree.get ft "k");
+  check (Alcotest.option Alcotest.string) "trailing record applied" (Some "x")
+    (Blsm.Tree.get ft "j");
+  assert_same_state p ft
+
+(* Failover with epoch fencing: the promoted follower serves at a higher
+   epoch; the deposed primary's first message carries the old epoch and
+   must be rejected (fenced) — it then adopts the new epoch and
+   bootstraps, converging without any double-apply. *)
+let test_failover_fencing () =
+  let net, p, server, f = mk_pair ~seed:5 () in
   Blsm.Tree.put p "user:1" "alice";
-  ignore (Blsm.Replication.catch_up f ~primary:p);
-  (* primary dies; follower becomes primary *)
-  let t = Blsm.Replication.tree f in
-  Blsm.Tree.put t "user:2" "bob";
+  ignore (sync_exn f);
+  let deposed_epoch = Blsm.Repl_server.epoch server in
+  let new_epoch = Blsm.Replication.epoch f + 1 in
+  let new_primary = Blsm.Replication.promote f in
+  Simnet.clear_handler (Simnet.endpoint net "primary");
+  Blsm.Repl_server.set_tree server new_primary;
+  Blsm.Repl_server.set_epoch server new_epoch;
+  Blsm.Repl_server.attach server (Simnet.endpoint net "follower");
+  let f2 =
+    Blsm.Replication.demote ~config ~net ~name:"primary" ~peer:"follower"
+      ~epoch:deposed_epoch p
+  in
+  Blsm.Tree.put new_primary "user:2" "bob";
+  let fenced_before =
+    (Blsm.Repl_server.counters server).Blsm.Repl_server.fenced_rejects
+  in
+  (match sync_exn f2 with
+  | `Resynced -> ()
+  | `Applied _ -> Alcotest.fail "deposed primary skipped the fenced bootstrap");
+  let fenced_after =
+    (Blsm.Repl_server.counters server).Blsm.Repl_server.fenced_rejects
+  in
+  if fenced_after <= fenced_before then
+    Alcotest.fail "deposed-epoch message was not fenced";
+  if (Blsm.Replication.counters f2).Blsm.Replication.fenced_seen < 1 then
+    Alcotest.fail "follower never observed the fence";
+  check Alcotest.int "epoch adopted" new_epoch (Blsm.Replication.epoch f2);
+  let ft = Blsm.Replication.tree f2 in
   check (Alcotest.option Alcotest.string) "replicated data" (Some "alice")
-    (Blsm.Tree.get t "user:1");
-  check (Alcotest.option Alcotest.string) "new writes" (Some "bob")
-    (Blsm.Tree.get t "user:2")
+    (Blsm.Tree.get ft "user:1");
+  check (Alcotest.option Alcotest.string) "new primary's write" (Some "bob")
+    (Blsm.Tree.get ft "user:2");
+  assert_same_state new_primary ft
+
+(* Partition -> Unreachable -> Too_stale shed -> heal -> converge. *)
+let test_partition_staleness_heal () =
+  let net, p, _server, f = mk_pair ~seed:7 () in
+  Blsm.Tree.put p "k" "v0";
+  ignore (sync_exn f);
+  (match Blsm.Replication.read f "k" with
+  | `Ok (Some "v0") -> ()
+  | _ -> Alcotest.fail "fresh follower must serve the read");
+  Simnet.partition net "primary" "follower";
+  Blsm.Tree.put p "k" "v1";
+  (match Blsm.Replication.sync f with
+  | `Unreachable -> ()
+  | _ -> Alcotest.fail "sync across a partition must be Unreachable");
+  (* let the staleness lease expire on the simulated clock *)
+  Simnet.sleep net (repl.Blsm.Config.staleness_lease_us + 1_000);
+  if not (Blsm.Replication.is_stale f) then
+    Alcotest.fail "follower still fresh after the lease expired";
+  (match Blsm.Replication.read f "k" with
+  | `Too_stale -> ()
+  | `Ok _ -> Alcotest.fail "stale follower served a read");
+  if (Blsm.Replication.counters f).Blsm.Replication.stale_sheds < 1 then
+    Alcotest.fail "shed not counted";
+  Simnet.heal net "primary" "follower";
+  (match sync_exn f with
+  | `Applied 1 -> ()
+  | _ -> Alcotest.fail "expected catch-up after heal");
+  (match Blsm.Replication.read f "k" with
+  | `Ok (Some "v1") -> ()
+  | _ -> Alcotest.fail "healed follower must serve the new value")
+
+(* Satellite: the primary write fence — resync's "primary must be
+   quiescent" precondition is enforced, not documented. *)
+let test_write_fence () =
+  let _net, p, _server, f = mk_pair () in
+  Blsm.Tree.put p "a" "1";
+  Blsm.Tree.set_write_fence p true;
+  (match Blsm.Tree.put p "b" "2" with
+  | exception Blsm.Tree.Write_fenced -> ()
+  | () -> Alcotest.fail "write under the fence must raise");
+  (match Blsm.Tree.write_batch p [ ("c", Kv.Entry.Base "3") ] with
+  | exception Blsm.Tree.Write_fenced -> ()
+  | () -> Alcotest.fail "batch under the fence must raise");
+  check (Alcotest.option Alcotest.string) "reads pass the fence" (Some "1")
+    (Blsm.Tree.get p "a");
+  Blsm.Tree.set_write_fence p false;
+  Blsm.Tree.put p "b" "2";
+  (* the snapshot path raises and lowers the fence around the cursor
+     copy: after a resync the primary must accept writes again *)
+  ignore (sync_exn f);
+  Blsm.Tree.put p "d" "4";
+  check (Alcotest.option Alcotest.string) "fence lowered after snapshot"
+    (Some "4") (Blsm.Tree.get p "d")
+
+(* Satellite: the reserved "\000"-prefixed bookkeeping keys exist in the
+   follower's tree but never leak out of any user-facing read surface. *)
+let test_reserved_keys_never_leak () =
+  let _net, p, _server, f = mk_pair () in
+  Blsm.Tree.put p "aaa" "1";
+  Blsm.Tree.put p "zzz" "2";
+  ignore (sync_exn f);
+  let ft = Blsm.Replication.tree f in
+  (* the bookkeeping records are really there… *)
+  (match Blsm.Tree.get ft Blsm.Replication.position_key with
+  | Some _ -> ()
+  | None -> Alcotest.fail "position record missing from the follower tree");
+  (match Blsm.Tree.get ft Blsm.Replication.epoch_key with
+  | Some _ -> ()
+  | None -> Alcotest.fail "epoch record missing from the follower tree");
+  (* …and none of the scan/cursor surfaces expose them *)
+  let assert_clean what rows =
+    List.iter
+      (fun (k, _) ->
+        if String.length k > 0 && k.[0] = '\000' then
+          Alcotest.failf "%s leaked reserved key" what)
+      rows
+  in
+  assert_clean "user scan" (user_rows ft);
+  (match Blsm.Replication.user_scan f "" 100 with
+  | `Ok rows ->
+      assert_clean "user_scan from \"\"" rows;
+      check Alcotest.int "user_scan sees exactly the user rows" 2
+        (List.length rows)
+  | `Too_stale -> Alcotest.fail "fresh follower shed a scan");
+  let cur = Blsm.Tree.cursor ~from:"\001" ft in
+  let rec collect acc =
+    match Blsm.Tree.cursor_next cur with
+    | None -> List.rev acc
+    | Some kv -> collect (kv :: acc)
+  in
+  assert_clean "cursor from \"\\001\"" (collect [])
+
+let prop_backoff_schedule =
+  QCheck.Test.make
+    ~name:"backoff: deterministic per seed, monotone to cap, jitter in band"
+    ~count:200
+    QCheck.(triple small_int (int_range 1 16) (int_range 0 100))
+    (fun (seed, attempts, jp) ->
+      let jitter = float_of_int jp /. 100.0 in
+      let base_us = 1_000 and cap_us = 32_000 in
+      let sched () =
+        Blsm.Replication.backoff_schedule ~base_us ~cap_us ~jitter ~seed
+          ~attempts
+      in
+      let s1 = sched () and s2 = sched () in
+      (* deterministic: same seed, same schedule *)
+      s1 = s2
+      && List.length s1 = attempts
+      && (* nominal delays double monotonically up to the cap *)
+      fst
+        (List.fold_left
+           (fun (ok, prev) (nominal, actual) ->
+             ( ok && nominal >= prev && nominal <= cap_us
+               && (nominal >= cap_us || prev = 0 || nominal = prev * 2)
+               && (* jittered delay stays within the configured band *)
+               actual >= nominal
+               && float_of_int actual
+                  <= (float_of_int nominal *. (1.0 +. jitter)) +. 1.0,
+               nominal ))
+           (true, 0) s1))
 
 let prop_replication_converges =
-  QCheck.Test.make ~name:"follower converges to primary under random ops"
-    ~count:25
+  QCheck.Test.make
+    ~name:"follower converges to primary under random ops and link faults"
+    ~count:15
     QCheck.(pair small_int (int_range 1 10))
     (fun (seed, batch) ->
-      let p = mk_primary () in
-      let f = mk_follower () in
+      let net, p, _server, f = mk_pair ~seed:(seed + 13) () in
+      let f = ref f in
       let prng = Repro_util.Prng.of_int (seed + 7) in
-      let ok = ref true in
-      for i = 0 to 599 do
+      for i = 0 to 399 do
         let key = Printf.sprintf "k%03d" (Repro_util.Prng.int prng 120) in
         (match Repro_util.Prng.int prng 5 with
         | 0 | 1 | 2 -> Blsm.Tree.put p key (Printf.sprintf "v%d" i)
         | 3 -> Blsm.Tree.delete p key
         | _ -> Blsm.Tree.apply_delta p key "+d");
-        if i mod batch = 0 then
-          match Blsm.Replication.catch_up f ~primary:p with
-          | `Applied _ -> ()
-          | `Snapshot_needed -> Blsm.Replication.resync f ~primary:p
+        if i mod 23 = 11 then begin
+          (* sprinkle link faults on both directions *)
+          let after = 1 + Repro_util.Prng.int prng 3 in
+          match Repro_util.Prng.int prng 4 with
+          | 0 ->
+              Simnet.schedule_drop net ~src:"follower" ~dst:"primary" ~after
+          | 1 ->
+              Simnet.schedule_drop net ~src:"primary" ~dst:"follower" ~after
+          | 2 ->
+              Simnet.schedule_duplicate net ~src:"primary" ~dst:"follower"
+                ~after
+          | _ ->
+              Simnet.schedule_delay net ~src:"follower" ~dst:"primary" ~after
+                ~extra_us:2_000
+        end;
+        if i mod batch = 0 then ignore (Blsm.Replication.sync !f)
       done;
-      (match Blsm.Replication.catch_up f ~primary:p with
-      | `Applied _ -> ()
-      | `Snapshot_needed -> Blsm.Replication.resync f ~primary:p);
-      if user_rows p <> user_rows (Blsm.Replication.tree f) then ok := false;
-      !ok)
+      Simnet.clear_faults net;
+      let rec settle n =
+        if n = 0 then false
+        else
+          match Blsm.Replication.sync !f with
+          | `Applied _ | `Resynced -> true
+          | `Unreachable -> settle (n - 1)
+      in
+      settle 5
+      && user_rows p = user_rows (Blsm.Replication.tree !f))
 
 let () =
   Alcotest.run "replication"
@@ -167,11 +411,22 @@ let () =
       ( "replication",
         [
           Alcotest.test_case "basic catch-up" `Quick test_basic_catch_up;
-          Alcotest.test_case "exactly once" `Quick test_incremental_exactly_once;
+          Alcotest.test_case "exactly once under dup+drop" `Quick
+            test_exactly_once_under_dup_and_drop;
           Alcotest.test_case "lag" `Quick test_lag_accounting;
-          Alcotest.test_case "truncation -> resync" `Quick test_truncation_forces_resync;
-          Alcotest.test_case "follower crash" `Quick test_follower_crash_recovery;
-          Alcotest.test_case "failover" `Quick test_failover;
+          Alcotest.test_case "truncation -> resync" `Quick
+            test_truncation_forces_resync;
+          Alcotest.test_case "follower crash" `Quick
+            test_follower_crash_recovery;
+          Alcotest.test_case "crash races catch-up batch" `Quick
+            test_crash_races_catch_up;
+          Alcotest.test_case "failover + fencing" `Quick test_failover_fencing;
+          Alcotest.test_case "partition -> stale -> heal" `Quick
+            test_partition_staleness_heal;
+          Alcotest.test_case "write fence" `Quick test_write_fence;
+          Alcotest.test_case "reserved keys never leak" `Quick
+            test_reserved_keys_never_leak;
+          QCheck_alcotest.to_alcotest prop_backoff_schedule;
           QCheck_alcotest.to_alcotest prop_replication_converges;
         ] );
     ]

@@ -1,0 +1,206 @@
+(* Simnet unit tests: seeded latency and delivery on the simulated
+   clock, per-link ordinal fault plans (drop / duplicate / delay /
+   delay-burst / reorder), partitions and healing, request/response
+   calls with timeouts and stray accounting, fault-plan bookkeeping,
+   and same-seed determinism of the whole transcript. *)
+
+let check = Alcotest.check
+
+let mk ?(seed = 42) () = Simnet.create ~seed ()
+
+(* an endpoint that records every datagram it receives, in order *)
+let recorder net name =
+  let log = ref [] in
+  let ep = Simnet.endpoint net name in
+  Simnet.set_handler ep (fun ~src body ->
+      log := (src, body) :: !log;
+      None);
+  (ep, fun () -> List.rev !log)
+
+let test_datagram_delivery () =
+  let net = mk () in
+  let a = Simnet.endpoint net "a" in
+  let _b, got = recorder net "b" in
+  Simnet.send a ~dst:"b" "hello";
+  Simnet.sleep net 1_000;
+  check
+    Alcotest.(list (pair string string))
+    "delivered with source" [ ("a", "hello") ] (got ());
+  let c = Simnet.counters net in
+  check Alcotest.int "sent" 1 c.Simnet.sent;
+  check Alcotest.int "delivered" 1 c.Simnet.delivered
+
+let test_call_roundtrip () =
+  let net = mk () in
+  let a = Simnet.endpoint net "a" in
+  let b = Simnet.endpoint net "b" in
+  Simnet.set_handler b (fun ~src body -> Some (src ^ ":" ^ body));
+  (match Simnet.call a ~dst:"b" ~timeout_us:10_000 "ping" with
+  | Some "a:ping" -> ()
+  | Some other -> Alcotest.failf "wrong reply %S" other
+  | None -> Alcotest.fail "call timed out on a healthy link");
+  let c = Simnet.counters net in
+  check Alcotest.int "calls" 1 c.Simnet.calls;
+  check Alcotest.int "no timeouts" 0 c.Simnet.call_timeouts
+
+let test_drop_ordinal () =
+  let net = mk () in
+  let a = Simnet.endpoint net "a" in
+  let _b, got = recorder net "b" in
+  (* after:2 — the 2nd send on a->b counted from arming is dropped *)
+  Simnet.schedule_drop net ~src:"a" ~dst:"b" ~after:2;
+  Simnet.send a ~dst:"b" "m1";
+  Simnet.send a ~dst:"b" "m2";
+  Simnet.send a ~dst:"b" "m3";
+  Simnet.sleep net 2_000;
+  check
+    Alcotest.(list string)
+    "second message lost" [ "m1"; "m3" ]
+    (List.map snd (got ()));
+  check Alcotest.int "dropped" 1 (Simnet.counters net).Simnet.dropped
+
+let test_duplicate () =
+  let net = mk () in
+  let a = Simnet.endpoint net "a" in
+  let _b, got = recorder net "b" in
+  Simnet.schedule_duplicate net ~src:"a" ~dst:"b" ~after:1;
+  Simnet.send a ~dst:"b" "once";
+  Simnet.sleep net 2_000;
+  check
+    Alcotest.(list string)
+    "delivered twice" [ "once"; "once" ]
+    (List.map snd (got ()));
+  check Alcotest.int "duplicated" 1 (Simnet.counters net).Simnet.duplicated
+
+let test_delay_and_burst () =
+  let net = mk () in
+  let a = Simnet.endpoint net "a" in
+  let _b, got = recorder net "b" in
+  Simnet.schedule_delay net ~src:"a" ~dst:"b" ~after:1 ~extra_us:5_000;
+  Simnet.send a ~dst:"b" "slow";
+  (* normal latency is ~100-150us; after 1ms the delayed message is
+     still in flight *)
+  Simnet.sleep net 1_000;
+  check Alcotest.(list string) "still in flight" [] (List.map snd (got ()));
+  Simnet.sleep net 6_000;
+  check Alcotest.(list string) "eventually arrives" [ "slow" ]
+    (List.map snd (got ()));
+  check Alcotest.int "delayed" 1 (Simnet.counters net).Simnet.delayed;
+  (* a burst slows a run of consecutive messages *)
+  Simnet.schedule_delay_burst net ~src:"a" ~dst:"b" ~after:1 ~count:3
+    ~extra_us:2_000;
+  Simnet.send a ~dst:"b" "x1";
+  Simnet.send a ~dst:"b" "x2";
+  Simnet.send a ~dst:"b" "x3";
+  Simnet.sleep net 10_000;
+  check Alcotest.int "burst delays each message" 4
+    (Simnet.counters net).Simnet.delayed
+
+let test_reorder () =
+  let net = mk () in
+  let a = Simnet.endpoint net "a" in
+  let _b, got = recorder net "b" in
+  Simnet.schedule_reorder net ~src:"a" ~dst:"b" ~after:1;
+  Simnet.send a ~dst:"b" "first-sent";
+  Simnet.send a ~dst:"b" "second-sent";
+  Simnet.sleep net 5_000;
+  check
+    Alcotest.(list string)
+    "later message overtakes" [ "second-sent"; "first-sent" ]
+    (List.map snd (got ()));
+  check Alcotest.int "reordered" 1 (Simnet.counters net).Simnet.reordered
+
+let test_partition_and_heal () =
+  let net = mk () in
+  let a = Simnet.endpoint net "a" in
+  let b = Simnet.endpoint net "b" in
+  Simnet.set_handler b (fun ~src:_ body -> Some body);
+  Simnet.partition net "a" "b";
+  if not (Simnet.partitioned net "a" "b") then
+    Alcotest.fail "partition not recorded";
+  if not (Simnet.partitioned net "b" "a") then
+    Alcotest.fail "partition must be symmetric";
+  (match Simnet.call a ~dst:"b" ~timeout_us:5_000 "ping" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "call crossed a partition");
+  let c = Simnet.counters net in
+  if c.Simnet.partition_drops < 1 then Alcotest.fail "drop not attributed";
+  check Alcotest.int "timeout counted" 1 c.Simnet.call_timeouts;
+  Simnet.heal net "a" "b";
+  if Simnet.partitioned net "a" "b" then Alcotest.fail "heal did not stick";
+  (match Simnet.call a ~dst:"b" ~timeout_us:5_000 "again" with
+  | Some "again" -> ()
+  | _ -> Alcotest.fail "call failed after heal")
+
+let test_unhandled_request_is_stray () =
+  let net = mk () in
+  let a = Simnet.endpoint net "a" in
+  let _b = Simnet.endpoint net "b" in
+  (* no handler on b: the request lands as a stray and the call times
+     out rather than erroring *)
+  (match Simnet.call a ~dst:"b" ~timeout_us:3_000 "anyone?" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "reply from a handlerless endpoint");
+  let c = Simnet.counters net in
+  if c.Simnet.strays < 1 then Alcotest.fail "stray not counted";
+  check Alcotest.int "timeout counted" 1 c.Simnet.call_timeouts
+
+let test_fault_bookkeeping () =
+  let net = mk () in
+  Simnet.schedule_drop net ~src:"a" ~dst:"b" ~after:3;
+  Simnet.schedule_duplicate net ~src:"b" ~dst:"a" ~after:1;
+  Simnet.schedule_delay net ~src:"a" ~dst:"b" ~after:2 ~extra_us:1_000;
+  Simnet.partition net "a" "b";
+  if Simnet.pending_faults net < 3 then
+    Alcotest.fail "pending plans not counted";
+  Simnet.clear_faults net;
+  check Alcotest.int "plans cleared" 0 (Simnet.pending_faults net);
+  if Simnet.partitioned net "a" "b" then
+    Alcotest.fail "clear_faults must heal partitions"
+
+(* same seed, same script => byte-identical transcript *)
+let test_same_seed_determinism () =
+  let transcript seed =
+    let net = Simnet.create ~seed () in
+    let a = Simnet.endpoint net "a" in
+    let b = Simnet.endpoint net "b" in
+    let log = Buffer.create 256 in
+    Simnet.set_handler b (fun ~src:_ body -> Some ("r:" ^ body));
+    Simnet.schedule_delay net ~src:"a" ~dst:"b" ~after:2 ~extra_us:2_000;
+    Simnet.schedule_duplicate net ~src:"b" ~dst:"a" ~after:1;
+    for i = 0 to 9 do
+      match
+        Simnet.call a ~dst:"b" ~timeout_us:8_000 (Printf.sprintf "m%d" i)
+      with
+      | Some r -> Buffer.add_string log (Printf.sprintf "%s@%.0f;" r (Simnet.now_us net))
+      | None -> Buffer.add_string log (Printf.sprintf "timeout@%.0f;" (Simnet.now_us net))
+    done;
+    let c = Simnet.counters net in
+    Buffer.add_string log
+      (Printf.sprintf "sent=%d delivered=%d delayed=%d duplicated=%d strays=%d timeouts=%d"
+         c.Simnet.sent c.Simnet.delivered c.Simnet.delayed
+         c.Simnet.duplicated c.Simnet.strays c.Simnet.call_timeouts);
+    Buffer.contents log
+  in
+  check Alcotest.string "seed 7 reproducible" (transcript 7) (transcript 7);
+  check Alcotest.string "seed 8 reproducible" (transcript 8) (transcript 8)
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "simnet",
+        [
+          Alcotest.test_case "datagram delivery" `Quick test_datagram_delivery;
+          Alcotest.test_case "call roundtrip" `Quick test_call_roundtrip;
+          Alcotest.test_case "drop ordinal" `Quick test_drop_ordinal;
+          Alcotest.test_case "duplicate" `Quick test_duplicate;
+          Alcotest.test_case "delay + burst" `Quick test_delay_and_burst;
+          Alcotest.test_case "reorder" `Quick test_reorder;
+          Alcotest.test_case "partition/heal" `Quick test_partition_and_heal;
+          Alcotest.test_case "stray request" `Quick
+            test_unhandled_request_is_stray;
+          Alcotest.test_case "fault bookkeeping" `Quick test_fault_bookkeeping;
+          Alcotest.test_case "same-seed determinism" `Quick
+            test_same_seed_determinism;
+        ] );
+    ]

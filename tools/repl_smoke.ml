@@ -1,0 +1,136 @@
+(* repl-smoke: the replication determinism gate, attached to `dune
+   runtest` via the `@repl-smoke` alias.
+
+   For each seed it drives a two-node pair (primary + follower over
+   Simnet) through the full degradation arc — clean shipping, message
+   loss + duplication with retry/backoff, a partition that trips the
+   bounded-staleness shed, then heal and reconvergence — and renders a
+   textual report of every sync outcome, the link/replication counters,
+   and the metrics registry.  Each seed runs twice from scratch; the two
+   reports must be byte-identical, and the follower must end byte-equal
+   to the primary.  Exit 1 on any divergence. *)
+
+let mk_store () =
+  Pagestore.Store.create
+    ~config:
+      {
+        Pagestore.Store.cfg_page_size = 4096;
+        cfg_buffer_pages = 128;
+        cfg_durability = Pagestore.Wal.Full;
+      }
+    Simdisk.Profile.ssd_raid0
+
+let repl =
+  {
+    Blsm.Config.default_repl with
+    Blsm.Config.req_timeout_us = 5_000;
+    backoff_base_us = 500;
+    backoff_cap_us = 4_000;
+    max_attempts = 5;
+    staleness_lease_us = 50_000;
+  }
+
+let config =
+  {
+    Blsm.Config.default with
+    Blsm.Config.c0_bytes = 32 * 1024;
+    size_ratio = Blsm.Config.Fixed 3.0;
+    extent_pages = 8;
+    repl;
+  }
+
+let run seed =
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let net = Simnet.create ~seed () in
+  let p = Blsm.Tree.create ~config (mk_store ()) in
+  let server = Blsm.Repl_server.create p in
+  Blsm.Repl_server.attach server (Simnet.endpoint net "primary");
+  let f =
+    Blsm.Replication.follower ~config ~net ~name:"follower" ~peer:"primary"
+      (mk_store ())
+  in
+  let reg = Obs.Metrics.create () in
+  Simnet.register_metrics reg net;
+  Blsm.Repl_server.register_metrics reg server;
+  Blsm.Replication.register_metrics reg (fun () -> f);
+  let sync_tag () =
+    match Blsm.Replication.sync f with
+    | `Applied n -> Printf.sprintf "applied(%d)" n
+    | `Resynced -> "resynced"
+    | `Unreachable -> "unreachable"
+  in
+  (* phase 1: clean log shipping *)
+  for i = 0 to 19 do
+    Blsm.Tree.put p (Printf.sprintf "k%03d" i) (Printf.sprintf "v%d" (i * 7))
+  done;
+  line "phase1 sync=%s lag=%d" (sync_tag ()) (Blsm.Replication.lag f);
+  (* phase 2: message loss + duplication; the supervisor retries and the
+     LSN guard keeps application exactly-once *)
+  Simnet.schedule_drop net ~src:"follower" ~dst:"primary" ~after:1;
+  Simnet.schedule_duplicate net ~src:"primary" ~dst:"follower" ~after:1;
+  for i = 0 to 9 do
+    Blsm.Tree.apply_delta p (Printf.sprintf "k%03d" i) "+d"
+  done;
+  line "phase2 sync=%s" (sync_tag ());
+  (* phase 3: partition; writes pile up on the primary, the follower
+     goes unreachable, the staleness lease expires, reads shed *)
+  Simnet.partition net "primary" "follower";
+  for i = 20 to 29 do
+    Blsm.Tree.put p (Printf.sprintf "k%03d" i) "partitioned"
+  done;
+  line "phase3 sync=%s" (sync_tag ());
+  Simnet.sleep net (repl.Blsm.Config.staleness_lease_us + 1_000);
+  (match Blsm.Replication.read f "k005" with
+  | `Too_stale -> line "phase3 read=too_stale stale=%b" (Blsm.Replication.is_stale f)
+  | `Ok _ -> line "phase3 read=SERVED-WHILE-STALE");
+  (* phase 4: heal and reconverge *)
+  Simnet.heal net "primary" "follower";
+  line "phase4 sync=%s lag=%d" (sync_tag ()) (Blsm.Replication.lag f);
+  (match Blsm.Replication.read f "k025" with
+  | `Ok (Some "partitioned") -> line "phase4 read=fresh"
+  | `Ok _ -> line "phase4 read=WRONG-VALUE"
+  | `Too_stale -> line "phase4 read=STILL-STALE");
+  let rows t = Blsm.Tree.scan t "\001" 1_000_000 in
+  let converged = rows p = rows (Blsm.Replication.tree f) in
+  line "converged=%b rows=%d" converged (List.length (rows p));
+  let c = Simnet.counters net in
+  line "net sent=%d delivered=%d dropped=%d duplicated=%d partition_drops=%d timeouts=%d strays=%d"
+    c.Simnet.sent c.Simnet.delivered c.Simnet.dropped c.Simnet.duplicated
+    c.Simnet.partition_drops c.Simnet.call_timeouts c.Simnet.strays;
+  let rc = Blsm.Replication.counters f in
+  line "repl rpcs=%d retries=%d timeouts=%d applied=%d dup_skipped=%d sheds=%d"
+    rc.Blsm.Replication.rpcs rc.Blsm.Replication.retries
+    rc.Blsm.Replication.timeouts rc.Blsm.Replication.records_applied
+    rc.Blsm.Replication.duplicates_skipped rc.Blsm.Replication.stale_sheds;
+  Buffer.add_string buf (Obs.Metrics.dump reg);
+  (converged, Buffer.contents buf)
+
+let () =
+  let failed = ref 0 in
+  List.iter
+    (fun seed ->
+      let c1, r1 = run seed in
+      let c2, r2 = run seed in
+      if not (c1 && c2) then begin
+        incr failed;
+        Printf.printf "FAIL seed=%d: follower did not converge\n%s" seed r1
+      end;
+      if r1 <> r2 then begin
+        incr failed;
+        Printf.printf
+          "FAIL seed=%d: same-seed reports differ (%d vs %d bytes)\n" seed
+          (String.length r1) (String.length r2)
+      end;
+      if c1 && r1 = r2 then
+        Printf.printf "repl-smoke: seed %d ok (%d bytes, byte-identical)\n%!"
+          seed (String.length r1))
+    [ 11; 23; 47 ];
+  if !failed > 0 then exit 1;
+  print_endline "REPL_SMOKE_OK"
