@@ -10,9 +10,25 @@
 
     10 bits per item with the optimal number of hashes gives ~1% false
     positives (§3.1); at 1000-byte values this is the paper's ~5% memory
-    overhead (Appendix A). *)
+    overhead (Appendix A).
+
+    Two layouts share that budget. [Standard] spreads the k probes over
+    the whole bit array — the seed's filter, best false-positive rate.
+    [Blocked] confines all probes of a key to one 64-byte (512-bit)
+    block chosen by h1, so a membership test touches a single cache
+    line; probe positions come in pairs carved from each derived hash
+    (two 9-bit fields of g_i — the "double-probe" scheme), halving the
+    hash arithmetic per test. The price is a small false-positive
+    penalty from block-load variance (Poisson-distributed keys per
+    block); see DESIGN.md §12 for the math. *)
+
+type kind = Standard | Blocked
+
+(** Bits per cache-line block of the {!Blocked} layout. *)
+let block_bits = 512
 
 type t = {
+  kind : kind;
   bits : Bytes.t;
   nbits : int;
   hashes : int;
@@ -42,13 +58,21 @@ let hash_pair key =
 
 (** [create ~expected_items ~bits_per_item ()] sizes the filter for
     [expected_items] insertions. [bits_per_item] defaults to 10 (the
-    paper's choice, <1% false positives). *)
-let create ?(bits_per_item = 10) ~expected_items () =
+    paper's choice, <1% false positives); [kind] to {!Standard}. The
+    {!Blocked} layout rounds the array up to whole 512-bit blocks. *)
+let create ?(kind = Standard) ?(bits_per_item = 10) ~expected_items () =
   let expected_items = max 1 expected_items in
   let nbits = max 64 (expected_items * bits_per_item) in
+  let nbits =
+    match kind with
+    | Standard -> nbits
+    | Blocked -> (nbits + block_bits - 1) / block_bits * block_bits
+  in
   (* Optimal hash count k = m/n * ln 2 ~= 0.693 * bits_per_item. *)
   let hashes = max 1 (int_of_float (0.6931 *. float_of_int bits_per_item +. 0.5)) in
-  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; hashes; inserted = 0 }
+  { kind; bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; hashes; inserted = 0 }
+
+let kind t = t.kind
 
 let set_bit t i =
   let byte = i lsr 3 and bit = i land 7 in
@@ -70,23 +94,72 @@ let probes t key =
   in
   (h1, h2)
 
+(* Blocked layout: h1 picks the 512-bit block; each derived value yields
+   two 9-bit in-block positions, so ceil(k/2) derived hashes cover all k
+   probes. Derivation is a multiplicative congruential step per pair
+   (g := g * K mod 2^62, K odd, h2 odd so the state never degenerates),
+   reading the two positions from g's well-mixed high bits. The feedback
+   matters: an additive walk (g += h2) makes g_i a small multiple of h2,
+   and high-bit windows of u, 2u, 3u, ... overlap almost bit-for-bit, so
+   probe pairs correlate across derivations and the measured
+   false-positive rate lands several times above the block-load-variance
+   bound; the per-step multiply gives pair i the effective multiplier
+   K^(i+1), decorrelating the windows (measured FP sits at the Poisson
+   floor, ~1.15x Standard). [f] receives absolute bit positions;
+   iteration stops early when [f] returns false (the membership test's
+   short-circuit; inserts always return true). *)
+let blocked_mul = 0x2545F4914F6CDD1D
+
+let blocked_probe t h1 h2 f =
+  let nblocks = t.nbits / block_bits in
+  let base = h1 mod nblocks * block_bits in
+  let npairs = (t.hashes + 1) / 2 in
+  let g = ref h2 in
+  let continue_ = ref true in
+  let i = ref 0 in
+  while !continue_ && !i < npairs do
+    g := !g * blocked_mul land max_int;
+    let v = !g lsr 38 in
+    if not (f (base + (v land (block_bits - 1)))) then continue_ := false
+    else if
+      (2 * !i) + 1 < t.hashes
+      && not (f (base + (v lsr 9 land (block_bits - 1))))
+    then continue_ := false
+    else incr i
+  done;
+  !continue_
+
 (** [add t key] inserts [key]. Updates are monotonic (bits only go 0->1),
     which is why bLSM readers never need to be insulated from concurrent
     filter updates (§4.4.3). *)
 let add t key =
-  let h1, h2 = probes t key in
-  for i = 0 to t.hashes - 1 do
-    set_bit t ((h1 + (i * h2)) mod t.nbits)
-  done;
+  (match t.kind with
+  | Standard ->
+      let h1, h2 = probes t key in
+      for i = 0 to t.hashes - 1 do
+        set_bit t ((h1 + (i * h2)) mod t.nbits)
+      done
+  | Blocked ->
+      let h1, h2 = hash_pair key in
+      ignore
+        (blocked_probe t h1 h2 (fun pos ->
+             set_bit t pos;
+             true)
+          : bool));
   t.inserted <- t.inserted + 1
 
 (** [mem t key] is [false] only if [key] was definitely never added. *)
 let mem t key =
-  let h1, h2 = probes t key in
-  let rec go i =
-    i >= t.hashes || (get_bit t ((h1 + (i * h2)) mod t.nbits) && go (i + 1))
-  in
-  go 0
+  match t.kind with
+  | Standard ->
+      let h1, h2 = probes t key in
+      let rec go i =
+        i >= t.hashes || (get_bit t ((h1 + (i * h2)) mod t.nbits) && go (i + 1))
+      in
+      go 0
+  | Blocked ->
+      let h1, h2 = hash_pair key in
+      blocked_probe t h1 h2 (fun pos -> get_bit t pos)
 
 let inserted t = t.inserted
 
@@ -99,12 +172,16 @@ let expected_fp_rate t =
   let m = float_of_int t.nbits in
   (1.0 -. exp (-.k *. n /. m)) ** k
 
-(** {1 Serialization} — used only by tests and tooling; bLSM deliberately
-    does *not* persist filters (they are rebuilt by post-crash merges,
-    §4.4.3). *)
+(** {1 Serialization} — used by tests, tooling, and the optional
+    persisted-filter path; bLSM's default deliberately does *not*
+    persist filters (they are rebuilt by post-crash merges, §4.4.3). *)
 
 let to_string t =
   let buf = Buffer.create (size_bytes t + 16) in
+  (* Standard stays byte-identical to the seed's encoding. Blocked is
+     flagged by a leading 0x00 byte — impossible as the first byte of
+     the Standard form, whose leading varint (nbits) is >= 64. *)
+  (match t.kind with Standard -> () | Blocked -> Buffer.add_char buf '\000');
   Repro_util.Varint.write buf t.nbits;
   Repro_util.Varint.write buf t.hashes;
   Repro_util.Varint.write buf t.inserted;
@@ -112,8 +189,12 @@ let to_string t =
   Buffer.contents buf
 
 let of_string s =
-  let nbits, pos = Repro_util.Varint.read s 0 in
+  let kind, start =
+    if String.length s > 0 && Char.equal s.[0] '\000' then (Blocked, 1)
+    else (Standard, 0)
+  in
+  let nbits, pos = Repro_util.Varint.read s start in
   let hashes, pos = Repro_util.Varint.read s pos in
   let inserted, pos = Repro_util.Varint.read s pos in
   let bits = Bytes.of_string (String.sub s pos ((nbits + 7) / 8)) in
-  { bits; nbits; hashes; inserted }
+  { kind; bits; nbits; hashes; inserted }

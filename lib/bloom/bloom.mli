@@ -6,11 +6,27 @@
     (§3.1). Updates are monotonic (bits only go 0 -> 1), so readers never
     need to be insulated from concurrent updates. *)
 
+(** Filter memory layout. [Standard]: k probes spread over the whole bit
+    array (the seed's filter, best false-positive rate). [Blocked]: all
+    of a key's probes confined to one 64-byte block chosen by h1, two
+    9-bit probe positions carved from each derived hash — one cache
+    line per membership test and half the hash arithmetic, at a small
+    block-load-variance false-positive penalty (same bits-per-key
+    budget). *)
+type kind = Standard | Blocked
+
+(** Bits per cache-line block of the {!Blocked} layout (512). *)
+val block_bits : int
+
 type t
 
-(** [create ?bits_per_item ~expected_items ()] sizes the filter for
-    [expected_items] insertions. [bits_per_item] defaults to 10. *)
-val create : ?bits_per_item:int -> expected_items:int -> unit -> t
+(** [create ?kind ?bits_per_item ~expected_items ()] sizes the filter
+    for [expected_items] insertions. [bits_per_item] defaults to 10,
+    [kind] to {!Standard}; {!Blocked} rounds the array up to whole
+    512-bit blocks. *)
+val create : ?kind:kind -> ?bits_per_item:int -> expected_items:int -> unit -> t
+
+val kind : t -> kind
 
 (** [add t key] inserts [key]; there is no delete (components are
     append-only). *)
@@ -26,8 +42,11 @@ val size_bytes : t -> int
     (1 - e^(-kn/m))^k. *)
 val expected_fp_rate : t -> float
 
-(** {1 Serialization} — tests/tooling only; bLSM deliberately does not
-    persist filters (rebuilt by post-crash scans, §4.4.3). *)
+(** {1 Serialization} — tests, tooling, and the optional persisted-filter
+    path; bLSM's default does not persist filters (rebuilt by post-crash
+    scans, §4.4.3). The [Standard] encoding is byte-identical to the
+    seed's; [Blocked] is flagged by a leading 0x00 (impossible for the
+    Standard form, whose leading nbits varint is >= 64). *)
 
 val to_string : t -> string
 val of_string : string -> t

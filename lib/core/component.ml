@@ -18,7 +18,7 @@ let of_sst ?bloom sst = { sst; bloom; bloom_negative = 0; bloom_false_positive =
     the persisted copy when the component carries one (1.25 B/key of
     sequential I/O), otherwise rebuilds by scanning the whole component —
     the §4.4.3 trade-off, selectable via {!Config.t.persist_bloom}. *)
-let build_bloom ~bits_per_key sst =
+let build_bloom ?(kind = Bloom.Standard) ~bits_per_key sst =
   if bits_per_key = 0 then None
   else
     match Sstable.Reader.load_bloom_blob sst with
@@ -26,7 +26,7 @@ let build_bloom ~bits_per_key sst =
     | None ->
     begin
     let bloom =
-      Bloom.create ~bits_per_item:bits_per_key
+      Bloom.create ~kind ~bits_per_item:bits_per_key
         ~expected_items:(Sstable.Reader.record_count sst)
         ()
     in

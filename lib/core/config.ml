@@ -54,6 +54,17 @@ type t = {
       (** write each component's Bloom filter to disk at merge commit so
           recovery reads 1.25 B/key instead of rescanning the component.
           The paper chose not to persist (§4.4.3); off by default. *)
+  bloom_kind : Bloom.kind;
+      (** filter memory layout: [Standard] (whole-array probes, the
+          seed's filter) or [Blocked] (one 64-byte block per key, two
+          derived probes per hash — one cache line per membership test
+          at the same bits-per-key budget) *)
+  page_format : Sstable.Sst_format.version;
+      (** SSTable page/record layout for newly built components: [V1]
+          (full key per record, the seed's bytes) or [V2] (prefix-
+          compressed keys with restart points, per-page zone maps).
+          Existing components are read by their own footer's version,
+          so the two formats coexist in one store. *)
   resolver : Kv.Entry.resolver;
   seed : int;
   repl : repl;
@@ -86,6 +97,8 @@ let default =
     max_quota_per_write = 4 * 1024 * 1024;
     run_cap_factor = 1.25;
     persist_bloom = false;
+    bloom_kind = Bloom.Standard;
+    page_format = Sstable.Sst_format.V1;
     resolver = Kv.Entry.append_resolver;
     seed = 42;
     repl = default_repl;

@@ -57,6 +57,13 @@ type t = {
       (** write Bloom filters to disk at merge commit so recovery reads
           1.25 B/key instead of rescanning; the paper chose rebuild-on-
           recovery (§4.4.3), so this is off by default *)
+  bloom_kind : Bloom.kind;
+      (** filter memory layout: [Standard] whole-array probes or
+          [Blocked] one-cache-line-per-key double-probe blocks *)
+  page_format : Sstable.Sst_format.version;
+      (** SSTable layout for newly built components ([V1]: the seed's
+          bytes; [V2]: prefix-compressed keys + zone maps); existing
+          components are read by their own footer's version *)
   resolver : Kv.Entry.resolver;  (** how deltas apply to base records *)
   seed : int;  (** PRNG seed (skip-list levels); fixes runs *)
   repl : repl;  (** replication supervisor policy *)

@@ -40,6 +40,12 @@ type stats = {
   mutable quarantined_components : int;
       (** corrupt components mounted read-around at recovery *)
   mutable scrubs : int;
+  mutable bloom_negative : int;
+      (** lookups a component's Bloom filter answered for free, summed
+          over retired components (live components add their own) *)
+  mutable bloom_false_positive : int;
+      (** filter said maybe, the component read said no — the wasted
+          I/O the filter exists to avoid; same retirement accounting *)
   stall_us : Repro_util.Histogram.t;
       (** synchronous merge time charged to each write *)
   (* Cumulative stall attribution (simulated µs): where the pacing time
@@ -118,6 +124,8 @@ let make_stats () =
     component_rebuilds = 0;
     quarantined_components = 0;
     scrubs = 0;
+    bloom_negative = 0;
+    bloom_false_positive = 0;
     stall_us = Repro_util.Histogram.create ();
     stall_merge1_us = 0.0;
     stall_merge2_us = 0.0;
@@ -335,6 +343,15 @@ let start_merge1 t =
     true
   end
 
+(* Retire a superseded component: fold its Bloom-filter outcome counters
+   into the tree's stats (live components report their own; the metrics
+   registry sums both) before releasing its extents. *)
+let retire_component t (c : Component.t) =
+  t.stats.bloom_negative <- t.stats.bloom_negative + c.Component.bloom_negative;
+  t.stats.bloom_false_positive <-
+    t.stats.bloom_false_positive + c.Component.bloom_false_positive;
+  Component.free c
+
 let complete_merge1 t m =
   t.timestamp <- t.timestamp + 1;
   let footer, index, bloom = Merge_process.finish_c0 m ~timestamp:t.timestamp in
@@ -346,7 +363,7 @@ let complete_merge1 t m =
   | `Live -> () (* shadow entries are now durable in the new C1 *)
   | `Frozen -> t.frozen <- None (* C0' contents are useless, discard *));
   commit_root t;
-  (match old_c1 with Some c -> Component.free c | None -> ());
+  (match old_c1 with Some c -> retire_component t c | None -> ());
   (* Log truncation: everything older than the oldest entry still live in
      C0 is covered by the freshly committed component. Snowshoveling keeps
      old entries live in C0 longer, delaying this point (§4.4.2). *)
@@ -371,8 +388,8 @@ let complete_merge2 t m =
   t.c1_prime <- None;
   t.merge2 <- None;
   commit_root t;
-  Component.free old_c1p;
-  (match old_c2 with Some c -> Component.free c | None -> ());
+  retire_component t old_c1p;
+  (match old_c2 with Some c -> retire_component t c | None -> ());
   t.stats.merge2_completions <- t.stats.merge2_completions + 1;
   ignore (try_promote t)
 
@@ -1112,7 +1129,7 @@ let crash_and_recover ?(should_replay = fun _ -> true) ?(verify = false) t =
              match errs with
              | [] ->
                  let bloom =
-                   Component.build_bloom
+                   Component.build_bloom ~kind:t.config.Config.bloom_kind
                      ~bits_per_key:t.config.Config.bloom_bits_per_key sst
                  in
                  Some (Component.of_sst ?bloom sst)
@@ -1286,6 +1303,27 @@ let bloom_bytes t =
     0
     [ t.c1; t.c1_prime; t.c2 ]
 
+(* Bloom-filter outcome totals: retired components' counters (folded into
+   stats by [retire_component]) plus the live components' own. *)
+let bloom_counters t =
+  List.fold_left
+    (fun (neg, fp) c ->
+      match c with
+      | Some c ->
+          ( neg + c.Component.bloom_negative,
+            fp + c.Component.bloom_false_positive )
+      | None -> (neg, fp))
+    (t.stats.bloom_negative, t.stats.bloom_false_positive)
+    [ t.c1; t.c1_prime; t.c2 ]
+
+(** Lookups any Bloom filter answered "absent" for free — tree lifetime,
+    retired components included. *)
+let bloom_negative_total t = fst (bloom_counters t)
+
+(** Filter said maybe, the component read said no: the wasted page reads
+    the filters exist to avoid — tree lifetime, retired included. *)
+let bloom_false_positive_total t = snd (bloom_counters t)
+
 (** {1 Metrics} *)
 
 (** [metrics t] is the tree's registry: every [tree.*] stat plus the
@@ -1349,6 +1387,27 @@ let metrics t =
           effective_r t);
       gauge reg "tree.bloom_bytes" ~help:"Bloom filter RAM" (fun () ->
           float_of_int (bloom_bytes t));
+      counter reg "bloom.negative"
+        ~help:"lookups a Bloom filter answered absent for free" (fun () ->
+          bloom_negative_total t);
+      counter reg "bloom.false_positive"
+        ~help:"Bloom maybes refuted by the component read" (fun () ->
+          bloom_false_positive_total t);
+      let level_bloom name comp =
+        gauge reg ("bloom." ^ name ^ ".negative")
+          ~help:("filter negatives, live " ^ name) (fun () ->
+            match comp () with
+            | Some c -> float_of_int c.Component.bloom_negative
+            | None -> 0.);
+        gauge reg ("bloom." ^ name ^ ".false_positive")
+          ~help:("filter false positives, live " ^ name) (fun () ->
+            match comp () with
+            | Some c -> float_of_int c.Component.bloom_false_positive
+            | None -> 0.)
+      in
+      level_bloom "c1" (fun () -> t.c1);
+      level_bloom "c1_prime" (fun () -> t.c1_prime);
+      level_bloom "c2" (fun () -> t.c2);
       gauge reg "tree.inprogress1" ~help:"merge1 progress estimator (§4.1)"
         (fun () -> merge1_inprogress t);
       gauge reg "tree.inprogress2" ~help:"merge2 progress estimator (§4.1)"

@@ -47,6 +47,11 @@ type stats = {
   mutable quarantined_components : int;
       (** corrupt components mounted read-around at recovery *)
   mutable scrubs : int;
+  mutable bloom_negative : int;
+      (** Bloom "absent" answers from retired components (live ones are
+          summed in by {!bloom_negative_total}) *)
+  mutable bloom_false_positive : int;
+      (** Bloom maybes refuted by the read, retired components *)
   stall_us : Repro_util.Histogram.t;
   mutable stall_merge1_us : float;
       (** cumulative pacing time spent in merge1 quanta, simulated µs *)
@@ -232,6 +237,14 @@ val effective_r : t -> float
 
 (** Total Bloom-filter RAM currently allocated (Appendix A overhead). *)
 val bloom_bytes : t -> int
+
+(** Lookups any Bloom filter answered "absent" for free — tree lifetime,
+    retired components included. *)
+val bloom_negative_total : t -> int
+
+(** Filter said maybe, the component read said no (the wasted page read
+    filters exist to avoid) — tree lifetime, retired included. *)
+val bloom_false_positive_total : t -> int
 
 (** Footer of each mounted on-disk component ("C1" | "C1'" | "C2"),
     newest level first — extents and page layout for scrub tooling and

@@ -100,7 +100,11 @@ let mk_store ~fault_seed () =
   (store, faults)
 
 (* The crash-test tree shape: a C0 small enough that short plans push
-   data through both merge levels. *)
+   data through both merge levels. The DST trees run the V2 page format
+   (prefix-compressed keys, zone maps) and blocked Bloom filters so the
+   new read-path layout lives under the full oracle + fault battery; the
+   btree/leveldb baselines keep the seed defaults, giving mixed-format
+   coverage in every smoke run. *)
 let small_config ?(scheduler = Blsm.Config.Spring) seed =
   {
     Blsm.Config.default with
@@ -110,6 +114,8 @@ let small_config ?(scheduler = Blsm.Config.Spring) seed =
     scheduler;
     snowshovel = scheduler <> Blsm.Config.Gear;
     max_quota_per_write = 128 * 1024;
+    bloom_kind = Bloom.Blocked;
+    page_format = Sstable.Sst_format.V2;
     seed;
   }
 

@@ -8,6 +8,7 @@
 
 type t = {
   store : Pagestore.Store.t;
+  format : Sst_format.version;
   extent_pages : int;
   page_size : int;
   payload : int;
@@ -28,16 +29,22 @@ type t = {
   mutable max_key : string option;
   mutable min_lsn : int;  (* over records with a real lsn; 0 when none *)
   mutable max_lsn : int;
-  (* index under construction: first key starting in each data page *)
-  mutable index_rev : (string * int) list; (* (key, page position) *)
+  (* index under construction: first and last keys starting in each data
+     page (the latter is the V2 zone map) plus the page position *)
+  mutable index_rev : (string * int * string) list;
   mutable page_pos : int; (* position of the page under construction *)
   mutable current_page_first_key : string option;
+  mutable current_page_last_key : string;
+  (* previous key starting in the current page — the V2 prefix-compression
+     reference; "" at a restart boundary *)
+  mutable prev_key : string;
 }
 
-let create ?(extent_pages = 1024) store =
+let create ?(format = Sst_format.V1) ?(extent_pages = 1024) store =
   let page_size = Pagestore.Store.page_size store in
   {
     store;
+    format;
     extent_pages;
     page_size;
     payload = Sst_format.payload_capacity ~page_size;
@@ -59,6 +66,8 @@ let create ?(extent_pages = 1024) store =
     index_rev = [];
     page_pos = 0;
     current_page_first_key = None;
+    current_page_last_key = "";
+    prev_key = "";
   }
 
 let ensure_stream t =
@@ -88,13 +97,16 @@ let flush_page t ~upcoming_cont =
   t.pages_in_extent <- t.pages_in_extent + 1;
   t.chain <- id :: t.chain;
   (match t.current_page_first_key with
-  | Some k -> t.index_rev <- (k, t.page_pos) :: t.index_rev
+  | Some k ->
+      t.index_rev <- (k, t.page_pos, t.current_page_last_key) :: t.index_rev
   | None -> ());
   t.page_pos <- t.page_pos + 1;
   t.page_off <- Sst_format.header_bytes;
   t.n_starts <- 0;
   t.cont_len <- min upcoming_cont t.payload;
-  t.current_page_first_key <- None
+  t.current_page_first_key <- None;
+  t.current_page_last_key <- "";
+  t.prev_key <- ""
 
 (** [add t ?lsn key entry] appends one record ([lsn]: newest WAL record
     folded into it; see {!Sst_format}). Keys must be strictly
@@ -114,15 +126,28 @@ let add ?(lsn = 0) t key entry =
   (match entry with
   | Kv.Entry.Tombstone -> t.tombstone_count <- t.tombstone_count + 1
   | _ -> ());
+  (* The record starts in the current page (start a new page only if the
+     current one has no room for even one byte). Decide this before
+     encoding: V2 prefix compression is relative to the previous key of
+     the page the record actually starts in. *)
+  if t.page_off >= t.page_size then flush_page t ~upcoming_cont:0;
   let buf = Buffer.create 64 in
-  Sst_format.encode_record buf key ~lsn entry;
+  (match t.format with
+  | Sst_format.V1 -> Sst_format.encode_record buf key ~lsn entry
+  | Sst_format.V2 ->
+      (* Restart (full key) on the first record of each page and every
+         restart_interval-th start after it. *)
+      let prev =
+        if t.n_starts mod Sst_format.restart_interval = 0 then ""
+        else t.prev_key
+      in
+      Sst_format.encode_record_v2 buf ~prev key ~lsn entry);
   let record = Buffer.contents buf in
   t.data_bytes <- t.data_bytes + String.length record;
-  (* The record starts in the current page (start a new page only if the
-     current one has no room for even one byte). *)
-  if t.page_off >= t.page_size then flush_page t ~upcoming_cont:0;
   t.n_starts <- t.n_starts + 1;
   if t.current_page_first_key = None then t.current_page_first_key <- Some key;
+  t.current_page_last_key <- key;
+  t.prev_key <- key;
   let len = String.length record in
   let off = ref 0 in
   while !off < len do
@@ -142,14 +167,21 @@ let record_count t = t.record_count
 let data_bytes t = t.data_bytes
 
 (* Serialize the index as a raw byte stream packed across whole pages
-   (no record framing needed: entries are self-delimiting varints). *)
+   (no record framing needed: entries are self-delimiting varints). V1
+   entries are (first_key, pos) — bytes unchanged from the seed; V2
+   appends each page's zone map (last key starting in it). *)
 let index_blob t =
   let buf = Buffer.create 4096 in
   List.iter
-    (fun (key, pos) ->
+    (fun (key, pos, last) ->
       Repro_util.Varint.write buf (String.length key);
       Buffer.add_string buf key;
-      Repro_util.Varint.write buf pos)
+      Repro_util.Varint.write buf pos;
+      match t.format with
+      | Sst_format.V1 -> ()
+      | Sst_format.V2 ->
+          Repro_util.Varint.write buf (String.length last);
+          Buffer.add_string buf last)
     (List.rev t.index_rev);
   Buffer.contents buf
 
@@ -199,7 +231,8 @@ let finish ?(bloom_blob = "") t ~timestamp =
   in
   let footer =
     {
-      Sst_format.timestamp;
+      Sst_format.version = t.format;
+      timestamp;
       record_count = t.record_count;
       tombstone_count = t.tombstone_count;
       data_bytes = t.data_bytes;

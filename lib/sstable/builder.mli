@@ -8,9 +8,13 @@
 
 type t
 
-(** [create ?extent_pages store] starts an empty component.
-    [extent_pages] is the contiguous allocation unit (default 1024). *)
-val create : ?extent_pages:int -> Pagestore.Store.t -> t
+(** [create ?format ?extent_pages store] starts an empty component.
+    [format] selects the page/record layout (default {!Sst_format.V1},
+    the seed's bytes; [V2] prefix-compresses keys and records per-page
+    zone maps — see {!Sst_format.version}). [extent_pages] is the
+    contiguous allocation unit (default 1024). *)
+val create :
+  ?format:Sst_format.version -> ?extent_pages:int -> Pagestore.Store.t -> t
 
 (** [add t ?lsn key entry] appends one record; [lsn] (default 0) is the
     newest WAL sequence number folded into it, used by recovery to skip

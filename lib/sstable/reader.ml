@@ -10,8 +10,9 @@ type t = {
   store : Pagestore.Store.t;
   footer : Sst_format.footer;
   pages : int array;  (** page ids of the whole chain, in logical order *)
-  index_keys : string array;  (** first key starting in data page [pos] *)
-  index_pos : int array;  (** the corresponding chain positions *)
+  fence : Sst_format.Fence.t;
+      (** page-locating fence pointers in Eytzinger order (V2 fences also
+          carry per-page zone maps) *)
 }
 
 let footer t = t.footer
@@ -37,9 +38,16 @@ let pages_of_extents extents ~take =
   assert (!i = take);
   arr
 
-let parse_index blob n =
+(* Parse the index blob into the RAM fence: V1 entries are
+   (first_key, pos); V2 entries append the page zone map. *)
+let parse_index ~version blob n =
   let keys = Array.make n "" in
   let poss = Array.make n 0 in
+  let maxes =
+    match (version : Sst_format.version) with
+    | V1 -> None
+    | V2 -> Some (Array.make n "")
+  in
   let pos = ref 0 in
   for i = 0 to n - 1 do
     let klen, p = Repro_util.Varint.read blob !pos in
@@ -47,9 +55,15 @@ let parse_index blob n =
     let ppos, p = Repro_util.Varint.read blob (p + klen) in
     keys.(i) <- key;
     poss.(i) <- ppos;
-    pos := p
+    pos := p;
+    match maxes with
+    | None -> ()
+    | Some m ->
+        let mlen, p = Repro_util.Varint.read blob !pos in
+        m.(i) <- String.sub blob p mlen;
+        pos := p + mlen
   done;
-  (keys, poss)
+  Sst_format.Fence.of_sorted ?maxes ~keys ~pos:poss ()
 
 (** [open_in_ram store footer ~index] builds a reader from a freshly built
     component whose index the builder still has in RAM (the common case:
@@ -57,8 +71,8 @@ let parse_index blob n =
 let open_in_ram store (footer : Sst_format.footer) ~index =
   let take = footer.data_pages + footer.index_pages + footer.bloom_pages in
   let pages = pages_of_extents footer.extents ~take in
-  let index_keys, index_pos = parse_index index footer.index_entries in
-  { store; footer; pages; index_keys; index_pos }
+  let fence = parse_index ~version:footer.version index footer.index_entries in
+  { store; footer; pages; fence }
 
 (** [open_from_disk store footer] reopens a component after recovery,
     re-reading the index pages (charged as sequential I/O). The index
@@ -103,8 +117,8 @@ let open_from_disk store (footer : Sst_format.footer) =
       (Sst_format.Corrupt
          { what = "index blob checksum";
            page = (if footer.index_pages > 0 then pages.(footer.data_pages) else -1) });
-  let index_keys, index_pos = parse_index blob footer.index_entries in
-  { store; footer; pages; index_keys; index_pos }
+  let fence = parse_index ~version:footer.version blob footer.index_entries in
+  { store; footer; pages; fence }
 
 (** [of_meta store blob] reopens from the engine's commit-root metadata. *)
 let of_meta store blob = open_from_disk store (Sst_format.decode_footer blob)
@@ -141,20 +155,33 @@ let free t =
         { Pagestore.Region_allocator.start; length })
     t.footer.Sst_format.extents
 
-(* Rightmost index slot whose first key <= [key]; None if key precedes
-   everything. *)
-let index_floor t key =
-  let n = Array.length t.index_keys in
-  if n = 0 || String.compare key t.index_keys.(0) < 0 then None
-  else begin
-    let lo = ref 0 and hi = ref (n - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi + 1) / 2 in
-      if String.compare t.index_keys.(mid) key <= 0 then lo := mid
-      else hi := mid - 1
-    done;
-    Some !lo
-  end
+(* Rightmost fence slot whose first key <= [key]; None if key precedes
+   everything. Eytzinger descent over the RAM fence (the seed binary-
+   searched the sorted index arrays here). *)
+let index_floor t key = Sst_format.Fence.locate t.fence key
+
+(** [locate t key]: chain position of the data page a lookup for [key]
+    must consult ([None]: key precedes the table, or — V2 — the page
+    zone map already proves the key absent). Exposed for the fence
+    property tests and the perf harness. *)
+let locate t key =
+  match Sst_format.Fence.locate t.fence key with
+  | None -> None
+  | Some slot -> (
+      match Sst_format.Fence.zone_max t.fence slot with
+      | Some zmax when String.compare key zmax > 0 -> None
+      | _ -> Some (Sst_format.Fence.page_pos t.fence slot))
+
+(** [locate_linear t key] mirrors {!locate} over the linear in-order
+    fence walk — the reference the QCheck properties hold {!locate} to
+    (as {!get_linear} is to {!get}). *)
+let locate_linear t key =
+  match Sst_format.Fence.locate_linear t.fence key with
+  | None -> None
+  | Some slot -> (
+      match Sst_format.Fence.zone_max t.fence slot with
+      | Some zmax when String.compare key zmax > 0 -> None
+      | _ -> Some (Sst_format.Fence.page_pos t.fence slot))
 
 (** {1 Page byte streams} *)
 
@@ -178,6 +205,10 @@ type byte_stream = {
   mutable off : int;
   mutable limit : int;
   mutable started : bool;
+  (* V2 prefix-compression reference: key of the record decoded last.
+     Streams starting at a page head need no seed (the first start of a
+     page is always a restart); mid-page resumes seed it explicitly. *)
+  mutable prev : string;
 }
 
 let page_size t = Pagestore.Store.page_size t.store
@@ -233,7 +264,8 @@ let stream_at t ~cached pos =
     if cached then Cached { pin = None }
     else Streaming { sbuf = Bytes.create (page_size t); slast = -10 }
   in
-  { reader = t; src; bpos = pos; buf = ""; off = 0; limit = 0; started = false }
+  { reader = t; src; bpos = pos; buf = ""; off = 0; limit = 0;
+    started = false; prev = "" }
 
 exception End_of_component
 
@@ -290,9 +322,14 @@ let next_record bs =
   | 0 ->
       release bs;
       None
-  | body_len ->
+  | body_len -> (
       let body = read_string bs body_len in
-      Some (Sst_format.decode_body body)
+      match bs.reader.footer.Sst_format.version with
+      | Sst_format.V1 -> Some (Sst_format.decode_body body)
+      | Sst_format.V2 ->
+          let ((k, _, _) as r) = Sst_format.decode_body_v2 ~prev:bs.prev body in
+          bs.prev <- k;
+          Some r)
 
 (** {1 Iterators} *)
 
@@ -310,7 +347,20 @@ let make_iter t ~cached ?from () =
       | Some key -> (
           match index_floor t key with
           | None -> (Some 0, None) (* key precedes component: start at 0 *)
-          | Some slot -> (Some t.index_pos.(slot), Some key))
+          | Some slot -> (
+              match Sst_format.Fence.zone_max t.fence slot with
+              | Some zmax when String.compare key zmax > 0 -> (
+                  (* Zone-map skip: every record starting in the floor
+                     page precedes [key], so begin at the next fenced
+                     page — whose first key is > [key] by the floor
+                     property, so no record-skip loop is needed either.
+                     The floor page's platter bytes are never read. *)
+                  match Sst_format.Fence.succ_slot t.fence slot with
+                  | None -> (None, None) (* key past the whole table *)
+                  | Some s ->
+                      (Some (Sst_format.Fence.page_pos t.fence s), None))
+              | _ ->
+                  (Some (Sst_format.Fence.page_pos t.fence slot), Some key)))
     in
     match start_pos with
     | None -> { stream = None; pending = None }
@@ -398,17 +448,18 @@ let cmp_key_at s pos len key =
    [Unreadable]: its record spills past the page end before the key does. *)
 type probe = Cmp of int | Unreadable
 
-(* What the in-page search concluded. [Resume off] means the linear scan
+(* What the in-page search concluded. [Resume] means the linear scan
    must take over at payload offset [off]: the record there (or its
    successors) needs bytes from later pages. Settling those cases in any
    other way would touch a different set of pages than the seed's linear
    decode — the restart search must leave the simulated-I/O accounting
    byte-identical, so every page-crossing case defers to the same loop
-   the seed ran. *)
+   the seed ran. [prev] seeds the resumed stream's prefix-compression
+   reference ("" under V1, which stores full keys). *)
 type page_verdict =
   | Found of Kv.Entry.t * int
   | Absent
-  | Resume of int
+  | Resume of { off : int; prev : string }
 
 let probe_key s psz start key =
   match Repro_util.Varint.read s start with
@@ -464,33 +515,146 @@ let search_page page starts key =
     done;
     let i = !lo in
     match probe_key s psz starts.(i) key with
-    | Unreadable -> Resume starts.(i)
+    | Unreadable -> Resume { off = starts.(i); prev = "" }
     | Cmp 0 ->
         if complete_at s psz starts.(i) then
           let e, lsn = decode_at s starts.(i) in
           Found (e, lsn)
-        else Resume starts.(i)
+        else Resume { off = starts.(i); prev = "" }
     | Cmp c when c < 0 ->
         (* All readable keys up to [i] are < key. The linear scan stops at
            record [i+1] if it exists, is whole, and its key settles the
            question; otherwise it crossed into later pages. *)
-        if i + 1 >= n then Resume starts.(i)
+        if i + 1 >= n then Resume { off = starts.(i); prev = "" }
         else if
           complete_at s psz starts.(i + 1)
           && probe_key s psz starts.(i + 1) key <> Unreadable
         then Absent
-        else Resume starts.(i + 1)
+        else Resume { off = starts.(i + 1); prev = "" }
     | Cmp _ ->
         (* key < first restart: the linear scan stops at record 0 — whole
            in this page, or it crossed. *)
-        if complete_at s psz starts.(0) then Absent else Resume starts.(0)
+        if complete_at s psz starts.(0) then Absent
+        else Resume { off = starts.(0); prev = "" }
+  end
+
+(* Compare the composite key prev[0,shared) ++ s[pos, pos+suffix_len)
+   against [key] without materializing it (the V2 walk's hot loop). *)
+let cmp_composite prev shared s pos suffix_len key =
+  let klen = String.length key in
+  let total = shared + suffix_len in
+  let n = if total < klen then total else klen in
+  let rec go i =
+    if i = n then Int.compare total klen
+    else
+      let ci =
+        if i < shared then String.unsafe_get prev i
+        else String.unsafe_get s (pos + i - shared)
+      in
+      let c = Char.compare ci (String.unsafe_get key i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* V2 in-page search: binary-search the restart points (every
+   restart_interval-th start stores its full key, the first always),
+   then forward-decode within one interval, reconstructing keys from
+   shared prefixes. Unlike the V1 search there is no legacy I/O budget
+   to match — a question settled by in-page bytes is answered in-page;
+   only records whose key or entry bytes genuinely spill past the page
+   end defer to the resumed stream, carrying the reconstruction
+   reference in [prev]. *)
+let search_page_v2 page starts key =
+  let s = Bytes.unsafe_to_string page in
+  let psz = String.length s in
+  let n = Array.length starts in
+  if n = 0 then Absent
+  else begin
+    let interval = Sst_format.restart_interval in
+    (* (suffix offset, length) of the restart record r's full key
+       ([shared = 0]); None when the bytes run past the page end. *)
+    let restart_key r =
+      let start = starts.(r * interval) in
+      match Repro_util.Varint.read s start with
+      | exception Invalid_argument _ -> None
+      | _body_len, p -> (
+          match Repro_util.Varint.read s p with
+          | exception Invalid_argument _ -> None
+          | _shared, p -> (
+              match Repro_util.Varint.read s p with
+              | exception Invalid_argument _ -> None
+              | suffix_len, p ->
+                  if p + suffix_len > psz then None else Some (p, suffix_len)))
+    in
+    let nr = (n + interval - 1) / interval in
+    let probe_restart r =
+      match restart_key r with
+      | None -> 1 (* sorts high; settled by the walk's Resume *)
+      | Some (kp, klen) -> cmp_key_at s kp klen key
+    in
+    let lo = ref 0 and hi = ref (nr - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if probe_restart mid <= 0 then lo := mid else hi := mid - 1
+    done;
+    if
+      !lo = 0
+      && (match restart_key 0 with
+         | None -> false (* spills past the page: the walk must Resume *)
+         | Some (kp, klen) -> cmp_key_at s kp klen key > 0)
+    then
+      (* key precedes the page's first key: readable and > key. *)
+      Absent
+    else begin
+      (* Forward walk from the chosen restart. It self-terminates: the
+         next restart's key is > [key] (binary-search invariant), and
+         past the last start every later key lives in a later fenced
+         page whose first key is > [key] (floor property). *)
+      let rec walk i prev =
+        if i >= n then Absent
+        else begin
+          let start = starts.(i) in
+          match Repro_util.Varint.read s start with
+          | exception Invalid_argument _ -> Resume { off = start; prev }
+          | body_len, p -> (
+              let body_end = p + body_len in
+              match Repro_util.Varint.read s p with
+              | exception Invalid_argument _ -> Resume { off = start; prev }
+              | shared, p -> (
+                  match Repro_util.Varint.read s p with
+                  | exception Invalid_argument _ -> Resume { off = start; prev }
+                  | suffix_len, p ->
+                      if p + suffix_len > psz then Resume { off = start; prev }
+                      else
+                        let c = cmp_composite prev shared s p suffix_len key in
+                        if c > 0 then Absent
+                        else if c = 0 then begin
+                          if body_end <= psz then
+                            let lsn, lp =
+                              Repro_util.Varint.read s (p + suffix_len)
+                            in
+                            let entry, _ = Kv.Entry.decode s lp in
+                            Found (entry, lsn)
+                          else Resume { off = start; prev }
+                        end
+                        else begin
+                          let b = Bytes.create (shared + suffix_len) in
+                          Bytes.blit_string prev 0 b 0 shared;
+                          Bytes.blit_string s p b shared suffix_len;
+                          walk (i + 1) (Bytes.unsafe_to_string b)
+                        end))
+        end
+      in
+      walk (!lo * interval) ""
+    end
   end
 
 (* Continue the seed's linear find loop at payload offset [off] of chain
    position [pos]: decode records (pulling continuation pages through the
    pool as sequential accesses, exactly as the seed charged them) until
-   the key matches or passes by. *)
-let linear_from t pos off key =
+   the key matches or passes by. [prev] seeds the V2 prefix-compression
+   reference ("" under V1). *)
+let linear_from t pos off ~prev key =
   let bs = stream_at t ~cached:true pos in
   Fun.protect
     ~finally:(fun () -> release bs)
@@ -499,6 +663,7 @@ let linear_from t pos off key =
       | exception End_of_component -> None
       | () ->
           bs.off <- off;
+          bs.prev <- prev;
           let rec find () =
             match next_record bs with
             | None -> None
@@ -519,23 +684,29 @@ let get_with_lsn t key =
     || String.compare key t.footer.Sst_format.max_key > 0
   then None
   else
-    match index_floor t key with
+    (* [locate] folds in the V2 zone-map check: a key past the floor
+       page's last starting key is reported absent with zero I/O. *)
+    match locate t key with
     | None -> None
-    | Some slot ->
-        let pos = t.index_pos.(slot) in
+    | Some pos ->
         let id = t.pages.(pos) in
+        let search =
+          match t.footer.Sst_format.version with
+          | Sst_format.V1 -> search_page
+          | Sst_format.V2 -> search_page_v2
+        in
         let verdict =
           Pagestore.Store.with_page_starts t.store id ~seq:false
             ~verify:(fun b -> Sst_format.verify_page_bytes b ~page:id)
             ~derive:Sst_format.record_starts
-            (fun page starts -> search_page page starts key)
+            (fun page starts -> search page starts key)
         in
         (* Resolve page-crossing cases outside the pinned-page callback so
            the lookup never stacks pins (tiny pools stay workable). *)
         (match verdict with
         | Found (e, lsn) -> Some (e, lsn)
         | Absent -> None
-        | Resume off -> linear_from t pos off key)
+        | Resume { off; prev } -> linear_from t pos off ~prev key)
 
 (** [get_linear_with_lsn t key] is the seed's linear lookup — decode
     records from the page's first restart until the key passes by. Kept
@@ -548,10 +719,10 @@ let get_linear_with_lsn t key =
     || String.compare key t.footer.Sst_format.max_key > 0
   then None
   else
-    match index_floor t key with
+    match locate_linear t key with
     | None -> None
-    | Some slot ->
-        let bs = stream_at t ~cached:true t.index_pos.(slot) in
+    | Some pos ->
+        let bs = stream_at t ~cached:true pos in
         Fun.protect
           ~finally:(fun () -> release bs)
           (fun () ->

@@ -122,6 +122,36 @@ let record_starts b =
   done;
   starts
 
+(** {1 Format versions}
+
+    [V1] is the seed's layout: every record body carries its full key.
+    [V2] prefix-compresses keys within a page (LevelDB-style): a body is
+    [varint shared][varint suffix_len][suffix][varint lsn][entry], where
+    [shared] counts bytes reused from the previous record's key. Every
+    {!restart_interval}-th record starting in a page — and always the
+    first — is a restart ([shared = 0]), so the reader can binary-search
+    restarts and only forward-decode within one interval. The outer
+    [varint body_len][body] framing is identical in both versions, so
+    {!record_starts}, page spill, and CRC handling are version-blind.
+    V2 components are stamped with the "SST2" footer magic; V1 bytes are
+    unchanged, so existing components reopen as before. *)
+type version = V1 | V2
+
+(** Every [restart_interval]-th record starting in a page stores its full
+    key (a restart point); the 15 in between store only their suffix. *)
+let restart_interval = 16
+
+(** Length of the longest common prefix of [a] and [b]. *)
+let shared_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let i = ref 0 in
+  while
+    !i < n && Char.equal (String.unsafe_get a !i) (String.unsafe_get b !i)
+  do
+    incr i
+  done;
+  !i
+
 (** [encode_record buf key ~lsn entry] appends one framed record. *)
 let encode_record buf key ~lsn entry =
   let body = Buffer.create (String.length key + 16) in
@@ -140,6 +170,160 @@ let decode_body s =
   let entry, _ = Kv.Entry.decode s pos in
   (key, entry, lsn)
 
+(** [encode_record_v2 buf ~prev key ~lsn entry] appends one framed V2
+    record. [prev] is the key of the previous record starting in the same
+    page — pass [""] to force a restart (full key stored). *)
+let encode_record_v2 buf ~prev key ~lsn entry =
+  let shared = shared_prefix_len prev key in
+  let body = Buffer.create (String.length key + 16) in
+  Repro_util.Varint.write body shared;
+  Repro_util.Varint.write body (String.length key - shared);
+  Buffer.add_substring body key shared (String.length key - shared);
+  Repro_util.Varint.write body lsn;
+  Kv.Entry.encode body entry;
+  Repro_util.Varint.write buf (Buffer.length body);
+  Buffer.add_buffer buf body
+
+(** [decode_body_v2 ~prev s] parses a V2 record body, reconstructing the
+    key from [prev]'s first [shared] bytes plus the stored suffix. *)
+let decode_body_v2 ~prev s =
+  let shared, pos = Repro_util.Varint.read s 0 in
+  let suffix_len, pos = Repro_util.Varint.read s pos in
+  let key =
+    if shared = 0 then String.sub s pos suffix_len
+    else begin
+      if shared > String.length prev then
+        raise (Corrupt { what = "shared prefix exceeds previous key"; page = -1 });
+      let b = Bytes.create (shared + suffix_len) in
+      Bytes.blit_string prev 0 b 0 shared;
+      Bytes.blit_string s pos b shared suffix_len;
+      Bytes.unsafe_to_string b
+    end
+  in
+  let lsn, pos = Repro_util.Varint.read s (pos + suffix_len) in
+  let entry, _ = Kv.Entry.decode s pos in
+  (key, entry, lsn)
+
+(** {1 Fence pointers}
+
+    The per-table page index (first key starting in each data page, plus
+    — for V2 — the last key starting in it, the page's zone map) held in
+    RAM in Eytzinger (BFS) order: slot 1 is the median, slots [2k]/[2k+1]
+    its children. The floor search then touches a root-to-leaf path whose
+    prefix is shared by every lookup (top of the array stays in cache)
+    and whose branch direction feeds straight into the next index —
+    branch-predictable where sorted-order binary search is not. The
+    linear in-order walk {!Fence.locate_linear} is kept as the reference
+    the QCheck properties hold {!Fence.locate} to. *)
+module Fence = struct
+  type t = {
+    keys : string array;  (** 1-indexed Eytzinger order; slot 0 unused *)
+    pos : int array;  (** chain position of the slot's data page *)
+    maxes : string array;  (** zone maps ([[||]] when absent: V1) *)
+    n : int;
+  }
+
+  let length t = t.n
+  let key t slot = t.keys.(slot)
+  let page_pos t slot = t.pos.(slot)
+  let has_zone_maps t = Array.length t.maxes > 0
+
+  (** Zone map: the largest key of any record starting in the slot's
+      page. [None] when the format carries no zone maps (V1). *)
+  let zone_max t slot =
+    if Array.length t.maxes = 0 then None else Some t.maxes.(slot)
+
+  (** [of_sorted ?maxes ~keys ~pos ()] lays the sorted index out in
+      Eytzinger order (in-order traversal of the implicit tree visits
+      slots in sorted key order). *)
+  let of_sorted ?maxes ~keys ~pos () =
+    let n = Array.length keys in
+    let ekeys = Array.make (n + 1) "" in
+    let epos = Array.make (n + 1) 0 in
+    let emax =
+      match maxes with Some _ -> Array.make (n + 1) "" | None -> [||]
+    in
+    let rec fill k j =
+      if k > n then j
+      else begin
+        let j = fill (2 * k) j in
+        ekeys.(k) <- keys.(j);
+        epos.(k) <- pos.(j);
+        (match maxes with Some m -> emax.(k) <- m.(j) | None -> ());
+        fill ((2 * k) + 1) (j + 1)
+      end
+    in
+    ignore (fill 1 0 : int);
+    { keys = ekeys; pos = epos; maxes = emax; n }
+
+    (** Smallest slot in key order (the leftmost tree node). *)
+  let first_slot t =
+    if t.n = 0 then None
+    else begin
+      let j = ref 1 in
+      while 2 * !j <= t.n do
+        j := 2 * !j
+      done;
+      Some !j
+    end
+
+  (** In-order successor of [slot] ([None] at the maximum): right child's
+      leftmost descendant, else the first ancestor entered from a left
+      child. *)
+  let succ_slot t slot =
+    if (2 * slot) + 1 <= t.n then begin
+      let j = ref ((2 * slot) + 1) in
+      while 2 * !j <= t.n do
+        j := 2 * !j
+      done;
+      Some !j
+    end
+    else begin
+      let k = ref slot in
+      while !k land 1 = 1 do
+        k := !k lsr 1
+      done;
+      let p = !k lsr 1 in
+      if p = 0 then None else Some p
+    end
+
+  (** [locate t key]: the slot of the rightmost fence key [<= key]
+      ([None] if [key] precedes every fence key). Branch-free Eytzinger
+      descent: each comparison appends one path bit; at the bottom, the
+      floor is the node where the path last turned right — recovered by
+      stripping the trailing left-turn zeros and that final one bit. *)
+  let locate t key =
+    if t.n = 0 then None
+    else begin
+      let k = ref 1 in
+      while !k <= t.n do
+        k :=
+          (2 * !k)
+          + (if String.compare (Array.unsafe_get t.keys !k) key <= 0 then 1
+             else 0)
+      done;
+      let j = ref !k in
+      while !j land 1 = 0 do
+        j := !j lsr 1
+      done;
+      let j = !j lsr 1 in
+      if j = 0 then None else Some j
+    end
+
+  (** Reference implementation of {!locate}: walk slots in key order,
+      keeping the last one whose key is [<= key]. The QCheck oracle. *)
+  let locate_linear t key =
+    let rec go slot best =
+      match slot with
+      | None -> best
+      | Some s ->
+          if String.compare t.keys.(s) key <= 0 then
+            go (succ_slot t s) (Some s)
+          else best
+    in
+    go (first_slot t) None
+end
+
 (** {1 Footer}
 
     The footer describes the component: logical timestamp, record count,
@@ -148,6 +332,7 @@ let decode_body s =
     their commit root, sealed by a trailing CRC32C of its own. *)
 
 type footer = {
+  version : version;  (** page/record layout; encoded as the magic *)
   timestamp : int;  (** logical timestamp, bumped per merge (§4.4.1) *)
   record_count : int;
   tombstone_count : int;
@@ -171,7 +356,9 @@ type footer = {
 
 let encode_footer f =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "SSTF";
+  (* The layout version rides in the magic: V1 footers stay byte-identical
+     to the seed's, so pre-existing components reopen unchanged. *)
+  Buffer.add_string buf (match f.version with V1 -> "SSTF" | V2 -> "SST2");
   let w = Repro_util.Varint.write buf in
   w f.timestamp;
   w f.record_count;
@@ -202,8 +389,15 @@ let encode_footer f =
   Buffer.contents buf
 
 let decode_footer s =
-  if String.length s < 4 || not (String.equal (String.sub s 0 4) "SSTF") then
-    raise (Corrupt { what = "footer magic"; page = -1 });
+  let version =
+    if String.length s < 4 then
+      raise (Corrupt { what = "footer magic"; page = -1 })
+    else
+      match String.sub s 0 4 with
+      | "SSTF" -> V1
+      | "SST2" -> V2
+      | _ -> raise (Corrupt { what = "footer magic"; page = -1 })
+  in
   let pos = ref 4 in
   let r () =
     let v, p = Repro_util.Varint.read s !pos in
@@ -246,9 +440,10 @@ let decode_footer s =
     let bloom_crc = r () in
     let body_end = !pos in
     let stored_crc = r () in
-    ( { timestamp; record_count; tombstone_count; data_bytes; min_lsn; max_lsn;
-        min_key; max_key; extents; data_pages; index_pages; index_entries;
-        index_bytes; index_crc; bloom_pages; bloom_bytes; bloom_crc },
+    ( { version; timestamp; record_count; tombstone_count; data_bytes;
+        min_lsn; max_lsn; min_key; max_key; extents; data_pages; index_pages;
+        index_entries; index_bytes; index_crc; bloom_pages; bloom_bytes;
+        bloom_crc },
       body_end, stored_crc )
   with
   | footer, body_end, stored_crc ->

@@ -38,16 +38,87 @@ val verify_page_bytes : Bytes.t -> page:int -> unit
     final offset may belong to a record spilling past the page end. *)
 val record_starts : Bytes.t -> int array
 
+(** Page/record layout version. [V1]: full key per record (the seed's
+    format, bytes unchanged). [V2]: keys prefix-compressed within a page
+    (restart points every {!restart_interval} records) and a per-page
+    zone map (last key starting in the page) in the index; stamped with
+    the "SST2" footer magic. The outer record framing is identical, so
+    {!record_starts} and spill handling are version-blind. *)
+type version = V1 | V2
+
+(** Every [restart_interval]-th record starting in a V2 page stores its
+    full key; the ones between store only a suffix. *)
+val restart_interval : int
+
+(** Length of the longest common prefix. *)
+val shared_prefix_len : string -> string -> int
+
 (** [encode_record buf key ~lsn entry] appends one framed record. *)
 val encode_record : Buffer.t -> string -> lsn:int -> Kv.Entry.t -> unit
 
 (** [decode_body s] parses a record body: [(key, entry, lsn)]. *)
 val decode_body : string -> string * Kv.Entry.t * int
 
+(** [encode_record_v2 buf ~prev key ~lsn entry] appends one framed V2
+    record; [prev] is the previous key starting in the same page ([""]
+    forces a restart). *)
+val encode_record_v2 :
+  Buffer.t -> prev:string -> string -> lsn:int -> Kv.Entry.t -> unit
+
+(** [decode_body_v2 ~prev s] parses a V2 body, reconstructing the key
+    from [prev]'s shared prefix plus the stored suffix. Raises
+    {!Corrupt} if the shared length exceeds [prev] (rotted varint). *)
+val decode_body_v2 : prev:string -> string -> string * Kv.Entry.t * int
+
+(** Per-table fence pointers: the page index in RAM, laid out in
+    Eytzinger (BFS) order so the page-locating floor search walks a
+    cache-resident, branch-predictable root-to-leaf path. Slots are
+    1-indexed Eytzinger positions; in-order traversal visits them in
+    sorted key order. *)
+module Fence : sig
+  type t
+
+  (** [of_sorted ?maxes ~keys ~pos ()] builds the fence from the sorted
+      index arrays (first key starting in each page, its chain position,
+      and optionally the page zone maps). *)
+  val of_sorted :
+    ?maxes:string array -> keys:string array -> pos:int array -> unit -> t
+
+  (** Number of fenced pages. *)
+  val length : t -> int
+
+  (** First key starting in the slot's page. *)
+  val key : t -> int -> string
+
+  (** Chain position of the slot's data page. *)
+  val page_pos : t -> int -> int
+
+  (** Largest key starting in the slot's page; [None] when the format
+      carries no zone maps (V1). *)
+  val zone_max : t -> int -> string option
+
+  val has_zone_maps : t -> bool
+
+  (** Slot of the rightmost fence key [<= key] ([None]: key precedes the
+      table). Branch-free Eytzinger descent. *)
+  val locate : t -> string -> int option
+
+  (** Reference linear in-order walk — the QCheck oracle {!locate} is
+      held to. *)
+  val locate_linear : t -> string -> int option
+
+  (** Smallest slot in key order. *)
+  val first_slot : t -> int option
+
+  (** In-order successor slot ([None] at the maximum). *)
+  val succ_slot : t -> int -> int option
+end
+
 (** Component descriptor: logical timestamp (§4.4.1), counts, LSN range,
     extents, index location, blob checksums. Doubles as the commit-root
     metadata blob; sealed by a trailing CRC of its own. *)
 type footer = {
+  version : version;  (** layout version, encoded as the footer magic *)
   timestamp : int;
   record_count : int;
   tombstone_count : int;

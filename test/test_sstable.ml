@@ -16,8 +16,9 @@ let mk_store ?(buffer_pages = 64) ?(page_size = 256) () =
       }
     Simdisk.Profile.hdd_raid0
 
-let build store ?(extent_pages = 8) ?(timestamp = 1) records =
-  let b = Sstable.Builder.create ~extent_pages store in
+let build store ?(format = Sstable.Sst_format.V1) ?(extent_pages = 8)
+    ?(timestamp = 1) records =
+  let b = Sstable.Builder.create ~format ~extent_pages store in
   List.iter (fun (k, e) -> Sstable.Builder.add b k e) records;
   let footer = Sstable.Builder.finish b ~timestamp in
   let index = Sstable.Builder.index_blob b in
@@ -310,12 +311,13 @@ let test_tiny_pool_pin_release () =
     Sstable.Reader.iter_close it (* idempotent *)
   done
 
-let prop_restart_get_equals_linear =
-  (* The restart-point binary search must be observationally identical to
-     the seed's linear decode — for present keys, absent keys between
-     records, and keys off both ends — across record mixes that exercise
-     page spills (128-byte pages, values up to 300 bytes). *)
-  QCheck.Test.make ~name:"restart get = linear get" ~count:60
+let mk_prop_get_equals_linear ~name ~format =
+  (* The indexed search (restart binary search in V1, restart search plus
+     prefix reconstruction and zone maps in V2) must be observationally
+     identical to the seed's linear decode — for present keys, absent keys
+     between records, and keys off both ends — across record mixes that
+     exercise page spills (128-byte pages, values up to 300 bytes). *)
+  QCheck.Test.make ~name ~count:60
     QCheck.(
       pair
         (list_of_size Gen.(1 -- 100) (pair (int_range 0 9999) (int_range 0 300)))
@@ -333,11 +335,12 @@ let prop_restart_get_equals_linear =
       in
       let records = M.bindings m in
       let store = mk_store ~page_size:128 () in
-      let sst = build store ~extent_pages:4 records in
+      let sst = build store ~format ~extent_pages:4 records in
       let agree key =
         Sstable.Reader.get sst key = Sstable.Reader.get_linear sst key
         && Sstable.Reader.get_with_lsn sst key
            = Sstable.Reader.get_linear_with_lsn sst key
+        && Sstable.Reader.locate sst key = Sstable.Reader.locate_linear sst key
       in
       List.for_all (fun (k, _) -> agree k) records
       && List.for_all
@@ -348,8 +351,12 @@ let prop_restart_get_equals_linear =
            probes
       && agree "" && agree "zzz")
 
-let prop_roundtrip =
-  QCheck.Test.make ~name:"sstable build/iterate roundtrip" ~count:60
+let prop_restart_get_equals_linear =
+  mk_prop_get_equals_linear ~name:"restart get = linear get"
+    ~format:Sstable.Sst_format.V1
+
+let mk_prop_roundtrip ~name ~format =
+  QCheck.Test.make ~name ~count:60
     QCheck.(
       list_of_size
         Gen.(1 -- 100)
@@ -364,12 +371,240 @@ let prop_roundtrip =
       in
       let records = M.bindings m in
       let store = mk_store ~page_size:128 () in
-      let sst = build store ~extent_pages:4 records in
+      let sst = build store ~format ~extent_pages:4 records in
       let out = records_of_iter (Sstable.Reader.iterator sst) in
       out = records
       && List.for_all
            (fun (k, e) -> Sstable.Reader.get sst k = Some e)
            records)
+
+let prop_roundtrip =
+  mk_prop_roundtrip ~name:"sstable build/iterate roundtrip"
+    ~format:Sstable.Sst_format.V1
+
+(* ------------------------------------------------------------------ *)
+(* V2 pages: prefix compression, zone maps, Eytzinger fence pointers *)
+
+let v2 = Sstable.Sst_format.V2
+
+let prop_v2_get_equals_linear =
+  mk_prop_get_equals_linear ~name:"v2 get = linear get" ~format:v2
+
+let prop_v2_roundtrip = mk_prop_roundtrip ~name:"v2 build/iterate roundtrip" ~format:v2
+
+let prop_fence_locate_equals_linear =
+  (* The branch-free Eytzinger descent must agree with the in-order
+     linear walk on every probe, and the slot traversal must reproduce
+     the sorted input — including the empty fence. *)
+  QCheck.Test.make ~name:"fence locate = locate_linear" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 80) (int_range 0 999))
+        (list_of_size Gen.(1 -- 30) (int_range 0 999)))
+    (fun (ks, probes) ->
+      let module S = Set.Make (String) in
+      let keys =
+        Array.of_list
+          (S.elements (S.of_list (List.map (Printf.sprintf "k%03d") ks)))
+      in
+      let pos = Array.mapi (fun i _ -> i * 3) keys in
+      let f = Sstable.Sst_format.Fence.of_sorted ~keys ~pos () in
+      let open Sstable.Sst_format.Fence in
+      let agree k = locate f k = locate_linear f k in
+      let rec walk acc = function
+        | None -> List.rev acc
+        | Some s -> walk (key f s :: acc) (succ_slot f s)
+      in
+      walk [] (first_slot f) = Array.to_list keys
+      && Array.for_all agree keys
+      && List.for_all
+           (fun p ->
+             agree (Printf.sprintf "k%03d" p) && agree (Printf.sprintf "k%03dq" p))
+           probes
+      && agree "" && agree "zzzz")
+
+let read_varint s off =
+  let rec go off shift acc =
+    let b = Char.code s.[off] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b >= 0x80 then go (off + 1) (shift + 7) acc else (acc, off + 1)
+  in
+  go off 0 0
+
+let v2_roundtrip_one ~prev key entry lsn =
+  let buf = Buffer.create 64 in
+  Sstable.Sst_format.encode_record_v2 buf ~prev key ~lsn entry;
+  let s = Buffer.contents buf in
+  let body_len, off = read_varint s 0 in
+  if off + body_len <> String.length s then failwith "framing length mismatch";
+  Sstable.Sst_format.decode_body_v2 ~prev (String.sub s off body_len)
+
+let prop_v2_body_roundtrip =
+  (* encode_record_v2/decode_body_v2 over a tiny alphabet so shared
+     prefixes of every length (0 .. full key) occur, empty strings
+     included. *)
+  let gen =
+    QCheck.Gen.(
+      let k = string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (0 -- 10) in
+      quad k k (0 -- 60) (0 -- 5000))
+  in
+  QCheck.Test.make ~name:"v2 body roundtrip (prefix compression)" ~count:400
+    (QCheck.make gen)
+    (fun (prev, key, vlen, lsn) ->
+      let entry =
+        if vlen = 0 then Kv.Entry.Tombstone else Kv.Entry.Base (String.make vlen 'v')
+      in
+      v2_roundtrip_one ~prev key entry lsn = (key, entry, lsn))
+
+let test_v2_prefix_edge_cases () =
+  let rt ~prev key entry lsn =
+    let k', e', l' = v2_roundtrip_one ~prev key entry lsn in
+    check Alcotest.string "key" key k';
+    check entry_testable "entry" entry e';
+    check Alcotest.int "lsn" lsn l'
+  in
+  rt ~prev:"" "" Kv.Entry.Tombstone 0;
+  rt ~prev:"" "key0000" (Kv.Entry.Base "v") 1;
+  (* shared prefix equals the whole key: suffix is empty *)
+  rt ~prev:"key0042" "key0042" (Kv.Entry.Base "x") 7;
+  rt ~prev:"key0042" "key0042x" (Kv.Entry.Base "y") 8;
+  (* key is a proper prefix of prev *)
+  rt ~prev:"key0042x" "key0099" (Kv.Entry.Delta [ "d" ]) 9;
+  rt ~prev:"abc" "abd" (Kv.Entry.Base "") 0;
+  (* a rotted shared-length varint (> |prev|) must raise, not fabricate *)
+  let buf = Buffer.create 16 in
+  Sstable.Sst_format.encode_record_v2 buf ~prev:"abcdef" "abcdefg" ~lsn:0
+    (Kv.Entry.Base "v");
+  let s = Buffer.contents buf in
+  let body_len, off = read_varint s 0 in
+  match Sstable.Sst_format.decode_body_v2 ~prev:"ab" (String.sub s off body_len) with
+  | exception Sstable.Sst_format.Corrupt _ -> ()
+  | _ -> Alcotest.fail "oversized shared length not detected"
+
+let test_v2_build_and_get () =
+  let store = mk_store () in
+  let records =
+    List.init 100 (fun i ->
+        (Printf.sprintf "key%04d" i, Kv.Entry.Base (Printf.sprintf "val%d" i)))
+  in
+  let sst = build store ~format:v2 records in
+  check Alcotest.int "record count" 100 (Sstable.Reader.record_count sst);
+  List.iter
+    (fun (k, e) ->
+      check (Alcotest.option entry_testable) k (Some e) (Sstable.Reader.get sst k))
+    records;
+  check (Alcotest.option entry_testable) "absent" None (Sstable.Reader.get sst "key5000");
+  check (Alcotest.option entry_testable) "below range" None (Sstable.Reader.get sst "aaa");
+  check (Alcotest.option entry_testable) "between keys" None
+    (Sstable.Reader.get sst "key0042x")
+
+let test_v2_spanning_pages () =
+  (* 256-byte pages, 1000-byte values: every record spans ~4 pages, so
+     prefix chains restart across spills *)
+  let store = mk_store ~page_size:256 () in
+  let records =
+    List.init 20 (fun i ->
+        (Printf.sprintf "key%02d" i, Kv.Entry.Base (String.make 1000 (Char.chr (65 + i)))))
+  in
+  let sst = build store ~format:v2 records in
+  List.iter
+    (fun (k, e) ->
+      check (Alcotest.option entry_testable) k (Some e) (Sstable.Reader.get sst k))
+    records;
+  check Alcotest.int "iteration count" 20
+    (List.length (records_of_iter (Sstable.Reader.iterator sst)))
+
+let test_v2_iteration_from () =
+  let store = mk_store () in
+  let records = List.init 50 (fun i -> (Printf.sprintf "k%03d" i, Kv.Entry.Base "v")) in
+  let sst = build store ~format:v2 records in
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"k025" sst) in
+  check Alcotest.int "25 remaining" 25 (List.length out);
+  check Alcotest.string "starts at k025" "k025" (fst (List.hd out));
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"k025x" sst) in
+  check Alcotest.string "next key" "k026" (fst (List.hd out));
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"a" sst) in
+  check Alcotest.int "everything" 50 (List.length out);
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"z" sst) in
+  check Alcotest.int "nothing" 0 (List.length out)
+
+let test_v2_reopen_from_meta () =
+  let store = mk_store () in
+  let records =
+    List.init 200 (fun i -> (Printf.sprintf "key%05d" i, Kv.Entry.Base (String.make 50 'v')))
+  in
+  let sst = build store ~format:v2 records in
+  let blob = Sstable.Reader.meta_blob sst in
+  Pagestore.Store.crash store;
+  let sst' = Sstable.Reader.of_meta store blob in
+  let f = Sstable.Reader.footer sst' in
+  check Alcotest.bool "SST2 magic survives reopen" true
+    (f.Sstable.Sst_format.version = v2);
+  check Alcotest.int "count preserved" 200 (Sstable.Reader.record_count sst');
+  List.iter
+    (fun (k, e) ->
+      check (Alcotest.option entry_testable) k (Some e) (Sstable.Reader.get sst' k))
+    records
+
+let read_bytes_of d =
+  d.Simdisk.Disk.seq_read_bytes + d.Simdisk.Disk.random_read_bytes
+
+let test_v2_zone_map_miss_zero_io () =
+  (* A point miss whose key sorts after its floor page's zone max is
+     answered from the in-RAM fence alone: no page read even cold. *)
+  let store = mk_store ~page_size:256 ~buffer_pages:4 () in
+  let records =
+    List.init 200 (fun i ->
+        (Printf.sprintf "key%04d" (i * 2), Kv.Entry.Base (String.make 40 'v')))
+  in
+  let sst = build store ~format:v2 records in
+  let rejected =
+    List.filter_map
+      (fun (k, _) ->
+        let p = k ^ "!" in
+        match Sstable.Reader.locate sst p with None -> Some p | Some _ -> None)
+      records
+  in
+  (* every page's last key generates one such probe *)
+  if List.length rejected < 3 then
+    Alcotest.failf "expected zone-rejected probes, got %d" (List.length rejected);
+  List.iter
+    (fun p ->
+      check (Alcotest.option Alcotest.int) ("linear agrees on " ^ p) None
+        (Sstable.Reader.locate_linear sst p))
+    rejected;
+  Pagestore.Store.crash store;
+  let disk = Pagestore.Store.disk store in
+  let before = Simdisk.Disk.snapshot disk in
+  List.iter
+    (fun p -> check (Alcotest.option entry_testable) p None (Sstable.Reader.get sst p))
+    rejected;
+  let d = Simdisk.Disk.diff before (Simdisk.Disk.snapshot disk) in
+  check Alcotest.int "zero bytes read" 0 (read_bytes_of d)
+
+let test_v2_scan_zone_skip_bytes () =
+  (* A tail scan must not pay for the pages the fence lets it skip:
+     cold bytes-read for the last 10 records is a small fraction of a
+     cold full scan. *)
+  let store = mk_store ~page_size:256 ~buffer_pages:4 () in
+  let records =
+    List.init 300 (fun i ->
+        (Printf.sprintf "key%04d" i, Kv.Entry.Base (String.make 60 'v')))
+  in
+  let sst = build store ~format:v2 records in
+  let disk = Pagestore.Store.disk store in
+  Pagestore.Store.crash store;
+  let before = Simdisk.Disk.snapshot disk in
+  let out = records_of_iter (Sstable.Reader.iterator ~from:"key0289x" sst) in
+  check Alcotest.int "tail records" 10 (List.length out);
+  let tail = read_bytes_of (Simdisk.Disk.diff before (Simdisk.Disk.snapshot disk)) in
+  Pagestore.Store.crash store;
+  let before = Simdisk.Disk.snapshot disk in
+  let all = records_of_iter (Sstable.Reader.iterator sst) in
+  check Alcotest.int "all records" 300 (List.length all);
+  let full = read_bytes_of (Simdisk.Disk.diff before (Simdisk.Disk.snapshot disk)) in
+  if tail * 5 > full then
+    Alcotest.failf "tail scan read %d bytes vs full scan %d" tail full
 
 (* -------------------------------------------------------------------- *)
 (* Merge iterator *)
@@ -496,6 +731,22 @@ let () =
           Alcotest.test_case "verified once" `Quick test_verified_once_semantics;
           Alcotest.test_case "tiny pool pins" `Quick test_tiny_pool_pin_release;
           QCheck_alcotest.to_alcotest prop_restart_get_equals_linear;
+        ] );
+      ( "v2",
+        [
+          Alcotest.test_case "build and get" `Quick test_v2_build_and_get;
+          Alcotest.test_case "spanning pages" `Quick test_v2_spanning_pages;
+          Alcotest.test_case "iterate from" `Quick test_v2_iteration_from;
+          Alcotest.test_case "reopen from meta" `Quick test_v2_reopen_from_meta;
+          Alcotest.test_case "prefix edge cases" `Quick test_v2_prefix_edge_cases;
+          Alcotest.test_case "zone map miss zero io" `Quick
+            test_v2_zone_map_miss_zero_io;
+          Alcotest.test_case "scan zone skip bytes" `Quick
+            test_v2_scan_zone_skip_bytes;
+          QCheck_alcotest.to_alcotest prop_fence_locate_equals_linear;
+          QCheck_alcotest.to_alcotest prop_v2_body_roundtrip;
+          QCheck_alcotest.to_alcotest prop_v2_get_equals_linear;
+          QCheck_alcotest.to_alcotest prop_v2_roundtrip;
         ] );
       ( "merge_iter",
         [
