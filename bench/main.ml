@@ -84,6 +84,9 @@ let experiments : (string * string * (opts -> unit)) list =
     ( "perf",
       "Perf regression harness: CPU kernels -> BENCH_PR2.json",
       fun o -> Perf.run o.scale );
+    ( "soak",
+      "Stability observatory: open-loop soak -> BENCH_PR8.json",
+      fun o -> Soak.run o.scale );
   ]
 
 let usage () =

@@ -26,8 +26,13 @@ let workloads =
   ]
 
 let run scale profile =
+  (* Explicitly labeled closed-loop: each worker issues the next request
+     only when the previous returns, so these numbers are subject to
+     coordinated omission — stalls pause the arrival process instead of
+     queueing behind it. `bench soak` measures the same store open-loop;
+     DESIGN.md §13 discusses the difference. *)
   Scale.section
-    (Printf.sprintf "YCSB core workloads A-F (%s, ops/sec)"
+    (Printf.sprintf "YCSB core workloads A-F (%s, closed-loop)"
        profile.Simdisk.Profile.name);
   let engines =
     [
@@ -43,31 +48,67 @@ let run scale profile =
         (name, e, ks))
       engines
   in
+  let results =
+    List.mapi
+      (fun wi (wname, mix, dist_kind) ->
+        ( wname,
+          List.map
+            (fun (_, (e : Kv.Kv_intf.engine), ks) ->
+              let dist =
+                match dist_kind with
+                | `Zipf ->
+                    Ycsb.Generator.zipfian ~seed:(50 + wi)
+                      ~n:ks.Ycsb.Runner.records ()
+                | `Latest -> Ycsb.Generator.latest ~seed:(50 + wi)
+              in
+              (* workload E is expensive: fewer ops *)
+              let ops =
+                match wname.[0] with
+                | 'E' -> max 200 (scale.Scale.ops / 8)
+                | _ -> scale.Scale.ops
+              in
+              let r =
+                Ycsb.Runner.run e ks
+                  ~label:(Printf.sprintf "%s closed-loop" wname)
+                  ~mix ~ops ~dist ~seed:(70 + wi) ()
+              in
+              e.Kv.Kv_intf.maintenance ();
+              r)
+            loaded ))
+      workloads
+  in
+  Printf.printf "closed-loop throughput (ops/sec)\n";
   Printf.printf "%-20s" "workload";
   List.iter (fun (n, _, _) -> Printf.printf " %12s" n) loaded;
   print_newline ();
-  List.iteri
-    (fun wi (wname, mix, dist_kind) ->
+  List.iter
+    (fun (wname, rs) ->
       Printf.printf "%-20s" wname;
       List.iter
-        (fun (_, (e : Kv.Kv_intf.engine), ks) ->
-          let dist =
-            match dist_kind with
-            | `Zipf ->
-                Ycsb.Generator.zipfian ~seed:(50 + wi) ~n:ks.Ycsb.Runner.records ()
-            | `Latest -> Ycsb.Generator.latest ~seed:(50 + wi)
-          in
-          (* workload E is expensive: fewer ops *)
-          let ops =
-            match wname.[0] with
-            | 'E' -> max 200 (scale.Scale.ops / 8)
-            | _ -> scale.Scale.ops
-          in
-          let r =
-            Ycsb.Runner.run e ks ~label:wname ~mix ~ops ~dist ~seed:(70 + wi) ()
-          in
-          e.Kv.Kv_intf.maintenance ();
-          Printf.printf " %12.0f" r.Ycsb.Runner.ops_per_sec)
-        loaded;
+        (fun r -> Printf.printf " %12.0f" r.Ycsb.Runner.ops_per_sec)
+        rs;
       print_newline ())
-    workloads
+    results;
+  (* Per-op latencies ride the shared Repro_util.Histogram the runner
+     fills — the same type every window/rollup in lib/obs consumes. *)
+  Printf.printf
+    "\nclosed-loop service latency, p50/p99/p99.9 us (coordinated omission \
+     applies: stalls pause arrivals here; see `bench soak` for the \
+     open-loop view)\n";
+  Printf.printf "%-20s" "workload";
+  List.iter (fun (n, _, _) -> Printf.printf " %18s" n) loaded;
+  print_newline ();
+  List.iter
+    (fun (wname, rs) ->
+      Printf.printf "%-20s" wname;
+      List.iter
+        (fun r ->
+          let h = r.Ycsb.Runner.latency in
+          Printf.printf " %18s"
+            (Printf.sprintf "%d/%d/%d"
+               (Repro_util.Histogram.percentile h 50.0)
+               (Repro_util.Histogram.percentile h 99.0)
+               (Repro_util.Histogram.percentile h 99.9)))
+        rs;
+      print_newline ())
+    results

@@ -101,6 +101,9 @@ type t = {
       (** writes raise {!Write_fenced}; replication raises the fence on
           a primary while a snapshot cursor copy is in flight *)
   mutable metrics_cache : Obs.Metrics.t option;
+  mutable stall_observer : (stall_breakdown -> unit) option;
+      (** invoked after every pacing decision with the finalized
+          attribution — stall-episode detectors hook in here *)
 }
 
 exception Write_fenced
@@ -157,6 +160,7 @@ let create ?(config = Config.default) ?(root_slot = "") store =
     in_hard_stall = false;
     write_fenced = false;
     metrics_cache = None;
+    stall_observer = None;
   }
 
 let stats t = t.stats
@@ -170,6 +174,8 @@ let last_stall t =
     sb_wal_us = t.scratch.sc_wal_us;
     sb_total_us = t.scratch.sc_total_us;
   }
+
+let on_stall t f = t.stall_observer <- Some f
 let store t = t.store
 let disk t = Pagestore.Store.disk t.store
 let config t = t.config
@@ -659,7 +665,18 @@ let before_write t ~write_bytes =
   t.stats.stall_merge1_us <- t.stats.stall_merge1_us +. sc.sc_merge1_us;
   t.stats.stall_merge2_us <- t.stats.stall_merge2_us +. sc.sc_merge2_us;
   t.stats.stall_hard_us <- t.stats.stall_hard_us +. sc.sc_hard_us;
-  Repro_util.Histogram.add t.stats.stall_us (int_of_float dt)
+  Repro_util.Histogram.add t.stats.stall_us (int_of_float dt);
+  match t.stall_observer with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          sb_merge1_us = sc.sc_merge1_us;
+          sb_merge2_us = sc.sc_merge2_us;
+          sb_hard_us = sc.sc_hard_us;
+          sb_wal_us = 0.0;
+          sb_total_us = sc.sc_total_us;
+        }
 
 (** {1 Write path} *)
 

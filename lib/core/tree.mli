@@ -91,6 +91,15 @@ val stats : t -> stats
     [put]/[delete]/[apply_delta]/[read_modify_write]/batch). *)
 val last_stall : t -> stall_breakdown
 
+(** [on_stall t f] installs [f] as the tree's stall observer: it fires
+    once per pacing decision (every write, including each operation of a
+    batch's single pacing pass), after the merge1/merge2/hard quanta are
+    finalized, with [sb_wal_us = 0] — WAL time is charged outside the
+    pacing window. Stall-episode detectors ({!Obs.Episodes}) hook in
+    here; the observer must not write to the tree. One observer at a
+    time; not carried across {!crash_and_recover}. *)
+val on_stall : t -> (stall_breakdown -> unit) -> unit
+
 (** [metrics t] is the tree's metrics registry — every [tree.*] stat
     plus the underlying store's [disk.*]/[wal.*]/[buf.*]/[faults.*]
     metrics, registered as pull-closures over the live stat records.

@@ -1,0 +1,140 @@
+type building = {
+  mutable b_start_us : float;
+  mutable b_end_us : float;
+  mutable b_ops : int;
+  mutable b_merge1_us : float;
+  mutable b_merge2_us : float;
+  mutable b_hard_us : float;
+  mutable b_total_us : float;
+}
+
+type t = {
+  gap_us : float;
+  mutable cur : building option;
+  mutable closed : building list;  (* reverse time order *)
+  mutable fed_total_us : float;
+  mutable fed_samples : int;
+}
+
+let create ?(gap_us = 10_000.0) () =
+  { gap_us; cur = None; closed = []; fed_total_us = 0.0; fed_samples = 0 }
+
+let feed t ~time_us ~merge1_us ~merge2_us ~hard_us =
+  let total = merge1_us +. merge2_us +. hard_us in
+  if total > 0.0 then begin
+    t.fed_total_us <- t.fed_total_us +. total;
+    t.fed_samples <- t.fed_samples + 1;
+    let start_us = time_us -. total in
+    let fresh () =
+      {
+        b_start_us = start_us;
+        b_end_us = time_us;
+        b_ops = 1;
+        b_merge1_us = merge1_us;
+        b_merge2_us = merge2_us;
+        b_hard_us = hard_us;
+        b_total_us = total;
+      }
+    in
+    match t.cur with
+    | Some b when start_us -. b.b_end_us <= t.gap_us ->
+        b.b_end_us <- time_us;
+        b.b_ops <- b.b_ops + 1;
+        b.b_merge1_us <- b.b_merge1_us +. merge1_us;
+        b.b_merge2_us <- b.b_merge2_us +. merge2_us;
+        b.b_hard_us <- b.b_hard_us +. hard_us;
+        b.b_total_us <- b.b_total_us +. total
+    | Some b ->
+        t.closed <- b :: t.closed;
+        t.cur <- Some (fresh ())
+    | None -> t.cur <- Some (fresh ())
+  end
+
+let fed_total_us t = t.fed_total_us
+let fed_samples t = t.fed_samples
+
+type episode = {
+  ep_start_us : float;
+  ep_end_us : float;
+  ep_ops : int;
+  ep_merge1_us : float;
+  ep_merge2_us : float;
+  ep_hard_us : float;
+  ep_total_us : float;
+  ep_label : string;
+}
+
+(* Dominant-cause label; ties resolve in severity order (hard beats
+   merge2 beats merge1) so the label is deterministic. *)
+let label_of ~merge1_us ~merge2_us ~hard_us ~total_us =
+  if total_us <= 0.0 then "mixed"
+  else
+    let half = total_us /. 2.0 in
+    if hard_us >= half then "hard"
+    else if merge2_us >= half then "merge2"
+    else if merge1_us >= half then "merge1"
+    else "mixed"
+
+let finish (b : building) =
+  {
+    ep_start_us = b.b_start_us;
+    ep_end_us = b.b_end_us;
+    ep_ops = b.b_ops;
+    ep_merge1_us = b.b_merge1_us;
+    ep_merge2_us = b.b_merge2_us;
+    ep_hard_us = b.b_hard_us;
+    ep_total_us = b.b_total_us;
+    ep_label =
+      label_of ~merge1_us:b.b_merge1_us ~merge2_us:b.b_merge2_us
+        ~hard_us:b.b_hard_us ~total_us:b.b_total_us;
+  }
+
+let episodes t =
+  let all =
+    match t.cur with Some b -> b :: t.closed | None -> t.closed
+  in
+  List.rev_map finish all
+
+let to_json eps =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"start_us\": %.3f, \"end_us\": %.3f, \"ops\": %d, \
+            \"merge1_us\": %.3f, \"merge2_us\": %.3f, \"hard_us\": %.3f, \
+            \"total_us\": %.3f, \"label\": \"%s\"}"
+           e.ep_start_us e.ep_end_us e.ep_ops e.ep_merge1_us e.ep_merge2_us
+           e.ep_hard_us e.ep_total_us e.ep_label))
+    eps;
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let to_csv eps =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "start_us,end_us,ops,merge1_us,merge2_us,hard_us,total_us,label\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.3f,%.3f,%d,%.3f,%.3f,%.3f,%.3f,%s\n" e.ep_start_us
+           e.ep_end_us e.ep_ops e.ep_merge1_us e.ep_merge2_us e.ep_hard_us
+           e.ep_total_us e.ep_label))
+    eps;
+  Buffer.contents buf
+
+let emit_counters tr t =
+  List.iter
+    (fun e ->
+      Trace.counter tr ~name:"stall" ~ts_us:e.ep_start_us
+        ~args:
+          [ ("merge1_us", Trace.F e.ep_merge1_us);
+            ("merge2_us", Trace.F e.ep_merge2_us);
+            ("hard_us", Trace.F e.ep_hard_us) ];
+      Trace.counter tr ~name:"stall" ~ts_us:e.ep_end_us
+        ~args:
+          [ ("merge1_us", Trace.F 0.0); ("merge2_us", Trace.F 0.0);
+            ("hard_us", Trace.F 0.0) ])
+    (episodes t)

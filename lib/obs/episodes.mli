@@ -1,0 +1,71 @@
+(** Stall-episode detection over per-write attribution quanta.
+
+    The tree's write path attributes every paced microsecond to a cause
+    (merge1 / merge2 / hard; the quanta tile each pacing window exactly —
+    DESIGN.md §8). This detector segments that per-operation stream into
+    *episodes*: maximal runs of stalled writes separated by at least a
+    configurable quiet gap. An episode is the unit the stability
+    literature plots (Luo & Carey count and size stall episodes per
+    epoch); its attribution sums preserve the tiling invariant, so the
+    merge1/merge2/hard totals of an episode account for every
+    microsecond of its stall time.
+
+    Feed order must be time order (the write path emits samples in
+    completion order). All float output uses fixed ["%.3f"] formats, so
+    same-seed runs render byte-identical series. *)
+
+type t
+
+(** [create ?gap_us ()] starts an empty detector. Two stalled writes
+    whose stall intervals are separated by more than [gap_us] of quiet
+    simulated time (default [10_000.], i.e. 10 ms) belong to different
+    episodes. *)
+val create : ?gap_us:float -> unit -> t
+
+(** [feed t ~time_us ~merge1_us ~merge2_us ~hard_us] records the pacing
+    attribution of one write completing at [time_us]. A write with zero
+    total stall contributes nothing (episodes are separated by quiet
+    *time*, not op count). The stall is taken to occupy
+    [[time_us - total, time_us]]. *)
+val feed :
+  t -> time_us:float -> merge1_us:float -> merge2_us:float -> hard_us:float ->
+  unit
+
+(** Total stalled microseconds fed so far — every episode's stall time
+    comes from this budget, so [sum of ep_total_us over episodes =
+    fed_total_us] (the episode-tiling invariant checked by
+    [@soak-smoke]). *)
+val fed_total_us : t -> float
+
+(** Stalled samples fed so far (writes with nonzero pacing time). *)
+val fed_samples : t -> int
+
+type episode = {
+  ep_start_us : float;  (** start of the first stall interval *)
+  ep_end_us : float;  (** completion time of the last stalled write *)
+  ep_ops : int;  (** stalled writes in the episode *)
+  ep_merge1_us : float;
+  ep_merge2_us : float;
+  ep_hard_us : float;
+  ep_total_us : float;  (** = merge1 + merge2 + hard within rounding *)
+  ep_label : string;
+      (** dominant cause: "merge1" | "merge2" | "hard" when one cause
+          covers at least half the episode, "mixed" otherwise *)
+}
+
+(** Episodes in time order, including the one still open (feeding more
+    samples may extend it). Does not mutate the detector. *)
+val episodes : t -> episode list
+
+(** JSON array of episodes (fixed float formats). *)
+val to_json : episode list -> string
+
+(** CSV with header:
+    [start_us,end_us,ops,merge1_us,merge2_us,hard_us,total_us,label]. *)
+val to_csv : episode list -> string
+
+(** [emit_counters tr t] renders the episode list as Chrome counter
+    tracks on [tr]: one ["stall"] counter sample at each episode start
+    carrying the per-cause totals, and a zero sample at its end so the
+    track drops back to the baseline between episodes. *)
+val emit_counters : Trace.t -> t -> unit

@@ -157,3 +157,6 @@ let instant t ~cat ~name ~args =
 
 let complete t ~cat ~name ~ts_us ~dur_us ~args =
   if t.sink <> None then emit t ~ph:"X" ~cat ~name ~ts_us ~dur_us ~args ()
+
+let counter t ~name ~ts_us ~args =
+  if t.sink <> None then emit t ~ph:"C" ~cat:"counter" ~name ~ts_us ~args ()

@@ -65,3 +65,11 @@ val complete :
   dur_us:float ->
   args:(string * arg) list ->
   unit
+
+(** [counter t ~name ~ts_us ~args] emits a Chrome counter sample
+    (["ph":"C"], category ["counter"]) at the explicit timestamp
+    [ts_us]: each numeric argument renders as one stacked counter track
+    in the viewer. Used for post-hoc series (stall-episode tracks) whose
+    timestamps predate emission. No-op when disabled. *)
+val counter :
+  t -> name:string -> ts_us:float -> args:(string * arg) list -> unit

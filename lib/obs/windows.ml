@@ -1,0 +1,179 @@
+module H = Repro_util.Histogram
+
+type win = { mutable w_ops : int; w_lat : H.t }
+
+type t = {
+  width_us : int;
+  wins : (int, win) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ~width_us =
+  if width_us <= 0 then invalid_arg "Obs.Windows.create: width_us <= 0";
+  { width_us; wins = Hashtbl.create 64; total = 0 }
+
+let width_us t = t.width_us
+
+let win_of t idx =
+  match Hashtbl.find_opt t.wins idx with
+  | Some w -> w
+  | None ->
+      let w = { w_ops = 0; w_lat = H.create () } in
+      Hashtbl.add t.wins idx w;
+      w
+
+let record t ~time_us ~latency_us =
+  let idx = int_of_float time_us / t.width_us in
+  let w = win_of t idx in
+  w.w_ops <- w.w_ops + 1;
+  H.add w.w_lat latency_us;
+  t.total <- t.total + 1
+
+let total_ops t = t.total
+
+let merge ~into src =
+  if into.width_us <> src.width_us then
+    invalid_arg "Obs.Windows.merge: window widths differ";
+  (* Only per-key accumulation: the iteration order cannot escape into
+     any output (rows sorts by index). *)
+  (Hashtbl.iter [@lint.allow "D002"])
+    (fun idx (w : win) ->
+      let dst = win_of into idx in
+      dst.w_ops <- dst.w_ops + w.w_ops;
+      H.merge ~into:dst.w_lat w.w_lat)
+    src.wins;
+  into.total <- into.total + src.total
+
+type row = {
+  r_window : int;
+  r_t_sec : float;
+  r_ops : int;
+  r_ops_per_sec : float;
+  r_mean_us : float;
+  r_p50_us : int;
+  r_p99_us : int;
+  r_p999_us : int;
+  r_max_us : int;
+}
+
+let rows t =
+  if Hashtbl.length t.wins = 0 then []
+  else begin
+    (* Only the min/max of the collected indices are used below, so the
+       hash order cannot escape into the rows. *)
+    let indices =
+      (Hashtbl.fold [@lint.allow "D002"]) (fun k _ acc -> k :: acc) t.wins []
+    in
+    let lo = List.fold_left min (List.hd indices) indices in
+    let hi = List.fold_left max (List.hd indices) indices in
+    let width_sec = float_of_int t.width_us /. 1e6 in
+    let result = ref [] in
+    for idx = hi downto lo do
+      let t_sec = float_of_int idx *. width_sec in
+      let row =
+        match Hashtbl.find_opt t.wins idx with
+        | None ->
+            { r_window = idx; r_t_sec = t_sec; r_ops = 0; r_ops_per_sec = 0.0;
+              r_mean_us = 0.0; r_p50_us = 0; r_p99_us = 0; r_p999_us = 0;
+              r_max_us = 0 }
+        | Some w ->
+            {
+              r_window = idx;
+              r_t_sec = t_sec;
+              r_ops = w.w_ops;
+              r_ops_per_sec = float_of_int w.w_ops /. width_sec;
+              r_mean_us = H.mean w.w_lat;
+              r_p50_us = H.percentile w.w_lat 50.0;
+              r_p99_us = H.percentile w.w_lat 99.0;
+              r_p999_us = H.percentile w.w_lat 99.9;
+              r_max_us = H.max_value w.w_lat;
+            }
+      in
+      result := row :: !result
+    done;
+    !result
+  end
+
+type throughput_stats = {
+  tv_windows : int;
+  tv_mean_ops_per_sec : float;
+  tv_stddev_ops_per_sec : float;
+  tv_cv : float;
+  tv_min_ops_per_sec : float;
+  tv_max_ops_per_sec : float;
+}
+
+let throughput t =
+  match rows t with
+  | [] ->
+      { tv_windows = 0; tv_mean_ops_per_sec = 0.0;
+        tv_stddev_ops_per_sec = 0.0; tv_cv = 0.0;
+        tv_min_ops_per_sec = 0.0; tv_max_ops_per_sec = 0.0 }
+  | rows ->
+      let n = List.length rows in
+      let fn = float_of_int n in
+      let tps = List.map (fun r -> r.r_ops_per_sec) rows in
+      let mean = List.fold_left ( +. ) 0.0 tps /. fn in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 tps /. fn
+      in
+      let stddev = sqrt var in
+      {
+        tv_windows = n;
+        tv_mean_ops_per_sec = mean;
+        tv_stddev_ops_per_sec = stddev;
+        tv_cv = (if mean > 0.0 then stddev /. mean else 0.0);
+        tv_min_ops_per_sec = List.fold_left Float.min (List.hd tps) tps;
+        tv_max_ops_per_sec = List.fold_left Float.max (List.hd tps) tps;
+      }
+
+let overall t =
+  let h = H.create () in
+  (* Accumulation into a histogram is order-independent. *)
+  (Hashtbl.iter [@lint.allow "D002"])
+    (fun _ (w : win) -> H.merge ~into:h w.w_lat)
+    t.wins;
+  h
+
+let register t reg ~name =
+  Metrics.counter reg (name ^ ".windows") ~help:"windows with data"
+    (fun () -> Hashtbl.length t.wins);
+  Metrics.counter reg (name ^ ".ops") ~help:"operations recorded"
+    (fun () -> t.total);
+  Metrics.gauge reg (name ^ ".p999_us.worst")
+    ~help:"worst per-window p99.9 latency (simulated us)" (fun () ->
+      List.fold_left (fun a r -> Float.max a (float_of_int r.r_p999_us)) 0.0
+        (rows t));
+  Metrics.gauge reg (name ^ ".ops_per_sec.cv")
+    ~help:"coefficient of variation of per-window throughput" (fun () ->
+      (throughput t).tv_cv)
+
+let rows_csv t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "t_sec,ops,ops_per_sec,mean_us,p50_us,p99_us,p999_us,max_us\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.3f,%d,%.1f,%.1f,%d,%d,%d,%d\n" r.r_t_sec r.r_ops
+           r.r_ops_per_sec r.r_mean_us r.r_p50_us r.r_p99_us r.r_p999_us
+           r.r_max_us))
+    (rows t);
+  Buffer.contents buf
+
+let rows_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"t_sec\": %.3f, \"ops\": %d, \"ops_per_sec\": %.1f, \
+            \"mean_us\": %.1f, \"p50_us\": %d, \"p99_us\": %d, \"p999_us\": \
+            %d, \"max_us\": %d}"
+           r.r_t_sec r.r_ops r.r_ops_per_sec r.r_mean_us r.r_p50_us r.r_p99_us
+           r.r_p999_us r.r_max_us))
+    (rows t);
+  Buffer.add_string buf "]";
+  Buffer.contents buf

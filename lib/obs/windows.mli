@@ -1,0 +1,81 @@
+(** Windowed tail-latency aggregation over simulated time.
+
+    The Luo & Carey stability methodology ("On Performance Stability in
+    LSM-based Storage Systems") reports per-epoch percentile timeseries
+    and throughput variance rather than one end-of-run summary; this
+    accumulator produces those series. Each window of simulated time owns
+    a full HDR-style histogram ({!Repro_util.Histogram}), so any quantile
+    can be expanded per window after the fact, and whole accumulators can
+    be merged window-by-window for cross-shard / fleet rollup.
+
+    All timestamps are simulated microseconds; every renderer uses fixed
+    numeric formats, so same-seed runs emit byte-identical series. *)
+
+type t
+
+(** [create ~width_us] buckets completions into windows of [width_us]
+    simulated microseconds. Raises [Invalid_argument] if
+    [width_us <= 0]. *)
+val create : width_us:int -> t
+
+val width_us : t -> int
+
+(** [record t ~time_us ~latency_us] attributes one completed operation
+    to the window containing its completion time. *)
+val record : t -> time_us:float -> latency_us:int -> unit
+
+(** Operations recorded so far (across all windows). *)
+val total_ops : t -> int
+
+(** [merge ~into src] accumulates [src] window-by-window into [into] —
+    the cross-shard rollup: each window's histogram is merged with
+    {!Repro_util.Histogram.merge}. Raises [Invalid_argument] when the
+    widths differ (windows would not align). *)
+val merge : into:t -> t -> unit
+
+(** One window, percentiles pre-expanded. Latencies are simulated µs. *)
+type row = {
+  r_window : int;  (** window index: window covers [index * width_us, ..) *)
+  r_t_sec : float;  (** window start in simulated seconds *)
+  r_ops : int;
+  r_ops_per_sec : float;
+  r_mean_us : float;
+  r_p50_us : int;
+  r_p99_us : int;
+  r_p999_us : int;
+  r_max_us : int;
+}
+
+(** One row per window in time order, including empty interior windows
+    (an empty window is a full stall — exactly the event the series
+    exists to expose). Empty when nothing was recorded. *)
+val rows : t -> row list
+
+(** Throughput variability across the windows of {!rows} (empty interior
+    windows count as zero-throughput windows). [tv_cv] is the coefficient
+    of variation, Luo & Carey's headline instability number. *)
+type throughput_stats = {
+  tv_windows : int;
+  tv_mean_ops_per_sec : float;
+  tv_stddev_ops_per_sec : float;
+  tv_cv : float;
+  tv_min_ops_per_sec : float;
+  tv_max_ops_per_sec : float;
+}
+
+val throughput : t -> throughput_stats
+
+(** All windows merged into one histogram (whole-phase quantiles). *)
+val overall : t -> Repro_util.Histogram.t
+
+(** [register t reg ~name] registers summary closures in [reg]:
+    [name.windows], [name.ops], [name.p999_us.worst] (worst per-window
+    p99.9), [name.ops_per_sec.cv] — sampled live at dump time. *)
+val register : t -> Metrics.t -> name:string -> unit
+
+(** CSV rendering of {!rows} with a header line; fixed formats
+    ([%.3f] seconds, [%.1f] for float µs) keep output byte-stable. *)
+val rows_csv : t -> string
+
+(** JSON array of {!rows}, same fixed formats. *)
+val rows_json : t -> string

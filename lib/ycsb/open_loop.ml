@@ -1,0 +1,162 @@
+module H = Repro_util.Histogram
+
+type schedule =
+  | Fixed_rate of { ops_per_sec : float }
+  | Bursty of {
+      base_ops_per_sec : float;
+      burst_ops_per_sec : float;
+      period_us : float;
+      burst_fraction : float;
+    }
+
+let pp_schedule ppf = function
+  | Fixed_rate { ops_per_sec } -> Fmt.pf ppf "fixed(%.0f/s)" ops_per_sec
+  | Bursty { base_ops_per_sec; burst_ops_per_sec; period_us; burst_fraction }
+    ->
+      Fmt.pf ppf "bursty(%.0f/s base, %.0f/s burst, %.0fms period, %.0f%%)"
+        base_ops_per_sec burst_ops_per_sec (period_us /. 1000.0)
+        (burst_fraction *. 100.0)
+
+let rate_at schedule t_us =
+  match schedule with
+  | Fixed_rate { ops_per_sec } -> ops_per_sec
+  | Bursty { base_ops_per_sec; burst_ops_per_sec; period_us; burst_fraction }
+    ->
+      let phase = Float.rem t_us period_us in
+      if phase < burst_fraction *. period_us then burst_ops_per_sec
+      else base_ops_per_sec
+
+let arrivals schedule ~seed ~jitter ~n =
+  if n < 0 then invalid_arg "Open_loop.arrivals: n < 0";
+  let jitter = Float.max 0.0 (Float.min 0.9 jitter) in
+  let prng = Repro_util.Prng.of_int seed in
+  let a = Array.make n 0.0 in
+  let t = ref 0.0 in
+  for i = 0 to n - 1 do
+    let rate = Float.max 1e-6 (rate_at schedule !t) in
+    let gap = 1e6 /. rate in
+    let gap =
+      if jitter > 0.0 then
+        gap *. (1.0 -. jitter +. (2.0 *. jitter *. Repro_util.Prng.float prng))
+      else gap
+    in
+    t := !t +. Float.max 1e-3 gap;
+    a.(i) <- !t
+  done;
+  a
+
+type result = {
+  ol_label : string;
+  ol_schedule : schedule;
+  ol_offered : int;
+  ol_completed : int;
+  ol_shed : int;
+  ol_elapsed_us : float;
+  ol_ops_per_sec : float;
+  ol_latency : H.t;
+  ol_service : H.t;
+  ol_windows : Obs.Windows.t;
+  ol_max_queue : int;
+  ol_depth_rows : (float * int) list;
+}
+
+let pp_result ppf r =
+  Fmt.pf ppf "%-28s %8d/%d ops %10.0f ops/s shed %d maxq %d lat[%a]"
+    r.ol_label r.ol_completed r.ol_offered r.ol_ops_per_sec r.ol_shed
+    r.ol_max_queue H.pp r.ol_latency
+
+let run (engine : Kv.Kv_intf.engine) ks ~label ~mix ~ops ~dist ~schedule
+    ?(queue_bound = 10_000) ?(window_us = 1_000_000) ?(jitter = 0.0)
+    ?(ordered_keys = false) ?(seed = 3) ?after_op () =
+  if ops <= 0 then invalid_arg "Open_loop.run: ops <= 0";
+  if queue_bound <= 0 then invalid_arg "Open_loop.run: queue_bound <= 0";
+  let prng = Repro_util.Prng.of_int seed in
+  let offsets = arrivals schedule ~seed:(seed + 1) ~jitter ~n:ops in
+  let disk = engine.Kv.Kv_intf.disk in
+  let t_start = Simdisk.Disk.now_us disk in
+  let latency = H.create () in
+  let service = H.create () in
+  let windows = Obs.Windows.create ~width_us:window_us in
+  (* peak pending-queue depth per window, keyed by window index *)
+  let depth_wins : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let queue : float Queue.t = Queue.create () in
+  let next = ref 0 in
+  let shed = ref 0 in
+  let completed = ref 0 in
+  let max_queue = ref 0 in
+  let note_depth now =
+    let d = Queue.length queue in
+    if d > !max_queue then max_queue := d;
+    let idx = int_of_float now / window_us in
+    match Hashtbl.find_opt depth_wins idx with
+    | Some prev when prev >= d -> ()
+    | _ -> Hashtbl.replace depth_wins idx d
+  in
+  (* enqueue every arrival due at or before [now]; overflow is shed *)
+  let admit now =
+    while !next < ops && t_start +. offsets.(!next) <= now do
+      if Queue.length queue < queue_bound then
+        Queue.add (t_start +. offsets.(!next)) queue
+      else incr shed;
+      incr next
+    done;
+    note_depth now
+  in
+  while !next < ops || not (Queue.is_empty queue) do
+    let now = Simdisk.Disk.now_us disk in
+    admit now;
+    if Queue.is_empty queue then begin
+      (* idle: advance the simulated clock to the next arrival *)
+      let gap = t_start +. offsets.(!next) -. Simdisk.Disk.now_us disk in
+      if gap > 0.0 then Simdisk.Disk.advance disk gap;
+      admit (Simdisk.Disk.now_us disk)
+    end
+    else begin
+      let arrived = Queue.pop queue in
+      let svc_start = Simdisk.Disk.now_us disk in
+      Runner.execute engine ks ~prng ~dist ~ordered_keys (Runner.pick_op prng mix);
+      let t1 = Simdisk.Disk.now_us disk in
+      let lat = int_of_float (t1 -. arrived) in
+      H.add latency lat;
+      H.add service (int_of_float (t1 -. svc_start));
+      Obs.Windows.record windows ~time_us:t1 ~latency_us:lat;
+      incr completed;
+      admit t1;
+      match after_op with
+      | Some f -> f ~now_us:t1 ~queue_depth:(Queue.length queue)
+      | None -> ()
+    end
+  done;
+  let elapsed = Simdisk.Disk.now_us disk -. t_start in
+  let depth_rows =
+    let indices =
+      (Hashtbl.fold [@lint.allow "D002"])
+        (fun k _ acc -> k :: acc)
+        depth_wins []
+      (* sorted below: the hash order never escapes *)
+      |> List.sort Int.compare
+    in
+    List.map
+      (fun idx ->
+        ( float_of_int idx *. float_of_int window_us /. 1e6,
+          match Hashtbl.find_opt depth_wins idx with
+          | Some d -> d
+          | None -> 0 ))
+      indices
+  in
+  {
+    ol_label = label;
+    ol_schedule = schedule;
+    ol_offered = ops;
+    ol_completed = !completed;
+    ol_shed = !shed;
+    ol_elapsed_us = elapsed;
+    ol_ops_per_sec =
+      (if elapsed > 0.0 then float_of_int !completed /. elapsed *. 1e6
+       else 0.0);
+    ol_latency = latency;
+    ol_service = service;
+    ol_windows = windows;
+    ol_max_queue = !max_queue;
+    ol_depth_rows = depth_rows;
+  }

@@ -1,0 +1,89 @@
+(** Open-loop (arrival-rate-driven) workload runner.
+
+    The closed-loop {!Runner} issues the next request only when the
+    previous one returns, so every stall silently pauses the arrival
+    process — the coordinated-omission blind spot: a 2-second stall
+    costs *one* slow sample instead of the thousands of requests that
+    would have arrived meanwhile. This runner instead draws a
+    deterministic arrival schedule up front (fixed-rate or bursty, with
+    optional seeded jitter), queues requests that arrive while the
+    engine is busy, and measures every latency from the request's
+    *intended arrival time*. Stalls therefore surface as queue growth
+    and honest p99/p99.9 — the HdrHistogram-style corrected measurement
+    the YCSB literature prescribes.
+
+    The engine itself stays synchronous and single-threaded: the
+    simulated clock advances inside engine operations, and
+    {!Simdisk.Disk.advance} idles it between arrivals when the queue is
+    empty. The pending queue is bounded; arrivals that find it full are
+    shed and counted, so an unstable configuration shows up as a shed
+    rate instead of an unbounded simulation. *)
+
+(** Deterministic arrival process. Rates are requests per simulated
+    second. *)
+type schedule =
+  | Fixed_rate of { ops_per_sec : float }
+  | Bursty of {
+      base_ops_per_sec : float;
+      burst_ops_per_sec : float;
+      period_us : float;  (** burst cycle length *)
+      burst_fraction : float;  (** fraction of each period spent bursting *)
+    }
+
+val pp_schedule : Format.formatter -> schedule -> unit
+
+(** [arrivals schedule ~seed ~jitter ~n] expands the schedule into [n]
+    arrival offsets (µs, strictly increasing, relative to phase start).
+    [jitter] perturbs each interarrival gap uniformly by up to
+    [±jitter] of itself through a PRNG seeded with [seed] — same seed,
+    same schedule. *)
+val arrivals : schedule -> seed:int -> jitter:float -> n:int -> float array
+
+type result = {
+  ol_label : string;
+  ol_schedule : schedule;
+  ol_offered : int;  (** arrivals generated *)
+  ol_completed : int;
+  ol_shed : int;  (** arrivals dropped because the queue was full *)
+  ol_elapsed_us : float;
+  ol_ops_per_sec : float;  (** completed ops per simulated second *)
+  ol_latency : Repro_util.Histogram.t;
+      (** measured from intended arrival time: queueing + service *)
+  ol_service : Repro_util.Histogram.t;
+      (** service time only — what a closed loop would have reported *)
+  ol_windows : Obs.Windows.t;  (** arrival-time latency per window *)
+  ol_max_queue : int;  (** peak pending-queue depth *)
+  ol_depth_rows : (float * int) list;
+      (** (window start sec, peak queue depth in window), time order *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [run engine ks ~label ~mix ~ops ~dist ~schedule ()] offers [ops]
+    requests along the schedule and executes them FIFO. Operations and
+    record ids are drawn at service time via {!Runner.execute}, so the
+    applied workload matches a closed-loop run of the same mix. [ops]
+    must be positive.
+
+    @param queue_bound pending-request cap (default 10000)
+    @param window_us   latency-window width (default 1s simulated)
+    @param jitter      interarrival jitter fraction (default 0)
+    @param after_op    called after each completion with the completion
+                       time and the pending-queue depth — hook for
+                       external samplers (queue-depth gauges) *)
+val run :
+  Kv.Kv_intf.engine ->
+  Runner.keyspace ->
+  label:string ->
+  mix:Runner.mix ->
+  ops:int ->
+  dist:Generator.t ->
+  schedule:schedule ->
+  ?queue_bound:int ->
+  ?window_us:int ->
+  ?jitter:float ->
+  ?ordered_keys:bool ->
+  ?seed:int ->
+  ?after_op:(now_us:float -> queue_depth:int -> unit) ->
+  unit ->
+  result

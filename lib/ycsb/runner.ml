@@ -13,6 +13,7 @@ type op_kind =
   | Read_modify_write
   | Insert  (** append a brand-new key *)
   | Checked_insert  (** insert-if-not-exists of a brand-new key *)
+  | Delete  (** tombstone an existing key (tombstone floods in soaks) *)
   | Delta
   | Scan of int  (** scan of length uniform in [1, n] *)
 
@@ -24,6 +25,7 @@ let pp_op ppf = function
   | Read_modify_write -> Fmt.string ppf "rmw"
   | Insert -> Fmt.string ppf "insert"
   | Checked_insert -> Fmt.string ppf "checked-insert"
+  | Delete -> Fmt.string ppf "delete"
   | Delta -> Fmt.string ppf "delta"
   | Scan n -> Fmt.pf ppf "scan(%d)" n
 
@@ -108,6 +110,44 @@ let pick_op prng mix =
   in
   go 0.0 mix
 
+(** [execute engine ks ~prng ~dist ~ordered_keys op] performs one
+    operation: a record id is always drawn from [dist] (so the request
+    stream is identical whatever the mix), then [op] runs against the
+    derived key. Inserts extend the keyspace. Shared by the closed-loop
+    {!run} and the open-loop generator ({!Open_loop}). *)
+let execute (engine : Kv.Kv_intf.engine) ks ~prng ~dist ~ordered_keys op =
+  let key_of id =
+    if ordered_keys then Repro_util.Keygen.ordered_key_of_id id
+    else Repro_util.Keygen.key_of_id id
+  in
+  let id = Generator.next dist ~record_count:ks.records in
+  let key = key_of id in
+  match op with
+  | Read -> ignore (engine.Kv.Kv_intf.get key)
+  | Blind_update ->
+      engine.Kv.Kv_intf.put key (Repro_util.Keygen.value prng ks.value_bytes)
+  | Read_modify_write ->
+      engine.Kv.Kv_intf.read_modify_write key (fun v ->
+          match v with
+          | Some v -> v
+          | None -> Repro_util.Keygen.value prng ks.value_bytes)
+  | Insert ->
+      let id = ks.records in
+      ks.records <- ks.records + 1;
+      engine.Kv.Kv_intf.put (key_of id)
+        (Repro_util.Keygen.value prng ks.value_bytes)
+  | Checked_insert ->
+      let id = ks.records in
+      ks.records <- ks.records + 1;
+      ignore
+        (engine.Kv.Kv_intf.insert_if_absent (key_of id)
+           (Repro_util.Keygen.value prng ks.value_bytes))
+  | Delete -> engine.Kv.Kv_intf.delete key
+  | Delta -> engine.Kv.Kv_intf.apply_delta key "+1"
+  | Scan n ->
+      let len = 1 + Repro_util.Prng.int prng n in
+      ignore (engine.Kv.Kv_intf.scan key len)
+
 (** [run engine ks ~label ~mix ~ops ~dist ()] executes [ops] operations
     drawn from [mix] with keys from [dist]. Keys for reads/updates are
     drawn over the live keyspace; keys whose records were generated by the
@@ -123,41 +163,11 @@ let run (engine : Kv.Kv_intf.engine) ks ~label ~mix ~ops ~dist
   let disk = engine.Kv.Kv_intf.disk in
   let before = Simdisk.Disk.snapshot disk in
   let t_start = Simdisk.Disk.now_us disk in
-  let key_of id =
-    if ordered_keys then Repro_util.Keygen.ordered_key_of_id id
-    else Repro_util.Keygen.key_of_id id
-  in
   for _ = 1 to ops do
     let op = pick_op prng mix in
-    let id = Generator.next dist ~record_count:ks.records in
-    let key = key_of id in
     let lat =
       timed engine latency ts (fun () ->
-          match op with
-          | Read -> ignore (engine.Kv.Kv_intf.get key)
-          | Blind_update ->
-              engine.Kv.Kv_intf.put key
-                (Repro_util.Keygen.value prng ks.value_bytes)
-          | Read_modify_write ->
-              engine.Kv.Kv_intf.read_modify_write key (fun v ->
-                  match v with
-                  | Some v -> v
-                  | None -> Repro_util.Keygen.value prng ks.value_bytes)
-          | Insert ->
-              let id = ks.records in
-              ks.records <- ks.records + 1;
-              engine.Kv.Kv_intf.put (key_of id)
-                (Repro_util.Keygen.value prng ks.value_bytes)
-          | Checked_insert ->
-              let id = ks.records in
-              ks.records <- ks.records + 1;
-              ignore
-                (engine.Kv.Kv_intf.insert_if_absent (key_of id)
-                   (Repro_util.Keygen.value prng ks.value_bytes))
-          | Delta -> engine.Kv.Kv_intf.apply_delta key "+1"
-          | Scan n ->
-              let len = 1 + Repro_util.Prng.int prng n in
-              ignore (engine.Kv.Kv_intf.scan key len))
+          execute engine ks ~prng ~dist ~ordered_keys op)
     in
     (match op with
     | Read -> Repro_util.Histogram.add read_latency lat

@@ -13,6 +13,7 @@ type op_kind =
   | Read_modify_write
   | Insert  (** append a brand-new key *)
   | Checked_insert  (** insert-if-not-exists of a brand-new key *)
+  | Delete  (** tombstone an existing key (tombstone floods in soaks) *)
   | Delta
   | Scan of int  (** scan of length uniform in [1, n] *)
 
@@ -40,6 +41,25 @@ val pp_result : Format.formatter -> result -> unit
 type keyspace = { mutable records : int; value_bytes : int }
 
 val keyspace : records:int -> value_bytes:int -> keyspace
+
+(** [pick_op prng mix] draws one operation kind with probability
+    proportional to its weight. *)
+val pick_op : Repro_util.Prng.t -> mix -> op_kind
+
+(** [execute engine ks ~prng ~dist ~ordered_keys op] performs one
+    operation. A record id is always drawn from [dist] first — the
+    request stream is the same whatever the mix — then [op] runs against
+    the derived key; inserts extend [ks]. Shared by the closed-loop
+    {!run} and the open-loop generator ({!Open_loop}), so both loops
+    apply identical workloads. *)
+val execute :
+  Kv.Kv_intf.engine ->
+  keyspace ->
+  prng:Repro_util.Prng.t ->
+  dist:Generator.t ->
+  ordered_keys:bool ->
+  op_kind ->
+  unit
 
 (** [load engine ks ~n ?ordered ?checked ()] bulk-loads [n] fresh
     records. [ordered] feeds keys in sorted order (InnoDB's pre-sorted

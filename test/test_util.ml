@@ -262,6 +262,79 @@ let test_histogram_negative_clamped () =
   check Alcotest.int "clamped to 0" 0 (Histogram.max_value h);
   check Alcotest.int "counted" 1 (Histogram.count h)
 
+(* Merge edge cases (PR 8 satellite): windows with no samples flow
+   through cross-shard rollup without inventing data. *)
+
+let test_histogram_merge_empty_src () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 42;
+  Histogram.merge ~into:a b;
+  check Alcotest.int "count unchanged" 1 (Histogram.count a);
+  check Alcotest.int "max unchanged" 42 (Histogram.max_value a);
+  check (Alcotest.float 0.0) "mean unchanged" 42.0 (Histogram.mean a)
+
+let test_histogram_merge_into_empty () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add b) [ 5; 10; 15 ];
+  Histogram.merge ~into:a b;
+  check Alcotest.int "count" 3 (Histogram.count a);
+  check Alcotest.int "min" 5 (Histogram.min_value a);
+  check Alcotest.int "max" 15 (Histogram.max_value a);
+  check Alcotest.int "p50" 10 (Histogram.percentile a 50.0);
+  (* src must be untouched *)
+  check Alcotest.int "src count" 3 (Histogram.count b)
+
+let test_histogram_merge_both_empty () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.merge ~into:a b;
+  check Alcotest.int "count" 0 (Histogram.count a);
+  check Alcotest.int "p99" 0 (Histogram.percentile a 99.0)
+
+let test_histogram_merge_single_samples () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 1;
+  Histogram.add b 1_000_000;
+  Histogram.merge ~into:a b;
+  check Alcotest.int "count" 2 (Histogram.count a);
+  check Alcotest.int "min" 1 (Histogram.min_value a);
+  check Alcotest.int "max" 1_000_000 (Histogram.max_value a);
+  check Alcotest.int "p100 exact" 1_000_000 (Histogram.percentile a 100.0)
+
+(* A merged quantile cannot escape the envelope of its shards' quantiles
+   by more than one bucket: for any p,
+   min_shard q(p) <= q_merged(p) <= max_shard q(p) up to the histogram's
+   1/32 (sub_bucket_bits = 5) bucket resolution. The slack is real, not
+   defensive: a 1-sample shard reports its exact value (rank = total
+   clamps to max), while the merged histogram may answer with the lower
+   edge of that value's bucket — shards [65] and [67] merge to a p50 of
+   64. This bound is what makes cross-shard p99 rollups honest. *)
+let prop_histogram_merge_brackets =
+  QCheck.Test.make ~name:"merged quantiles bracket shard quantiles"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 10)
+           (list_of_size Gen.(1 -- 40) (map abs small_int)))
+        (float_range 0.1 100.0))
+    (fun (shards, p) ->
+      QCheck.assume (shards <> []);
+      let hs =
+        List.map
+          (fun values ->
+            let h = Histogram.create () in
+            List.iter (Histogram.add h) values;
+            h)
+          shards
+      in
+      let merged = Histogram.create () in
+      List.iter (fun h -> Histogram.merge ~into:merged h) hs;
+      let qs = List.map (fun h -> Histogram.percentile h p) hs in
+      let q = float_of_int (Histogram.percentile merged p) in
+      let lo = float_of_int (List.fold_left min max_int qs) in
+      let hi = float_of_int (List.fold_left max 0 qs) in
+      let res = 1.0 /. 32.0 in
+      q >= (lo *. (1.0 -. res)) -. 1.0 && q <= (hi *. (1.0 +. res)) +. 1.0)
+
 (* percentile is monotone in p itself, over arbitrary (p1, p2) pairs —
    stronger than the fixed 25/50/99 triple above *)
 let prop_histogram_monotone_in_p =
@@ -320,6 +393,24 @@ let test_timeseries_latency_aggregation () =
       if r.Timeseries.p99_latency_ms < 95.0 || r.Timeseries.p99_latency_ms > 100.0
       then Alcotest.failf "p99 %.1f out of range" r.Timeseries.p99_latency_ms
   | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_timeseries_window_boundary () =
+  (* an op stamped exactly on a bucket boundary belongs to the bucket it
+     opens, not the one it closes *)
+  let ts = Timeseries.create ~width_us:1_000_000 in
+  Timeseries.record ts ~time_us:999_999 ~latency_us:1;
+  Timeseries.record ts ~time_us:1_000_000 ~latency_us:9;
+  match Timeseries.rows ts with
+  | [ r0; r1 ] ->
+      check (Alcotest.float 0.001) "bucket 0" 0.0 r0.Timeseries.t_sec;
+      check (Alcotest.float 0.01) "one op in bucket 0" 1.0
+        r0.Timeseries.ops_per_sec;
+      check (Alcotest.float 0.001) "bucket 1" 1.0 r1.Timeseries.t_sec;
+      check (Alcotest.float 0.01) "boundary op in bucket 1" 1.0
+        r1.Timeseries.ops_per_sec;
+      check (Alcotest.float 0.001) "boundary op's latency too" 0.009
+        r1.Timeseries.max_latency_ms
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
 
 let test_timeseries_leading_stall_not_padded () =
   (* buckets before the first recorded op are not emitted: rows start at
@@ -410,6 +501,15 @@ let () =
           Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
           Alcotest.test_case "negative clamped" `Quick
             test_histogram_negative_clamped;
+          Alcotest.test_case "merge empty src" `Quick
+            test_histogram_merge_empty_src;
+          Alcotest.test_case "merge into empty" `Quick
+            test_histogram_merge_into_empty;
+          Alcotest.test_case "merge both empty" `Quick
+            test_histogram_merge_both_empty;
+          Alcotest.test_case "merge single samples" `Quick
+            test_histogram_merge_single_samples;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_brackets;
           QCheck_alcotest.to_alcotest prop_histogram_max;
           QCheck_alcotest.to_alcotest prop_histogram_percentile_monotone;
           QCheck_alcotest.to_alcotest prop_histogram_monotone_in_p;
@@ -422,6 +522,8 @@ let () =
             test_timeseries_single_record;
           Alcotest.test_case "latency aggregation" `Quick
             test_timeseries_latency_aggregation;
+          Alcotest.test_case "window boundary" `Quick
+            test_timeseries_window_boundary;
           Alcotest.test_case "no leading padding" `Quick
             test_timeseries_leading_stall_not_padded;
         ] );

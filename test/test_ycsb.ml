@@ -156,6 +156,139 @@ let test_runner_inserts_extend_keyspace () =
        ~ops:50 ~dist:(Ycsb.Generator.uniform ~seed:2) ());
   check Alcotest.int "grew" 150 ks.Ycsb.Runner.records
 
+let test_runner_deletes () =
+  let e = dummy_engine () in
+  let ks = Ycsb.Runner.keyspace ~records:0 ~value_bytes:50 in
+  ignore (Ycsb.Runner.load e ks ~n:100 ());
+  let r =
+    Ycsb.Runner.run e ks ~label:"deletes"
+      ~mix:[ (Ycsb.Runner.Delete, 1.0) ]
+      ~ops:50 ~dist:(Ycsb.Generator.uniform ~seed:3) ()
+  in
+  (* deletes classify as writes and don't extend the keyspace *)
+  check Alcotest.int "ops" 50 r.Ycsb.Runner.ops;
+  check Alcotest.int "writes" 50
+    (Repro_util.Histogram.count r.Ycsb.Runner.write_latency);
+  check Alcotest.int "keyspace unchanged" 100 ks.Ycsb.Runner.records
+
+(* -------------------------------------------------------------------- *)
+(* Open-loop generator (PR 8) *)
+
+let test_arrivals_deterministic_and_monotone () =
+  let check_schedule sched =
+    let a = Ycsb.Open_loop.arrivals sched ~seed:9 ~jitter:0.2 ~n:500 in
+    let b = Ycsb.Open_loop.arrivals sched ~seed:9 ~jitter:0.2 ~n:500 in
+    check (Alcotest.array (Alcotest.float 0.0)) "same seed, same schedule" a b;
+    let c = Ycsb.Open_loop.arrivals sched ~seed:10 ~jitter:0.2 ~n:500 in
+    if a = c then Alcotest.fail "different seed should jitter differently";
+    Array.iteri
+      (fun i t ->
+        if i > 0 && t <= a.(i - 1) then
+          Alcotest.failf "arrivals not strictly increasing at %d" i)
+      a
+  in
+  check_schedule (Ycsb.Open_loop.Fixed_rate { ops_per_sec = 10_000.0 });
+  check_schedule
+    (Ycsb.Open_loop.Bursty
+       {
+         base_ops_per_sec = 5_000.0;
+         burst_ops_per_sec = 50_000.0;
+         period_us = 100_000.0;
+         burst_fraction = 0.2;
+       })
+
+let test_arrivals_fixed_rate_spacing () =
+  (* without jitter, a fixed-rate schedule is an exact arithmetic ramp *)
+  let a =
+    Ycsb.Open_loop.arrivals
+      (Ycsb.Open_loop.Fixed_rate { ops_per_sec = 1_000.0 })
+      ~seed:1 ~jitter:0.0 ~n:100
+  in
+  check (Alcotest.float 0.001) "first" 1_000.0 a.(0);
+  check (Alcotest.float 0.001) "last" 100_000.0 a.(99)
+
+let test_arrivals_bursty_denser_in_burst () =
+  let a =
+    Ycsb.Open_loop.arrivals
+      (Ycsb.Open_loop.Bursty
+         {
+           base_ops_per_sec = 1_000.0;
+           burst_ops_per_sec = 20_000.0;
+           period_us = 100_000.0;
+           burst_fraction = 0.25;
+         })
+      ~seed:1 ~jitter:0.0 ~n:2_000
+  in
+  (* count arrivals inside vs outside the burst quarter of each period *)
+  let in_burst = ref 0 and out_burst = ref 0 in
+  Array.iter
+    (fun t ->
+      let phase = Float.rem t 100_000.0 in
+      if phase < 25_000.0 then incr in_burst else incr out_burst)
+    a;
+  (* burst quarter carries 20k/s vs 1k/s elsewhere: expect ~87% inside *)
+  if float_of_int !in_burst /. float_of_int (Array.length a) < 0.6 then
+    Alcotest.failf "burst not denser: %d in, %d out" !in_burst !out_burst
+
+let open_loop_run ?(rate = 50_000.0) ?(engine = dummy_engine ()) ?(ops = 400)
+    () =
+  let ks = Ycsb.Runner.keyspace ~records:0 ~value_bytes:100 in
+  ignore (Ycsb.Runner.load engine ks ~n:200 ());
+  Ycsb.Open_loop.run engine ks ~label:"ol"
+    ~mix:[ (Ycsb.Runner.Blind_update, 0.9); (Ycsb.Runner.Read, 0.1) ]
+    ~ops
+    ~dist:(Ycsb.Generator.uniform ~seed:4)
+    ~schedule:(Ycsb.Open_loop.Fixed_rate { ops_per_sec = rate })
+    ~window_us:10_000 ~seed:5 ()
+
+let test_open_loop_completes_all () =
+  let r = open_loop_run () in
+  check Alcotest.int "offered" 400 r.Ycsb.Open_loop.ol_offered;
+  check Alcotest.int "completed" 400 r.Ycsb.Open_loop.ol_completed;
+  check Alcotest.int "nothing shed" 0 r.Ycsb.Open_loop.ol_shed;
+  check Alcotest.int "all latencies recorded" 400
+    (Repro_util.Histogram.count r.Ycsb.Open_loop.ol_latency);
+  check Alcotest.int "windows saw every op" 400
+    (Obs.Windows.total_ops r.Ycsb.Open_loop.ol_windows)
+
+let test_open_loop_arrival_time_exceeds_service () =
+  (* the whole point: under queueing, arrival-time latency must dominate
+     service-only latency — the closed-loop number would hide the wait *)
+  let slow = dummy_engine () in
+  (* overdrive a modest engine: rate far above capacity *)
+  let r = open_loop_run ~engine:slow ~rate:10_000_000.0 () in
+  let arr = Repro_util.Histogram.mean r.Ycsb.Open_loop.ol_latency in
+  let svc = Repro_util.Histogram.mean r.Ycsb.Open_loop.ol_service in
+  if arr <= svc then
+    Alcotest.failf "arrival-time mean %.1f not above service mean %.1f" arr svc;
+  check Alcotest.bool "queue built up" true (r.Ycsb.Open_loop.ol_max_queue > 1)
+
+let test_open_loop_queue_bound_sheds () =
+  let e = dummy_engine () in
+  let ks = Ycsb.Runner.keyspace ~records:0 ~value_bytes:100 in
+  ignore (Ycsb.Runner.load e ks ~n:100 ());
+  let r =
+    Ycsb.Open_loop.run e ks ~label:"shed"
+      ~mix:[ (Ycsb.Runner.Blind_update, 1.0) ]
+      ~ops:400
+      ~dist:(Ycsb.Generator.uniform ~seed:6)
+      ~schedule:(Ycsb.Open_loop.Fixed_rate { ops_per_sec = 10_000_000.0 })
+      ~queue_bound:10 ~seed:7 ()
+  in
+  check Alcotest.bool "overflow shed" true (r.Ycsb.Open_loop.ol_shed > 0);
+  check Alcotest.int "bound respected" 10 r.Ycsb.Open_loop.ol_max_queue;
+  check Alcotest.int "completed + shed = offered"
+    r.Ycsb.Open_loop.ol_offered
+    (r.Ycsb.Open_loop.ol_completed + r.Ycsb.Open_loop.ol_shed)
+
+let test_open_loop_deterministic () =
+  let render r =
+    Obs.Windows.rows_csv r.Ycsb.Open_loop.ol_windows
+    ^ Fmt.str "%a" Ycsb.Open_loop.pp_result r
+  in
+  let a = render (open_loop_run ()) and b = render (open_loop_run ()) in
+  check Alcotest.bool "same-seed byte-identical" true (String.equal a b)
+
 let () =
   Alcotest.run "ycsb"
     [
@@ -173,5 +306,21 @@ let () =
           Alcotest.test_case "load" `Quick test_runner_load;
           Alcotest.test_case "mix" `Quick test_runner_mix;
           Alcotest.test_case "inserts extend" `Quick test_runner_inserts_extend_keyspace;
+          Alcotest.test_case "deletes" `Quick test_runner_deletes;
+        ] );
+      ( "open-loop",
+        [
+          Alcotest.test_case "arrivals deterministic+monotone" `Quick
+            test_arrivals_deterministic_and_monotone;
+          Alcotest.test_case "fixed-rate spacing" `Quick
+            test_arrivals_fixed_rate_spacing;
+          Alcotest.test_case "bursty density" `Quick
+            test_arrivals_bursty_denser_in_burst;
+          Alcotest.test_case "completes all" `Quick test_open_loop_completes_all;
+          Alcotest.test_case "arrival time exceeds service" `Quick
+            test_open_loop_arrival_time_exceeds_service;
+          Alcotest.test_case "queue bound sheds" `Quick
+            test_open_loop_queue_bound_sheds;
+          Alcotest.test_case "deterministic" `Quick test_open_loop_deterministic;
         ] );
     ]
