@@ -87,6 +87,9 @@ let experiments : (string * string * (opts -> unit)) list =
     ( "soak",
       "Stability observatory: open-loop soak -> BENCH_PR8.json",
       fun o -> Soak.run o.scale );
+    ( "grid",
+      "Compaction design space: policy x workload x ratio -> BENCH_PR9.json",
+      fun o -> Grid.run o.scale );
   ]
 
 let usage () =

@@ -1,0 +1,1080 @@
+(* Policy-driven multi-level LSM engine: the host for
+   {!Compaction_policy}. One memtable + logical WAL in front of an array
+   of levels of Bloom-filtered runs; victim selection is delegated
+   entirely to the policy, while flushing, pacing, durability, recovery
+   and the read stack are shared — so the four compaction disciplines
+   differ in exactly the decision the design space varies.
+
+   Pacing: flushes are atomic (charged as merge1 time), the single
+   active compaction is stepped in spring-quota quanta inside the write
+   path (merge2 time), and level-0 pressure past the stop threshold
+   triggers a synchronous hard drain (hard time) — the same
+   stall-attribution contract as {!Tree}, so the stability observatory
+   instruments every policy for free. *)
+
+type pconfig = {
+  pt_l0_trigger : int;
+  pt_l0_stop : int;
+  pt_fanout : float;
+  pt_base_bytes : int;
+  pt_file_bytes : int;
+  pt_max_levels : int;
+}
+
+let default_pconfig =
+  {
+    pt_l0_trigger = 4;
+    pt_l0_stop = 8;
+    pt_fanout = 4.0;
+    pt_base_bytes = 256 * 1024;
+    pt_file_bytes = 64 * 1024;
+    pt_max_levels = 6;
+  }
+
+type stats = {
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable bytes_flushed : int;
+  mutable bytes_compacted : int;
+  mutable user_bytes : int;
+  mutable hard_stalls : int;
+  mutable recoveries : int;
+  mutable recoveries_mid_compaction : int;
+  mutable corruptions_detected : int;
+  mutable quarantined_runs : int;
+  mutable puts : int;
+  mutable gets : int;
+  mutable deletes : int;
+  mutable deltas : int;
+  mutable scans : int;
+  mutable rmws : int;
+  mutable checked_inserts : int;
+  mutable stall_merge1_us : float;
+  mutable stall_merge2_us : float;
+  mutable stall_hard_us : float;
+}
+
+let fresh_stats () =
+  {
+    flushes = 0;
+    compactions = 0;
+    bytes_flushed = 0;
+    bytes_compacted = 0;
+    user_bytes = 0;
+    hard_stalls = 0;
+    recoveries = 0;
+    recoveries_mid_compaction = 0;
+    corruptions_detected = 0;
+    quarantined_runs = 0;
+    puts = 0;
+    gets = 0;
+    deletes = 0;
+    deltas = 0;
+    scans = 0;
+    rmws = 0;
+    checked_inserts = 0;
+    stall_merge1_us = 0.0;
+    stall_merge2_us = 0.0;
+    stall_hard_us = 0.0;
+  }
+
+(* Per-write stall scratch, reset by [before_write]; mirrors
+   {!Tree.stall_breakdown} so both engines feed the same episode
+   detectors. *)
+type scratch = {
+  mutable sc_merge1_us : float;
+  mutable sc_merge2_us : float;
+  mutable sc_hard_us : float;
+  mutable sc_wal_us : float;
+  mutable sc_total_us : float;
+}
+
+type prun = { pr_id : int; pr_comp : Component.t }
+
+(* One in-flight incremental compaction. Inputs stay mounted (and
+   readable) until commit; output runs are invisible until the manifest
+   commit installs them. *)
+type active = {
+  ac_job : Compaction_policy.job;
+  ac_inputs : prun list;
+  ac_overlaps : prun list;
+  ac_iter : Sstable.Merge_iter.t;
+  ac_total_bytes : int;
+  ac_total_records : int;
+  mutable ac_read_bytes : int;
+  mutable ac_builder : Sstable.Builder.t option;
+  mutable ac_bloom : Bloom.t option;
+  mutable ac_outputs : prun list;  (* newest split first *)
+  mutable ac_done : bool;
+}
+
+type t = {
+  config : Config.t;
+  pc : pconfig;
+  policy : Compaction_policy.t;
+  store : Pagestore.Store.t;
+  mutable mem : Memtable.t;
+  levels : prun list array;  (* level 0 newest-first; deeper by min key *)
+  mutable next_id : int;
+  mutable floor_lsn : int;  (* WAL floor recorded in the manifest *)
+  mutable active : active option;
+  mutable flush_builder : Sstable.Builder.t option;  (* crash rollback *)
+  mutable in_hard : bool;
+  scratch : scratch;
+  stats : stats;
+  mutable stall_observer : (Tree.stall_breakdown -> unit) option;
+  mutable metrics : Obs.Metrics.t option;
+}
+
+let config t = t.config
+let pconfig t = t.pc
+let policy t = t.policy
+let store t = t.store
+let disk t = Pagestore.Store.disk t.store
+let stats t = t.stats
+
+let create ?(config = Config.default) ?(pconfig = default_pconfig) ~policy
+    store =
+  if pconfig.pt_max_levels < 2 then
+    invalid_arg "Policy_tree.create: pt_max_levels < 2";
+  {
+    config;
+    pc = pconfig;
+    policy;
+    store;
+    mem =
+      Memtable.create ~seed:config.Config.seed
+        ~resolver:config.Config.resolver ();
+    levels = Array.make pconfig.pt_max_levels [];
+    next_id = 1;
+    floor_lsn = 0;
+    active = None;
+    flush_builder = None;
+    in_hard = false;
+    scratch =
+      {
+        sc_merge1_us = 0.0;
+        sc_merge2_us = 0.0;
+        sc_hard_us = 0.0;
+        sc_wal_us = 0.0;
+        sc_total_us = 0.0;
+      };
+    stats = fresh_stats ();
+    stall_observer = None;
+    metrics = None;
+  }
+
+let last_stall t =
+  {
+    Tree.sb_merge1_us = t.scratch.sc_merge1_us;
+    sb_merge2_us = t.scratch.sc_merge2_us;
+    sb_hard_us = t.scratch.sc_hard_us;
+    sb_wal_us = t.scratch.sc_wal_us;
+    sb_total_us = t.scratch.sc_total_us;
+  }
+
+let on_stall t f = t.stall_observer <- Some f
+
+(* Convert a checksum failure into the typed tree-level error, naming
+   the level it came from; {!Simdisk.Faults.Crash_point} passes through. *)
+let level_name lvl = "P" ^ string_of_int lvl
+
+let guard t ~lvl f =
+  try f ()
+  with Sstable.Sst_format.Corrupt { what; page } ->
+    t.stats.corruptions_detected <- t.stats.corruptions_detected + 1;
+    raise (Tree.Corruption { level = level_name lvl; what; page_or_lsn = page })
+
+(* {1 Level bookkeeping} *)
+
+let run_bytes r = Component.data_bytes r.pr_comp
+let run_min_key r = Sstable.Reader.min_key r.pr_comp.Component.sst
+let run_max_key r = Sstable.Reader.max_key r.pr_comp.Component.sst
+
+(* Storage order: level 0 newest run first (ids are creation-ordered),
+   deeper levels sorted by min key — the order {!Compaction_policy.view}
+   documents. *)
+let level_order lvl runs =
+  if lvl = 0 then
+    List.sort (fun a b -> Int.compare b.pr_id a.pr_id) runs
+  else
+    List.sort (fun a b -> String.compare (run_min_key a) (run_min_key b)) runs
+
+let view t =
+  {
+    Compaction_policy.v_levels =
+      Array.mapi
+        (fun lvl runs ->
+          List.map
+            (fun r ->
+              {
+                Compaction_policy.run_id = r.pr_id;
+                run_level = lvl;
+                run_bytes = run_bytes r;
+                run_records = Component.record_count r.pr_comp;
+                run_min_key = run_min_key r;
+                run_max_key = run_max_key r;
+              })
+            runs)
+        t.levels;
+    v_l0_trigger = t.pc.pt_l0_trigger;
+    v_fanout = t.pc.pt_fanout;
+    v_base_bytes = t.pc.pt_base_bytes;
+    v_file_bytes = t.pc.pt_file_bytes;
+    v_max_levels = t.pc.pt_max_levels;
+  }
+
+let check_invariant t = t.policy.Compaction_policy.p_check (view t)
+
+type level_info = { li_level : int; li_runs : int; li_bytes : int }
+
+let levels t =
+  Array.to_list
+    (Array.mapi
+       (fun lvl runs ->
+         {
+           li_level = lvl;
+           li_runs = List.length runs;
+           li_bytes = List.fold_left (fun a r -> a + run_bytes r) 0 runs;
+         })
+       t.levels)
+
+let total_run_bytes t =
+  Array.fold_left
+    (fun a runs -> List.fold_left (fun a r -> a + run_bytes r) a runs)
+    0 t.levels
+
+(* {1 Manifest}
+
+   "PLSM" | next_id | floor_lsn | run count | (level, id, meta blob)*.
+   Force-written through the store root, so recovery sees a physically
+   consistent set of committed runs plus the exact WAL floor the last
+   flush made durable. *)
+
+let commit_manifest t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "PLSM";
+  Repro_util.Varint.write buf t.next_id;
+  Repro_util.Varint.write buf t.floor_lsn;
+  let all = ref [] in
+  Array.iteri
+    (fun lvl runs -> List.iter (fun r -> all := (lvl, r) :: !all) runs)
+    t.levels;
+  let all = List.rev !all in
+  Repro_util.Varint.write buf (List.length all);
+  List.iter
+    (fun (lvl, r) ->
+      Repro_util.Varint.write buf lvl;
+      Repro_util.Varint.write buf r.pr_id;
+      let blob = Component.meta_blob r.pr_comp in
+      Repro_util.Varint.write buf (String.length blob);
+      Buffer.add_string buf blob)
+    all;
+  Pagestore.Store.commit_root t.store (Buffer.contents buf)
+
+(* Ids listed in the durable manifest right now — the set of runs whose
+   regions must survive a crash. Unreadable or absent root: none. *)
+let durable_ids t =
+  let root = Pagestore.Store.read_root t.store in
+  if String.length root < 4 || String.sub root 0 4 <> "PLSM" then []
+  else
+    match
+      let _next, pos = Repro_util.Varint.read root 4 in
+      let _floor, pos = Repro_util.Varint.read root pos in
+      let n, pos = Repro_util.Varint.read root pos in
+      let pos = ref pos in
+      List.init n (fun _ ->
+          let _lvl, p = Repro_util.Varint.read root !pos in
+          let id, p = Repro_util.Varint.read root p in
+          let len, p = Repro_util.Varint.read root p in
+          pos := p + len;
+          id)
+    with
+    | ids -> ids
+    | exception Invalid_argument _ ->
+        (* torn root: truncated varint or blob length past the end *)
+        []
+
+(* {1 Bloom filters} *)
+
+let mk_bloom t ~expected_items =
+  if Config.bloom_enabled t.config then
+    Some
+      (Bloom.create ~kind:t.config.Config.bloom_kind
+         ~bits_per_item:t.config.Config.bloom_bits_per_key
+         ~expected_items:(max 16 expected_items) ())
+  else None
+
+(* {1 Flush: memtable -> one level-0 run}
+
+   Atomic: the whole memtable streams into a single run, the manifest
+   commits with the new WAL floor, then the log truncates. A crash
+   anywhere in between recovers either the old state (replay from the
+   old floor) or the new one (replay from the new floor skips the
+   now-durable records) — deltas never double-apply. *)
+
+let do_flush t =
+  let wal = Pagestore.Store.wal t.store in
+  let floor = Pagestore.Wal.next_lsn wal in
+  let b =
+    Sstable.Builder.create ~format:t.config.Config.page_format
+      ~extent_pages:t.config.Config.extent_pages t.store
+  in
+  t.flush_builder <- Some b;
+  let bloom = mk_bloom t ~expected_items:(Memtable.count t.mem) in
+  let rec drain () =
+    match Memtable.consume_geq_lsn t.mem "" with
+    | Some (k, e, lsn) ->
+        Sstable.Builder.add ~lsn b k e;
+        Option.iter (fun bl -> Bloom.add bl k) bloom;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  if Sstable.Builder.record_count b = 0 then begin
+    Sstable.Builder.abandon b;
+    t.flush_builder <- None
+  end
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let bloom_blob =
+      if t.config.Config.persist_bloom then Option.map Bloom.to_string bloom
+      else None
+    in
+    let footer = Sstable.Builder.finish ?bloom_blob b ~timestamp:id in
+    let sst =
+      Sstable.Reader.open_in_ram t.store footer
+        ~index:(Sstable.Builder.index_blob b)
+    in
+    t.flush_builder <- None;
+    let comp = Component.of_sst ?bloom sst in
+    t.levels.(0) <- { pr_id = id; pr_comp = comp } :: t.levels.(0);
+    t.stats.flushes <- t.stats.flushes + 1;
+    t.stats.bytes_flushed <- t.stats.bytes_flushed + Component.data_bytes comp;
+    t.floor_lsn <- floor;
+    commit_manifest t;
+    Pagestore.Wal.truncate wal ~upto_lsn:floor
+  end
+
+let flush t = if not (Memtable.is_empty t.mem) then do_flush t
+
+(* {1 Compaction mechanism: execute one policy job incrementally} *)
+
+let resolve_runs t ~lvl ids =
+  List.map
+    (fun id ->
+      match List.find_opt (fun r -> r.pr_id = id) t.levels.(lvl) with
+      | Some r -> r
+      | None ->
+          failwith
+            (Printf.sprintf
+               "policy_tree: policy %s selected unknown run %d at level %d"
+               t.policy.Compaction_policy.p_name id lvl))
+    ids
+
+let comp_pull t ~lvl comp =
+  let it = Component.iterator comp in
+  fun () -> guard t ~lvl (fun () -> Sstable.Reader.iter_next_full it)
+
+(* Pull a list of key-disjoint components (sorted by min key) as one
+   ordered stream. *)
+let chain_pull t ~lvl comps =
+  let remaining = ref comps in
+  let cur = ref None in
+  let rec next () =
+    match !cur with
+    | Some pull -> (
+        match pull () with
+        | Some _ as r -> r
+        | None ->
+            cur := None;
+            next ())
+    | None -> (
+        match !remaining with
+        | [] -> None
+        | c :: rest ->
+            remaining := rest;
+            cur := Some (comp_pull t ~lvl c);
+            next ())
+  in
+  next
+
+(* Tombstones (and orphan deltas) may be dropped only when the output
+   lands at the bottom of the data: nothing below the target level, and
+   nothing left *at* the target level outside the job — otherwise a
+   dropped tombstone would resurrect an older record it was shadowing. *)
+let job_reaches_bottom t (job : Compaction_policy.job) =
+  let deeper_empty = ref true in
+  for l = job.j_target + 1 to t.pc.pt_max_levels - 1 do
+    if t.levels.(l) <> [] then deeper_empty := false
+  done;
+  let consumed id =
+    List.mem id job.j_overlaps
+    || (job.j_target = job.j_level && List.mem id job.j_inputs)
+  in
+  !deeper_empty
+  && List.for_all (fun r -> consumed r.pr_id) t.levels.(job.j_target)
+
+let start_job t (job : Compaction_policy.job) =
+  assert (t.active = None);
+  let inputs = resolve_runs t ~lvl:job.j_level job.j_inputs in
+  let overlaps =
+    if job.j_target = job.j_level then []
+    else resolve_runs t ~lvl:job.j_target job.j_overlaps
+  in
+  (* Freshest source wins ties: inputs come from above the target (or
+     are newer runs of the same level), ordered newest id first; the
+     target level's overlapping runs are older than all of them and,
+     being key-disjoint, chain into one stream. *)
+  let inputs_desc =
+    List.sort (fun a b -> Int.compare b.pr_id a.pr_id) inputs
+  in
+  let sources =
+    List.mapi
+      (fun i r -> (i, comp_pull t ~lvl:job.j_level r.pr_comp))
+      inputs_desc
+    @
+    match overlaps with
+    | [] -> []
+    | _ ->
+        let sorted =
+          List.sort
+            (fun a b -> String.compare (run_min_key a) (run_min_key b))
+            overlaps
+        in
+        [
+          ( List.length inputs_desc,
+            chain_pull t ~lvl:job.j_target
+              (List.map (fun r -> r.pr_comp) sorted) );
+        ]
+  in
+  let total_bytes =
+    List.fold_left (fun a r -> a + run_bytes r) 0 (inputs @ overlaps)
+  in
+  let total_records =
+    List.fold_left
+      (fun a r -> a + Component.record_count r.pr_comp)
+      0 (inputs @ overlaps)
+  in
+  t.active <-
+    Some
+      {
+        ac_job = job;
+        ac_inputs = inputs;
+        ac_overlaps = overlaps;
+        ac_iter =
+          Sstable.Merge_iter.create ~resolver:t.config.Config.resolver
+            ~drop_tombstones:(job_reaches_bottom t job)
+            sources;
+        ac_total_bytes = total_bytes;
+        ac_total_records = total_records;
+        ac_read_bytes = 0;
+        ac_builder = None;
+        ac_bloom = None;
+        ac_outputs = [];
+        ac_done = false;
+      }
+
+(* Seal the current output split (if it holds records) into a mounted,
+   not-yet-committed run. *)
+let rotate_output t ac =
+  (match ac.ac_builder with
+  | None -> ()
+  | Some b ->
+      if Sstable.Builder.record_count b = 0 then Sstable.Builder.abandon b
+      else begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let bloom_blob =
+          if t.config.Config.persist_bloom then
+            Option.map Bloom.to_string ac.ac_bloom
+          else None
+        in
+        let footer = Sstable.Builder.finish ?bloom_blob b ~timestamp:id in
+        let sst =
+          Sstable.Reader.open_in_ram t.store footer
+            ~index:(Sstable.Builder.index_blob b)
+        in
+        let comp = Component.of_sst ?bloom:ac.ac_bloom sst in
+        ac.ac_outputs <- { pr_id = id; pr_comp = comp } :: ac.ac_outputs
+      end);
+  ac.ac_builder <- None;
+  ac.ac_bloom <- None
+
+(* Expected keys per output split, for Bloom sizing. *)
+let split_expected ac split =
+  if split <= 0 || ac.ac_total_bytes <= 0 then ac.ac_total_records
+  else ac.ac_total_records * split / max 1 ac.ac_total_bytes
+
+let record_cost k e = String.length k + Kv.Entry.payload_bytes e + 16
+
+(* Consume up to [quota] input bytes (approximated by surviving record
+   sizes; pacing only needs smoothness, not exactness). *)
+let step_active t ac ~quota =
+  let split = ac.ac_job.Compaction_policy.j_split_bytes in
+  let spent = ref 0 in
+  while (not ac.ac_done) && !spent < quota do
+    match Sstable.Merge_iter.next ac.ac_iter with
+    | None ->
+        rotate_output t ac;
+        ac.ac_done <- true
+    | Some (k, e, lsn) ->
+        (match ac.ac_builder with
+        | Some b
+          when split > 0 && Sstable.Builder.data_bytes b >= split ->
+            rotate_output t ac
+        | _ -> ());
+        let b =
+          match ac.ac_builder with
+          | Some b -> b
+          | None ->
+              let b =
+                Sstable.Builder.create ~format:t.config.Config.page_format
+                  ~extent_pages:t.config.Config.extent_pages t.store
+              in
+              ac.ac_builder <- Some b;
+              ac.ac_bloom <- mk_bloom t ~expected_items:(split_expected ac split);
+              b
+        in
+        Sstable.Builder.add ~lsn b k e;
+        Option.iter (fun bl -> Bloom.add bl k) ac.ac_bloom;
+        let c = record_cost k e in
+        ac.ac_read_bytes <- ac.ac_read_bytes + c;
+        spent := !spent + c
+  done
+
+(* Swap the job's output in for its inputs, commit the manifest, free
+   the superseded runs. The in-memory install happens before the commit
+   and [t.active] is cleared first, so a crash point inside the root
+   write leaves exactly one owner for every region: uncommitted outputs
+   are freed by recovery's durable-set sweep, committed inputs are
+   still in the old manifest. *)
+let commit_active t ac =
+  let job = ac.ac_job in
+  let gone_inputs = List.map (fun r -> r.pr_id) ac.ac_inputs in
+  let gone_overlaps = List.map (fun r -> r.pr_id) ac.ac_overlaps in
+  let outputs = List.rev ac.ac_outputs in
+  t.active <- None;
+  t.levels.(job.Compaction_policy.j_level) <-
+    List.filter
+      (fun r -> not (List.mem r.pr_id gone_inputs))
+      t.levels.(job.Compaction_policy.j_level);
+  t.levels.(job.Compaction_policy.j_target) <-
+    level_order job.Compaction_policy.j_target
+      (outputs
+      @ List.filter
+          (fun r -> not (List.mem r.pr_id gone_overlaps))
+          t.levels.(job.Compaction_policy.j_target));
+  t.stats.compactions <- t.stats.compactions + 1;
+  t.stats.bytes_compacted <- t.stats.bytes_compacted + ac.ac_total_bytes;
+  commit_manifest t;
+  List.iter (fun r -> Component.free r.pr_comp) ac.ac_inputs;
+  List.iter (fun r -> Component.free r.pr_comp) ac.ac_overlaps
+
+let finish_active t =
+  match t.active with
+  | None -> ()
+  | Some ac ->
+      let fuel = ref 0 in
+      while not ac.ac_done do
+        incr fuel;
+        if !fuel > 10_000_000 then failwith "policy_tree: compaction stuck";
+        step_active t ac ~quota:(64 * 1024)
+      done;
+      commit_active t ac
+
+(* Start the policy's most urgent job when no compaction is in flight. *)
+let ensure_active t =
+  if t.active = None then
+    match t.policy.Compaction_policy.p_pick (view t) with
+    | Some job -> start_job t job
+    | None -> ()
+
+(* {1 Pacing: the per-write scheduler window} *)
+
+let charge t ~hard_default sc_dt =
+  let sc = t.scratch in
+  if t.in_hard then sc.sc_hard_us <- sc.sc_hard_us +. sc_dt
+  else
+    match hard_default with
+    | `Merge1 -> sc.sc_merge1_us <- sc.sc_merge1_us +. sc_dt
+    | `Merge2 -> sc.sc_merge2_us <- sc.sc_merge2_us +. sc_dt
+
+(* Hard drain: level 0 reached the stop threshold, so writes block until
+   the policy has merged it back under. The parked elective compaction
+   finishes first — its inputs may pin runs the drain jobs need. *)
+let hard_drain t =
+  t.stats.hard_stalls <- t.stats.hard_stalls + 1;
+  t.in_hard <- true;
+  Fun.protect
+    ~finally:(fun () -> t.in_hard <- false)
+    (fun () ->
+      finish_active t;
+      let fuel = ref 0 in
+      while List.length t.levels.(0) >= t.pc.pt_l0_stop do
+        incr fuel;
+        if !fuel > 10_000 then failwith "policy_tree: hard drain stuck";
+        match t.policy.Compaction_policy.p_job_at (view t) ~level:0 with
+        | Some job ->
+            start_job t job;
+            finish_active t
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "policy_tree: level 0 at %d runs >= stop %d but policy %s \
+                  is idle"
+                 (List.length t.levels.(0))
+                 t.pc.pt_l0_stop t.policy.Compaction_policy.p_name)
+      done)
+
+let now_us t = Pagestore.Store.now_us t.store
+
+let pace t ~write_bytes =
+  let capacity = Config.c0_capacity t.config in
+  (* Starting a job opens iterators on every input run (seeks on the
+     simulated disk), so it must land in a stall bucket too or the
+     attribution would not tile the pacing window. *)
+  (let t0 = now_us t in
+   ensure_active t;
+   charge t ~hard_default:`Merge2 (now_us t -. t0));
+  (match t.active with
+  | None -> ()
+  | Some ac ->
+      let fill = float_of_int (Memtable.bytes t.mem) /. float_of_int capacity in
+      let quota =
+        min t.config.Config.max_quota_per_write
+          (Scheduler.spring_quota ~write_bytes ~fill
+             ~low:t.config.Config.low_watermark
+             ~high:t.config.Config.high_watermark
+             ~remaining_bytes:(max 1 (ac.ac_total_bytes - ac.ac_read_bytes))
+             ~c0_capacity:capacity)
+      in
+      if quota > 0 then begin
+        let t0 = now_us t in
+        step_active t ac ~quota;
+        if ac.ac_done then commit_active t ac;
+        charge t ~hard_default:`Merge2 (now_us t -. t0)
+      end);
+  if Memtable.bytes t.mem >= capacity then begin
+    let t0 = now_us t in
+    do_flush t;
+    charge t ~hard_default:`Merge1 (now_us t -. t0)
+  end;
+  if List.length t.levels.(0) >= t.pc.pt_l0_stop then begin
+    let t0 = now_us t in
+    Fun.protect
+      ~finally:(fun () ->
+        let sc = t.scratch in
+        sc.sc_hard_us <- sc.sc_hard_us +. (now_us t -. t0))
+      (fun () -> hard_drain t)
+  end
+
+let before_write t ~write_bytes =
+  let sc = t.scratch in
+  sc.sc_merge1_us <- 0.0;
+  sc.sc_merge2_us <- 0.0;
+  sc.sc_hard_us <- 0.0;
+  sc.sc_wal_us <- 0.0;
+  sc.sc_total_us <- 0.0;
+  let t0 = now_us t in
+  pace t ~write_bytes;
+  sc.sc_total_us <- now_us t -. t0;
+  t.stats.stall_merge1_us <- t.stats.stall_merge1_us +. sc.sc_merge1_us;
+  t.stats.stall_merge2_us <- t.stats.stall_merge2_us +. sc.sc_merge2_us;
+  t.stats.stall_hard_us <- t.stats.stall_hard_us +. sc.sc_hard_us;
+  match t.stall_observer with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          Tree.sb_merge1_us = sc.sc_merge1_us;
+          sb_merge2_us = sc.sc_merge2_us;
+          sb_hard_us = sc.sc_hard_us;
+          sb_wal_us = 0.0;
+          sb_total_us = sc.sc_total_us;
+        }
+
+(* {1 Write path} *)
+
+let write_entry t key entry =
+  let bytes = String.length key + Kv.Entry.payload_bytes entry in
+  before_write t ~write_bytes:(max 64 bytes);
+  let t_wal = now_us t in
+  let lsn =
+    Pagestore.Wal.append
+      (Pagestore.Store.wal t.store)
+      (Tree.encode_ops [ (key, entry) ])
+  in
+  t.scratch.sc_wal_us <- t.scratch.sc_wal_us +. (now_us t -. t_wal);
+  Memtable.write t.mem ~lsn key entry;
+  t.stats.user_bytes <- t.stats.user_bytes + bytes
+
+let put t key value =
+  t.stats.puts <- t.stats.puts + 1;
+  write_entry t key (Kv.Entry.Base value)
+
+let delete t key =
+  t.stats.deletes <- t.stats.deletes + 1;
+  write_entry t key Kv.Entry.Tombstone
+
+let apply_delta t key d =
+  t.stats.deltas <- t.stats.deltas + 1;
+  write_entry t key (Kv.Entry.Delta [ d ])
+
+let write_batch t ops =
+  if ops <> [] then begin
+    let bytes =
+      List.fold_left
+        (fun a (k, e) -> a + String.length k + Kv.Entry.payload_bytes e)
+        0 ops
+    in
+    before_write t ~write_bytes:(max 64 bytes);
+    let t_wal = now_us t in
+    let lsn =
+      Pagestore.Wal.append (Pagestore.Store.wal t.store) (Tree.encode_ops ops)
+    in
+    t.scratch.sc_wal_us <- t.scratch.sc_wal_us +. (now_us t -. t_wal);
+    List.iter (fun (key, entry) -> Memtable.write t.mem ~lsn key entry) ops;
+    t.stats.puts <- t.stats.puts + List.length ops;
+    t.stats.user_bytes <- t.stats.user_bytes + bytes
+  end
+
+(* {1 Read path}
+
+   Visit record states newest-first: memtable, then every level top
+   down. Within a level, runs are visited newest id first — required
+   where runs overlap (level 0, tiered levels), harmless where they are
+   key-disjoint (at most one can contain the key, and Bloom filters
+   skip the rest). Early termination stops at the first base record or
+   tombstone (§3.1.1). *)
+
+let lookup_entry t key =
+  let early = t.config.Config.early_termination in
+  let resolver = t.config.Config.resolver in
+  let result = ref None in
+  let stop = ref false in
+  let absorb e =
+    (match !result with
+    | None -> result := Some e
+    | Some newer -> result := Some (Kv.Entry.merge resolver ~newer ~older:e));
+    if early then
+      match !result with
+      | Some (Kv.Entry.Base _ | Kv.Entry.Tombstone) -> stop := true
+      | _ -> ()
+  in
+  (match Memtable.get t.mem key with Some e -> absorb e | None -> ());
+  let lvl = ref 0 in
+  while (not !stop) && !lvl < t.pc.pt_max_levels do
+    let runs =
+      List.sort (fun a b -> Int.compare b.pr_id a.pr_id) t.levels.(!lvl)
+    in
+    List.iter
+      (fun r ->
+        if not !stop then
+          match guard t ~lvl:!lvl (fun () -> Component.get r.pr_comp key) with
+          | Some e -> absorb e
+          | None -> ())
+      runs;
+    incr lvl
+  done;
+  !result
+
+let interpret t = function
+  | None -> None
+  | Some (Kv.Entry.Base v) -> Some v
+  | Some Kv.Entry.Tombstone -> None
+  | Some (Kv.Entry.Delta ds) ->
+      Kv.Entry.resolve t.config.Config.resolver ~base:None ds
+
+let get t key =
+  t.stats.gets <- t.stats.gets + 1;
+  interpret t (lookup_entry t key)
+
+let read_modify_write t key f =
+  t.stats.rmws <- t.stats.rmws + 1;
+  let v = interpret t (lookup_entry t key) in
+  write_entry t key (Kv.Entry.Base (f v))
+
+let insert_if_absent t key value =
+  t.stats.checked_inserts <- t.stats.checked_inserts + 1;
+  match interpret t (lookup_entry t key) with
+  | Some _ -> false
+  | None ->
+      write_entry t key (Kv.Entry.Base value);
+      true
+
+(* {1 Scans} *)
+
+let mem_pull mem ~from =
+  let cursor = ref from in
+  fun () ->
+    match Memtable.peek_geq_lsn mem !cursor with
+    | Some (k, _, _) as r ->
+        cursor := k ^ "\000";
+        r
+    | None -> None
+
+let scan_pull t ~lvl comp ~from =
+  let it = Component.iterator ~from comp in
+  fun () -> guard t ~lvl (fun () -> Sstable.Reader.iter_next_full it)
+
+let scan t start n =
+  t.stats.scans <- t.stats.scans + 1;
+  let sources = ref [] in
+  for lvl = t.pc.pt_max_levels - 1 downto 0 do
+    List.iter
+      (fun r -> sources := scan_pull t ~lvl r.pr_comp ~from:start :: !sources)
+      (List.sort
+         (fun a b -> Int.compare a.pr_id b.pr_id)
+         t.levels.(lvl))
+  done;
+  (* Freshest first: the memtable shadows every run, then levels top
+     down with newer ids in front (the same order [lookup_entry] uses). *)
+  sources := mem_pull t.mem ~from:start :: !sources;
+  let merge =
+    Sstable.Merge_iter.create ~resolver:t.config.Config.resolver
+      ~drop_tombstones:true
+      (List.mapi (fun i pull -> (i, pull)) !sources)
+  in
+  let rec collect acc k =
+    if k = 0 then List.rev acc
+    else
+      match Sstable.Merge_iter.next merge with
+      | None -> List.rev acc
+      | Some (key, entry, _) -> (
+          match
+            match entry with
+            | Kv.Entry.Base v -> Some v
+            | Kv.Entry.Tombstone -> None
+            | Kv.Entry.Delta ds ->
+                Kv.Entry.resolve t.config.Config.resolver ~base:None ds
+          with
+          | Some v -> collect ((key, v) :: acc) (k - 1)
+          | None -> collect acc k)
+  in
+  collect [] n
+
+(* {1 Maintenance} *)
+
+let maintenance t =
+  flush t;
+  finish_active t;
+  let fuel = ref 0 in
+  let rec settle () =
+    incr fuel;
+    if !fuel > 100_000 then failwith "policy_tree: maintenance stuck";
+    match t.policy.Compaction_policy.p_pick (view t) with
+    | Some job ->
+        start_job t job;
+        finish_active t;
+        settle ()
+    | None -> ()
+  in
+  settle ()
+
+(* {1 Crash and recovery} *)
+
+let crash_and_recover ?(verify = false) t =
+  let mid_compaction = t.active <> None in
+  (* Roll back everything uncommitted while the allocator is still
+     coherent: the in-flight compaction's builder and sealed outputs,
+     a mid-flush builder, and any installed-but-uncommitted runs (a
+     crash point inside the root write itself). The durable manifest is
+     the authority on what must survive. *)
+  (match t.active with
+  | Some ac ->
+      (match ac.ac_builder with
+      | Some b -> Sstable.Builder.abandon b
+      | None -> ());
+      List.iter (fun r -> Component.free r.pr_comp) ac.ac_outputs
+  | None -> ());
+  (match t.flush_builder with
+  | Some b -> Sstable.Builder.abandon b
+  | None -> ());
+  let durable = durable_ids t in
+  Array.iter
+    (List.iter (fun r ->
+         if not (List.mem r.pr_id durable) then Component.free r.pr_comp))
+    t.levels;
+  Pagestore.Store.crash t.store;
+  let root = Pagestore.Store.read_root t.store in
+  let policy =
+    match Compaction_policy.of_name t.policy.Compaction_policy.p_name with
+    | Some p -> p
+    | None -> t.policy
+  in
+  let fresh = create ~config:t.config ~pconfig:t.pc ~policy t.store in
+  fresh.stats.recoveries <- t.stats.recoveries + 1;
+  if mid_compaction then
+    fresh.stats.recoveries_mid_compaction <-
+      t.stats.recoveries_mid_compaction + 1
+  else
+    fresh.stats.recoveries_mid_compaction <- t.stats.recoveries_mid_compaction;
+  (if String.length root >= 4 && String.sub root 0 4 = "PLSM" then begin
+     let next_id, pos = Repro_util.Varint.read root 4 in
+     let floor, pos = Repro_util.Varint.read root pos in
+     fresh.next_id <- next_id;
+     fresh.floor_lsn <- floor;
+     let n, pos = Repro_util.Varint.read root pos in
+     let pos = ref pos in
+     for _ = 1 to n do
+       let lvl, p = Repro_util.Varint.read root !pos in
+       let id, p = Repro_util.Varint.read root p in
+       let len, p = Repro_util.Varint.read root p in
+       let blob = String.sub root p len in
+       pos := p + len;
+       let sst =
+         match Sstable.Reader.of_meta t.store blob with
+         | sst -> sst
+         | exception Sstable.Sst_format.Corrupt { what; page } ->
+             (* manifest metadata or index rotted: unreadable without it *)
+             fresh.stats.corruptions_detected <-
+               fresh.stats.corruptions_detected + 1;
+             raise
+               (Tree.Corruption
+                  { level = level_name lvl; what; page_or_lsn = page })
+       in
+       let errs = if verify then Sstable.Reader.verify sst else [] in
+       (* A rotted Bloom blob is derived data: build_bloom masks it by
+          rebuilding from a scan. Count it, ignore it. *)
+       let bloom_errs, real_errs =
+         List.partition (fun (what, _) -> what = "bloom blob checksum") errs
+       in
+       fresh.stats.corruptions_detected <-
+         fresh.stats.corruptions_detected + List.length bloom_errs;
+       let comp =
+         match real_errs with
+         | [] ->
+             let bloom =
+               Component.build_bloom ~kind:t.config.Config.bloom_kind
+                 ~bits_per_key:t.config.Config.bloom_bits_per_key sst
+             in
+             Component.of_sst ?bloom sst
+         | _ :: _ ->
+             (* Quarantine: mount it bloomless — good pages stay
+                readable, rotted ones raise on touch (the rebuild scan
+                would trip over the bad page). *)
+             fresh.stats.corruptions_detected <-
+               fresh.stats.corruptions_detected + List.length real_errs;
+             fresh.stats.quarantined_runs <- fresh.stats.quarantined_runs + 1;
+             Component.of_sst sst
+       in
+       if lvl < fresh.pc.pt_max_levels then
+         fresh.levels.(lvl) <- { pr_id = id; pr_comp = comp } :: fresh.levels.(lvl)
+       else
+         failwith "policy_tree: manifest level out of range"
+     done;
+     Array.iteri
+       (fun lvl runs -> fresh.levels.(lvl) <- level_order lvl runs)
+       fresh.levels
+   end);
+  (* Replay the log into a fresh memtable. Every record with
+     lsn < floor is durably folded into a committed level-0 run (flushes
+     are atomic), so the floor filter alone prevents double-apply —
+     crucially for deltas, which are not idempotent. *)
+  let wal = Pagestore.Store.wal t.store in
+  (match
+     Pagestore.Wal.replay wal ~from_lsn:fresh.floor_lsn (fun lsn payload ->
+         if lsn >= fresh.floor_lsn then
+           List.iter
+             (fun (key, entry) -> Memtable.write fresh.mem ~lsn key entry)
+             (Tree.decode_ops payload))
+   with
+  | () -> ()
+  | exception Pagestore.Wal.Corrupt { what; lsn } ->
+      fresh.stats.corruptions_detected <- fresh.stats.corruptions_detected + 1;
+      raise (Tree.Corruption { level = "WAL"; what; page_or_lsn = lsn }));
+  fresh
+
+(* {1 Scrubbing} *)
+
+let scrub t =
+  let errs = ref 0 in
+  Array.iter
+    (List.iter (fun r ->
+         errs := !errs + List.length (Sstable.Reader.verify r.pr_comp.Component.sst)))
+    t.levels;
+  let _checked, wal_errs = Pagestore.Wal.verify (Pagestore.Store.wal t.store) in
+  errs := !errs + List.length wal_errs;
+  t.stats.corruptions_detected <- t.stats.corruptions_detected + !errs;
+  (!errs, !errs = 0)
+
+(* {1 Metrics} *)
+
+let metrics t =
+  match t.metrics with
+  | Some m -> m
+  | None ->
+      let reg = Obs.Metrics.create () in
+      let s = t.stats in
+      let counter = Obs.Metrics.counter in
+      counter reg "ptree.puts" ~help:"put operations" (fun () -> s.puts);
+      counter reg "ptree.gets" ~help:"get operations" (fun () -> s.gets);
+      counter reg "ptree.deletes" ~help:"delete operations" (fun () ->
+          s.deletes);
+      counter reg "ptree.deltas" ~help:"delta operations" (fun () -> s.deltas);
+      counter reg "ptree.scans" ~help:"scan operations" (fun () -> s.scans);
+      counter reg "ptree.rmws" ~help:"read-modify-writes" (fun () -> s.rmws);
+      counter reg "ptree.checked_inserts" ~help:"insert-if-absent calls"
+        (fun () -> s.checked_inserts);
+      counter reg "ptree.flushes" ~help:"memtable flushes" (fun () ->
+          s.flushes);
+      counter reg "ptree.compactions" ~help:"policy jobs executed" (fun () ->
+          s.compactions);
+      counter reg "ptree.bytes_flushed" ~help:"level-0 output bytes" (fun () ->
+          s.bytes_flushed);
+      counter reg "ptree.bytes_compacted" ~help:"compaction input bytes"
+        (fun () -> s.bytes_compacted);
+      counter reg "ptree.user_bytes" ~help:"logical bytes accepted" (fun () ->
+          s.user_bytes);
+      counter reg "ptree.hard_stalls" ~help:"level-0 stop-threshold drains"
+        (fun () -> s.hard_stalls);
+      counter reg "ptree.recoveries" ~help:"crash recoveries (lifetime)"
+        (fun () -> s.recoveries);
+      counter reg "ptree.recoveries_mid_compaction"
+        ~help:"recoveries that rolled back an in-flight compaction" (fun () ->
+          s.recoveries_mid_compaction);
+      counter reg "ptree.corruptions_detected" ~help:"checksum mismatches seen"
+        (fun () -> s.corruptions_detected);
+      counter reg "ptree.quarantined_runs"
+        ~help:"corrupt runs mounted read-around at recovery" (fun () ->
+          s.quarantined_runs);
+      counter reg "ptree.run_bytes" ~help:"bytes across all runs" (fun () ->
+          total_run_bytes t);
+      counter reg "ptree.runs" ~help:"run count across all levels" (fun () ->
+          Array.fold_left (fun a l -> a + List.length l) 0 t.levels);
+      Obs.Metrics.gauge reg "ptree.stall_merge1_us"
+        ~help:"pacing time spent flushing, µs" (fun () -> s.stall_merge1_us);
+      Obs.Metrics.gauge reg "ptree.stall_merge2_us"
+        ~help:"pacing time spent compacting, µs" (fun () -> s.stall_merge2_us);
+      Obs.Metrics.gauge reg "ptree.stall_hard_us"
+        ~help:"hard-drain time, µs" (fun () -> s.stall_hard_us);
+      Obs.Metrics.gauge reg "ptree.c0_fill" ~help:"memtable fill fraction"
+        (fun () ->
+          float_of_int (Memtable.bytes t.mem)
+          /. float_of_int (Config.c0_capacity t.config));
+      Pagestore.Store.register_metrics reg t.store;
+      t.metrics <- Some reg;
+      reg
+
+(* {1 Engine adapter} *)
+
+let engine ?name t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> "policy-" ^ t.policy.Compaction_policy.p_name
+  in
+  {
+    Kv.Kv_intf.name;
+    disk = disk t;
+    get = (fun k -> get t k);
+    put = (fun k v -> put t k v);
+    delete = (fun k -> delete t k);
+    apply_delta = (fun k d -> apply_delta t k d);
+    read_modify_write = (fun k f -> read_modify_write t k f);
+    insert_if_absent = (fun k v -> insert_if_absent t k v);
+    scan = (fun start n -> scan t start n);
+    maintenance = (fun () -> maintenance t);
+  }

@@ -1,0 +1,142 @@
+(** Policy-driven multi-level LSM engine.
+
+    The host for {!Compaction_policy}: a memtable + WAL in front of an
+    array of levels of {!Component} runs (Bloom filters, fence pointers,
+    V2 pages — the shared read stack), with *victim selection* delegated
+    entirely to the policy and everything else shared so the four
+    compaction disciplines differ only in the one decision the design
+    space varies.
+
+    Pacing reuses the spring-and-gear controllers from {!Scheduler}: a
+    {!Scheduler.spring_quota} deadline controller on the memtable fill
+    band drains compaction debt before C0 fills, and level-0 pressure
+    beyond the stop threshold triggers a hard drain — so every policy
+    gets the same bounded-latency treatment and the same
+    merge1/merge2/hard stall attribution ({!Tree.stall_breakdown}) that
+    feeds {!Obs.Episodes} via {!on_stall}.
+
+    Durability matches the other engines: logical WAL + force-written
+    manifest root. A flush builds one level-0 run, commits the manifest
+    (with the WAL floor it makes durable), then truncates the log;
+    compactions are pure reorganizations and never touch the WAL, and an
+    interrupted one is rolled back wholesale at recovery. Corrupt runs
+    found at recovery are quarantined (reads of rotted pages raise
+    {!Tree.Corruption}); mid-log WAL rot is fatal, torn tails are
+    truncated — never a wrong answer. *)
+
+(** Shape knobs the policy sees ({!Compaction_policy.view}):
+    [pt_l0_trigger]/[pt_l0_stop] level-0 run-count thresholds (urgent /
+    hard-stall), [pt_fanout] the size ratio and tiering width T,
+    [pt_base_bytes] the level-1 byte target, [pt_file_bytes] output
+    split granularity for range-partitioned policies, [pt_max_levels]
+    the level count. *)
+type pconfig = {
+  pt_l0_trigger : int;
+  pt_l0_stop : int;
+  pt_fanout : float;
+  pt_base_bytes : int;
+  pt_file_bytes : int;
+  pt_max_levels : int;
+}
+
+(** Trigger 4, stop 8, fanout 4, base 256 KiB, 64 KiB files, 6 levels. *)
+val default_pconfig : pconfig
+
+type stats = {
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable bytes_flushed : int;  (** level-0 run output bytes *)
+  mutable bytes_compacted : int;  (** lifetime compaction input bytes *)
+  mutable user_bytes : int;  (** logical key+payload bytes accepted *)
+  mutable hard_stalls : int;
+  mutable recoveries : int;
+  mutable recoveries_mid_compaction : int;
+      (** recoveries that rolled back an in-flight compaction — the
+          crash-during-merge repro predicate *)
+  mutable corruptions_detected : int;
+  mutable quarantined_runs : int;
+  mutable puts : int;
+  mutable gets : int;
+  mutable deletes : int;
+  mutable deltas : int;
+  mutable scans : int;
+  mutable rmws : int;
+  mutable checked_inserts : int;
+  mutable stall_merge1_us : float;  (** pacing time spent flushing *)
+  mutable stall_merge2_us : float;  (** pacing time spent compacting *)
+  mutable stall_hard_us : float;  (** level-0 hard-drain time *)
+}
+
+type t
+
+(** [create ~policy store] opens an empty tree. [config] supplies the
+    shared engine knobs (C0 budget, watermarks, Bloom layout, page
+    format, resolver, seed); [pconfig] the level-shape knobs. *)
+val create :
+  ?config:Config.t -> ?pconfig:pconfig -> policy:Compaction_policy.t ->
+  Pagestore.Store.t -> t
+
+val config : t -> Config.t
+val pconfig : t -> pconfig
+val policy : t -> Compaction_policy.t
+val store : t -> Pagestore.Store.t
+val disk : t -> Simdisk.Disk.t
+val stats : t -> stats
+
+val put : t -> string -> string -> unit
+val delete : t -> string -> unit
+val apply_delta : t -> string -> string -> unit
+val get : t -> string -> string option
+val read_modify_write : t -> string -> (string option -> string) -> unit
+val insert_if_absent : t -> string -> string -> bool
+val scan : t -> string -> int -> (string * string) list
+
+(** [write_batch t ops] applies [ops] under one WAL record: all-or-
+    nothing across crashes. *)
+val write_batch : t -> (string * Kv.Entry.t) list -> unit
+
+(** Force the memtable into a level-0 run (commits manifest, truncates
+    the WAL). *)
+val flush : t -> unit
+
+(** Flush, then run policy picks to fixpoint: afterwards
+    {!check_invariant} must hold. *)
+val maintenance : t -> unit
+
+(** Power-fail the store and reopen from manifest + WAL replay. The
+    returned tree is fresh (stats zeroed except the recovery counters,
+    which accumulate across generations); an in-flight compaction is
+    rolled back. [verify] checksums every run page at mount; corrupt
+    runs are quarantined. May raise {!Tree.Corruption}. *)
+val crash_and_recover : ?verify:bool -> t -> t
+
+(** [(checksum errors, clean)] over every run page, Bloom blob and the
+    WAL. *)
+val scrub : t -> int * bool
+
+(** Stall attribution of the last write, tiling its pacing window —
+    same contract as {!Tree.last_stall}. *)
+val last_stall : t -> Tree.stall_breakdown
+
+(** Observer called once per pacing decision (stall-episode detectors). *)
+val on_stall : t -> (Tree.stall_breakdown -> unit) -> unit
+
+(** [ptree.*] counters plus the store stack; built once and cached. *)
+val metrics : t -> Obs.Metrics.t
+
+(** Metadata snapshot the policy decides over. *)
+val view : t -> Compaction_policy.view
+
+(** The policy's structural invariant at the current shape
+    ([p_check (view t)]). *)
+val check_invariant : t -> string option
+
+type level_info = { li_level : int; li_runs : int; li_bytes : int }
+
+val levels : t -> level_info list
+
+(** Run bytes across all levels (space-amplification numerator). *)
+val total_run_bytes : t -> int
+
+(** [engine t] adapts the tree to the generic KV surface. *)
+val engine : ?name:string -> t -> Kv.Kv_intf.engine

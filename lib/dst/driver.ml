@@ -173,6 +173,7 @@ let caps_tree =
 
 let caps_partitioned = { caps_tree with Plan.c_txn = false }
 let caps_replicated = { caps_tree with Plan.c_follower = true }
+let caps_policy = { caps_tree with Plan.c_txn = false }
 
 let caps_baseline =
   {
@@ -382,6 +383,80 @@ let btree ~seed () =
     net = None;
   }
 
+(* The policy-tree shape: small thresholds and file sizes so short
+   plans drive every policy through flushes, multi-level compactions
+   and the level-0 stop threshold, with room below [max_levels] for
+   cascades. Shares [small_config]'s store-side knobs (V2 pages,
+   blocked Blooms, spring watermarks) so the policies inherit the same
+   read stack and pacing as the bLSM drivers. *)
+let small_pconfig =
+  {
+    Blsm.Policy_tree.pt_l0_trigger = 3;
+    pt_l0_stop = 6;
+    pt_fanout = 3.0;
+    pt_base_bytes = 32 * 1024;
+    pt_file_bytes = 16 * 1024;
+    pt_max_levels = 5;
+  }
+
+let counts_of_pstats (s : Blsm.Policy_tree.stats) =
+  {
+    n_puts = s.Blsm.Policy_tree.puts;
+    n_gets = s.Blsm.Policy_tree.gets;
+    n_deletes = s.Blsm.Policy_tree.deletes;
+    n_deltas = s.Blsm.Policy_tree.deltas;
+    n_scans = s.Blsm.Policy_tree.scans;
+    n_rmws = s.Blsm.Policy_tree.rmws;
+    n_checked_inserts = s.Blsm.Policy_tree.checked_inserts;
+  }
+
+let policy_tree ~policy_name ~seed () =
+  let store, faults = mk_store ~fault_seed:seed () in
+  let policy =
+    match Blsm.Compaction_policy.of_name policy_name with
+    | Some p -> p
+    | None -> invalid_arg ("Dst.Driver.policy_tree: unknown policy " ^ policy_name)
+  in
+  let pt =
+    ref
+      (Blsm.Policy_tree.create ~config:(small_config seed)
+         ~pconfig:small_pconfig ~policy store)
+  in
+  {
+    name = "policy-" ^ policy_name;
+    caps = caps_policy;
+    get = (fun k -> Blsm.Policy_tree.get !pt k);
+    put = (fun k v -> Blsm.Policy_tree.put !pt k v);
+    delete = (fun k -> Blsm.Policy_tree.delete !pt k);
+    apply_delta = (fun k d -> Blsm.Policy_tree.apply_delta !pt k d);
+    rmw =
+      (fun k s -> Blsm.Policy_tree.read_modify_write !pt k (append_rmw s));
+    insert_if_absent = (fun k v -> Blsm.Policy_tree.insert_if_absent !pt k v);
+    scan = (fun start n -> Blsm.Policy_tree.scan !pt start n);
+    write_batch = (fun ops -> Blsm.Policy_tree.write_batch !pt ops);
+    maintenance = (fun () -> Blsm.Policy_tree.maintenance !pt);
+    flush = Some (fun () -> Blsm.Policy_tree.flush !pt);
+    crash_recover =
+      Some
+        (fun () -> pt := Blsm.Policy_tree.crash_and_recover ~verify:true !pt);
+    begin_txn = None;
+    catch_up = None;
+    failover = None;
+    follower_scan = None;
+    follower_get = None;
+    follower_stale = None;
+    fenced_rejects = None;
+    crash_follower = None;
+    scrub = Some (fun () -> Blsm.Policy_tree.scrub !pt);
+    counts = Some (fun () -> counts_of_pstats (Blsm.Policy_tree.stats !pt));
+    mask_scans = false;
+    last_stall = Some (fun () -> Blsm.Policy_tree.last_stall !pt);
+    metrics_dump = (fun () -> Obs.Metrics.dump (Blsm.Policy_tree.metrics !pt));
+    faults;
+    follower_faults = None;
+    net = None;
+  }
+
 (* DST shape for the replication supervisor: timeouts and backoff small
    against the per-step clock tick, staleness bound tight enough that a
    partitioned follower goes stale within a plan. *)
@@ -510,16 +585,21 @@ let replicated ~seed () =
 (* ------------------------------------------------------------------ *)
 (* Factory *)
 
+let policy_names =
+  [ "policy-tiered"; "policy-leveled"; "policy-lazy-leveled"; "policy-partial" ]
+
 let all_names =
   [ "blsm"; "blsm-gear"; "blsm-naive"; "partitioned"; "btree"; "leveldb";
     "replicated" ]
+  @ policy_names
 
-let caps_of_name = function
+let caps_of_name name =
+  match name with
   | "blsm" | "blsm-gear" | "blsm-naive" -> Some caps_tree
   | "partitioned" -> Some caps_partitioned
   | "btree" | "leveldb" -> Some caps_baseline
   | "replicated" -> Some caps_replicated
-  | _ -> None
+  | _ -> if List.mem name policy_names then Some caps_policy else None
 
 (** [make name ~seed] is a fresh-engine factory, or [None] for an
     unknown driver name. *)
@@ -534,6 +614,11 @@ let make name ~seed =
   | "btree" -> Some (btree ~seed)
   | "leveldb" -> Some (leveldb ~seed)
   | "replicated" -> Some (replicated ~seed)
+  | _ when List.mem name policy_names ->
+      let policy_name =
+        String.sub name 7 (String.length name - 7) (* strip "policy-" *)
+      in
+      Some (policy_tree ~policy_name ~seed)
   | _ -> None
 
 let make_exn name ~seed =

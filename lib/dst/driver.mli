@@ -100,8 +100,9 @@ val caps_tree : Plan.caps
 val caps_partitioned : Plan.caps
 val caps_replicated : Plan.caps
 val caps_baseline : Plan.caps
+val caps_policy : Plan.caps
 
-(** The seven engine factories exercised by the harness. *)
+(** The engine factories exercised by the harness. *)
 
 val blsm :
   ?scheduler:Blsm.Config.scheduler_kind -> name:string -> seed:int -> unit -> t
@@ -110,6 +111,18 @@ val partitioned : seed:int -> unit -> t
 val leveldb : seed:int -> unit -> t
 val btree : seed:int -> unit -> t
 val replicated : seed:int -> unit -> t
+
+(** The policy-tree shape shared by every [policy-*] driver. *)
+val small_pconfig : Blsm.Policy_tree.pconfig
+
+val counts_of_pstats : Blsm.Policy_tree.stats -> counts
+
+(** [policy_tree ~policy_name ~seed ()] wraps {!Blsm.Policy_tree} around
+    the named {!Blsm.Compaction_policy} factory. *)
+val policy_tree : policy_name:string -> seed:int -> unit -> t
+
+(** The [policy-<name>] driver variants, one per compaction policy. *)
+val policy_names : string list
 
 (** All driver names the smoke/soak sweeps iterate, in a fixed order so
     reports are deterministic. *)

@@ -76,7 +76,10 @@ type t = {
       (** [levels.(0)]: newest first, ranges overlap; deeper levels:
           sorted by [min_key], disjoint ranges *)
   mutable next_age : int;
-  mutable compact_ptr : string array;  (** round-robin pointer per level *)
+  policy : Blsm.Compaction_policy.t;
+      (** victim selection, extracted to [Blsm.Compaction_policy]; the
+          seed policy carries the per-level round-robin compaction
+          pointer that used to live here *)
   mutable work_credit : float;  (** compaction bytes the thread may spend *)
   mutable timestamp : int;
   stats : stats;
@@ -90,7 +93,7 @@ let create ?(config = default_config) store =
     mem = Memtable.create ~seed:config.seed ~resolver:config.resolver ();
     levels = Array.make config.max_levels [];
     next_age = 1;
-    compact_ptr = Array.make config.max_levels "";
+    policy = Blsm.Compaction_policy.leveldb_seed ();
     work_credit = 0.0;
     timestamp = 0;
     stats =
@@ -130,41 +133,41 @@ let store t = t.store
 let disk t = Pagestore.Store.disk t.store
 let config t = t.config
 
-let level_target t i =
-  if i = 0 then max_int
-  else
-    int_of_float
-      (float_of_int t.config.base_level_bytes
-      *. (t.config.level_ratio ** float_of_int (i - 1)))
-
 let level_bytes t i =
   List.fold_left (fun a f -> a + Sstable.Reader.data_bytes f.sst) 0 t.levels.(i)
 
 let file_count t i = List.length t.levels.(i)
 
-(* Compaction priority, as in LevelDB's VersionSet::Finalize. *)
-let score t i =
-  if i = 0 then
-    float_of_int (file_count t 0) /. float_of_int t.config.l0_compaction_trigger
-  else float_of_int (level_bytes t i) /. float_of_int (level_target t i)
-
-let pick_compaction_level t =
-  let best = ref (-1) and best_score = ref 1.0 in
-  for i = 0 to t.config.max_levels - 2 do
-    let s = score t i in
-    if s >= !best_score then begin
-      best := i;
-      best_score := s
-    end
-  done;
-  if !best >= 0 then Some !best else None
+(* Metadata snapshot for the compaction policy. List order matters for
+   byte-identity: each level is presented exactly in storage order, so
+   the policy's stable sorts and filters reproduce the pre-extraction
+   selection bit for bit. *)
+let policy_view t =
+  {
+    Blsm.Compaction_policy.v_levels =
+      Array.mapi
+        (fun level files ->
+          List.map
+            (fun f ->
+              {
+                Blsm.Compaction_policy.run_id = f.age;
+                run_level = level;
+                run_bytes = Sstable.Reader.data_bytes f.sst;
+                run_records = Sstable.Reader.record_count f.sst;
+                run_min_key = Sstable.Reader.min_key f.sst;
+                run_max_key = Sstable.Reader.max_key f.sst;
+              })
+            files)
+        t.levels;
+    v_l0_trigger = t.config.l0_compaction_trigger;
+    v_fanout = t.config.level_ratio;
+    v_base_bytes = t.config.base_level_bytes;
+    v_file_bytes = t.config.file_bytes;
+    v_max_levels = t.config.max_levels;
+  }
 
 (* ---------------------------------------------------------------- *)
 (* Building level files *)
-
-let overlaps f ~min_key ~max_key =
-  let fmin = Sstable.Reader.min_key f.sst and fmax = Sstable.Reader.max_key f.sst in
-  not (String.compare fmax min_key < 0 || String.compare fmin max_key > 0)
 
 (* Write a sorted record stream into files of at most [file_bytes] each. *)
 let build_files ?file_bytes t pull =
@@ -264,53 +267,23 @@ let flush_mem t =
   end
 
 (* ---------------------------------------------------------------- *)
-(* Compaction: one unit of the partition scheduler *)
+(* Compaction: one unit of the partition scheduler. The policy decides
+   *what* moves ({!Blsm.Compaction_policy}); this executes one of its
+   jobs — merge mechanics, stats and install order are unchanged from
+   the pre-extraction engine. *)
 
-let run_compaction t level =
-  let inputs_lo, inputs_hi =
-    if level = 0 then begin
-      (* all L0 files (they overlap) plus everything they touch in L1 *)
-      let lo = t.levels.(0) in
-      match lo with
-      | [] -> ([], [])
-      | _ ->
-          let min_key =
-            List.fold_left
-              (fun a f -> min a (Sstable.Reader.min_key f.sst))
-              (Sstable.Reader.min_key (List.hd lo).sst)
-              lo
-          and max_key =
-            List.fold_left
-              (fun a f -> max a (Sstable.Reader.max_key f.sst))
-              (Sstable.Reader.max_key (List.hd lo).sst)
-              lo
-          in
-          (lo, List.filter (overlaps ~min_key ~max_key) t.levels.(level + 1))
-    end
-    else begin
-      (* round-robin: first file starting after the compaction pointer *)
-      let sorted = sort_by_min_key t.levels.(level) in
-      let pick =
-        match
-          List.find_opt
-            (fun f ->
-              String.compare (Sstable.Reader.min_key f.sst) t.compact_ptr.(level) > 0)
-            sorted
-        with
-        | Some f -> f
-        | None -> List.hd sorted (* wrap *)
-      in
-      t.compact_ptr.(level) <- Sstable.Reader.min_key pick.sst;
-      let min_key = Sstable.Reader.min_key pick.sst
-      and max_key = Sstable.Reader.max_key pick.sst in
-      ([ pick ], List.filter (overlaps ~min_key ~max_key) t.levels.(level + 1))
-    end
+let execute_job t (job : Blsm.Compaction_policy.job) =
+  let resolve level id =
+    List.find (fun f -> f.age = id) t.levels.(level)
   in
+  let inputs_lo = List.map (resolve job.j_level) job.j_inputs in
+  let inputs_hi = List.map (resolve job.j_target) job.j_overlaps in
   if inputs_lo = [] then ()
   else begin
-    (* newest-first priorities: L0 by age, the upper level beats the lower *)
+    (* newest-first priorities: overlapping input sets (level 0) by age,
+       a single range-partitioned victim as one chained source *)
     let lo_sources =
-      if level = 0 then
+      if List.length inputs_lo > 1 then
         inputs_lo
         |> List.sort (fun a b -> Int.compare b.age a.age)
         |> List.mapi (fun i f ->
@@ -322,11 +295,14 @@ let run_compaction t level =
     let hi_source = (n_lo, chain_pull (sort_by_min_key inputs_hi)) in
     let merge =
       Sstable.Merge_iter.create ~resolver:t.config.resolver
-        ~drop_tombstones:(is_bottom_nonempty t (level + 1))
+        ~drop_tombstones:(is_bottom_nonempty t job.j_target)
         (lo_sources @ [ hi_source ])
     in
+    let file_bytes =
+      if job.j_split_bytes > 0 then job.j_split_bytes else max_int
+    in
     let outputs =
-      build_files t (fun () -> Sstable.Merge_iter.next merge)
+      build_files ~file_bytes t (fun () -> Sstable.Merge_iter.next merge)
     in
     let moved =
       List.fold_left (fun a f -> a + Sstable.Reader.data_bytes f.sst) 0 inputs_lo
@@ -335,11 +311,13 @@ let run_compaction t level =
     t.stats.bytes_compacted <- t.stats.bytes_compacted + moved;
     t.work_credit <- t.work_credit -. float_of_int moved;
     t.stats.compactions <- t.stats.compactions + 1;
-    (* install: remove inputs, add outputs to level+1 *)
+    (* install: remove inputs, add outputs to the target level *)
     let not_input inputs f = not (List.memq f inputs) in
-    t.levels.(level) <- List.filter (not_input inputs_lo) t.levels.(level);
-    t.levels.(level + 1) <-
-      sort_by_min_key (outputs @ List.filter (not_input inputs_hi) t.levels.(level + 1));
+    t.levels.(job.j_level) <-
+      List.filter (not_input inputs_lo) t.levels.(job.j_level);
+    t.levels.(job.j_target) <-
+      sort_by_min_key
+        (outputs @ List.filter (not_input inputs_hi) t.levels.(job.j_target));
     List.iter (fun f -> Sstable.Reader.free f.sst) inputs_lo;
     List.iter (fun f -> Sstable.Reader.free f.sst) inputs_hi
   end
@@ -360,7 +338,9 @@ let maybe_schedule_work t ~write_bytes =
     (* hard stop: writes blocked until L0 drains below the trigger *)
     t.stats.stop_stalls <- t.stats.stop_stalls + 1;
     while file_count t 0 > t.config.l0_compaction_trigger do
-      run_compaction t 0
+      match t.policy.p_job_at (policy_view t) ~level:0 with
+      | Some job -> execute_job t job
+      | None -> failwith "leveldb: L0 over trigger but policy idle"
     done;
     t.work_credit <- 0.0
   end
@@ -376,8 +356,8 @@ let maybe_schedule_work t ~write_bytes =
            *. 1e6)
     end;
     if t.work_credit > 0.0 then
-      match pick_compaction_level t with
-      | Some level -> run_compaction t level
+      match t.policy.p_pick (policy_view t) with
+      | Some job -> execute_job t job
       | None -> ()
   end
 
@@ -562,9 +542,9 @@ let maintenance t =
   let rec go () =
     incr guard;
     if !guard > 100_000 then failwith "leveldb maintenance stuck";
-    match pick_compaction_level t with
-    | Some level ->
-        run_compaction t level;
+    match t.policy.p_pick (policy_view t) with
+    | Some job ->
+        execute_job t job;
         go ()
     | None -> ()
   in

@@ -242,6 +242,64 @@ let test_seeded_mixed_workload_regression () =
   L.maintenance t;
   sweep "post-maintenance"
 
+(* Pinned byte-identity regression for the compaction-policy extraction:
+   the seed policy (score-based level pick + round-robin compaction
+   pointer) now lives behind [Blsm.Compaction_policy], and this test pins
+   the engine's observable behaviour — stats counters, per-level file
+   layout, simulated clock, and logical contents — on a fixed seeded
+   workload. Any drift in victim selection, merge order or install order
+   shows up as a changed digest here. Values captured on the pre-refactor
+   engine. *)
+let test_policy_extraction_byte_identity () =
+  (* small L1 target so deeper-level compactions run and the round-robin
+     compaction pointer advances — the selection state the extraction
+     moves into the policy closure *)
+  let config =
+    { small_config with L.base_level_bytes = 16 * 1024; level_ratio = 3.0 }
+  in
+  let t = L.create ~config (mk_store ()) in
+  let prng = Repro_util.Prng.of_int 77 in
+  for i = 0 to 5999 do
+    let key = Printf.sprintf "key%03d" (Repro_util.Prng.int prng 400) in
+    match Repro_util.Prng.int prng 10 with
+    | 0 | 1 | 2 | 3 | 4 ->
+        L.put t key (Printf.sprintf "v%d-%s" i (String.make 50 'p'))
+    | 5 -> L.delete t key
+    | 6 -> L.apply_delta t key (Printf.sprintf "+%d" i)
+    | 7 -> ignore (L.get t key)
+    | _ -> ignore (L.scan t key 4)
+  done;
+  L.maintenance t;
+  let s = L.stats t in
+  let level_profile =
+    L.levels t
+    |> List.map (fun li ->
+           Printf.sprintf "L%d:%d:%d" li.L.li_level li.L.li_files li.L.li_bytes)
+    |> String.concat ","
+  in
+  let contents = L.scan t "" 10_000 in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\n')
+    contents;
+  let scan_digest = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+  let clock = Simdisk.Disk.now_us (L.disk t) in
+  check Alcotest.int "flushes" 24 s.L.flushes;
+  check Alcotest.int "compactions" 16 s.L.compactions;
+  check Alcotest.int "slowdown_writes" 0 s.L.slowdown_writes;
+  check Alcotest.int "stop_stalls" 0 s.L.stop_stalls;
+  check Alcotest.int "bytes_compacted" 437163 s.L.bytes_compacted;
+  check Alcotest.string "level profile"
+    "L0:0:0,L1:1:942,L2:2:23310,L3:0:0,L4:0:0,L5:0:0,L6:0:0" level_profile;
+  check Alcotest.int "rows" 344 (List.length contents);
+  check Alcotest.string "scan digest" "3a1f77f916bff74cb60b63bbc4c6e7e7"
+    scan_digest;
+  check (Alcotest.float 0.001) "simulated clock" 63695.616 clock
+
 let () =
   Alcotest.run "leveldb"
     [
@@ -257,6 +315,8 @@ let () =
           Alcotest.test_case "scan across levels" `Quick test_scan_across_levels;
           Alcotest.test_case "seeded mixed-workload regression" `Quick
             test_seeded_mixed_workload_regression;
+          Alcotest.test_case "policy extraction byte-identity" `Quick
+            test_policy_extraction_byte_identity;
           QCheck_alcotest.to_alcotest prop_model;
         ] );
     ]

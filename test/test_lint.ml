@@ -183,6 +183,40 @@ let test_s001_tree () =
   check Alcotest.string "and it is the right module" "lib/nodoc/widget.ml"
     (List.hd fs).Lint.Finding.file
 
+(* The compaction-policy layer (ISSUE 9) must stay behind the same
+   walls as the rest of lib/core: Platter access is pagestore/simdisk
+   business (A001), and every policy module ships an interface (S001).
+   These pin the *config* — the whole-tree `@lint` alias enforces the
+   actual sources — so carving an exemption for the policy modules
+   fails a test, not just a review. *)
+
+let policy_modules =
+  [ "lib/core/compaction_policy.ml"; "lib/core/policy_tree.ml" ]
+
+let test_policy_platter_walled () =
+  List.iter
+    (fun path ->
+      check slist
+        (path ^ ": Platter references are flagged")
+        [ "A001"; "A001"; "A001" ]
+        (rules_of (lint ~path "a001_bad.ml")))
+    policy_modules
+
+let test_policy_mli_required () =
+  (* without interfaces: one S001 per policy module *)
+  check Alcotest.int "policy modules without .mli are flagged"
+    (List.length policy_modules)
+    (List.length
+       (Lint.Runner.mli_findings ~config:Lint.Config.default policy_modules));
+  (* with their .mli siblings present the set is clean *)
+  check slist "with interfaces present, clean" []
+    (rules_of
+       (Lint.Runner.mli_findings ~config:Lint.Config.default
+          (policy_modules
+          @ List.map
+              (fun f -> Filename.remove_extension f ^ ".mli")
+              policy_modules)))
+
 let test_finding_format () =
   let f =
     Lint.Finding.make ~file:"lib/x/y.ml" ~line:7 ~col:2 ~rule:"C001" "msg"
@@ -231,6 +265,10 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "S001 tree" `Quick test_s001_tree;
+          Alcotest.test_case "policy layer Platter-walled" `Quick
+            test_policy_platter_walled;
+          Alcotest.test_case "policy modules need .mli" `Quick
+            test_policy_mli_required;
           Alcotest.test_case "finding format" `Quick test_finding_format;
         ] );
     ]

@@ -11,7 +11,8 @@
 
 let drivers =
   [ "blsm"; "blsm-gear"; "blsm-naive"; "partitioned"; "btree"; "leveldb";
-    "replicated" ]
+    "replicated"; "policy-tiered"; "policy-leveled"; "policy-lazy-leveled";
+    "policy-partial" ]
 
 let () =
   let seeds = ref 5 in
