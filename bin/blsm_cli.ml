@@ -306,8 +306,53 @@ let repl () =
         | Invalid_argument m -> Printf.printf "error: %s\n" m)
   done
 
+(* ------------------------------------------------------------------ *)
+(* `blsm_cli lint [--effects] [--root DIR]`: the project static
+   analyzer.  --effects dumps the interprocedural call graph and
+   inferred effect signatures as byte-stable JSON (same bytes on every
+   run over the same tree). *)
+
+let lint_main rest =
+  let config = Lint.Config.default in
+  let root = ref "." in
+  let effects = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--effects" :: r ->
+        effects := true;
+        parse r
+    | "--root" :: d :: r ->
+        root := d;
+        parse r
+    | _ ->
+        prerr_endline "usage: blsm_cli lint [--effects] [--root DIR]";
+        exit 2
+  in
+  parse rest;
+  let dirs = config.Lint.Config.scan_dirs in
+  if !effects then begin
+    print_string (Lint.Runner.effects_json ~config ~root:!root dirs);
+    0
+  end
+  else begin
+    let findings = Lint.Runner.run ~config ~root:!root dirs in
+    let baseline =
+      let p = Filename.concat !root "lint.baseline" in
+      if Sys.file_exists p then Lint.Baseline.load p else []
+    in
+    let live = Lint.Baseline.filter ~baseline findings in
+    List.iter (fun f -> print_endline (Lint.Finding.to_string f)) live;
+    if live = [] then begin
+      Printf.printf "lint: clean (%d baselined)\n"
+        (List.length findings - List.length live);
+      0
+    end
+    else 1
+  end
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | "dst" :: rest -> exit (dst_main rest)
   | "simnet" :: rest -> exit (simnet_main rest)
+  | "lint" :: rest -> exit (lint_main rest)
   | _ -> repl ()

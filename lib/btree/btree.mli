@@ -16,6 +16,7 @@ val create : Pagestore.Store.t -> t
 
 val count : t -> int
 val data_bytes : t -> int
+[@@lint.allow "U001"] (* sizing/diagnostic probe beside [count]/[splits] *)
 val splits : t -> int
 val height : t -> int
 val store : t -> Pagestore.Store.t
@@ -23,6 +24,7 @@ val disk : t -> Simdisk.Disk.t
 
 (** Largest key+value a leaf can hold (must fit two records per page). *)
 val max_record_bytes : t -> int
+[@@lint.allow "U001"] (* embedder-facing capacity guard *)
 
 (** [get t key]: one buffer-pool descent; ~1 seek when the leaf is cold. *)
 val get : t -> string -> string option

@@ -90,6 +90,13 @@ type t = {
   p_check : view -> string option;
 }
 
+(** Policy-authoring helpers and the typed per-policy factories below
+    are the pluggable-policy API: engines select policies by name
+    through {!of_name}, but a custom policy (the whole point of the
+    subsystem) is written against these. *)
+
+[@@@lint.allow "U001"]
+
 (** [level_target v i] is level [i]'s byte budget:
     [base * fanout^(i-1)], [max_int] for level 0. *)
 val level_target : view -> int -> int

@@ -24,7 +24,6 @@ val build_bloom :
 val data_bytes : t -> int
 val record_count : t -> int
 val timestamp : t -> int
-val is_empty : t -> bool
 
 (** [get t key]: point lookup; consults the Bloom filter first so lookups
     of absent keys usually cost zero I/O. *)
@@ -39,6 +38,7 @@ val iterator : ?from:string -> t -> Sstable.Reader.iter
 
 (** Iterator through the buffer pool (short scans that should cache). *)
 val cached_iterator : ?from:string -> t -> Sstable.Reader.iter
+[@@lint.allow "U001"] (* short-scan surface mirroring [iterator] *)
 
 (** [free t] releases the component's extents (superseded by a merge). *)
 val free : t -> unit

@@ -61,6 +61,7 @@ val c0_shadow : c0_merge -> (Kv.Entry.t * int) Memtable.Skiplist.t option
 val c0_old_c1 : c0_merge -> Component.t option
 val c0_source_kind : c0_merge -> [ `Live | `Frozen ]
 val c0_frozen_mem : c0_merge -> Memtable.t option
+[@@lint.allow "U001"] (* merge-inspection surface with its [c0_*] siblings *)
 
 (** {1 C1' : C2 merge}
 

@@ -14,6 +14,7 @@ type t
     ranges. *)
 val uniform_boundaries :
   ?prefix:string -> partitions:int -> unit -> string list
+[@@lint.allow "U001"] (* partitioning setup helper for embedders *)
 
 (** [create ?config ?c0_share ~boundaries store] builds one sub-tree per
     range; partition [i] covers keys in [[b.(i-1), b.(i))], with the
@@ -71,6 +72,7 @@ val disk : t -> Simdisk.Disk.t
 
 (** Aggregate level view, tagged with partition indexes. *)
 val levels : t -> (int * Tree.level_info) list
+[@@lint.allow "U001"] (* observatory parity with [Tree.levels] *)
 
 val total_hard_stalls : t -> int
 val total_merges : t -> int

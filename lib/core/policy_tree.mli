@@ -76,11 +76,13 @@ val create :
   ?config:Config.t -> ?pconfig:pconfig -> policy:Compaction_policy.t ->
   Pagestore.Store.t -> t
 
-val config : t -> Config.t
-val pconfig : t -> pconfig
-val policy : t -> Compaction_policy.t
-val store : t -> Pagestore.Store.t
-val disk : t -> Simdisk.Disk.t
+(* The constructor-argument accessors mirror {!Tree}'s surface; kept
+   exported for embedders even while only [stats] has external callers. *)
+val config : t -> Config.t [@@lint.allow "U001"]
+val pconfig : t -> pconfig [@@lint.allow "U001"]
+val policy : t -> Compaction_policy.t [@@lint.allow "U001"]
+val store : t -> Pagestore.Store.t [@@lint.allow "U001"]
+val disk : t -> Simdisk.Disk.t [@@lint.allow "U001"]
 val stats : t -> stats
 
 val put : t -> string -> string -> unit
@@ -118,14 +120,17 @@ val scrub : t -> int * bool
     same contract as {!Tree.last_stall}. *)
 val last_stall : t -> Tree.stall_breakdown
 
-(** Observer called once per pacing decision (stall-episode detectors). *)
+(** Observer called once per pacing decision (stall-episode detectors);
+    same hook {!Tree.on_stall} exposes, kept for observatory parity. *)
 val on_stall : t -> (Tree.stall_breakdown -> unit) -> unit
+  [@@lint.allow "U001"]
 
 (** [ptree.*] counters plus the store stack; built once and cached. *)
 val metrics : t -> Obs.Metrics.t
 
-(** Metadata snapshot the policy decides over. *)
-val view : t -> Compaction_policy.view
+(** Metadata snapshot the policy decides over — the input for writing
+    custom policies against {!Compaction_policy}. *)
+val view : t -> Compaction_policy.view [@@lint.allow "U001"]
 
 (** The policy's structural invariant at the current shape
     ([p_check (view t)]). *)
@@ -133,7 +138,8 @@ val check_invariant : t -> string option
 
 type level_info = { li_level : int; li_runs : int; li_bytes : int }
 
-val levels : t -> level_info list
+(* level shape for reports; mirrors {!Partitioned.levels} *)
+val levels : t -> level_info list [@@lint.allow "U001"]
 
 (** Run bytes across all levels (space-amplification numerator). *)
 val total_run_bytes : t -> int

@@ -54,7 +54,6 @@ let create ?(epoch = 0) tree =
       };
   }
 
-let tree t = t.tree
 let epoch t = t.epoch
 let counters t = t.c
 

@@ -21,7 +21,6 @@ type counters = {
 }
 
 val create : ?epoch:int -> Tree.t -> t
-val tree : t -> Tree.t
 val epoch : t -> int
 val counters : t -> counters
 
@@ -35,6 +34,7 @@ val set_epoch : t -> int -> unit
 (** [handle t ~src body] decodes, fences, serves. [None] for malformed
     frames (dropped); otherwise a reply stamped with the server epoch. *)
 val handle : t -> src:string -> string -> string option
+[@@lint.allow "U001"] (* direct dispatch for protocol tests, bypassing the simnet *)
 
 (** [attach t ep] installs {!handle} as the endpoint's handler. *)
 val attach : t -> Simnet.endpoint -> unit

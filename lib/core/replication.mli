@@ -104,10 +104,6 @@ val demote :
     neither loses nor double-applies. *)
 val crash_and_recover : follower -> follower
 
-(** Nominal backoff delay (µs) for 1-based retry [attempt]: doubling
-    from [base_us], capped at [cap_us]. *)
-val nominal_backoff : base_us:int -> cap_us:int -> int -> int
-
 (** The exact [(nominal, jittered)] delays a supervisor with this
     policy and seed would sleep across [attempts] retries. Pure — used
     by the QCheck property pinning determinism, monotonicity up to the

@@ -243,6 +243,7 @@ val disk_data_bytes : t -> int
 
 (** Effective size ratio R (fixed or adaptive, §2.3.1). *)
 val effective_r : t -> float
+[@@lint.allow "U001"] (* paper metric (R), observatory surface *)
 
 (** Total Bloom-filter RAM currently allocated (Appendix A overhead). *)
 val bloom_bytes : t -> int
@@ -250,10 +251,12 @@ val bloom_bytes : t -> int
 (** Lookups any Bloom filter answered "absent" for free — tree lifetime,
     retired components included. *)
 val bloom_negative_total : t -> int
+[@@lint.allow "U001"] (* paper metric, observatory surface *)
 
 (** Filter said maybe, the component read said no (the wasted page read
     filters exist to avoid) — tree lifetime, retired included. *)
 val bloom_false_positive_total : t -> int
+[@@lint.allow "U001"] (* paper metric, observatory surface *)
 
 (** Footer of each mounted on-disk component ("C1" | "C1'" | "C2"),
     newest level first — extents and page layout for scrub tooling and

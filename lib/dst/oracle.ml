@@ -15,10 +15,8 @@ type t = { mutable m : string SMap.t }
 let create () = { m = SMap.empty }
 
 (** Cheap snapshot: the map is immutable underneath. *)
-let copy o = { m = o.m }
 
 let get o k = SMap.find_opt k o.m
-let mem o k = SMap.mem k o.m
 let put o k v = o.m <- SMap.add k v o.m
 let delete o k = o.m <- SMap.remove k o.m
 

@@ -20,12 +20,7 @@ type t = { mutable m : string SMap.t }
 
 val create : unit -> t
 
-(** Cheap snapshot: the map is immutable underneath.  The interpreter
-    checkpoints the oracle before every crash-prone op. *)
-val copy : t -> t
-
 val get : t -> string -> string option
-val mem : t -> string -> bool
 val put : t -> string -> string -> unit
 val delete : t -> string -> unit
 

@@ -93,23 +93,17 @@ type params = {
 
 val default_params : params
 
-(** Keys at component/page boundaries, always in the generated mix so
-    edge keys stay hot. *)
-val boundary_keys : string array
-
-val gen_key : Repro_util.Prng.t -> params -> string
-val gen_value : Repro_util.Prng.t -> params -> int -> string
-val gen_faults : Repro_util.Prng.t -> caps -> params -> fault list
-val gen_txn : Repro_util.Prng.t -> params -> int -> op
-val gen_batch : Repro_util.Prng.t -> params -> int -> op
-val gen_op : Repro_util.Prng.t -> caps -> params -> int -> op
-
 (** [generate ?params ~caps ~driver ~seed ()] expands one seed into one
-    plan, deterministically. *)
+    plan, deterministically.  The per-kind generators ([gen_op] and
+    friends) are implementation details and no longer exported. *)
 val generate :
   ?params:params -> caps:caps -> driver:string -> seed:int -> unit -> t
 
-(** Stable labels for reports and shrink logs. *)
+(** Stable labels for reports and shrink logs — debugging surface, kept
+    exported for ad-hoc plan inspection from a REPL or a future
+    pretty-printer. *)
+
+[@@@lint.allow "U001"]
 
 val op_label : op -> string
 val fault_label : fault -> string

@@ -14,8 +14,6 @@
 
 type stats = { mutable candidates : int; mutable accepted : int }
 
-val default_budget : int
-
 (** [fails mk plan] — the default failure predicate: the plan produces
     invariant violations, or escapes the interpreter entirely. *)
 val fails : (unit -> Driver.t) -> Plan.t -> bool

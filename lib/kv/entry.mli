@@ -31,6 +31,7 @@ val merge : resolver -> newer:t -> older:t -> t
 val payload_bytes : t -> int
 
 val is_base : t -> bool
+[@@lint.allow "U001"] (* predicate completeness beside [payload_bytes] *)
 
 (** {1 Wire format} — tag byte + varint-framed payloads. *)
 

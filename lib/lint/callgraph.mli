@@ -1,0 +1,73 @@
+(** Phase 2 of blsm-lint v2, part 1: the project-wide call graph and
+    the effect fixpoint over its Tarjan SCC condensation.
+
+    Determinism contract: node keys, adjacency, SCC emission and the
+    JSON dump are all totally ordered, so results are independent of
+    file-visitation order and byte-identical across runs. *)
+
+type edge = {
+  e_target : string;  (** node key *)
+  e_mask : Effects.mask;
+      (** handlers between the call site and caller entry *)
+  e_line : int;
+}
+
+type node = {
+  n_key : string;  (** ["<unit path>#<Module.qualified.name>"] *)
+  n_fn : Extract.fn;
+  n_intrinsic : Effects.t;
+  mutable n_edges : edge list;  (** resolved, deduplicated, sorted *)
+  mutable n_eff : Effects.t;  (** inferred summary after [solve] *)
+}
+
+type t = {
+  cg_nodes : (string, node) Hashtbl.t;
+  cg_keys : string list;  (** sorted *)
+  cg_units : Extract.unit_info list;  (** sorted by path *)
+  cg_by_module : (string, Extract.unit_info list) Hashtbl.t;
+  cg_by_qualified : (string, string list) Hashtbl.t;
+  cg_config : Config.t;
+}
+
+val key_of : Extract.fn -> string
+val qualified_of_key : string -> string
+val unit_of_key : string -> string
+val find_node : t -> string -> node option
+val node_effect : t -> string -> Effects.t
+
+(** All nodes whose qualified name is exactly the given
+    ["Module.name"] (module-name collisions give several). *)
+val nodes_by_qualified : t -> string -> node list
+
+(** Resolve a dotted reference made from inside [caller_mods] (module
+    path, unit module first) in [unit_info].  [None] = unresolved or
+    ambiguous; the analysis never fabricates an edge. *)
+val resolve :
+  t ->
+  unit_info:Extract.unit_info ->
+  caller_mods:string list ->
+  string list ->
+  string option
+
+(** Build the graph (nodes + resolved edges) from extracted units. *)
+val build : config:Config.t -> Extract.unit_info list -> t
+
+(** Run the effect fixpoint: callees-before-callers over SCCs,
+    iterating within each SCC until stable. *)
+val solve : t -> unit
+
+(** Deterministic BFS from [start] to a node whose *intrinsic* facts
+    satisfy [pred], over edges allowed by [passable].  Returns node
+    keys, caller first. *)
+val witness :
+  t ->
+  string ->
+  pred:(node -> bool) ->
+  passable:(Effects.mask -> bool) ->
+  string list option
+
+(** Render a witness key path as ["A.f -> B.g -> C.h"]. *)
+val render_witness : string list -> string
+
+(** Dump node summaries + resolved edges as byte-stable JSON. *)
+val to_json : t -> string

@@ -11,6 +11,12 @@ type peer_rule = {
   peer_why : string;
 }
 
+type boundary = {
+  bd_func : string;
+  bd_allowed : string list;
+  bd_why : string;
+}
+
 type t = {
   scan_dirs : string list;
   access_matrix : access_rule list;
@@ -18,6 +24,16 @@ type t = {
   mli_required_dirs : string list;
   mli_exempt_suffixes : string list;
   mli_exempt_modules : string list;
+  (* --- interprocedural effect analysis (v2) --- *)
+  nondet_sources : (string * string) list;
+  io_sources : string list;
+  stall_sources : string list;
+  library_wrappers : (string * string) list;
+  engine_surface_modules : string list;
+  boundaries : boundary list;
+  critical_sections : (string * string) list;
+  dead_export_dirs : string list;
+  dead_export_ref_dirs : string list;
 }
 
 (* The module-access matrix behind rule A001.  Each entry names module
@@ -62,12 +78,133 @@ let default_peer_rules =
     };
   ]
 
+(* Rule D001 (and the nondet effect bit of D003): same-seed runs must be
+   byte-identical, so these may never be called — directly or, for
+   D003, transitively from an engine op. *)
+let default_nondet_sources =
+  [
+    ("Random.self_init", "seeds from the environment");
+    ("Random.State.make_self_init", "seeds from the environment");
+    ("Random.int", "draws from the hidden global PRNG state");
+    ("Random.full_int", "draws from the hidden global PRNG state");
+    ("Random.bits", "draws from the hidden global PRNG state");
+    ("Random.bits32", "draws from the hidden global PRNG state");
+    ("Random.bits64", "draws from the hidden global PRNG state");
+    ("Random.int32", "draws from the hidden global PRNG state");
+    ("Random.int64", "draws from the hidden global PRNG state");
+    ("Random.nativeint", "draws from the hidden global PRNG state");
+    ("Random.float", "draws from the hidden global PRNG state");
+    ("Random.bool", "draws from the hidden global PRNG state");
+    ("Unix.gettimeofday", "reads the wall clock");
+    ("Unix.time", "reads the wall clock");
+    ("Sys.time", "reads the process clock");
+    ("Hashtbl.hash", "is seed- and layout-dependent; never hash keys with it");
+    ("Hashtbl.seeded_hash", "is seed-dependent; never hash keys with it");
+    ("Hashtbl.hash_param", "is seed- and layout-dependent");
+  ]
+
+(* The io effect bit: module prefixes whose use means "this function
+   touches raw platter bytes or the real OS". *)
+let default_io_sources = [ "Platter"; "Pagestore.Platter"; "Unix" ]
+
+(* The stall effect bit: reaching any of these means the function can
+   charge merge-work quanta to the caller (pacing).  Rule Y001 forbids
+   that inside manifest-commit / WAL-append critical sections. *)
+let default_stall_sources =
+  [ "Scheduler.spring_quota"; "Scheduler.lag_quota"; "Scheduler.gear_lag" ]
+
+(* dune library wrapper modules: a reference to [Blsm.Tree.put] is the
+   same function as [Tree.put] seen from inside lib/core.  The directory
+   disambiguates module-name collisions (two units may both be called
+   Config). *)
+let default_library_wrappers =
+  [
+    ("Blsm", "lib/core");
+    ("Pagestore", "lib/pagestore");
+    ("Simdisk", "lib/simdisk");
+    ("Obs", "lib/obs");
+    ("Repro_util", "lib/util");
+    ("Dst", "lib/dst");
+    ("Kv", "lib/kv");
+    ("Bloom", "lib/bloom");
+    ("Memtable", "lib/memtable");
+    ("Sstable", "lib/sstable");
+    ("Simnet", "lib/simnet");
+    ("Btree_baseline", "lib/btree");
+    ("Leveldb_sim", "lib/leveldb_sim");
+    ("Ycsb", "lib/ycsb");
+    ("Lint", "lib/lint");
+  ]
+
+(* Rule D003: every .mli-exported value of these modules is an engine op
+   clients call; none may transitively reach a nondeterminism source. *)
+let default_engine_surface_modules =
+  [ "Tree"; "Partitioned"; "Policy_tree"; "Leveldb"; "Btree" ]
+
+(* Rule E001: protocol boundaries and the exceptions allowed to cross
+   them.  Everything else leaking is the PR 6 bug class — a failure
+   crossing a protocol edge as an exception instead of a protocol
+   answer. *)
+let default_boundaries =
+  [
+    {
+      bd_func = "Repl_server.attach";
+      bd_allowed = [ "Crash_point"; "Failure"; "Invalid_argument" ];
+      bd_why =
+        "the simnet endpoint handler: an escaping exception crosses the \
+         network instead of being a lost reply; only the simulated power \
+         failure and defensive invariant crashes (failwith/invalid_arg \
+         mean the node is wedged, and the harness recovers it) may \
+         propagate — in particular every typed storage exception must \
+         become a protocol answer";
+    };
+    {
+      bd_func = "Driver.make_exn";
+      bd_allowed =
+        [
+          "Crash_point";
+          "Corruption";
+          "Corrupt";
+          "Write_fenced";
+          "Invalid_argument";
+          "Failure";
+          "Not_found";
+        ];
+      bd_why =
+        "DST driver ops may surface only the interpreter-contract \
+         exceptions (simulated crash, typed corruption, fence, and the \
+         stdlib defensive trio)";
+    };
+  ]
+
+(* Rule Y001: critical sections that must never charge pacing quanta —
+   the pre-condition for making merge a cooperating task (ROADMAP 2).
+   A stall inside manifest-commit or WAL-append is unattributable
+   blocking in exactly the place LSM tail latency dies. *)
+let default_critical_sections =
+  [
+    ("Wal.append", "WAL-append critical section");
+    ("Wal.sync", "WAL group-commit critical section");
+    ("Tree.commit_root", "manifest-commit critical section");
+    ("Store.commit_root", "root-commit critical section");
+    ("Policy_tree.commit_manifest", "manifest-commit critical section");
+  ]
+
 let default =
   {
-    scan_dirs = [ "lib"; "bin"; "bench" ];
+    scan_dirs = [ "lib"; "bin"; "bench"; "tools" ];
     access_matrix = default_access_matrix;
     peer_rules = default_peer_rules;
     mli_required_dirs = [ "lib" ];
     mli_exempt_suffixes = [ "_intf" ];
     mli_exempt_modules = [];
+    nondet_sources = default_nondet_sources;
+    io_sources = default_io_sources;
+    stall_sources = default_stall_sources;
+    library_wrappers = default_library_wrappers;
+    engine_surface_modules = default_engine_surface_modules;
+    boundaries = default_boundaries;
+    critical_sections = default_critical_sections;
+    dead_export_dirs = [ "lib" ];
+    dead_export_ref_dirs = [ "lib"; "bin"; "bench"; "tools"; "test"; "examples" ];
   }

@@ -27,6 +27,15 @@ type peer_rule = {
   peer_why : string;  (** rendered in the finding message *)
 }
 
+(** One E001 protocol boundary: a function (module-qualified name) whose
+    inferred may-raise set must stay inside [bd_allowed] — anything else
+    leaking across it is the PR 6 bug class. *)
+type boundary = {
+  bd_func : string;  (** e.g. ["Repl_server.attach"] *)
+  bd_allowed : string list;  (** exception constructor names *)
+  bd_why : string;  (** rendered in the finding message *)
+}
+
 type t = {
   scan_dirs : string list;  (** directories walked by default *)
   access_matrix : access_rule list;  (** rule A001 *)
@@ -39,10 +48,38 @@ type t = {
           signature-only modules) *)
   mli_exempt_modules : string list;
       (** individual module basenames exempt from S001 *)
+  nondet_sources : (string * string) list;
+      (** rule D001 / the nondet effect bit: banned dotted paths with a
+          reason each *)
+  io_sources : string list;
+      (** the io effect bit: dotted module prefixes meaning raw platter
+          or real-OS access *)
+  stall_sources : string list;
+      (** the stall effect bit: dotted paths of the pacing-quota
+          producers (rule Y001's forbidden reach) *)
+  library_wrappers : (string * string) list;
+      (** dune wrapper module -> directory, used to resolve
+          [Blsm.Tree.put] to lib/core's [Tree.put] and to break
+          module-name ties between directories *)
+  engine_surface_modules : string list;
+      (** rule D003: modules whose .mli-exported values are engine ops *)
+  boundaries : boundary list;  (** rule E001 *)
+  critical_sections : (string * string) list;
+      (** rule Y001: (module-qualified function, label) pairs that may
+          not transitively reach a stall source *)
+  dead_export_dirs : string list;
+      (** rule U001: directories whose [.mli] exports must be referenced
+          from outside their own module *)
+  dead_export_ref_dirs : string list;
+      (** directories scanned for references when deciding U001 (a
+          superset of [scan_dirs]: tests and examples keep an export
+          alive) *)
 }
 
-(** The policy for this repository: scan [lib/], [bin/], [bench/];
-    platter internals restricted to [lib/pagestore] + [lib/simdisk];
-    [Unix] restricted to [bench]/[bin]/[tools]; [.mli] required for
-    every [lib/] module except [*_intf]. *)
+(** The policy for this repository: scan [lib/], [bin/], [bench/],
+    [tools/]; platter internals restricted to [lib/pagestore] +
+    [lib/simdisk]; [Unix] restricted to [bench]/[bin]/[tools]; [.mli]
+    required for every [lib/] module except [*_intf]; engine surfaces,
+    protocol boundaries and critical sections as documented in
+    DESIGN.md §15. *)
 val default : t

@@ -1,0 +1,54 @@
+(* The effect lattice propagated over the call graph.  Four monotone
+   booleans plus a may-raise set; join is pointwise or / union, so the
+   SCC fixpoint terminates (the raise alphabet is the finite set of
+   constructor names appearing in the scanned tree). *)
+
+module SS = Set.Make (String)
+
+type t = {
+  nondet : bool;  (* transitively draws unseeded randomness / wall clock *)
+  io : bool;  (* transitively touches Platter internals or Unix *)
+  mutates : bool;  (* mutates state that escapes the function *)
+  stall : bool;  (* can reach a pacing-quota producer *)
+  raises : SS.t;  (* may-raise exception constructor names *)
+}
+
+let bottom =
+  { nondet = false; io = false; mutates = false; stall = false; raises = SS.empty }
+
+let join a b =
+  {
+    nondet = a.nondet || b.nondet;
+    io = a.io || b.io;
+    mutates = a.mutates || b.mutates;
+    stall = a.stall || b.stall;
+    raises = SS.union a.raises b.raises;
+  }
+
+let equal a b =
+  a.nondet = b.nondet && a.io = b.io && a.mutates = b.mutates
+  && a.stall = b.stall && SS.equal a.raises b.raises
+
+(* Purity as rule C003 means it: a comparator may not observe or change
+   anything outside its arguments.  Raising is judged separately (a
+   raising comparator is a bug, but an exception-escape bug). *)
+let pure e = not (e.nondet || e.io || e.mutates || e.stall)
+
+let raises_list e = SS.elements e.raises
+
+(* Handler masks: what a [try ... with] between a call site and its
+   enclosing function's entry absorbs from the callee's may-raise set. *)
+type mask = Catch_all | Catch of SS.t
+
+let mask_none = Catch SS.empty
+
+let mask_union a b =
+  match (a, b) with
+  | Catch_all, _ | _, Catch_all -> Catch_all
+  | Catch x, Catch y -> Catch (SS.union x y)
+
+let apply_mask mask raises =
+  match mask with Catch_all -> SS.empty | Catch s -> SS.diff raises s
+
+let mask_catches mask exn =
+  match mask with Catch_all -> true | Catch s -> SS.mem exn s

@@ -1,0 +1,36 @@
+(** The effect lattice propagated over the project call graph (phase 2
+    of blsm-lint v2).  Elements are finite and [join] is monotone, so
+    the per-SCC fixpoint terminates. *)
+
+module SS : Set.S with type elt = string
+
+type t = {
+  nondet : bool;
+      (** transitively draws unseeded randomness / reads a wall clock *)
+  io : bool;  (** transitively touches Platter internals or Unix *)
+  mutates : bool;  (** mutates state that escapes the function *)
+  stall : bool;  (** can reach a pacing-quota producer *)
+  raises : SS.t;  (** may-raise exception constructor names *)
+}
+
+val bottom : t
+val join : t -> t -> t
+val equal : t -> t -> bool
+
+(** [pure e]: no observation or mutation of the world — the C003
+    comparator requirement.  Raising is judged separately (E001). *)
+val pure : t -> bool
+
+val raises_list : t -> string list
+
+(** What the [try ... with] handlers between a call site and its
+    enclosing function's entry absorb from the callee's raise set. *)
+type mask = Catch_all | Catch of SS.t
+
+val mask_none : mask
+val mask_union : mask -> mask -> mask
+
+(** [apply_mask m raises] is the part of [raises] surviving handler [m]. *)
+val apply_mask : mask -> SS.t -> SS.t
+
+val mask_catches : mask -> string -> bool

@@ -1,0 +1,758 @@
+(* Phase 1 of blsm-lint v2: walk one compilation unit and extract the
+   facts the interprocedural pass needs — the functions it defines, the
+   references (call edges) inside each, and per-function *intrinsic*
+   effect facts:
+
+   - nondet:  references a configured nondeterminism source (D001 list)
+   - io:      references Platter internals or Unix
+   - mutates: assigns to state whose head identifier is not a
+              function-local allocation
+   - stall:   references a pacing-quota producer (Scheduler.spring_quota
+              family)
+   - raises:  [raise (E ...)] sites plus a small table of stdlib
+              raisers (failwith, List.hd, Hashtbl.find, ...), each
+              filtered through the [try ... with] handlers between the
+              site and the function entry
+
+   Everything here is parsetree-level: no typing, no cmt files.  The
+   soundness caveats that buys (and why they are acceptable for this
+   codebase) are documented in DESIGN.md §15.
+
+   Function identity is module-qualified: [lib/core/tree.ml]'s
+   [let commit_root] is [Tree.commit_root]; a [let locate] inside
+   [module Fence = struct ... end] of sst_format.ml is
+   [Sst_format.Fence.locate].  Local [let]s inside a function body are
+   attributed to the enclosing function — a closure's effects are its
+   definer's effects, which is what makes record-of-closures surfaces
+   like {!Dst.Driver} analyzable at all. *)
+
+open Parsetree
+module SS = Effects.SS
+
+type call = {
+  c_path : string list;  (* dotted reference as written, Stdlib-normalized *)
+  c_mask : Effects.mask;  (* handlers between the call site and fn entry *)
+  c_line : int;
+}
+
+type fn = {
+  fn_unit : string;  (* repo-relative .ml path *)
+  fn_module : string list;  (* module path, unit module first *)
+  fn_name : string;
+  fn_line : int;
+  fn_allows : string list;  (* rules allowed in scope at the definition *)
+  mutable fn_nondet : string option;  (* witness source path *)
+  mutable fn_io : string option;
+  mutable fn_mut : bool;
+  mutable fn_stall : string option;
+  mutable fn_raises : (string * string) list;  (* exn, origin note *)
+  mutable fn_calls : call list;
+}
+
+type comparator_use = {
+  cu_file : string;
+  cu_line : int;
+  cu_path : string list;  (* the named function passed as a comparator *)
+  cu_allows : string list;
+}
+
+type export = {
+  ex_unit : string;  (* repo-relative .mli path *)
+  ex_module : string list;  (* module path, unit module first *)
+  ex_name : string;
+  ex_line : int;
+  ex_allows : string list;
+}
+
+type unit_info = {
+  u_path : string;
+  u_module : string;
+  u_is_mli : bool;
+  u_fns : fn list;
+  u_exports : export list;
+  u_refs : string list list;  (* every dotted reference in the unit *)
+  u_opens : string list list;
+  u_aliases : (string * string list) list;  (* module X = Chain *)
+  u_cuses : comparator_use list;
+}
+
+let qualified f = String.concat "." (f.fn_module @ [ f.fn_name ])
+
+(* ---------------------------------------------------------------- *)
+(* Longident helpers (same normalization as the per-expression pass) *)
+
+let rec flatten_lid = function
+  | Longident.Lident s -> Some [ s ]
+  | Longident.Ldot (p, s) -> Option.map (fun l -> l @ [ s ]) (flatten_lid p)
+  | Longident.Lapply _ -> None
+
+let normalize = function "Stdlib" :: rest -> rest | path -> path
+let dotted path = String.concat "." path
+
+(* Strip a known dune library wrapper so [Blsm.Scheduler.spring_quota]
+   matches the configured [Scheduler.spring_quota]. *)
+let strip_wrapper ~(config : Config.t) path =
+  match path with
+  | w :: (_ :: _ as rest) when List.mem_assoc w config.library_wrappers -> rest
+  | path -> path
+
+(* ---------------------------------------------------------------- *)
+(* Suppression attributes (the same grammar as the per-expression
+   pass, minus the L000 diagnostic — Rules reports malformed payloads) *)
+
+let split_rules s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun x -> x <> "")
+
+let allows_of_attribute (a : attribute) =
+  if a.attr_name.txt <> "lint.allow" then []
+  else
+    match a.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+        split_rules s
+    | _ -> []
+
+let allows_of_attributes attrs = List.concat_map allows_of_attribute attrs
+
+(* ---------------------------------------------------------------- *)
+(* Small stdlib effect tables *)
+
+(* Raising stdlib functions we model; out-of-bounds raisers
+   (String.sub, Array.get, ...) are deliberately excluded — indexing
+   bugs are not protocol exceptions, and modeling them would make every
+   raise set [Invalid_argument]-saturated. *)
+let stdlib_raisers =
+  [
+    ("failwith", "Failure");
+    ("invalid_arg", "Invalid_argument");
+    ("int_of_string", "Failure");
+    ("float_of_string", "Failure");
+    ("List.hd", "Failure");
+    ("List.tl", "Failure");
+    ("Option.get", "Invalid_argument");
+    ("List.find", "Not_found");
+    ("List.assoc", "Not_found");
+    ("Hashtbl.find", "Not_found");
+    ("Sys.getenv", "Not_found");
+  ]
+
+(* Stdlib mutators: dotted path -> index of the mutated positional
+   argument. *)
+let stdlib_mutators =
+  [
+    (":=", 0);
+    ("incr", 0);
+    ("decr", 0);
+    ("Array.set", 0);
+    ("Array.unsafe_set", 0);
+    ("Array.fill", 0);
+    ("Array.blit", 2);
+    ("Bytes.set", 0);
+    ("Bytes.unsafe_set", 0);
+    ("Bytes.fill", 0);
+    ("Bytes.blit", 2);
+    ("Bytes.blit_string", 2);
+    ("Hashtbl.add", 0);
+    ("Hashtbl.replace", 0);
+    ("Hashtbl.remove", 0);
+    ("Hashtbl.reset", 0);
+    ("Hashtbl.clear", 0);
+    ("Buffer.add_string", 0);
+    ("Buffer.add_char", 0);
+    ("Buffer.add_bytes", 0);
+    ("Buffer.add_buffer", 0);
+    ("Buffer.add_substring", 0);
+    ("Buffer.clear", 0);
+    ("Buffer.reset", 0);
+  ]
+
+(* RHS heads that allocate fresh, function-local mutable state. *)
+let local_allocators =
+  [
+    "ref";
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Array.copy";
+    "Array.of_list";
+    "Bytes.create";
+    "Bytes.make";
+    "Bytes.of_string";
+    "Buffer.create";
+    "Hashtbl.create";
+    "Queue.create";
+  ]
+
+let sort_functions =
+  [
+    "List.sort";
+    "List.stable_sort";
+    "List.fast_sort";
+    "List.sort_uniq";
+    "List.merge";
+    "Array.sort";
+    "Array.stable_sort";
+    "Array.fast_sort";
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Context *)
+
+type ctx = {
+  config : Config.t;
+  path : string;
+  unit_module : string;
+  mutable mods : string list;  (* module path, unit module first *)
+  mutable scope : string list;  (* rule ids currently allowed *)
+  mutable mask : Effects.mask;  (* flattened handler stack *)
+  mutable current : fn option;
+  mutable locals : SS.t;  (* local mutable allocations in current fn *)
+  mutable fns : fn list;  (* reversed *)
+  mutable top_ord : int;
+  mutable exports : export list;  (* reversed *)
+  mutable refs : string list list;  (* reversed *)
+  mutable opens : string list list;
+  mutable aliases : (string * string list) list;
+  mutable cuses : comparator_use list;  (* reversed *)
+}
+
+let with_allows ctx attrs f =
+  let saved = ctx.scope in
+  ctx.scope <- allows_of_attributes attrs @ saved;
+  f ();
+  ctx.scope <- saved
+
+let with_mask ctx m f =
+  let saved = ctx.mask in
+  ctx.mask <- Effects.mask_union saved m;
+  f ();
+  ctx.mask <- saved
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+
+(* ---------------------------------------------------------------- *)
+(* Handler masks *)
+
+(* Does [rhs] syntactically re-raise the bound exception [v]?  If so the
+   handler is transparent (observe-and-rethrow), not a mask. *)
+let rethrows v rhs =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Lident r; _ }; _ },
+                [ (_, { pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ }) ] )
+            when (r = "raise" || r = "raise_notrace") && x = v ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it rhs;
+  !found
+
+let rec mask_of_pattern ~rhs pat =
+  match pat.ppat_desc with
+  | Ppat_any -> Effects.Catch_all
+  | Ppat_var { txt = v; _ } ->
+      if rethrows v rhs then Effects.mask_none else Effects.Catch_all
+  | Ppat_alias (p, { txt = v; _ }) ->
+      if rethrows v rhs then Effects.mask_none else mask_of_pattern ~rhs p
+  | Ppat_or (a, b) ->
+      Effects.mask_union (mask_of_pattern ~rhs a) (mask_of_pattern ~rhs b)
+  | Ppat_construct ({ txt; _ }, _) -> (
+      match flatten_lid txt with
+      | Some path when path <> [] ->
+          Effects.Catch (SS.singleton (List.nth path (List.length path - 1)))
+      | _ -> Effects.mask_none)
+  | Ppat_constraint (p, _) -> mask_of_pattern ~rhs p
+  | _ -> Effects.mask_none (* conservative: does not mask *)
+
+let is_exception_case c =
+  match c.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false
+
+(* Combined mask of a handler list.  [match]-cases only mask through
+   their [exception] patterns; [try]-cases mask directly.  Guarded
+   cases never mask (the guard may decline). *)
+let mask_of_cases ~for_match cases =
+  List.fold_left
+    (fun m c ->
+      if c.pc_guard <> None then m
+      else
+        let pat =
+          match c.pc_lhs.ppat_desc with
+          | Ppat_exception p -> Some p
+          | _ -> if for_match then None else Some c.pc_lhs
+        in
+        match pat with
+        | None -> m
+        | Some p -> Effects.mask_union m (mask_of_pattern ~rhs:c.pc_rhs p))
+    Effects.mask_none cases
+
+(* ---------------------------------------------------------------- *)
+(* Recording *)
+
+let record_raise ctx exn ~origin =
+  if not (Effects.mask_catches ctx.mask exn) then
+    match ctx.current with
+    | Some f ->
+        if not (List.mem_assoc exn f.fn_raises) then
+          f.fn_raises <- (exn, origin) :: f.fn_raises
+    | None -> ()
+
+let record_mutation ctx =
+  match ctx.current with Some f -> f.fn_mut <- true | None -> ()
+
+let record_ref ctx loc lid =
+  match Option.map normalize (flatten_lid lid) with
+  | None -> ()
+  | Some path ->
+      ctx.refs <- path :: ctx.refs;
+      let stripped = strip_wrapper ~config:ctx.config path in
+      let d = dotted stripped in
+      (match ctx.current with
+      | None -> ()
+      | Some f ->
+          f.fn_calls <-
+            { c_path = path; c_mask = ctx.mask; c_line = line_of loc }
+            :: f.fn_calls;
+          (match List.assoc_opt d ctx.config.nondet_sources with
+          | Some _ when f.fn_nondet = None -> f.fn_nondet <- Some d
+          | _ -> ());
+          if f.fn_stall = None && List.mem d ctx.config.stall_sources then
+            f.fn_stall <- Some d;
+          if f.fn_io = None then begin
+            let io_hit =
+              List.exists
+                (fun src ->
+                  let srcp = String.split_on_char '.' src in
+                  let rec is_prefix p x =
+                    match (p, x) with
+                    | [], _ -> true
+                    | _, [] -> false
+                    | a :: ps, b :: xs -> String.equal a b && is_prefix ps xs
+                  in
+                  is_prefix srcp path || is_prefix srcp stripped)
+                ctx.config.io_sources
+            in
+            if io_hit then f.fn_io <- Some d
+          end);
+      (* stdlib raisers fire whether or not we are inside a function —
+         but only functions carry raise sets *)
+      match List.assoc_opt d stdlib_raisers with
+      | Some exn -> record_raise ctx exn ~origin:(d ^ " raises " ^ exn)
+      | None -> ()
+
+(* Head identifier of a mutation target: [t.c.field] -> [t];
+   [a.(i).f] -> [a].  [None] means "could not tell" and is treated as
+   escaping. *)
+let rec head_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident s; _ } -> Some s
+  | Pexp_ident _ -> None (* qualified: module-level state, escapes *)
+  | Pexp_field (e, _) -> head_ident e
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (Asttypes.Nolabel, a) :: _)
+    when match flatten_lid txt with
+         | Some p ->
+             List.mem (dotted (normalize p))
+               [ "Array.get"; "Array.unsafe_get"; "String.get"; "Bytes.get" ]
+         | None -> false ->
+      head_ident a
+  | _ -> None
+
+let mutation_escapes ctx target =
+  match head_ident target with
+  | Some name -> not (SS.mem name ctx.locals)
+  | None -> true
+
+let nolabel_arg n args =
+  let rec go n = function
+    | [] -> None
+    | (Asttypes.Nolabel, a) :: rest -> if n = 0 then Some a else go (n - 1) rest
+    | _ :: rest -> go n rest
+  in
+  go n args
+
+let record_local_allocs ctx vbs =
+  if ctx.current <> None then
+    List.iter
+      (fun vb ->
+        let rec var p =
+          match p.ppat_desc with
+          | Ppat_var { txt; _ } -> Some txt
+          | Ppat_constraint (p, _) -> var p
+          | _ -> None
+        in
+        match var vb.pvb_pat with
+        | None -> ()
+        | Some name ->
+            let allocates =
+              match vb.pvb_expr.pexp_desc with
+              | Pexp_record _ | Pexp_array _ -> true
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+                  match flatten_lid txt with
+                  | Some p -> List.mem (dotted (normalize p)) local_allocators
+                  | None -> false)
+              | _ -> false
+            in
+            if allocates then ctx.locals <- SS.add name ctx.locals)
+      vbs
+
+(* ---------------------------------------------------------------- *)
+(* The iterator *)
+
+let make_iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    with_allows ctx e.pexp_attributes (fun () ->
+        match e.pexp_desc with
+        | Pexp_try (body, cases) ->
+            with_mask ctx (mask_of_cases ~for_match:false cases) (fun () ->
+                self.Ast_iterator.expr self body);
+            List.iter (self.Ast_iterator.case self) cases
+        | Pexp_match (scrut, cases) when List.exists is_exception_case cases ->
+            with_mask ctx (mask_of_cases ~for_match:true cases) (fun () ->
+                self.Ast_iterator.expr self scrut);
+            List.iter (self.Ast_iterator.case self) cases
+        | Pexp_ident { txt; loc } -> record_ref ctx loc txt
+        | Pexp_setfield (lhs, _, _) ->
+            if mutation_escapes ctx lhs then record_mutation ctx;
+            default.expr self e
+        | Pexp_setinstvar _ ->
+            record_mutation ctx;
+            default.expr self e
+        | Pexp_let (_, vbs, _) ->
+            record_local_allocs ctx vbs;
+            default.expr self e
+        | Pexp_letmodule (name, me, body) ->
+            (match (name.txt, me.pmod_desc) with
+            | Some n, Pmod_ident { txt; _ } -> (
+                match Option.map normalize (flatten_lid txt) with
+                | Some chain -> ctx.aliases <- (n, chain) :: ctx.aliases
+                | None -> ())
+            | _ -> ());
+            self.Ast_iterator.module_expr self me;
+            self.Ast_iterator.expr self body
+        | Pexp_open
+            ({ popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }, body)
+          ->
+            (match Option.map normalize (flatten_lid txt) with
+            | Some chain -> ctx.opens <- chain :: ctx.opens
+            | None -> ());
+            self.Ast_iterator.expr self body
+        | Pexp_apply (f, args) ->
+            (match f.pexp_desc with
+            | Pexp_ident { txt; _ } -> (
+                match Option.map normalize (flatten_lid txt) with
+                | None -> ()
+                | Some fpath ->
+                    let d = dotted fpath in
+                    (* [raise (E ...)] *)
+                    (if d = "raise" || d = "raise_notrace" then
+                       match nolabel_arg 0 args with
+                       | Some
+                           {
+                             pexp_desc = Pexp_construct ({ txt = exn_lid; _ }, _);
+                             _;
+                           } -> (
+                           match flatten_lid exn_lid with
+                           | Some ep when ep <> [] ->
+                               let exn = List.nth ep (List.length ep - 1) in
+                               record_raise ctx exn ~origin:("raise " ^ exn)
+                           | _ -> ())
+                       | _ -> () (* re-raise of a bound variable *));
+                    (* stdlib mutators *)
+                    (match List.assoc_opt d stdlib_mutators with
+                    | Some idx -> (
+                        match nolabel_arg idx args with
+                        | Some target ->
+                            if mutation_escapes ctx target then
+                              record_mutation ctx
+                        | None -> ())
+                    | None -> ());
+                    (* named comparator passed to a sort-family call *)
+                    if List.mem d sort_functions then
+                      match nolabel_arg 0 args with
+                      | Some
+                          {
+                            pexp_desc = Pexp_ident { txt = cmp; _ };
+                            pexp_loc;
+                            pexp_attributes;
+                            _;
+                          } -> (
+                          match Option.map normalize (flatten_lid cmp) with
+                          | Some cpath when List.length cpath > 0 ->
+                              ctx.cuses <-
+                                {
+                                  cu_file = ctx.path;
+                                  cu_line = line_of pexp_loc;
+                                  cu_path = cpath;
+                                  cu_allows =
+                                    allows_of_attributes pexp_attributes
+                                    @ ctx.scope;
+                                }
+                                :: ctx.cuses
+                          | _ -> ())
+                      | _ -> ())
+            | _ -> ());
+            default.expr self e
+        | _ -> default.expr self e)
+  in
+  (* A structure-level binding defines a function (or value) node unless
+     we are already inside one, in which case it is a local definition
+     and its effects belong to the enclosing function. *)
+  let enter_fn ctx name line attrs walk =
+    let key_mods = ctx.mods in
+    let existing =
+      List.find_opt
+        (fun f -> f.fn_module = key_mods && f.fn_name = name)
+        ctx.fns
+    in
+    let f =
+      match existing with
+      | Some f -> f
+      | None ->
+          let f =
+            {
+              fn_unit = ctx.path;
+              fn_module = key_mods;
+              fn_name = name;
+              fn_line = line;
+              fn_allows = allows_of_attributes attrs @ ctx.scope;
+              fn_nondet = None;
+              fn_io = None;
+              fn_mut = false;
+              fn_stall = None;
+              fn_raises = [];
+              fn_calls = [];
+            }
+          in
+          ctx.fns <- f :: ctx.fns;
+          f
+    in
+    ctx.current <- Some f;
+    ctx.locals <- SS.empty;
+    with_allows ctx attrs walk;
+    ctx.current <- None;
+    ctx.locals <- SS.empty
+  in
+  let rec walk_module_expr self me =
+    match me.pmod_desc with
+    | Pmod_structure str -> self.Ast_iterator.structure self str
+    | Pmod_functor (_, body) -> walk_module_expr self body
+    | Pmod_constraint (me, _) -> walk_module_expr self me
+    | Pmod_ident _ | Pmod_apply _ -> () (* alias / opaque application *)
+    | _ -> default.module_expr self me
+  in
+  let structure_item self item =
+    match item.pstr_desc with
+    | Pstr_value (_, vbs) when ctx.current = None ->
+        List.iter
+          (fun vb ->
+            let rec var p =
+              match p.ppat_desc with
+              | Ppat_var { txt; _ } -> Some txt
+              | Ppat_constraint (p, _) -> var p
+              | _ -> None
+            in
+            let name =
+              match var vb.pvb_pat with
+              | Some n -> n
+              | None ->
+                  let n = Printf.sprintf "_top%d" ctx.top_ord in
+                  ctx.top_ord <- ctx.top_ord + 1;
+                  n
+            in
+            enter_fn ctx name
+              (line_of vb.pvb_loc)
+              vb.pvb_attributes
+              (fun () -> self.Ast_iterator.expr self vb.pvb_expr))
+          vbs
+    | Pstr_eval (e, attrs) when ctx.current = None ->
+        let name = Printf.sprintf "_top%d" ctx.top_ord in
+        ctx.top_ord <- ctx.top_ord + 1;
+        enter_fn ctx name (line_of item.pstr_loc) attrs (fun () ->
+            self.Ast_iterator.expr self e)
+    | Pstr_module mb ->
+        (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+        | Some n, Pmod_ident { txt; _ } -> (
+            match Option.map normalize (flatten_lid txt) with
+            | Some chain -> ctx.aliases <- (n, chain) :: ctx.aliases
+            | None -> ())
+        | _ -> ());
+        with_allows ctx mb.pmb_attributes (fun () ->
+            match mb.pmb_name.txt with
+            | Some n ->
+                let saved = ctx.mods in
+                ctx.mods <- ctx.mods @ [ n ];
+                walk_module_expr self mb.pmb_expr;
+                ctx.mods <- saved
+            | None -> walk_module_expr self mb.pmb_expr)
+    | Pstr_recmodule mbs ->
+        List.iter
+          (fun mb ->
+            match mb.pmb_name.txt with
+            | Some n ->
+                let saved = ctx.mods in
+                ctx.mods <- ctx.mods @ [ n ];
+                walk_module_expr self mb.pmb_expr;
+                ctx.mods <- saved
+            | None -> walk_module_expr self mb.pmb_expr)
+          mbs
+    | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ } ->
+        (match Option.map normalize (flatten_lid txt) with
+        | Some chain -> ctx.opens <- chain :: ctx.opens
+        | None -> ())
+    | _ -> default.structure_item self item
+  in
+  (* Floating [@@@lint.allow] scopes to the rest of the enclosing
+     structure/signature, restored when it ends. *)
+  let structure self items =
+    let saved = ctx.scope in
+    List.iter
+      (fun item ->
+        (match item.pstr_desc with
+        | Pstr_attribute a -> ctx.scope <- allows_of_attribute a @ ctx.scope
+        | _ -> ());
+        self.Ast_iterator.structure_item self item)
+      items;
+    ctx.scope <- saved
+  in
+  let signature_item self item =
+    match item.psig_desc with
+    | Psig_value vd ->
+        ctx.exports <-
+          {
+            ex_unit = ctx.path;
+            ex_module = ctx.mods;
+            ex_name = vd.pval_name.txt;
+            ex_line = line_of vd.pval_loc;
+            ex_allows = allows_of_attributes vd.pval_attributes @ ctx.scope;
+          }
+          :: ctx.exports
+    | Psig_module md -> (
+        match (md.pmd_name.txt, md.pmd_type.pmty_desc) with
+        | Some n, Pmty_signature sg ->
+            let saved = ctx.mods in
+            ctx.mods <- ctx.mods @ [ n ];
+            self.Ast_iterator.signature self sg;
+            ctx.mods <- saved
+        | _ -> () (* module types / functors: specs, not exports *))
+    | Psig_modtype _ -> () (* vals inside module types are not exports *)
+    | _ -> default.signature_item self item
+  in
+  let signature self items =
+    let saved = ctx.scope in
+    List.iter
+      (fun item ->
+        (match item.psig_desc with
+        | Psig_attribute a -> ctx.scope <- allows_of_attribute a @ ctx.scope
+        | _ -> ());
+        self.Ast_iterator.signature_item self item)
+      items;
+    ctx.scope <- saved
+  in
+  { default with Ast_iterator.expr; structure_item; structure; signature_item; signature }
+
+(* ---------------------------------------------------------------- *)
+(* Entry point *)
+
+let module_name_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* Deduplicate a function's recorded references: one edge per
+   (path, mask), keeping the lowest line. *)
+let mask_repr = function
+  | Effects.Catch_all -> [ "*" ]
+  | Effects.Catch s -> SS.elements s
+
+let rec cmp_strings a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = String.compare x y in
+      if c <> 0 then c else cmp_strings xs ys
+
+let cmp_call a b =
+  let c = cmp_strings a.c_path b.c_path in
+  if c <> 0 then c
+  else
+    let c = cmp_strings (mask_repr a.c_mask) (mask_repr b.c_mask) in
+    if c <> 0 then c else Int.compare a.c_line b.c_line
+
+let dedup_calls calls =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let key = (c.c_path, mask_repr c.c_mask) in
+      match Hashtbl.find_opt tbl key with
+      | Some prev when prev.c_line <= c.c_line -> ()
+      | _ -> Hashtbl.replace tbl key c)
+    calls;
+  (* iteration order never escapes: the result is fully sorted below *)
+  let out = (Hashtbl.fold [@lint.allow "D002"]) (fun _ c acc -> c :: acc) tbl [] in
+  List.sort cmp_call out
+
+let extract ~config ~path source =
+  let unit_module = module_name_of_path path in
+  let ctx =
+    {
+      config;
+      path;
+      unit_module;
+      mods = [ unit_module ];
+      scope = [];
+      mask = Effects.mask_none;
+      current = None;
+      locals = SS.empty;
+      fns = [];
+      top_ord = 0;
+      exports = [];
+      refs = [];
+      opens = [];
+      aliases = [];
+      cuses = [];
+    }
+  in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  let iter = make_iterator ctx in
+  let is_mli = Filename.check_suffix path ".mli" in
+  (try
+     if is_mli then iter.Ast_iterator.signature iter (Parse.interface lexbuf)
+     else iter.Ast_iterator.structure iter (Parse.implementation lexbuf)
+   with Syntaxerr.Error _ | Lexer.Error _ -> () (* Rules reports P000 *));
+  let fns = List.rev ctx.fns in
+  List.iter
+    (fun f ->
+      f.fn_calls <- dedup_calls f.fn_calls;
+      f.fn_raises <-
+        List.sort (fun (a, _) (b, _) -> String.compare a b) f.fn_raises)
+    fns;
+  {
+    u_path = path;
+    u_module = unit_module;
+    u_is_mli = is_mli;
+    u_fns = fns;
+    u_exports = List.rev ctx.exports;
+    u_refs = List.rev ctx.refs;
+    u_opens = List.rev ctx.opens;
+    u_aliases = List.rev ctx.aliases;
+    u_cuses = List.rev ctx.cuses;
+  }

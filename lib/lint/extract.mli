@@ -1,0 +1,72 @@
+(** Phase 1 of blsm-lint v2: per-compilation-unit fact extraction.
+
+    Walks one parsed unit and records the functions it defines (with
+    their intrinsic effect facts and outgoing references), the values
+    its [.mli] exports, and the raw material the resolver needs (every
+    dotted reference, [open]s, module aliases).  Purely syntactic — the
+    documented soundness caveats live in DESIGN.md §15. *)
+
+type call = {
+  c_path : string list;
+      (** dotted reference as written, [Stdlib.] stripped *)
+  c_mask : Effects.mask;
+      (** handlers between the call site and the function entry *)
+  c_line : int;
+}
+
+type fn = {
+  fn_unit : string;  (** repo-relative [.ml] path *)
+  fn_module : string list;  (** module path, unit module first *)
+  fn_name : string;
+  fn_line : int;
+  fn_allows : string list;
+      (** rules allowed in scope at the definition site *)
+  mutable fn_nondet : string option;  (** witness nondeterminism source *)
+  mutable fn_io : string option;  (** witness I/O reference *)
+  mutable fn_mut : bool;  (** mutates escaping state *)
+  mutable fn_stall : string option;  (** witness pacing-quota reference *)
+  mutable fn_raises : (string * string) list;
+      (** intrinsic may-raise: exception constructor, origin note *)
+  mutable fn_calls : call list;  (** deduplicated, sorted *)
+}
+
+type comparator_use = {
+  cu_file : string;
+  cu_line : int;
+  cu_path : string list;
+      (** a *named* function passed in comparator position *)
+  cu_allows : string list;
+}
+
+type export = {
+  ex_unit : string;  (** repo-relative [.mli] path *)
+  ex_module : string list;
+  ex_name : string;
+  ex_line : int;
+  ex_allows : string list;
+}
+
+type unit_info = {
+  u_path : string;
+  u_module : string;  (** unit module name derived from the filename *)
+  u_is_mli : bool;
+  u_fns : fn list;
+  u_exports : export list;
+  u_refs : string list list;  (** every dotted reference in the unit *)
+  u_opens : string list list;
+  u_aliases : (string * string list) list;  (** [module X = Chain] *)
+  u_cuses : comparator_use list;
+}
+
+(** [Module.Sub.name] identity used as the call-graph key suffix. *)
+val qualified : fn -> string
+
+val module_name_of_path : string -> string
+
+(** Total order on string lists (monomorphic, C001-clean). *)
+val cmp_strings : string list -> string list -> int
+
+(** [extract ~config ~path source] parses and walks one unit.  Files
+    that do not parse yield an empty [unit_info] (the per-expression
+    pass reports P000 for them). *)
+val extract : config:Config.t -> path:string -> string -> unit_info

@@ -97,30 +97,11 @@ let path_of_lid lid = Option.map normalize (flatten_lid lid)
 (* ---------------------------------------------------------------- *)
 (* D001: nondeterminism sources *)
 
-let d001_banned =
-  [
-    ("Random.self_init", "seeds from the environment");
-    ("Random.State.make_self_init", "seeds from the environment");
-    ("Random.int", "draws from the hidden global PRNG state");
-    ("Random.full_int", "draws from the hidden global PRNG state");
-    ("Random.bits", "draws from the hidden global PRNG state");
-    ("Random.bits32", "draws from the hidden global PRNG state");
-    ("Random.bits64", "draws from the hidden global PRNG state");
-    ("Random.int32", "draws from the hidden global PRNG state");
-    ("Random.int64", "draws from the hidden global PRNG state");
-    ("Random.nativeint", "draws from the hidden global PRNG state");
-    ("Random.float", "draws from the hidden global PRNG state");
-    ("Random.bool", "draws from the hidden global PRNG state");
-    ("Unix.gettimeofday", "reads the wall clock");
-    ("Unix.time", "reads the wall clock");
-    ("Sys.time", "reads the process clock");
-    ("Hashtbl.hash", "is seed- and layout-dependent; never hash keys with it");
-    ("Hashtbl.seeded_hash", "is seed-dependent; never hash keys with it");
-    ("Hashtbl.hash_param", "is seed- and layout-dependent");
-  ]
-
+(* The banned list lives in Config.nondet_sources — shared with the
+   interprocedural nondet effect bit (rule D003), so the two rules can
+   never drift apart. *)
 let check_d001 ctx loc path =
-  match List.assoc_opt (dotted path) d001_banned with
+  match List.assoc_opt (dotted path) ctx.config.nondet_sources with
   | Some why ->
       report ctx loc "D001"
         (Printf.sprintf

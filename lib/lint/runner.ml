@@ -1,5 +1,8 @@
-(* Walks the source tree, runs the AST pass on every .ml/.mli, and adds
-   the file-set rule S001 (every lib/ module ships an interface). *)
+(* Walks the source tree and runs both analysis phases on every
+   .ml/.mli: the per-expression AST pass (Rules), the file-set rule
+   S001, and the interprocedural effect analysis (Extract -> Callgraph
+   -> Interproc).  All internal orders are total, so the result is
+   independent of the order files are handed in. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -63,13 +66,63 @@ let mli_findings ~(config : Config.t) files =
                     *_intf modules are exempt)"
                    base)))
 
-let run ?(config = Config.default) ~root dirs =
-  let files = collect_files ~root dirs in
+(* Build and solve the project call graph from in-memory sources. *)
+let graph_of_sources ~config sources =
+  let units =
+    List.map (fun (path, src) -> Extract.extract ~config ~path src) sources
+  in
+  let g = Callgraph.build ~config units in
+  Callgraph.solve g;
+  g
+
+(* Two-phase analysis over in-memory sources.  [ref_sources] are extra
+   units (tests, examples) whose references keep U001 exports alive but
+   which are not themselves analyzed or reported on. *)
+let analyze ?(config = Config.default) ?(ref_sources = []) sources =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) sources
+  in
   let ast_findings =
     List.concat_map
-      (fun f ->
-        Rules.lint_source ~config ~path:f
-          (read_file (Filename.concat root f)))
-      files
+      (fun (path, src) -> Rules.lint_source ~config ~path src)
+      sorted
   in
-  List.sort Finding.compare (mli_findings ~config files @ ast_findings)
+  let graph = graph_of_sources ~config sorted in
+  let ref_units =
+    graph.Callgraph.cg_units
+    @ List.map
+        (fun (path, src) -> Extract.extract ~config ~path src)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) ref_sources)
+  in
+  let inter = Interproc.run ~graph ~ref_units in
+  let files = List.map fst sorted in
+  let findings =
+    List.sort Finding.compare
+      (mli_findings ~config files @ ast_findings @ inter)
+  in
+  (findings, graph)
+
+let read_sources ~root files =
+  List.map (fun f -> (f, read_file (Filename.concat root f))) files
+
+(* Files in [dead_export_ref_dirs] but outside the scanned set. *)
+let ref_only_files ~(config : Config.t) ~root ~scanned =
+  collect_files ~root config.dead_export_ref_dirs
+  |> List.filter (fun f -> not (List.mem f scanned))
+
+let run ?(config = Config.default) ~root dirs =
+  let files = collect_files ~root dirs in
+  let refs = ref_only_files ~config ~root ~scanned:files in
+  let findings, _graph =
+    analyze ~config
+      ~ref_sources:(read_sources ~root refs)
+      (read_sources ~root files)
+  in
+  findings
+
+(* The byte-stable call-graph + inferred-effects dump behind
+   [blsm_cli lint --effects]. *)
+let effects_json ?(config = Config.default) ~root dirs =
+  let files = collect_files ~root dirs in
+  let g = graph_of_sources ~config (read_sources ~root files) in
+  Callgraph.to_json g

@@ -1,10 +1,14 @@
-(** Orchestration: walk the tree, lint every unit, apply the file-set
-    rule S001.
+(** Orchestration: walk the tree, run both analysis phases on every
+    unit, apply the file-set rule S001.
 
     S001 exists because an [.mli] is where a module's invariants are
     stated — the DST oracle, the pacing maths, the on-disk format all
     promise things the implementation alone cannot document.  A module
-    without an interface exports everything and promises nothing. *)
+    without an interface exports everything and promises nothing.
+
+    The interprocedural phase (Extract -> Callgraph -> Interproc) runs
+    on the same file set; every internal order is total, so results are
+    independent of the order files are handed in. *)
 
 (** [collect_files ~root dirs] returns the sorted repo-relative paths of
     every [.ml]/[.mli] under [dirs] (each relative to [root]),
@@ -16,8 +20,24 @@ val collect_files : root:string -> string list -> string list
     tests. *)
 val mli_findings : config:Config.t -> string list -> Finding.t list
 
+(** [analyze ?config ?ref_sources sources] runs both phases over
+    in-memory [(path, source)] pairs and returns all findings sorted by
+    {!Finding.compare} plus the solved call graph.  [ref_sources] are
+    extra units (tests, examples) whose references keep U001 exports
+    alive but which are not themselves analyzed or reported on.
+    Exposed for the fixture tests and the order-invariance property. *)
+val analyze :
+  ?config:Config.t ->
+  ?ref_sources:(string * string) list ->
+  (string * string) list ->
+  Finding.t list * Callgraph.t
+
 (** [run ?config ~root dirs] lints every source file under [dirs] and
     returns all findings sorted by {!Finding.compare}.  Suppression
     attributes are already applied; baseline subtraction is the
     caller's job ({!Baseline.filter}). *)
 val run : ?config:Config.t -> root:string -> string list -> Finding.t list
+
+(** [effects_json ?config ~root dirs] builds and solves the call graph
+    and dumps it as byte-stable JSON ([blsm_cli lint --effects]). *)
+val effects_json : ?config:Config.t -> root:string -> string list -> string

@@ -45,6 +45,7 @@ val consume_min : t -> (string * Kv.Entry.t) option
 
 (** [peek_geq t key] inspects without consuming. *)
 val peek_geq : t -> string -> (string * Kv.Entry.t) option
+[@@lint.allow "U001"] (* iteration family kept whole for embedders *)
 
 (** As {!peek_geq}, with the newest contributing LSN. *)
 val peek_geq_lsn : t -> string -> (string * Kv.Entry.t * int) option
@@ -56,7 +57,11 @@ val oldest_lsn : t -> int option
 (** [iter_from t key f] visits bindings with key >= [key] in order while
     [f] returns [true]. *)
 val iter_from : t -> string -> (string -> Kv.Entry.t -> bool) -> unit
+[@@lint.allow "U001"] (* iteration family kept whole for embedders *)
 
 val iter : t -> (string -> Kv.Entry.t -> unit) -> unit
+[@@lint.allow "U001"] (* iteration family kept whole for embedders *)
 val fold : t -> 'a -> ('a -> string -> Kv.Entry.t -> 'a) -> 'a
+[@@lint.allow "U001"] (* iteration family kept whole for embedders *)
 val to_list : t -> (string * Kv.Entry.t) list
+[@@lint.allow "U001"] (* iteration family kept whole for embedders *)

@@ -29,6 +29,7 @@ val histogram : t -> string -> help:string -> Repro_util.Histogram.t -> unit
 
 (** Registered metric names (sorted). *)
 val names : t -> string list
+[@@lint.allow "U001"] (* introspection surface beside [dump] *)
 
 (** [dump ?prefix t] renders ["name value\n"] lines, sorted by name,
     restricted to names starting with [prefix] when given. *)

@@ -19,6 +19,7 @@ type t
 val create : width_us:int -> t
 
 val width_us : t -> int
+[@@lint.allow "U001"] (* constructor-argument accessor *)
 
 (** [record t ~time_us ~latency_us] attributes one completed operation
     to the window containing its completion time. *)
@@ -67,6 +68,7 @@ val throughput : t -> throughput_stats
 
 (** All windows merged into one histogram (whole-phase quantiles). *)
 val overall : t -> Repro_util.Histogram.t
+[@@lint.allow "U001"] (* whole-phase aggregation surface *)
 
 (** [register t reg ~name] registers summary closures in [reg]:
     [name.windows], [name.ops], [name.p999_us.worst] (worst per-window

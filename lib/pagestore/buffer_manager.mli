@@ -9,6 +9,7 @@ type t
 
 val create : Simdisk.Disk.t -> Platter.t -> capacity_pages:int -> t
 val capacity : t -> int
+[@@lint.allow "U001"] (* constructor-argument accessor *)
 
 (** Attach a fault-injection plan; dirty-frame writebacks consult it. *)
 val set_faults : t -> Simdisk.Faults.t -> unit

@@ -7,13 +7,17 @@ val default_size : int
 type id = int
 
 val get_u16 : Bytes.t -> int -> int
+[@@lint.allow "U001"] (* accessor family kept symmetric with the setters *)
 val set_u16 : Bytes.t -> int -> int -> unit
 val get_u32 : Bytes.t -> int -> int
+[@@lint.allow "U001"] (* accessor family kept symmetric with the setters *)
 val set_u32 : Bytes.t -> int -> int -> unit
 val get_u64 : Bytes.t -> int -> int
+[@@lint.allow "U001"] (* accessor family kept symmetric with the setters *)
 val set_u64 : Bytes.t -> int -> int -> unit
 
 (** [blit_string s b pos] copies all of [s] into [b] at [pos]. *)
 val blit_string : string -> Bytes.t -> int -> unit
 
 val sub_string : Bytes.t -> int -> int -> string
+[@@lint.allow "U001"] (* accessor family completeness *)

@@ -21,4 +21,5 @@ val drop : t -> Page.id -> unit
 val corrupt : t -> Page.id -> byte:int -> bit:int -> bool
 
 val stored_pages : t -> int
+[@@lint.allow "U001"] (* space-accounting probe beside [stored_bytes] *)
 val stored_bytes : t -> int

@@ -18,6 +18,7 @@ val free : t -> region -> unit
 
 val allocated_pages : t -> int
 val high_watermark : t -> Page.id
+[@@lint.allow "U001"] (* space-amplification probe beside [allocated_pages] *)
 
 (** Pages currently on the free list (space-amplification probe). *)
 val free_pages : t -> int

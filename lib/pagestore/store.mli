@@ -17,6 +17,7 @@ type config = {
 
 (** 4 KiB pages, 1024-frame pool, full durability. *)
 val default_config : config
+[@@lint.allow "U001"] (* the documented default for [create]'s [?config] *)
 
 val create : ?config:config -> Simdisk.Profile.t -> t
 
@@ -31,6 +32,7 @@ val page_size : t -> int
 val set_faults : t -> Simdisk.Faults.t -> unit
 
 val faults : t -> Simdisk.Faults.t
+[@@lint.allow "U001"] (* harness introspection of the armed fault plan *)
 
 (** The store's tracer: created with the store on its simulated clock
     and shared by the WAL, buffer manager, and hosted engines. Disabled
@@ -77,6 +79,7 @@ val with_page_mut : t -> Page.id -> (Bytes.t -> 'a) -> 'a
     pool hits skip it. *)
 val with_page_verified :
   t -> Page.id -> seq:bool -> verify:(Bytes.t -> unit) -> (Bytes.t -> 'a) -> 'a
+[@@lint.allow "U001"] (* uncached variant of the verified-read pair *)
 
 (** As {!with_page_verified}, additionally caching [derive frame_bytes]
     (per-page record-start offsets) alongside the frame; [derive] runs
@@ -137,6 +140,7 @@ val commit_root : ?slot:string -> t -> string -> unit
 
 val read_root : ?slot:string -> t -> string
 val root_writes : t -> int
+[@@lint.allow "U001"] (* durability-accounting probe *)
 
 (** {1 Crash simulation} *)
 

@@ -78,10 +78,6 @@ let seq_write t ~bytes =
   t.c.seq_write_bytes <- t.c.seq_write_bytes + bytes;
   t.now_us <- t.now_us +. transfer_us t.profile.Profile.write_mb_per_s bytes
 
-(** Cost of [bytes] of sequential writes without performing them; the merge
-    schedulers use this to convert pacing quotas between bytes and time. *)
-let seq_write_cost_us t ~bytes = transfer_us t.profile.Profile.write_mb_per_s bytes
-
 type snapshot = {
   at_us : float;
   seeks : int;

@@ -30,10 +30,6 @@ val seq_read : t -> bytes:int -> unit
 (** Streaming write at device bandwidth (log appends, merge output). *)
 val seq_write : t -> bytes:int -> unit
 
-(** Cost of [bytes] of sequential writes without performing them; the
-    schedulers use this to convert quotas between bytes and time. *)
-val seq_write_cost_us : t -> bytes:int -> float
-
 (** {1 Counters} *)
 
 type snapshot = {
@@ -53,3 +49,4 @@ val snapshot : t -> snapshot
 val diff : snapshot -> snapshot -> snapshot
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
+[@@lint.allow "U001"] (* debug printer *)

@@ -40,6 +40,7 @@ val counters : t -> counters
 
 (** True when any fault is still scheduled. *)
 val armed : t -> bool
+[@@lint.allow "U001"] (* harness probe: plan armed vs already fired *)
 
 (** Faults scheduled but not yet fired: [(page_faults, wal_faults)] —
     distinguishes "the plan fired" from "the workload never reached the

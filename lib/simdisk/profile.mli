@@ -29,3 +29,4 @@ type device_class = {
 val table2_devices : device_class list
 
 val pp : Format.formatter -> t -> unit
+[@@lint.allow "U001"] (* debug printer *)

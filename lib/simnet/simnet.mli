@@ -49,6 +49,7 @@ val sleep : t -> int -> unit
 val endpoint : t -> string -> endpoint
 
 val name : endpoint -> string
+[@@lint.allow "U001"] (* endpoint accessor *)
 
 (** [set_handler ep h] installs the server function: [h ~src body]
     runs synchronously at each inbound message's delivery time and may
@@ -108,6 +109,7 @@ val counters : t -> counters
 
 (** Per-directed-link [(src, dst, sent, delivered, dropped)], sorted. *)
 val link_stats : t -> (string * string * int * int * int) list
+[@@lint.allow "U001"] (* harness probe for link-level assertions *)
 
 (** Register the [net.*] counter family on [reg]. *)
 val register_metrics : Obs.Metrics.t -> t -> unit
@@ -115,3 +117,4 @@ val register_metrics : Obs.Metrics.t -> t -> unit
 (** Attach a tracer: every delivery becomes a ["net"] span from send to
     delivery time on the simnet clock; drops become zero-length spans. *)
 val set_trace : t -> Obs.Trace.t -> unit
+[@@lint.allow "U001"] (* observability hook *)

@@ -323,7 +323,25 @@ let next_record bs =
       release bs;
       None
   | body_len -> (
-      let body = read_string bs body_len in
+      (* The varint promised [body_len] more bytes; running out of data
+         pages mid-record means the file is truncated.  Surface that as
+         typed corruption — End_of_component is the internal
+         record-boundary protocol and must never escape the reader
+         (rule E001: it would cross the driver / replication boundaries
+         as an unhandled exception instead of a corruption answer). *)
+      let body =
+        match read_string bs body_len with
+        | exception End_of_component ->
+            raise
+              (Sst_format.Corrupt
+                 {
+                   what =
+                     "sstable truncated mid-record (data pages end inside \
+                      a record body)";
+                   page = bs.bpos;
+                 })
+        | body -> body
+      in
       match bs.reader.footer.Sst_format.version with
       | Sst_format.V1 -> Some (Sst_format.decode_body body)
       | Sst_format.V2 ->

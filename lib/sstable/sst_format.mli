@@ -25,6 +25,7 @@ val page_ok : string -> bool
 (** [verify_page s ~page] raises {!Corrupt} on mismatch, reporting
     [page]. *)
 val verify_page : string -> page:int -> unit
+[@@lint.allow "U001"] (* copying variant kept beside [verify_page_bytes] *)
 
 (** {!page_ok} on a byte buffer without copying it out. *)
 val page_ok_bytes : Bytes.t -> bool
@@ -52,6 +53,7 @@ val restart_interval : int
 
 (** Length of the longest common prefix. *)
 val shared_prefix_len : string -> string -> int
+[@@lint.allow "U001"] (* format-inspection helper for tooling *)
 
 (** [encode_record buf key ~lsn entry] appends one framed record. *)
 val encode_record : Buffer.t -> string -> lsn:int -> Kv.Entry.t -> unit
@@ -98,6 +100,7 @@ module Fence : sig
   val zone_max : t -> int -> string option
 
   val has_zone_maps : t -> bool
+  [@@lint.allow "U001"] (* format-inspection probe *)
 
   (** Slot of the rightmost fence key [<= key] ([None]: key precedes the
       table). Branch-free Eytzinger descent. *)

@@ -9,6 +9,7 @@ type t
 
 val create : unit -> t
 val clear : t -> unit
+[@@lint.allow "U001"] (* reuse hook beside [create] *)
 
 (** [add t v] records one observation ([v] clamped at 0). *)
 val add : t -> int -> unit

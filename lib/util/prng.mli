@@ -10,6 +10,7 @@ val of_int : int -> t
 
 (** Next raw 64-bit output. *)
 val next_int64 : t -> int64
+[@@lint.allow "U001"] (* raw-output surface of the PRNG API *)
 
 (** 62 nonnegative pseudo-random bits as an OCaml [int]. *)
 val bits : t -> int
@@ -32,3 +33,4 @@ val shuffle : t -> 'a array -> unit
 
 (** [bytes t n] is an [n]-byte random string. *)
 val bytes : t -> int -> string
+[@@lint.allow "U001"] (* generator-family completeness *)

@@ -9,6 +9,7 @@ val write : Buffer.t -> int -> unit
 val read : string -> int -> int * int
 
 val read_bytes : bytes -> int -> int * int
+[@@lint.allow "U001"] (* bytes variant kept beside [read] *)
 
 (** Encoded length of [n], in bytes. *)
 val size : int -> int

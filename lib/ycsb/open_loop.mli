@@ -31,6 +31,7 @@ type schedule =
     }
 
 val pp_schedule : Format.formatter -> schedule -> unit
+[@@lint.allow "U001"] (* debug printer *)
 
 (** [arrivals schedule ~seed ~jitter ~n] expands the schedule into [n]
     arrival offsets (µs, strictly increasing, relative to phase start).

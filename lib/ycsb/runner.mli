@@ -21,6 +21,7 @@ type op_kind =
 type mix = (op_kind * float) list
 
 val pp_op : Format.formatter -> op_kind -> unit
+[@@lint.allow "U001"] (* debug printer *)
 
 type result = {
   label : string;

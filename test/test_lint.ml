@@ -225,6 +225,331 @@ let test_finding_format () =
     "lib/x/y.ml:7: [C001] msg"
     (Lint.Finding.to_string f)
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural analysis (v2): the Extract -> Callgraph -> Interproc
+   pipeline driven through Runner.analyze on in-memory units.  Paths
+   matter: lib/ interfaces get U001 treatment, unit module names come
+   from the file name, and the boundary / engine-surface / critical-
+   section config keys match against the derived qualified names. *)
+
+let analyze ?ref_sources srcs =
+  Lint.Runner.analyze ~config:Lint.Config.default ?ref_sources srcs
+
+let only rule findings =
+  List.filter (fun f -> String.equal f.Lint.Finding.rule rule) findings
+
+let contains ~sub s =
+  let n = String.length sub and len = String.length s in
+  let rec go i =
+    i + n <= len && (String.equal (String.sub s i n) sub || go (i + 1))
+  in
+  go 0
+
+let assert_one_msg name ~sub = function
+  | [ f ] ->
+      if not (contains ~sub f.Lint.Finding.msg) then
+        Alcotest.failf "%s: message %S lacks %S" name f.Lint.Finding.msg sub
+  | fs ->
+      Alcotest.failf "%s: expected exactly one finding, got %d" name
+        (List.length fs)
+
+(* --- D003: engine-surface nondeterminism taint --- *)
+
+let d003_units ~tainted ~allow =
+  [
+    ( "lib/core/rng_util.ml",
+      "let pick n = (Random.int [@lint.allow \"D001\"]) n\n\
+       let safe n = n + 1\n" );
+    ("lib/core/rng_util.mli", "val pick : int -> int\nval safe : int -> int\n");
+    ( "lib/core/tree.ml",
+      if tainted then
+        "let put k = Rng_util.pick k\nlet get k = Rng_util.safe k\n"
+      else "let put k = Rng_util.safe k\nlet get k = Rng_util.safe k\n" );
+    ( "lib/core/tree.mli",
+      if allow then
+        "val put : int -> int [@@lint.allow \"D003\"]\nval get : int -> int\n"
+      else "val put : int -> int\nval get : int -> int\n" );
+  ]
+
+let test_d003_fires () =
+  let fs, _ = analyze (d003_units ~tainted:true ~allow:false) in
+  assert_one_msg "D003 names the tainted op" ~sub:"Tree.put" (only "D003" fs);
+  assert_one_msg "witness reaches the source" ~sub:"Random.int"
+    (only "D003" fs)
+
+let test_d003_clean () =
+  let fs, _ = analyze (d003_units ~tainted:false ~allow:false) in
+  check Alcotest.int "untainted surface is clean" 0
+    (List.length (only "D003" fs))
+
+let test_d003_export_allow () =
+  let fs, _ = analyze (d003_units ~tainted:true ~allow:true) in
+  check Alcotest.int "allow on the .mli export silences D003" 0
+    (List.length (only "D003" fs))
+
+(* --- E001: exception escape across protocol boundaries --- *)
+
+let repl body = [ ("lib/core/repl_server.ml", body) ]
+
+let test_e001_fires () =
+  let fs, _ = analyze (repl "let attach ep = List.assoc ep []\n") in
+  assert_one_msg "stdlib raiser escapes the boundary" ~sub:"Not_found"
+    (only "E001" fs)
+
+let test_e001_allowed_exns () =
+  let fs, _ =
+    analyze
+      (repl
+         "let attach ep =\n\
+         \  if ep then failwith \"wedged\" else invalid_arg \"ep\"\n")
+  in
+  check Alcotest.int "declared crossings do not fire" 0
+    (List.length (only "E001" fs))
+
+let test_e001_try_mask () =
+  let fs, _ =
+    analyze (repl "let attach ep = try List.assoc ep [] with Not_found -> 0\n")
+  in
+  check Alcotest.int "try/with masks the named exception" 0
+    (List.length (only "E001" fs))
+
+let test_e001_match_exception_scrutinee_only () =
+  (* the sstable-reader bug shape: [match e with exception P] masks only
+     the scrutinee; a raiser in the success branch still escapes *)
+  let fs, _ =
+    analyze
+      (repl
+         "let second ep = List.assoc ep []\n\
+          let attach ep =\n\
+         \  match List.assoc ep [] with\n\
+         \  | exception Not_found -> 0\n\
+         \  | v -> v + second ep\n")
+  in
+  assert_one_msg "success branch is not masked"
+    ~sub:"Repl_server.attach -> Repl_server.second" (only "E001" fs)
+
+let test_e001_rethrow_transparent () =
+  let fs, _ =
+    analyze
+      (repl "let attach ep = try List.assoc ep [] with e -> ignore ep; raise e\n")
+  in
+  assert_one_msg "observe-and-rethrow does not absorb" ~sub:"Not_found"
+    (only "E001" fs)
+
+let test_e001_catch_all_absorbs () =
+  let fs, _ =
+    analyze (repl "let attach ep = try List.assoc ep [] with _ -> 0\n")
+  in
+  check Alcotest.int "catch-all masks everything (C002's beat, not E001's)" 0
+    (List.length (only "E001" fs))
+
+(* --- C003: transitive comparator purity --- *)
+
+let c003_units ~pure ~allow =
+  [
+    ( "lib/util/cmpx.ml",
+      "let hits = ref 0\n\
+       let counting a b = incr hits; String.compare a b\n\
+       let clean a b = String.compare a b\n" );
+    ( "lib/core/sorty.ml",
+      if pure then "let sort l = List.sort Cmpx.clean l\n"
+      else if allow then
+        "let sort l = List.sort (Cmpx.counting [@lint.allow \"C003\"]) l\n"
+      else "let sort l = List.sort Cmpx.counting l\n" );
+  ]
+
+let test_c003_fires () =
+  let fs, _ = analyze (c003_units ~pure:false ~allow:false) in
+  assert_one_msg "counting comparator is impure" ~sub:"mutates escaping state"
+    (only "C003" fs)
+
+let test_c003_pure_clean () =
+  let fs, _ = analyze (c003_units ~pure:true ~allow:false) in
+  check Alcotest.int "a pure named comparator passes" 0
+    (List.length (only "C003" fs))
+
+let test_c003_site_allow () =
+  let fs, _ = analyze (c003_units ~pure:false ~allow:true) in
+  check Alcotest.int "allow at the use site silences C003" 0
+    (List.length (only "C003" fs))
+
+(* --- Y001: stall-effect layering --- *)
+
+let y001_units ~inside ~allow =
+  [
+    ( "lib/pagestore/wal.ml",
+      if not inside then
+        "let append x = x\nlet maintain () = Scheduler.spring_quota ()\n"
+      else if allow then
+        "let pace () = Scheduler.spring_quota ()\n\
+         let append x = pace (); x [@@lint.allow \"Y001\"]\n"
+      else
+        "let pace () = Scheduler.spring_quota ()\nlet append x = pace (); x\n"
+    );
+  ]
+
+let test_y001_fires () =
+  let fs, _ = analyze (y001_units ~inside:true ~allow:false) in
+  assert_one_msg "pacing reached from inside WAL append"
+    ~sub:"Scheduler.spring_quota" (only "Y001" fs);
+  assert_one_msg "names the critical section" ~sub:"WAL-append"
+    (only "Y001" fs)
+
+let test_y001_outside_clean () =
+  let fs, _ = analyze (y001_units ~inside:false ~allow:false) in
+  check Alcotest.int "pacing outside the critical section is the design" 0
+    (List.length (only "Y001" fs))
+
+let test_y001_binding_allow () =
+  let fs, _ = analyze (y001_units ~inside:true ~allow:true) in
+  check Alcotest.int "allow on the binding silences Y001" 0
+    (List.length (only "Y001" fs))
+
+(* --- U001: dead exports --- *)
+
+let u001_units =
+  [
+    ("lib/util/thing.ml", "let used x = x\nlet dead x = x\nlet kept x = x\n");
+    ( "lib/util/thing.mli",
+      "val used : int -> int\n\
+       val dead : int -> int\n\n\
+       [@@@lint.allow \"U001\"]\n\n\
+       val kept : int -> int\n" );
+    ("bin/lintprobe.ml", "let () = ignore (Thing.used 3)\n");
+  ]
+
+let test_u001_fires () =
+  let fs, _ = analyze u001_units in
+  assert_one_msg
+    "only the unreferenced export past no floating allow is dead"
+    ~sub:"Thing.dead" (only "U001" fs)
+
+let test_u001_ref_sources_keep_alive () =
+  let fs, _ =
+    analyze u001_units
+      ~ref_sources:[ ("test/probe.ml", "let () = ignore (Thing.dead 3)\n") ]
+  in
+  check Alcotest.int "a test/ reference keeps the export alive" 0
+    (List.length (only "U001" fs))
+
+(* --- SCC fixpoint, cross-module cycles, functor guards --- *)
+
+let test_scc_cross_module_cycle () =
+  let _, g =
+    analyze
+      [
+        ( "lib/util/aa.ml",
+          "let ping n =\n\
+          \  if n = 0 then (Random.bits [@lint.allow \"D001\"]) ()\n\
+          \  else Bb.pong (n - 1)\n" );
+        ("lib/util/bb.ml", "let pong n = Aa.ping n\n");
+      ]
+  in
+  let eff = Lint.Callgraph.node_effect g "lib/util/bb.ml#Bb.pong" in
+  check Alcotest.bool "nondet flows around the cross-unit cycle" true
+    eff.Lint.Effects.nondet;
+  match Lint.Callgraph.nodes_by_qualified g "Aa.ping" with
+  | [ n ] ->
+      check Alcotest.string "key_of reconstructs the node key"
+        "lib/util/aa.ml#Aa.ping"
+        (Lint.Callgraph.key_of n.Lint.Callgraph.n_fn)
+  | l -> Alcotest.failf "expected one Aa.ping node, got %d" (List.length l)
+
+let test_scc_same_unit_raise_fixpoint () =
+  let _, g =
+    analyze
+      [
+        ( "lib/util/cyc.ml",
+          "let rec f n = if n = 0 then g n else h n\n\
+           and g n = f (n - 1)\n\
+           and h n = if n > 5 then failwith \"deep\" else f 0\n" );
+      ]
+  in
+  let eff = Lint.Callgraph.node_effect g "lib/util/cyc.ml#Cyc.f" in
+  check slist "Failure circulates to every member of the SCC" [ "Failure" ]
+    (Lint.Effects.raises_list eff)
+
+let test_functor_no_false_edges () =
+  let _, g =
+    analyze
+      [
+        ( "lib/core/fctr.ml",
+          "module F (X : sig\n\
+          \  val f : unit -> int\n\
+           end) =\n\
+           struct\n\
+          \  let g () = X.f ()\n\
+           end\n\n\
+           module Inst = F (struct\n\
+          \  let f () = (Random.bits [@lint.allow \"D001\"]) ()\n\
+           end)\n\n\
+           let use () = Inst.g ()\n" );
+      ]
+  in
+  let eff = Lint.Callgraph.node_effect g "lib/core/fctr.ml#Fctr.use" in
+  check Alcotest.bool "no fabricated edge through a functor instantiation"
+    false eff.Lint.Effects.nondet
+
+(* --- small v2 surface --- *)
+
+let test_module_name_of_path () =
+  check Alcotest.string "tree.ml -> Tree" "Tree"
+    (Lint.Extract.module_name_of_path "lib/core/tree.ml");
+  check Alcotest.string "repl_server.mli -> Repl_server" "Repl_server"
+    (Lint.Extract.module_name_of_path "lib/core/repl_server.mli")
+
+let test_baseline_render () =
+  let f =
+    Lint.Finding.make ~file:"lib/x.ml" ~line:3 ~col:0 ~rule:"U001" "dead"
+  in
+  let s = Lint.Baseline.render [ f ] in
+  check Alcotest.bool "header is commented" true
+    (String.length s > 0 && s.[0] = '#');
+  check Alcotest.bool "body carries the baseline key" true
+    (contains ~sub:(Lint.Finding.baseline_key f) s)
+
+(* --- order invariance: the determinism contract, as a property --- *)
+
+let interproc_corpus =
+  d003_units ~tainted:true ~allow:false
+  @ repl
+      "let second ep = List.assoc ep []\n\
+       let attach ep =\n\
+      \  match List.assoc ep [] with\n\
+      \  | exception Not_found -> 0\n\
+      \  | v -> v + second ep\n"
+  @ c003_units ~pure:false ~allow:false
+  @ y001_units ~inside:true ~allow:false
+  @ u001_units
+  @ [
+      ( "lib/util/aa.ml",
+        "let ping n =\n\
+        \  if n = 0 then (Random.bits [@lint.allow \"D001\"]) ()\n\
+        \  else Bb.pong (n - 1)\n" );
+      ("lib/util/bb.ml", "let pong n = Aa.ping n\n");
+      ( "lib/util/cyc.ml",
+        "let rec f n = if n = 0 then g n else h n\n\
+         and g n = f (n - 1)\n\
+         and h n = if n > 5 then failwith \"deep\" else f 0\n" );
+    ]
+
+let expect_findings, expect_graph = analyze interproc_corpus
+
+let expect_report =
+  String.concat "\n" (List.map Lint.Finding.to_string expect_findings)
+
+let expect_json = Lint.Callgraph.to_json expect_graph
+
+let prop_order_invariant =
+  QCheck.Test.make ~count:25
+    ~name:"analysis is invariant under file-visitation order"
+    (QCheck.make (QCheck.Gen.shuffle_l interproc_corpus))
+    (fun perm ->
+      let fs, g = analyze perm in
+      String.equal expect_report
+        (String.concat "\n" (List.map Lint.Finding.to_string fs))
+      && String.equal expect_json (Lint.Callgraph.to_json g))
+
 let () =
   Alcotest.run "lint"
     [
@@ -270,5 +595,44 @@ let () =
           Alcotest.test_case "policy modules need .mli" `Quick
             test_policy_mli_required;
           Alcotest.test_case "finding format" `Quick test_finding_format;
+        ] );
+      ( "interproc",
+        [
+          Alcotest.test_case "D003 fires" `Quick test_d003_fires;
+          Alcotest.test_case "D003 clean" `Quick test_d003_clean;
+          Alcotest.test_case "D003 export allow" `Quick test_d003_export_allow;
+          Alcotest.test_case "E001 fires" `Quick test_e001_fires;
+          Alcotest.test_case "E001 allowed exns" `Quick test_e001_allowed_exns;
+          Alcotest.test_case "E001 try mask" `Quick test_e001_try_mask;
+          Alcotest.test_case "E001 match-exception scrutinee only" `Quick
+            test_e001_match_exception_scrutinee_only;
+          Alcotest.test_case "E001 rethrow transparent" `Quick
+            test_e001_rethrow_transparent;
+          Alcotest.test_case "E001 catch-all absorbs" `Quick
+            test_e001_catch_all_absorbs;
+          Alcotest.test_case "C003 fires" `Quick test_c003_fires;
+          Alcotest.test_case "C003 pure clean" `Quick test_c003_pure_clean;
+          Alcotest.test_case "C003 site allow" `Quick test_c003_site_allow;
+          Alcotest.test_case "Y001 fires" `Quick test_y001_fires;
+          Alcotest.test_case "Y001 outside clean" `Quick
+            test_y001_outside_clean;
+          Alcotest.test_case "Y001 binding allow" `Quick
+            test_y001_binding_allow;
+          Alcotest.test_case "U001 fires" `Quick test_u001_fires;
+          Alcotest.test_case "U001 ref sources keep alive" `Quick
+            test_u001_ref_sources_keep_alive;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "cross-module SCC" `Quick
+            test_scc_cross_module_cycle;
+          Alcotest.test_case "same-unit raise fixpoint" `Quick
+            test_scc_same_unit_raise_fixpoint;
+          Alcotest.test_case "functor guard" `Quick
+            test_functor_no_false_edges;
+          Alcotest.test_case "module name of path" `Quick
+            test_module_name_of_path;
+          Alcotest.test_case "baseline render" `Quick test_baseline_render;
+          QCheck_alcotest.to_alcotest prop_order_invariant;
         ] );
     ]

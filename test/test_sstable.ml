@@ -265,6 +265,37 @@ let test_restart_corruption_detected () =
   | exception Sstable.Sst_format.Corrupt _ -> ()
   | _ -> Alcotest.fail "header corruption not detected"
 
+let test_truncated_mid_record_is_typed_corrupt () =
+  (* Regression for a real find of lint rule E001: when the data pages
+     end inside a record body (truncated table), the reader's internal
+     End_of_component record-boundary exception used to leak through
+     the cursor — across the replication and DST protocol boundaries —
+     instead of the typed Corrupt the scan contract declares. *)
+  let store = mk_store () in
+  (* One record whose body spans several 256-byte pages, so a footer
+     one page short ends mid-body. *)
+  let big = String.make 700 'v' in
+  let b =
+    Sstable.Builder.create ~format:Sstable.Sst_format.V1 ~extent_pages:4 store
+  in
+  Sstable.Builder.add b "k" (Kv.Entry.Base big);
+  let footer = Sstable.Builder.finish b ~timestamp:1 in
+  let index = Sstable.Builder.index_blob b in
+  let truncated =
+    {
+      footer with
+      Sstable.Sst_format.data_pages = footer.Sstable.Sst_format.data_pages - 1;
+    }
+  in
+  match
+    let sst = Sstable.Reader.open_in_ram store truncated ~index in
+    records_of_iter (Sstable.Reader.iterator sst)
+  with
+  | exception Sstable.Sst_format.Corrupt _ -> ()
+  | exception e ->
+      Alcotest.failf "internal exception leaked: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "truncated table iterated cleanly"
+
 let test_verified_once_semantics () =
   (* While the frame sits verified in the pool, lookups skip the CRC; the
      check runs again at the load after a crash drops the pool — platter
@@ -728,6 +759,8 @@ let () =
             test_restart_offsets_roundtrip;
           Alcotest.test_case "corruption detected" `Quick
             test_restart_corruption_detected;
+          Alcotest.test_case "truncated mid-record" `Quick
+            test_truncated_mid_record_is_typed_corrupt;
           Alcotest.test_case "verified once" `Quick test_verified_once_semantics;
           Alcotest.test_case "tiny pool pins" `Quick test_tiny_pool_pin_release;
           QCheck_alcotest.to_alcotest prop_restart_get_equals_linear;

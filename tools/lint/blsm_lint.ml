@@ -1,23 +1,37 @@
 (* blsm-lint command line.
 
    Usage: blsm_lint [--root DIR] [--baseline FILE] [--update-baseline]
-                    [DIR ...]
+                    [--effects] [--budget SECONDS] [DIR ...]
 
    Lints every .ml/.mli under the given directories (default: the
-   configured scan set, lib/ bin/ bench/), prints findings as
+   configured scan set, lib/ bin/ bench/ tools/), prints findings as
    "file:line: [RULE] message" and exits non-zero if any survive the
-   suppression attributes and the baseline. *)
+   suppression attributes and the baseline.
+
+   --effects dumps the interprocedural call graph and inferred effect
+   signatures as byte-stable JSON instead of linting.
+
+   --budget S is the analyzer's perf gate: measure wall-clock for the
+   whole run and exit 1 if it exceeds S seconds.  The analysis is part
+   of `dune runtest`; if it cannot stay fast it will get skipped, so
+   the budget is enforced in CI like any other invariant. *)
 
 let usage () =
   prerr_endline
     "usage: blsm_lint [--root DIR] [--baseline FILE] [--update-baseline] \
-     [DIR ...]";
+     [--effects] [--budget SECONDS] [DIR ...]";
   exit 2
+
+(* Wall clock, not the simulated one: this times the analyzer itself.
+   The result never reaches analysis output. *)
+let now () = (Unix.gettimeofday [@lint.allow "D001"]) ()
 
 let () =
   let root = ref "." in
   let baseline_path = ref None in
   let update = ref false in
+  let effects = ref false in
+  let budget = ref None in
   let dirs = ref [] in
   let rec parse = function
     | [] -> ()
@@ -30,6 +44,15 @@ let () =
     | "--update-baseline" :: rest ->
         update := true;
         parse rest
+    | "--effects" :: rest ->
+        effects := true;
+        parse rest
+    | "--budget" :: s :: rest -> (
+        match float_of_string_opt s with
+        | Some b when b > 0.0 ->
+            budget := Some b;
+            parse rest
+        | _ -> usage ())
     | ("--help" | "-h") :: _ -> usage ()
     | d :: rest when String.length d > 0 && d.[0] <> '-' ->
         dirs := d :: !dirs;
@@ -41,35 +64,52 @@ let () =
   let dirs =
     if !dirs = [] then config.Lint.Config.scan_dirs else List.rev !dirs
   in
-  let findings = Lint.Runner.run ~config ~root:!root dirs in
-  match (!update, !baseline_path) with
-  | true, Some path ->
-      Lint.Baseline.save path findings;
-      Printf.printf "blsm-lint: wrote %d finding(s) to %s\n"
-        (List.length findings) path
-  | true, None ->
-      prerr_endline "blsm-lint: --update-baseline requires --baseline";
-      exit 2
-  | false, _ ->
-      let baseline =
-        match !baseline_path with
-        | Some path -> Lint.Baseline.load path
-        | None -> []
-      in
-      let live = Lint.Baseline.filter ~baseline findings in
-      List.iter
-        (fun f -> print_endline (Lint.Finding.to_string f))
-        live;
-      if live <> [] then begin
+  let started = now () in
+  let check_budget () =
+    let elapsed = now () -. started in
+    match !budget with
+    | Some b when elapsed > b ->
         Printf.printf
-          "blsm-lint: %d finding(s) (%d baselined); see DESIGN.md §10 \
-           for the rules, [@lint.allow \"RULE\"] for per-site \
-           suppression\n"
-          (List.length live)
-          (List.length findings - List.length live);
+          "blsm-lint: analysis took %.2fs, over the %.1fs budget; the \
+           analyzer must stay fast enough to live inside `dune runtest`\n"
+          elapsed b;
         exit 1
-      end
-      else
-        Printf.printf "blsm-lint: clean (%d file(s) scanned in %s)\n"
-          (List.length (Lint.Runner.collect_files ~root:!root dirs))
-          (String.concat " " dirs)
+    | _ -> ()
+  in
+  if !effects then begin
+    print_string (Lint.Runner.effects_json ~config ~root:!root dirs);
+    check_budget ()
+  end
+  else
+    let findings = Lint.Runner.run ~config ~root:!root dirs in
+    match (!update, !baseline_path) with
+    | true, Some path ->
+        Lint.Baseline.save path findings;
+        Printf.printf "blsm-lint: wrote %d finding(s) to %s\n"
+          (List.length findings) path
+    | true, None ->
+        prerr_endline "blsm-lint: --update-baseline requires --baseline";
+        exit 2
+    | false, _ ->
+        let baseline =
+          match !baseline_path with
+          | Some path -> Lint.Baseline.load path
+          | None -> []
+        in
+        let live = Lint.Baseline.filter ~baseline findings in
+        List.iter (fun f -> print_endline (Lint.Finding.to_string f)) live;
+        if live <> [] then begin
+          Printf.printf
+            "blsm-lint: %d finding(s) (%d baselined); see DESIGN.md §10 \
+             and §15 for the rules, [@lint.allow \"RULE\"] for per-site \
+             suppression\n"
+            (List.length live)
+            (List.length findings - List.length live);
+          exit 1
+        end
+        else begin
+          check_budget ();
+          Printf.printf "blsm-lint: clean (%d file(s) scanned in %s)\n"
+            (List.length (Lint.Runner.collect_files ~root:!root dirs))
+            (String.concat " " dirs)
+        end
